@@ -1,0 +1,54 @@
+// Ablation: how far is the polynomial heuristic from the exhaustive
+// optimum (exact spanning-tree solver over every non-decreasing
+// arrangement)? The paper gives the exact method as exponential ground
+// truth (Section 4.3) and the heuristic as the practical solver
+// (Section 4.4); this bench quantifies the gap on the small grids where
+// the exact search is feasible.
+#include "bench/bench_common.hpp"
+#include "core/local_search.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"trials", "25"}, {"seed", "17"}, {"csv", "0"}});
+  bench::print_header(
+      "Heuristic / local search vs exhaustive optimum — obj2 gap on small "
+      "grids",
+      cli);
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+
+  struct Shape {
+    std::size_t p, q;
+  };
+  const Shape shapes[] = {{2, 2}, {2, 3}, {2, 4}, {3, 3}};
+
+  Table table;
+  table.header({"grid", "heur_gap_pct", "ls_gap_pct", "heur/capacity",
+                "ls/capacity", "opt/capacity"});
+  for (const Shape& s : shapes) {
+    RunningStats gap_h, gap_ls, heur_eff, ls_eff, opt_eff;
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::vector<double> pool = rng.cycle_times(s.p * s.q, 0.05);
+      const HeuristicResult h = solve_heuristic(s.p, s.q, pool);
+      const LocalSearchResult ls = solve_local_search(s.p, s.q, pool);
+      const OptimalArrangement opt =
+          solve_optimal_arrangement(s.p, s.q, pool);
+      const double cap = obj2_upper_bound(opt.grid);
+      gap_h.add(100.0 * (opt.solution.obj2 - h.final().obj2) /
+                opt.solution.obj2);
+      gap_ls.add(100.0 * (opt.solution.obj2 - ls.obj2) /
+                 opt.solution.obj2);
+      heur_eff.add(h.final().obj2 / cap);
+      ls_eff.add(ls.obj2 / cap);
+      opt_eff.add(opt.solution.obj2 / cap);
+    }
+    table.row({std::to_string(s.p) + "x" + std::to_string(s.q),
+               Table::num(gap_h.mean(), 3), Table::num(gap_ls.mean(), 3),
+               Table::num(heur_eff.mean(), 4), Table::num(ls_eff.mean(), 4),
+               Table::num(opt_eff.mean(), 4)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: interconnect model (paper Section 2.2). Ethernet serializes
+// every transmission in the machine while a switched (Myrinet-like)
+// network only serializes per processor; pipelined ring broadcasts
+// amortize hop latency. This bench sweeps the per-block transfer cost and
+// reports the communication share of the simulated MMM makespan under
+// each model, for the heuristic panel distribution.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"p", "3"},
+                 {"q", "3"},
+                 {"trials", "8"},
+                 {"seed", "29"},
+                 {"nb", "72"},
+                 {"csv", "0"}});
+  bench::print_header("Network-model sweep — Ethernet vs switched", cli);
+
+  const std::size_t p = static_cast<std::size_t>(cli.get_int("p"));
+  const std::size_t q = static_cast<std::size_t>(cli.get_int("q"));
+  const std::size_t nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::vector<HeuristicResult> machines;
+  for (int t = 0; t < trials; ++t)
+    machines.push_back(solve_heuristic(p, q, rng.cycle_times(p * q)));
+
+  struct NetCase {
+    const char* name;
+    Topology topo;
+    bool pipelined;
+  };
+  const NetCase cases[] = {
+      {"switched-pipelined", Topology::kSwitched, true},
+      {"switched-store&fwd", Topology::kSwitched, false},
+      {"ethernet", Topology::kEthernet, true},
+  };
+
+  Table table;
+  table.header({"block_transfer", "network", "total_time", "comm_frac",
+                "slowdown_vs_perfect"});
+  for (double beta : {1e-3, 1e-2, 1e-1, 0.5, 1.0}) {
+    for (const NetCase& nc : cases) {
+      RunningStats total, comm_frac, slowdown;
+      for (const HeuristicResult& h : machines) {
+        NetworkModel net{nc.topo, beta / 2.0, beta, nc.pipelined};
+        const Machine m{h.final().grid, net};
+        const PanelDistribution d = PanelDistribution::from_allocation(
+            h.final().grid, h.final().alloc, 8 * p, 8 * q,
+            PanelOrder::kContiguous, PanelOrder::kContiguous, "panel");
+        const SimReport rep = simulate_mmm(m, d, nb);
+        total.add(rep.total_time);
+        comm_frac.add(rep.comm_time / rep.total_time);
+        slowdown.add(rep.slowdown_vs_perfect());
+      }
+      table.row({Table::num(beta, 5), nc.name, Table::num(total.mean(), 2),
+                 Table::num(comm_frac.mean(), 4),
+                 Table::num(slowdown.mean(), 3)});
+    }
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: panel size (B_p x B_q) vs achieved balance. The rational
+// shares r_i, c_j must be rounded into an integer panel; small panels
+// round coarsely (bad balance), large panels approximate the rational
+// optimum but lengthen the distribution period. This bench sweeps the
+// panel scale and reports the simulated MMM and LU slowdowns.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"p", "3"},
+                 {"q", "3"},
+                 {"trials", "10"},
+                 {"seed", "23"},
+                 {"csv", "0"}});
+  bench::print_header("Panel-size sweep — rounding granularity vs balance",
+                      cli);
+
+  const std::size_t p = static_cast<std::size_t>(cli.get_int("p"));
+  const std::size_t q = static_cast<std::size_t>(cli.get_int("q"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Pre-draw machines so every scale sees the same machines.
+  std::vector<HeuristicResult> machines;
+  for (int t = 0; t < trials; ++t)
+    machines.push_back(solve_heuristic(p, q, rng.cycle_times(p * q)));
+
+  Table table;
+  table.header({"scale", "B_p", "B_q", "mmm_slowdown", "lu_slowdown",
+                "mmm_utilization"});
+  for (std::size_t scale : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    RunningStats mmm_slow, lu_slow, mmm_util;
+    for (const HeuristicResult& h : machines) {
+      const PanelDistribution d = PanelDistribution::from_allocation(
+          h.final().grid, h.final().alloc, scale * p, scale * q,
+          PanelOrder::kContiguous, PanelOrder::kInterleaved, "panel");
+      const Machine m{h.final().grid, NetworkModel::free()};
+      // nb spans several whole panels so the period is fully exercised.
+      const std::size_t nb = 48 * std::max(p, q);
+      const SimReport mm = simulate_mmm(m, d, nb);
+      const SimReport lu = simulate_lu(m, d, nb);
+      mmm_slow.add(mm.slowdown_vs_perfect());
+      lu_slow.add(lu.slowdown_vs_perfect());
+      mmm_util.add(mm.average_utilization());
+    }
+    table.row({Table::num(static_cast<std::int64_t>(scale)),
+               Table::num(static_cast<std::int64_t>(scale * p)),
+               Table::num(static_cast<std::int64_t>(scale * q)),
+               Table::num(mmm_slow.mean(), 4), Table::num(lu_slow.mean(), 4),
+               Table::num(mmm_util.mean(), 4)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: rank-1-approximate T^inv (the paper's choice, Section 4.4.2)
+// versus T directly. The paper argues for T^inv because the l2 fit then
+// favours the large entries of T^inv — the *fast* processors, which carry
+// most of the work. This bench measures the achieved objective (relative
+// to the capacity bound) for both choices over random pools.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"nmin", "2"},
+                 {"nmax", "8"},
+                 {"trials", "60"},
+                 {"seed", "37"},
+                 {"csv", "0"}});
+  bench::print_header(
+      "SVD-target ablation — approximate T^inv (paper) vs T directly", cli);
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+
+  Table table;
+  table.header({"n", "obj/capacity (T^inv)", "obj/capacity (T)",
+                "T^inv wins_frac", "mean_gain_pct"});
+  for (std::int64_t n = cli.get_int("nmin"); n <= cli.get_int("nmax"); ++n) {
+    RunningStats eff_inv, eff_direct, wins, gain;
+    for (int t = 0; t < trials; ++t) {
+      const std::vector<double> pool =
+          rng.cycle_times(static_cast<std::size_t>(n * n));
+      HeuristicOptions inv_opts, direct_opts;
+      direct_opts.approximate_inverse = false;
+      const HeuristicResult a = solve_heuristic(
+          static_cast<std::size_t>(n), static_cast<std::size_t>(n), pool,
+          inv_opts);
+      const HeuristicResult b = solve_heuristic(
+          static_cast<std::size_t>(n), static_cast<std::size_t>(n), pool,
+          direct_opts);
+      const double cap = obj2_upper_bound(a.final().grid);
+      eff_inv.add(a.final().obj2 / cap);
+      eff_direct.add(b.final().obj2 / cap);
+      wins.add(a.final().obj2 >= b.final().obj2 ? 1.0 : 0.0);
+      gain.add(100.0 * (a.final().obj2 - b.final().obj2) / b.final().obj2);
+    }
+    table.row({Table::num(n), Table::num(eff_inv.mean(), 4),
+               Table::num(eff_direct.mean(), 4), Table::num(wins.mean(), 2),
+               Table::num(gain.mean(), 2)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

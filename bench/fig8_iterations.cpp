@@ -1,0 +1,36 @@
+// Regenerates paper Figure 8: average number of heuristic steps until the
+// arrangement refinement reaches a fixed point, vs n for n x n grids.
+//
+// Paper shape to reproduce: the iteration count grows with n but stays
+// small ("one usually obtains satisfying results after a few steps only",
+// Section 4.4.5).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"nmin", "2"},
+                 {"nmax", "12"},
+                 {"trials", "200"},
+                 {"seed", "42"},
+                 {"csv", "0"}});
+  bench::print_header(
+      "Figure 8 — heuristic steps until the arrangement converges", cli);
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Table table;
+  table.header(
+      {"n", "procs", "iters_mean", "ci95", "iters_max", "converged_frac"});
+  for (std::int64_t n = cli.get_int("nmin"); n <= cli.get_int("nmax"); ++n) {
+    const auto point = bench::run_heuristic_sweep(
+        static_cast<std::size_t>(n), static_cast<int>(cli.get_int("trials")),
+        rng);
+    table.row({Table::num(n), Table::num(n * n),
+               Table::num(point.iterations.mean(), 2),
+               Table::num(point.iterations.ci95_halfwidth(), 2),
+               Table::num(point.iterations.max(), 0),
+               Table::num(point.converged.mean(), 3)});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

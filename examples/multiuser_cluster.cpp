@@ -1,0 +1,124 @@
+// Multi-user parallel machine as a heterogeneous grid (paper Section 2.2).
+//
+// Scenario: a 16-node parallel machine with identical CPUs runs in a
+// multi-user environment; external load makes effective speeds differ and
+// drift over time. The paper's observation: such a machine *is* a HNOW,
+// and a static heterogeneous allocation fitted to the measured loads
+// beats the homogeneous block-cyclic layout — but only while the load
+// snapshot stays accurate. This example simulates several "epochs" of
+// load drift and compares three policies on the MMM kernel:
+//   - block-cyclic (ignores loads entirely),
+//   - static-once (heuristic fitted to epoch 0, reused forever),
+//   - refit-per-epoch (heuristic re-run on every epoch's loads).
+//
+//   ./multiuser_cluster [--epochs=6] [--drift=0.35] [--seed=9]
+#include <iostream>
+
+#include "hetgrid.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"epochs", "8"}, {"drift", "0.2"}, {"spread", "3.0"},
+                 {"seed", "9"}, {"nb", "64"}});
+  const int epochs = static_cast<int>(cli.get_int("epochs"));
+  const double drift = cli.get_double("drift");
+  const double spread = cli.get_double("spread");
+  const std::size_t nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const std::size_t p = 4, q = 4;
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  // Base speed 0.2 s/block; per-node multiplicative load in [1, spread].
+  // Loads drift slowly: each epoch mixes the previous value with a fresh
+  // draw at rate `drift` (0 = frozen, 1 = fully redrawn every epoch).
+  auto draw_loads = [&](const std::vector<double>& prev) {
+    std::vector<double> t(p * q);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double target = 0.2 * (1.0 + (spread - 1.0) * rng.uniform());
+      t[i] = prev.empty() ? target : (1.0 - drift) * prev[i] + drift * target;
+    }
+    return t;
+  };
+
+  std::vector<double> loads = draw_loads({});
+  const HeuristicResult fitted0 = solve_heuristic(p, q, loads);
+  const NetworkModel net{Topology::kSwitched, 1e-4, 2e-4, true};
+
+  // Recover which physical machine the epoch-0 fit pinned to each grid
+  // position: the heuristic permutes the *values* of `loads`, so match
+  // them back to machine ids (ties resolved in order).
+  std::vector<std::size_t> machine_at(p * q);
+  {
+    std::vector<bool> used(p * q, false);
+    const std::vector<double>& placed = fitted0.final().grid.row_major();
+    for (std::size_t pos = 0; pos < placed.size(); ++pos) {
+      for (std::size_t id = 0; id < loads.size(); ++id) {
+        if (!used[id] && loads[id] == placed[pos]) {
+          used[id] = true;
+          machine_at[pos] = id;
+          break;
+        }
+      }
+    }
+  }
+
+  Table table("Simulated MMM makespan per epoch (" + std::to_string(nb) +
+              " block steps, 4x4 grid)");
+  table.header({"epoch", "block-cyclic", "static-once", "refit-per-epoch",
+                "refit gain vs static"});
+
+  double sum_bc = 0.0, sum_static = 0.0, sum_refit = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    if (e > 0) loads = draw_loads(loads);
+    // The machine this epoch: actual loads, arranged as each policy sees
+    // them. static-once keeps epoch-0's arrangement/panel but runs at the
+    // *current* speeds of the machines it pinned to grid positions.
+    const CycleTimeGrid truth_sorted =
+        CycleTimeGrid::sorted_row_major(p, q, loads);
+
+    const PanelDistribution bc = PanelDistribution::block_cyclic(p, q);
+    const double t_bc =
+        simulate_mmm({truth_sorted, net}, bc, nb).total_time;
+
+    // static-once: the epoch-0 fit pinned machines to grid positions and
+    // fixed the panel; this epoch those same machines run at their
+    // *current* (drifted) speeds.
+    static PanelDistribution static_dist =
+        PanelDistribution::from_allocation(
+            fitted0.final().grid, fitted0.final().alloc, 4 * p, 4 * q,
+            PanelOrder::kContiguous, PanelOrder::kContiguous, "static");
+    std::vector<double> static_speeds(p * q);
+    for (std::size_t pos = 0; pos < p * q; ++pos)
+      static_speeds[pos] = loads[machine_at[pos]];
+    const CycleTimeGrid static_grid(p, q, static_speeds);
+    const double t_static =
+        simulate_mmm({static_grid, net}, static_dist, nb).total_time;
+
+    const HeuristicResult refit = solve_heuristic(p, q, loads);
+    const PanelDistribution refit_dist = PanelDistribution::from_allocation(
+        refit.final().grid, refit.final().alloc, 4 * p, 4 * q,
+        PanelOrder::kContiguous, PanelOrder::kContiguous, "refit");
+    const double t_refit =
+        simulate_mmm({refit.final().grid, net}, refit_dist, nb).total_time;
+
+    sum_bc += t_bc;
+    sum_static += t_static;
+    sum_refit += t_refit;
+    table.row({Table::num(static_cast<std::int64_t>(e)),
+               Table::num(t_bc, 1), Table::num(t_static, 1),
+               Table::num(t_refit, 1),
+               Table::num(100.0 * (t_static - t_refit) / t_static, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\ntotals: block-cyclic " << Table::num(sum_bc, 1)
+            << ", static-once " << Table::num(sum_static, 1)
+            << ", refit-per-epoch " << Table::num(sum_refit, 1) << "\n"
+            << "Reading: a load-fitted allocation beats load-blind "
+               "block-cyclic while the fit is\nfresh; as loads drift the "
+               "stale fit decays (and can even fall behind uniform),\nwhile "
+               "re-fitting each epoch keeps the full benefit. This is the "
+               "paper's\n'multi-user parallel machine as HNOW' argument "
+               "(Section 2.2) in numbers.\n";
+  return 0;
+}

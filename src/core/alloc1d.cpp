@@ -1,0 +1,61 @@
+#include "core/alloc1d.hpp"
+
+#include <queue>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+Alloc1dResult allocate_1d(const std::vector<double>& cycle_times,
+                          std::size_t slots) {
+  HG_CHECK(!cycle_times.empty(), "allocate_1d needs at least one processor");
+  for (double t : cycle_times)
+    HG_CHECK(t > 0.0, "cycle-times must be positive, got " << t);
+
+  Alloc1dResult res;
+  res.counts.assign(cycle_times.size(), 0);
+  res.order.reserve(slots);
+
+  // Min-heap keyed by (finish time if given one more slot, index).
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < cycle_times.size(); ++i)
+    heap.emplace(cycle_times[i], i);
+
+  for (std::size_t k = 0; k < slots; ++k) {
+    auto [finish, i] = heap.top();
+    heap.pop();
+    res.order.push_back(i);
+    res.counts[i] += 1;
+    res.makespan = std::max(res.makespan, finish);
+    heap.emplace(static_cast<double>(res.counts[i] + 1) * cycle_times[i], i);
+  }
+  return res;
+}
+
+std::vector<double> proportional_shares(
+    const std::vector<double>& cycle_times) {
+  HG_CHECK(!cycle_times.empty(), "empty processor list");
+  double cap = 0.0;
+  for (double t : cycle_times) {
+    HG_CHECK(t > 0.0, "cycle-times must be positive, got " << t);
+    cap += 1.0 / t;
+  }
+  std::vector<double> shares(cycle_times.size());
+  for (std::size_t i = 0; i < shares.size(); ++i)
+    shares[i] = (1.0 / cycle_times[i]) / cap;
+  return shares;
+}
+
+double aggregate_cycle_time(const std::vector<double>& cycle_times) {
+  HG_CHECK(!cycle_times.empty(), "empty processor list");
+  double cap = 0.0;
+  for (double t : cycle_times) {
+    HG_CHECK(t > 0.0, "cycle-times must be positive, got " << t);
+    cap += 1.0 / t;
+  }
+  return 1.0 / cap;
+}
+
+}  // namespace hetgrid

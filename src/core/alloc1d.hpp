@@ -1,0 +1,47 @@
+// Uni-dimensional heterogeneous allocation (the paper's refs [5, 6]),
+// needed in two places:
+//   * the Kalinov–Lastovetsky baseline balances each processor column
+//     independently with the 1D scheme, then balances across columns;
+//   * the LU/QR kernels order the panel columns with the 1D scheme applied
+//     to the aggregate column speeds (the "ABAABA" example, Section 3.2.2).
+//
+// Problem: distribute B identical slots over m processors with cycle-times
+// t_1..t_m, minimizing max_i n_i * t_i subject to sum n_i = B. The
+// incremental greedy — repeatedly give the next slot to the processor whose
+// finish time (n_i + 1) * t_i is smallest — is optimal, and the order in
+// which slots are handed out is the balanced period ordering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetgrid {
+
+struct Alloc1dResult {
+  /// Slots per processor; sums to the requested B.
+  std::vector<std::size_t> counts;
+  /// order[k] = processor receiving the k-th slot; the period ordering used
+  /// for LU/QR panel columns.
+  std::vector<std::size_t> order;
+  /// max_i counts[i] * t_i, the period's makespan.
+  double makespan = 0.0;
+};
+
+/// Optimal 1D allocation by incremental greedy. Requires positive
+/// cycle-times; B may be 0 (empty result). Ties broken toward the lower
+/// processor index, so results are deterministic.
+Alloc1dResult allocate_1d(const std::vector<double>& cycle_times,
+                          std::size_t slots);
+
+/// Proportional (rational) shares 1/t_i normalized to sum 1 — the ideal
+/// shares the greedy approximates; used for distributing matrix rows in the
+/// Kalinov–Lastovetsky scheme and by the rounding tests.
+std::vector<double> proportional_shares(const std::vector<double>& cycle_times);
+
+/// Aggregate cycle-time of a group of processors working side by side with
+/// proportional shares: 1 / sum_i (1/t_i). A whole processor column behaves
+/// like a single processor of this speed (up to the per-column processor
+/// count factor, which cancels in ratios).
+double aggregate_cycle_time(const std::vector<double>& cycle_times);
+
+}  // namespace hetgrid

@@ -1,0 +1,117 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetgrid {
+
+namespace {
+
+void check_shapes(const CycleTimeGrid& grid, const GridAllocation& alloc) {
+  HG_CHECK(alloc.shapes_match(grid),
+           "allocation shape (" << alloc.r.size() << "," << alloc.c.size()
+                                << ") does not match grid " << grid.rows()
+                                << "x" << grid.cols());
+}
+
+}  // namespace
+
+std::vector<double> workload_matrix(const CycleTimeGrid& grid,
+                                    const GridAllocation& alloc) {
+  check_shapes(grid, alloc);
+  const std::size_t p = grid.rows(), q = grid.cols();
+  std::vector<double> b(p * q);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j)
+      b[i * q + j] = alloc.r[i] * grid(i, j) * alloc.c[j];
+  return b;
+}
+
+double average_workload(const CycleTimeGrid& grid,
+                        const GridAllocation& alloc) {
+  const std::vector<double> b = workload_matrix(grid, alloc);
+  double acc = 0.0;
+  for (double v : b) acc += v;
+  return acc / static_cast<double>(b.size());
+}
+
+double obj2_value(const GridAllocation& alloc) {
+  double sr = 0.0, sc = 0.0;
+  for (double v : alloc.r) sr += v;
+  for (double v : alloc.c) sc += v;
+  return sr * sc;
+}
+
+double obj1_value(const CycleTimeGrid& grid, const GridAllocation& alloc) {
+  check_shapes(grid, alloc);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < grid.rows(); ++i)
+    for (std::size_t j = 0; j < grid.cols(); ++j)
+      worst = std::max(worst, alloc.r[i] * grid(i, j) * alloc.c[j]);
+  const double denom = obj2_value(alloc);
+  HG_CHECK(denom > 0.0, "obj1 of a zero allocation");
+  return worst / denom;
+}
+
+bool is_feasible(const CycleTimeGrid& grid, const GridAllocation& alloc,
+                 double tol) {
+  check_shapes(grid, alloc);
+  for (std::size_t i = 0; i < grid.rows(); ++i)
+    for (std::size_t j = 0; j < grid.cols(); ++j) {
+      if (alloc.r[i] < 0.0 || alloc.c[j] < 0.0) return false;
+      if (alloc.r[i] * grid(i, j) * alloc.c[j] > 1.0 + tol) return false;
+    }
+  return true;
+}
+
+bool is_tight(const CycleTimeGrid& grid, const GridAllocation& alloc,
+              double tol) {
+  if (!is_feasible(grid, alloc, tol)) return false;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::vector<double> b = workload_matrix(grid, alloc);
+  for (std::size_t i = 0; i < p; ++i) {
+    double best = 0.0;
+    for (std::size_t j = 0; j < q; ++j) best = std::max(best, b[i * q + j]);
+    if (best < 1.0 - tol) return false;
+  }
+  for (std::size_t j = 0; j < q; ++j) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < p; ++i) best = std::max(best, b[i * q + j]);
+    if (best < 1.0 - tol) return false;
+  }
+  return true;
+}
+
+void normalize_tight(const CycleTimeGrid& grid, GridAllocation& alloc) {
+  check_shapes(grid, alloc);
+  const std::size_t p = grid.rows(), q = grid.cols();
+  for (double v : alloc.r)
+    HG_CHECK(v > 0.0, "normalize_tight needs positive row shares, got " << v);
+  for (double v : alloc.c)
+    HG_CHECK(v > 0.0,
+             "normalize_tight needs positive column shares, got " << v);
+
+  // Pass 1: scale each column share so the column's busiest processor is
+  // exactly fully busy (guarantees feasibility).
+  for (std::size_t j = 0; j < q; ++j) {
+    double col_max = 0.0;
+    for (std::size_t i = 0; i < p; ++i)
+      col_max = std::max(col_max, alloc.r[i] * grid(i, j) * alloc.c[j]);
+    alloc.c[j] /= col_max;
+  }
+  // Pass 2: scale each row share up so the row's busiest processor is
+  // exactly fully busy (removes idle headroom without breaking pass 1's
+  // tight entries — those live in rows whose max is already 1).
+  for (std::size_t i = 0; i < p; ++i) {
+    double row_max = 0.0;
+    for (std::size_t j = 0; j < q; ++j)
+      row_max = std::max(row_max, alloc.r[i] * grid(i, j) * alloc.c[j]);
+    alloc.r[i] /= row_max;
+  }
+}
+
+double obj2_upper_bound(const CycleTimeGrid& grid) {
+  return grid.total_capacity();
+}
+
+}  // namespace hetgrid

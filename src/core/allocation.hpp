@@ -1,0 +1,64 @@
+// Grid allocations (r_i, c_j) and the paper's objective functions.
+//
+// An allocation assigns r_i "row shares" to grid row i and c_j "column
+// shares" to grid column j; processor P_ij is responsible for an r_i x c_j
+// share of the work and finishes it in r_i * t_ij * c_j time. Obj2 (paper
+// Section 4.1) maximizes (sum r)(sum c) subject to r_i t_ij c_j <= 1;
+// processors whose constraint is tight run with no idle time.
+#pragma once
+
+#include <vector>
+
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+struct GridAllocation {
+  std::vector<double> r;  // one per grid row, nonnegative
+  std::vector<double> c;  // one per grid column, nonnegative
+
+  bool shapes_match(const CycleTimeGrid& grid) const {
+    return r.size() == grid.rows() && c.size() == grid.cols();
+  }
+};
+
+/// The matrix B with b_ij = r_i * t_ij * c_j: entry (i,j) is the busy
+/// fraction of processor P_ij during one balanced time unit. B == all-ones
+/// means perfect balance.
+std::vector<double> workload_matrix(const CycleTimeGrid& grid,
+                                    const GridAllocation& alloc);
+
+/// Mean of the workload matrix (the paper's "average workload" in Fig 6).
+double average_workload(const CycleTimeGrid& grid,
+                        const GridAllocation& alloc);
+
+/// Obj2 value (sum_i r_i) * (sum_j c_j); larger is better.
+double obj2_value(const GridAllocation& alloc);
+
+/// Obj1 value max_ij r_i t_ij c_j / ((sum r)(sum c)) with r, c as given
+/// (not required to sum to 1); smaller is better. Equals 1/Obj2 whenever
+/// the allocation is normalized so that max_ij r_i t_ij c_j = 1.
+double obj1_value(const CycleTimeGrid& grid, const GridAllocation& alloc);
+
+/// True if r_i * t_ij * c_j <= 1 + tol for all i, j.
+bool is_feasible(const CycleTimeGrid& grid, const GridAllocation& alloc,
+                 double tol = 1e-9);
+
+/// True if the allocation is feasible AND every row and every column of B
+/// contains an entry equal to 1 (within tol): no row or column share can be
+/// raised without breaking a constraint.
+bool is_tight(const CycleTimeGrid& grid, const GridAllocation& alloc,
+              double tol = 1e-9);
+
+/// Rescales the allocation in place so every constraint holds and every
+/// row/column of B has a tight entry — the two-pass normalization of paper
+/// Section 4.4.2: divide each c_j by the max of column j of B, then divide
+/// each r_i by the max of row i of the updated B.
+void normalize_tight(const CycleTimeGrid& grid, GridAllocation& alloc);
+
+/// The perfect-balance upper bound on Obj2 for this grid: no allocation can
+/// exceed sum_ij 1/t_ij (every processor fully busy). Equality holds iff
+/// the grid is rank-1 (Section 4.3.2).
+double obj2_upper_bound(const CycleTimeGrid& grid);
+
+}  // namespace hetgrid

@@ -1,0 +1,140 @@
+#include "core/arrangement.hpp"
+
+#include <algorithm>
+
+namespace hetgrid {
+
+namespace {
+
+// Backtracking filler for non-decreasing arrangements. Positions are filled
+// row-major; a value placed at (i,j) must be >= the left and upper
+// neighbors. Duplicate pool values are skipped at each position so each
+// distinct value grid is produced exactly once.
+struct NonDecreasingFiller {
+  std::size_t p, q;
+  std::vector<double> sorted_pool;  // ascending
+  std::vector<bool> used;
+  std::vector<double> cell;  // row-major, filled prefix valid
+  const std::function<bool(const CycleTimeGrid&)>* visit;
+  std::uint64_t count = 0;
+  bool stopped = false;
+
+  void recurse(std::size_t pos) {
+    if (stopped) return;
+    if (pos == p * q) {
+      ++count;
+      if (!(*visit)(CycleTimeGrid(p, q, cell))) stopped = true;
+      return;
+    }
+    const std::size_t i = pos / q, j = pos % q;
+    double lower_bound = 0.0;
+    if (j > 0) lower_bound = std::max(lower_bound, cell[pos - 1]);
+    if (i > 0) lower_bound = std::max(lower_bound, cell[pos - q]);
+
+    double last_tried = -1.0;
+    bool tried_any = false;
+    for (std::size_t k = 0; k < sorted_pool.size(); ++k) {
+      if (used[k]) continue;
+      const double v = sorted_pool[k];
+      if (v < lower_bound) continue;
+      if (tried_any && v == last_tried) continue;  // duplicate value
+      tried_any = true;
+      last_tried = v;
+      used[k] = true;
+      cell[pos] = v;
+      recurse(pos + 1);
+      used[k] = false;
+      if (stopped) return;
+    }
+  }
+};
+
+// Backtracking over all distinct value grids (no ordering constraint).
+struct AllFiller {
+  std::size_t p, q;
+  std::vector<double> sorted_pool;
+  std::vector<bool> used;
+  std::vector<double> cell;
+  const std::function<bool(const CycleTimeGrid&)>* visit;
+  std::uint64_t count = 0;
+  bool stopped = false;
+
+  void recurse(std::size_t pos) {
+    if (stopped) return;
+    if (pos == p * q) {
+      ++count;
+      if (!(*visit)(CycleTimeGrid(p, q, cell))) stopped = true;
+      return;
+    }
+    double last_tried = -1.0;
+    bool tried_any = false;
+    for (std::size_t k = 0; k < sorted_pool.size(); ++k) {
+      if (used[k]) continue;
+      const double v = sorted_pool[k];
+      if (tried_any && v == last_tried) continue;
+      tried_any = true;
+      last_tried = v;
+      used[k] = true;
+      cell[pos] = v;
+      recurse(pos + 1);
+      used[k] = false;
+      if (stopped) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t enumerate_nondecreasing_arrangements(
+    std::size_t p, std::size_t q, std::vector<double> pool,
+    const std::function<bool(const CycleTimeGrid&)>& visit) {
+  HG_CHECK(pool.size() == p * q,
+           "pool size " << pool.size() << " != " << p * q);
+  NonDecreasingFiller f;
+  f.p = p;
+  f.q = q;
+  f.sorted_pool = std::move(pool);
+  std::sort(f.sorted_pool.begin(), f.sorted_pool.end());
+  f.used.assign(f.sorted_pool.size(), false);
+  f.cell.assign(p * q, 0.0);
+  f.visit = &visit;
+  f.recurse(0);
+  return f.count;
+}
+
+std::uint64_t enumerate_all_arrangements(
+    std::size_t p, std::size_t q, std::vector<double> pool,
+    const std::function<bool(const CycleTimeGrid&)>& visit) {
+  HG_CHECK(pool.size() == p * q,
+           "pool size " << pool.size() << " != " << p * q);
+  AllFiller f;
+  f.p = p;
+  f.q = q;
+  f.sorted_pool = std::move(pool);
+  std::sort(f.sorted_pool.begin(), f.sorted_pool.end());
+  f.used.assign(f.sorted_pool.size(), false);
+  f.cell.assign(p * q, 0.0);
+  f.visit = &visit;
+  f.recurse(0);
+  return f.count;
+}
+
+OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
+                                             std::vector<double> pool) {
+  OptimalArrangement best{CycleTimeGrid(1, 1, {1.0}), {}, 0};
+  bool found = false;
+  best.arrangements_tried = enumerate_nondecreasing_arrangements(
+      p, q, std::move(pool), [&](const CycleTimeGrid& grid) {
+        ExactSolution sol = solve_exact(grid);
+        if (!found || sol.obj2 > best.solution.obj2) {
+          found = true;
+          best.grid = grid;
+          best.solution = std::move(sol);
+        }
+        return true;
+      });
+  HG_INTERNAL_CHECK(found, "no arrangement enumerated");
+  return best;
+}
+
+}  // namespace hetgrid

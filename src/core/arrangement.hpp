@@ -1,0 +1,45 @@
+// Arrangement search: which processor goes where on the grid.
+//
+// Theorem 1 of the paper states an optimal arrangement exists among the
+// *non-decreasing* ones (cycle-times non-decreasing along every row and
+// every column), so the exhaustive optimal search only enumerates those —
+// they are exactly the (semi-standard) Young-tableau-like fillings of the
+// p x q rectangle with the processor multiset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cycle_time_grid.hpp"
+#include "core/exact_solver.hpp"
+
+namespace hetgrid {
+
+/// Invokes `visit` for every distinct non-decreasing arrangement of `pool`
+/// on a p x q grid; returns the number visited. Arrangements that coincide
+/// as value grids (possible when the pool has repeated cycle-times) are
+/// visited once. If `visit` returns false, enumeration stops early.
+std::uint64_t enumerate_nondecreasing_arrangements(
+    std::size_t p, std::size_t q, std::vector<double> pool,
+    const std::function<bool(const CycleTimeGrid&)>& visit);
+
+/// Invokes `visit` for every distinct arrangement (any order), for
+/// brute-force validation of Theorem 1 on small grids. Returns the count.
+std::uint64_t enumerate_all_arrangements(
+    std::size_t p, std::size_t q, std::vector<double> pool,
+    const std::function<bool(const CycleTimeGrid&)>& visit);
+
+/// Globally optimal solution of the 2D load-balancing problem: exact solver
+/// on every non-decreasing arrangement. Doubly exponential; for the small
+/// grids where the paper's exact method applies.
+struct OptimalArrangement {
+  CycleTimeGrid grid;
+  ExactSolution solution;
+  std::uint64_t arrangements_tried = 0;
+};
+
+OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
+                                             std::vector<double> pool);
+
+}  // namespace hetgrid

@@ -1,0 +1,58 @@
+#include "core/exact2x2.hpp"
+
+#include <cmath>
+
+namespace hetgrid {
+
+Exact2x2Solution solve_exact_2x2(const CycleTimeGrid& grid) {
+  HG_CHECK(grid.rows() == 2 && grid.cols() == 2,
+           "solve_exact_2x2 needs a 2x2 grid");
+  const double t11 = grid(0, 0), t12 = grid(0, 1);
+  const double t21 = grid(1, 0), t22 = grid(1, 1);
+
+  // Candidate per dropped edge (i,j): the other three constraints are
+  // equalities; propagate from r1 = 1 and verify the dropped one.
+  struct Candidate {
+    double r2, c1, c2;
+    int dropped;
+  };
+  const Candidate candidates[] = {
+      // drop (1,1): c1 from (2,1), r2 from (2,2) via c2 from (1,2).
+      {t12 / t22, 1.0 / ((t12 / t22) * t21), 1.0 / t12, 0},
+      // drop (1,2): c1 from (1,1), r2 from (2,1), c2 from (2,2).
+      {t11 / t21, 1.0 / t11, t21 / (t11 * t22), 1},
+      // drop (2,1): c1 from (1,1), c2 from (1,2), r2 from (2,2).
+      {t12 / t22, 1.0 / t11, 1.0 / t12, 2},
+      // drop (2,2): c1 from (1,1), c2 from (1,2), r2 from (2,1).
+      {t11 / t21, 1.0 / t11, 1.0 / t12, 3},
+  };
+
+  Exact2x2Solution best;
+  best.obj2 = 0.0;
+  for (const Candidate& cand : candidates) {
+    const double r1 = 1.0;
+    // Feasibility of the dropped constraint (the other three are tight by
+    // construction; tolerate roundoff).
+    const double checks[4] = {r1 * t11 * cand.c1, r1 * t12 * cand.c2,
+                              cand.r2 * t21 * cand.c1,
+                              cand.r2 * t22 * cand.c2};
+    bool ok = true;
+    for (double v : checks)
+      if (v > 1.0 + 1e-12) ok = false;
+    if (!ok) continue;
+    const double value = (r1 + cand.r2) * (cand.c1 + cand.c2);
+    if (value > best.obj2) {
+      best.obj2 = value;
+      best.alloc.r = {r1, cand.r2};
+      best.alloc.c = {cand.c1, cand.c2};
+      best.slack_constraint =
+          checks[cand.dropped] < 1.0 - 1e-12 ? cand.dropped : 4;
+    }
+  }
+  HG_INTERNAL_CHECK(best.obj2 > 0.0,
+                    "no acceptable 2x2 candidate; at least one tree point "
+                    "must be feasible");
+  return best;
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,29 @@
+// Closed-form optimum for a fixed 2 x 2 arrangement.
+//
+// The paper's extended version gives the analytical solution for 2 x 2
+// grids; it follows directly from the spanning-tree characterization
+// (Section 4.3.1): K_{2,2} has exactly four spanning trees, each obtained
+// by dropping one edge, and each induces a closed-form candidate point.
+// The optimum is the best candidate whose dropped constraint still holds.
+// This is both a fast path (no enumeration machinery) and an independent
+// oracle the tests check solve_exact against.
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+struct Exact2x2Solution {
+  GridAllocation alloc;
+  double obj2 = 0.0;
+  /// Which constraint (i*2+j) is slack at the optimum; 4 means all four
+  /// are tight (the rank-1 case).
+  int slack_constraint = 4;
+};
+
+/// Closed-form solution of Obj2 for a 2 x 2 grid. Equivalent to
+/// solve_exact but O(1).
+Exact2x2Solution solve_exact_2x2(const CycleTimeGrid& grid);
+
+}  // namespace hetgrid

@@ -1,0 +1,80 @@
+#include "core/exact_solver.hpp"
+
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+// Propagates r_i t_ij c_j = 1 along the tree edges starting from r[0] = 1.
+// Tree edges arrive as a list; we sweep until all p + q values are set
+// (each sweep fixes at least one value because the edges form a tree).
+// Returns false if the tree left a variable unset (cannot happen for a
+// valid spanning tree; defensive).
+bool propagate(const CycleTimeGrid& grid,
+               const std::vector<BipartiteEdge>& tree, GridAllocation& out) {
+  const std::size_t p = grid.rows(), q = grid.cols();
+  out.r.assign(p, -1.0);
+  out.c.assign(q, -1.0);
+  out.r[0] = 1.0;
+  std::size_t remaining = p + q - 1;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (const BipartiteEdge& e : tree) {
+      const bool r_known = out.r[e.row] >= 0.0;
+      const bool c_known = out.c[e.col] >= 0.0;
+      if (r_known == c_known) continue;  // both known or both unknown
+      if (r_known)
+        out.c[e.col] = 1.0 / (out.r[e.row] * grid(e.row, e.col));
+      else
+        out.r[e.row] = 1.0 / (out.c[e.col] * grid(e.row, e.col));
+      --remaining;
+      progress = true;
+    }
+  }
+  return remaining == 0;
+}
+
+}  // namespace
+
+ExactSolution solve_exact(const CycleTimeGrid& grid, std::uint64_t max_trees) {
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::uint64_t n_trees = spanning_tree_count(p, q);
+  HG_CHECK(n_trees <= max_trees,
+           "exact solver would enumerate " << n_trees
+                                           << " spanning trees (cap "
+                                           << max_trees << ")");
+
+  ExactSolution best;
+  GridAllocation candidate;
+  // Relative slack when checking the non-tree inequalities: propagation is a
+  // chain of multiplications, so allow a little accumulated roundoff.
+  constexpr double kTol = 1e-9;
+
+  best.trees_enumerated = enumerate_spanning_trees(
+      p, q, [&](const std::vector<BipartiteEdge>& tree) {
+        if (!propagate(grid, tree, candidate)) return true;  // skip
+        if (!is_feasible(grid, candidate, kTol)) return true;
+        ++best.trees_acceptable;
+        const double value = obj2_value(candidate);
+        if (value > best.obj2) {
+          best.obj2 = value;
+          best.alloc = candidate;
+        }
+        return true;
+      });
+
+  HG_INTERNAL_CHECK(best.trees_acceptable > 0,
+                    "no acceptable spanning tree found; at least the "
+                    "bottleneck-relaxation tree must be acceptable");
+  return best;
+}
+
+std::uint64_t exact_solver_cost(std::size_t p, std::size_t q) {
+  return spanning_tree_count(p, q);
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,34 @@
+// Exact solution of Obj2 for a *fixed* arrangement (paper Section 4.3.1).
+//
+// The optimum of  max (sum r)(sum c)  s.t.  r_i t_ij c_j <= 1  is attained
+// at a point where the tight constraints connect all p + q variables, so it
+// is realized by an *acceptable spanning tree* of K_{p,q}: fix r_1 = 1,
+// propagate r_i t_ij c_j = 1 along tree edges, and keep the tree whose
+// induced point satisfies all remaining inequalities with maximal value.
+// Cost is Theta(#trees) = p^{q-1} q^{p-1}; intended for small grids.
+#pragma once
+
+#include <cstdint>
+
+#include "core/allocation.hpp"
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+struct ExactSolution {
+  GridAllocation alloc;
+  double obj2 = 0.0;
+  std::uint64_t trees_enumerated = 0;
+  std::uint64_t trees_acceptable = 0;
+};
+
+/// Runs the spanning-tree enumeration. Throws PreconditionError if the
+/// number of spanning trees exceeds `max_trees` (guard against accidentally
+/// launching an infeasible search).
+ExactSolution solve_exact(const CycleTimeGrid& grid,
+                          std::uint64_t max_trees = 50'000'000);
+
+/// Number of spanning trees solve_exact would enumerate for a p x q grid.
+std::uint64_t exact_solver_cost(std::size_t p, std::size_t q);
+
+}  // namespace hetgrid

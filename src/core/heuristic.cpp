@@ -1,0 +1,140 @@
+#include "core/heuristic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "svd/svd.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+// Dominant singular triplet of the grid's T^inv (or T), mapped back to raw
+// row/column shares.
+GridAllocation raw_svd_shares(const CycleTimeGrid& grid,
+                              bool approximate_inverse) {
+  const std::size_t p = grid.rows(), q = grid.cols();
+  GridAllocation alloc;
+  alloc.r.resize(p);
+  alloc.c.resize(q);
+
+  if (approximate_inverse) {
+    // T^inv ~= s * a * b^T  =>  1/t_ij ~= (s a_i) b_j  =>  r_i t_ij c_j ~= 1
+    // with r_i = s a_i, c_j = b_j.
+    const std::vector<double> inv = grid.inverse_row_major();
+    Matrix m(p, q, 0.0);
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j) m(i, j) = inv[i * q + j];
+    const SingularTriplet t = dominant_triplet(m.view());
+    for (std::size_t i = 0; i < p; ++i) alloc.r[i] = t.sigma * t.u[i];
+    for (std::size_t j = 0; j < q; ++j) alloc.c[j] = t.v[j];
+  } else {
+    // T ~= s * a * b^T  =>  r_i = 1/(s a_i), c_j = 1/b_j.
+    Matrix m(p, q, 0.0);
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j) m(i, j) = grid(i, j);
+    const SingularTriplet t = dominant_triplet(m.view());
+    for (std::size_t i = 0; i < p; ++i) {
+      HG_INTERNAL_CHECK(t.u[i] > 0.0,
+                        "dominant left singular vector of a positive matrix "
+                        "must be positive");
+      alloc.r[i] = 1.0 / (t.sigma * t.u[i]);
+    }
+    for (std::size_t j = 0; j < q; ++j) {
+      HG_INTERNAL_CHECK(t.v[j] > 0.0,
+                        "dominant right singular vector of a positive matrix "
+                        "must be positive");
+      alloc.c[j] = 1.0 / t.v[j];
+    }
+  }
+
+  for (double v : alloc.r)
+    HG_INTERNAL_CHECK(v > 0.0, "nonpositive row share from SVD");
+  for (double v : alloc.c)
+    HG_INTERNAL_CHECK(v > 0.0, "nonpositive column share from SVD");
+  return alloc;
+}
+
+HeuristicStep make_step(CycleTimeGrid grid, bool approximate_inverse) {
+  HeuristicStep step{std::move(grid), {}, 0.0, 0.0};
+  step.alloc = raw_svd_shares(step.grid, approximate_inverse);
+  normalize_tight(step.grid, step.alloc);
+  step.obj2 = obj2_value(step.alloc);
+  step.avg_workload = average_workload(step.grid, step.alloc);
+  return step;
+}
+
+// Re-arranges the grid's cycle-times into the rank order of the ideal
+// rank-1 matrix T_opt = (1/(r_i c_j)) (paper Section 4.4.3): the k-th
+// smallest real cycle-time goes to the position holding the k-th smallest
+// T_opt entry. Ties broken by position index so the map is deterministic.
+CycleTimeGrid rearrange_by_ideal(const CycleTimeGrid& grid,
+                                 const GridAllocation& alloc) {
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::size_t n = p * q;
+
+  std::vector<double> t_opt(n);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j)
+      t_opt[i * q + j] = 1.0 / (alloc.r[i] * alloc.c[j]);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return t_opt[a] < t_opt[b];
+  });
+
+  std::vector<double> sorted_times = grid.row_major();
+  std::sort(sorted_times.begin(), sorted_times.end());
+
+  std::vector<double> rearranged(n);
+  for (std::size_t k = 0; k < n; ++k) rearranged[order[k]] = sorted_times[k];
+  return CycleTimeGrid(p, q, std::move(rearranged));
+}
+
+}  // namespace
+
+GridAllocation heuristic_allocation(const CycleTimeGrid& grid,
+                                    bool approximate_inverse) {
+  GridAllocation alloc = raw_svd_shares(grid, approximate_inverse);
+  normalize_tight(grid, alloc);
+  return alloc;
+}
+
+HeuristicResult refine_from(const CycleTimeGrid& start,
+                            const HeuristicOptions& opts) {
+  HG_CHECK(opts.max_steps >= 1, "max_steps must be at least 1");
+  HeuristicResult res;
+  res.steps.push_back(make_step(start, opts.approximate_inverse));
+
+  for (int step = 1; step < opts.max_steps; ++step) {
+    const HeuristicStep& cur = res.steps.back();
+    CycleTimeGrid next = rearrange_by_ideal(cur.grid, cur.alloc);
+    if (next.row_major() == cur.grid.row_major()) {
+      res.converged = true;
+      return res;
+    }
+    // Detect 2-cycles (arrangement flips back and forth): treat as
+    // converged at the better of the two states.
+    if (res.steps.size() >= 2 &&
+        next.row_major() == res.steps[res.steps.size() - 2].grid.row_major()) {
+      res.converged = true;
+      if (res.steps[res.steps.size() - 2].obj2 > cur.obj2) {
+        res.steps.push_back(res.steps[res.steps.size() - 2]);
+      }
+      return res;
+    }
+    res.steps.push_back(make_step(std::move(next), opts.approximate_inverse));
+  }
+  return res;  // hit the cap; converged stays false
+}
+
+HeuristicResult solve_heuristic(std::size_t p, std::size_t q,
+                                std::vector<double> pool,
+                                const HeuristicOptions& opts) {
+  return refine_from(CycleTimeGrid::sorted_row_major(p, q, std::move(pool)),
+                     opts);
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,76 @@
+// The polynomial heuristic of paper Section 4.4: arrangement by sorting,
+// allocation by rank-1 SVD approximation of T^inv, and iterative refinement
+// of the arrangement.
+//
+// One step:
+//   1. arrange the processor cycle-times in the grid (first step: sorted
+//      row-major, Section 4.4.1),
+//   2. take the dominant singular triplet s, a, b of T^inv = (1/t_ij) and
+//      set r_i = s*a_i, c_j = b_j (best l2 rank-1 approximation,
+//      Section 4.4.2),
+//   3. tight-normalize so all constraints hold and no processor row/column
+//      has slack,
+//   4. refinement (Section 4.4.3): the "ideal" cycle-times for this
+//      allocation are T_opt = (1/(r_i c_j)), a rank-1 matrix; re-sort the
+//      real cycle-times into the rank order of T_opt and repeat until the
+//      arrangement stops changing.
+#pragma once
+
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+struct HeuristicOptions {
+  /// Max refinement steps before giving up on a fixed point. The paper
+  /// observes convergence after a few steps; the cap also breaks the rare
+  /// 2-cycle oscillation.
+  int max_steps = 200;
+  /// If false, rank-1-approximate T itself instead of T^inv (the paper
+  /// argues T^inv is better because the l2 fit favours the *fast*
+  /// processors; this switch feeds the ablation benchmark).
+  bool approximate_inverse = true;
+};
+
+/// One refinement step's full state, kept for the figure harnesses.
+struct HeuristicStep {
+  CycleTimeGrid grid;          // arrangement used this step
+  GridAllocation alloc;        // tight-normalized allocation for it
+  double obj2 = 0.0;           // (sum r)(sum c)
+  double avg_workload = 0.0;   // mean of B = (r_i t_ij c_j)
+};
+
+struct HeuristicResult {
+  std::vector<HeuristicStep> steps;  // at least one
+  bool converged = false;            // arrangement reached a fixed point
+
+  const HeuristicStep& first() const { return steps.front(); }
+  const HeuristicStep& final() const { return steps.back(); }
+  /// Number of allocation steps performed (paper Fig 8 metric).
+  int iterations() const { return static_cast<int>(steps.size()); }
+  /// Fig 7 metric: obj2(converged) / obj2(first step) - 1.
+  double refinement_gain() const {
+    return final().obj2 / first().obj2 - 1.0;
+  }
+};
+
+/// Allocation for a *fixed* arrangement by rank-1 SVD approximation +
+/// tight normalization (steps 2–3 only; no re-arrangement).
+GridAllocation heuristic_allocation(const CycleTimeGrid& grid,
+                                    bool approximate_inverse = true);
+
+/// Full heuristic on a pool of n = p*q cycle-times: sorted row-major
+/// arrangement, then allocation + refinement until fixed point or
+/// opts.max_steps.
+HeuristicResult solve_heuristic(std::size_t p, std::size_t q,
+                                std::vector<double> pool,
+                                const HeuristicOptions& opts = {});
+
+/// Refinement from a caller-chosen starting arrangement (used by tests and
+/// by the ablation on initial arrangements).
+HeuristicResult refine_from(const CycleTimeGrid& start,
+                            const HeuristicOptions& opts = {});
+
+}  // namespace hetgrid

@@ -1,0 +1,71 @@
+#include "core/local_search.hpp"
+
+#include <utility>
+
+#include "core/heuristic.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+GridAllocation default_allocator(const CycleTimeGrid& grid) {
+  return heuristic_allocation(grid);
+}
+
+}  // namespace
+
+LocalSearchResult local_search(const CycleTimeGrid& start,
+                               const LocalSearchOptions& opts) {
+  const auto score = opts.allocator ? opts.allocator : default_allocator;
+  const std::size_t n = start.size();
+
+  LocalSearchResult res{start, score(start), 0.0, 0, false};
+  res.obj2 = obj2_value(res.alloc);
+
+  for (int round = 0; round < opts.max_swaps; ++round) {
+    double best_obj = res.obj2;
+    std::size_t best_a = 0, best_b = 0;
+    GridAllocation best_alloc;
+    bool improved = false;
+
+    std::vector<double> values = res.grid.row_major();
+    for (std::size_t a = 0; a + 1 < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (values[a] == values[b]) continue;  // no-op swap
+        std::swap(values[a], values[b]);
+        const CycleTimeGrid cand(res.grid.rows(), res.grid.cols(), values);
+        GridAllocation alloc = score(cand);
+        const double obj = obj2_value(alloc);
+        if (obj > best_obj * (1.0 + 1e-12)) {
+          best_obj = obj;
+          best_a = a;
+          best_b = b;
+          best_alloc = std::move(alloc);
+          improved = true;
+        }
+        std::swap(values[a], values[b]);  // restore
+      }
+    }
+
+    if (!improved) {
+      res.local_optimum = true;
+      return res;
+    }
+    std::swap(values[best_a], values[best_b]);
+    res.grid = CycleTimeGrid(res.grid.rows(), res.grid.cols(),
+                             std::move(values));
+    res.alloc = std::move(best_alloc);
+    res.obj2 = best_obj;
+    res.swaps += 1;
+  }
+  return res;  // swap cap hit; local_optimum stays false
+}
+
+LocalSearchResult solve_local_search(std::size_t p, std::size_t q,
+                                     std::vector<double> pool,
+                                     const LocalSearchOptions& opts) {
+  const HeuristicResult h = solve_heuristic(p, q, std::move(pool));
+  return local_search(h.final().grid, opts);
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,48 @@
+// Swap-based local search over arrangements — a middle tier between the
+// polynomial heuristic and the exponential exhaustive search.
+//
+// The paper leaves the arrangement choice to either the sorted heuristic
+// (Section 4.4.1 + refinement) or full enumeration (Section 4.3). Local
+// search starts from the heuristic's converged arrangement and repeatedly
+// applies the best improving swap of two grid positions, scoring each
+// arrangement with a caller-selected allocator (the SVD heuristic for
+// speed, or the exact spanning-tree solver on small grids). It closes
+// most of the heuristic-to-optimal gap at polynomial cost (see
+// bench/ablation_exact_gap).
+#pragma once
+
+#include <functional>
+
+#include "core/allocation.hpp"
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+struct LocalSearchOptions {
+  /// Score an arrangement: returns a tight feasible allocation whose obj2
+  /// is the arrangement's value. Default (empty) uses the SVD heuristic
+  /// allocation.
+  std::function<GridAllocation(const CycleTimeGrid&)> allocator;
+  /// Stop after this many improving swaps (safety cap).
+  int max_swaps = 1000;
+};
+
+struct LocalSearchResult {
+  CycleTimeGrid grid;
+  GridAllocation alloc;
+  double obj2 = 0.0;
+  int swaps = 0;        // improving swaps applied
+  bool local_optimum = false;  // no single swap improves further
+};
+
+/// Best-improvement swap search from `start`.
+LocalSearchResult local_search(const CycleTimeGrid& start,
+                               const LocalSearchOptions& opts = {});
+
+/// Convenience: heuristic (arrangement + refinement) followed by local
+/// search from its converged arrangement.
+LocalSearchResult solve_local_search(std::size_t p, std::size_t q,
+                                     std::vector<double> pool,
+                                     const LocalSearchOptions& opts = {});
+
+}  // namespace hetgrid

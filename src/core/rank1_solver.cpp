@@ -1,0 +1,32 @@
+#include "core/rank1_solver.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+GridAllocation first_row_col_allocation(const CycleTimeGrid& grid) {
+  GridAllocation alloc;
+  alloc.r.resize(grid.rows());
+  alloc.c.resize(grid.cols());
+  for (std::size_t i = 0; i < grid.rows(); ++i)
+    alloc.r[i] = 1.0 / grid(i, 0);
+  for (std::size_t j = 0; j < grid.cols(); ++j)
+    alloc.c[j] = grid(0, 0) / grid(0, j);
+  return alloc;
+}
+
+}  // namespace
+
+std::optional<GridAllocation> solve_rank1(const CycleTimeGrid& grid,
+                                          double tol) {
+  if (!grid.is_rank_one(tol)) return std::nullopt;
+  return first_row_col_allocation(grid);
+}
+
+GridAllocation rank1_projection(const CycleTimeGrid& grid) {
+  GridAllocation alloc = first_row_col_allocation(grid);
+  normalize_tight(grid, alloc);
+  return alloc;
+}
+
+}  // namespace hetgrid

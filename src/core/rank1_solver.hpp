@@ -1,0 +1,23 @@
+// Closed-form solution when the cycle-time matrix has rank 1
+// (paper Section 4.3.2): r_i = 1/t_i1, c_j = t_11/t_1j gives
+// r_i t_ij c_j = 1 for every processor — perfect balance, no idle time.
+#pragma once
+
+#include <optional>
+
+#include "core/allocation.hpp"
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+/// Returns the perfectly balanced allocation if `grid` is rank 1 within
+/// `tol`, std::nullopt otherwise.
+std::optional<GridAllocation> solve_rank1(const CycleTimeGrid& grid,
+                                          double tol = 1e-12);
+
+/// Unconditional variant: computes r_i = 1/t_i1, c_j = t_11/t_1j and
+/// tight-normalizes. For rank-1 grids this matches solve_rank1; for other
+/// grids it is a (feasible, tight, but possibly poor) projection baseline.
+GridAllocation rank1_projection(const CycleTimeGrid& grid);
+
+}  // namespace hetgrid

@@ -1,0 +1,97 @@
+#include "core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+std::vector<std::size_t> largest_remainder(const std::vector<double>& shares,
+                                           std::size_t total,
+                                           std::size_t min_each_positive) {
+  HG_CHECK(!shares.empty(), "round_to_sum of empty shares");
+  double sum = 0.0;
+  std::size_t positive = 0;
+  for (double s : shares) {
+    HG_CHECK(s >= 0.0, "shares must be nonnegative, got " << s);
+    sum += s;
+    if (s > 0.0) ++positive;
+  }
+  HG_CHECK(sum > 0.0, "shares must not all be zero");
+  if (min_each_positive > 0)
+    HG_CHECK(total >= positive * min_each_positive,
+             "total " << total << " too small for " << positive
+                      << " positive shares");
+
+  const std::size_t n = shares.size();
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<double> exact(n, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    exact[i] = static_cast<double>(total) * shares[i] / sum;
+    counts[i] = static_cast<std::size_t>(std::floor(exact[i]));
+    if (shares[i] > 0.0 && counts[i] < min_each_positive)
+      counts[i] = min_each_positive;
+    assigned += counts[i];
+  }
+
+  if (assigned < total) {
+    // Hand out the remaining units by largest fractional remainder
+    // (ties: lower index).
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a,
+                                                 std::size_t b) {
+      const double ra = exact[a] - std::floor(exact[a]);
+      const double rb = exact[b] - std::floor(exact[b]);
+      return ra > rb;
+    });
+    std::size_t k = 0;
+    while (assigned < total) {
+      counts[idx[k % n]] += 1;
+      ++assigned;
+      ++k;
+    }
+  } else if (assigned > total) {
+    // Only possible via the min_each_positive bump: take back units from
+    // the entries with the largest over-allocation counts[i] - exact[i]
+    // while respecting the minimum.
+    while (assigned > total) {
+      std::size_t victim = n;  // invalid
+      double worst = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t floor_allowed =
+            shares[i] > 0.0 ? min_each_positive : 0;
+        if (counts[i] <= floor_allowed) continue;
+        const double over = static_cast<double>(counts[i]) - exact[i];
+        if (over > worst) {
+          worst = over;
+          victim = i;
+        }
+      }
+      HG_INTERNAL_CHECK(victim < n, "cannot rebalance rounded counts");
+      counts[victim] -= 1;
+      --assigned;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<std::size_t> round_to_sum(const std::vector<double>& shares,
+                                      std::size_t total) {
+  return largest_remainder(shares, total, 0);
+}
+
+std::vector<std::size_t> round_to_sum_positive(
+    const std::vector<double>& shares, std::size_t total) {
+  return largest_remainder(shares, total, 1);
+}
+
+}  // namespace hetgrid

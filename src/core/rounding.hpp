@@ -1,0 +1,28 @@
+// Converting the solvers' rational shares into integer block counts.
+//
+// The optimization is solved over rationals with sum r_i = sum c_j = 1
+// (Section 4.1); scaling by the matrix size N and rounding must preserve
+// the sums exactly — each grid row must account for exactly N matrix rows —
+// so we use the largest-remainder method (each count is within one unit of
+// its exact scaled share).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetgrid {
+
+/// Rounds `shares` (nonnegative, not necessarily normalized) to integers
+/// summing to `total`, proportionally: n_i = round(total * share_i / sum)
+/// adjusted by largest remainder. Guarantees |n_i - exact_i| < 1 and
+/// sum n_i == total.
+std::vector<std::size_t> round_to_sum(const std::vector<double>& shares,
+                                      std::size_t total);
+
+/// Same, but guarantees every share that is strictly positive receives at
+/// least one unit (needed when every processor row/column must own at least
+/// one block of the panel). Requires total >= number of positive shares.
+std::vector<std::size_t> round_to_sum_positive(
+    const std::vector<double>& shares, std::size_t total);
+
+}  // namespace hetgrid

@@ -1,0 +1,93 @@
+#include "dist/distribution.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hetgrid {
+
+std::vector<std::size_t> blocks_per_processor(const Distribution2D& dist,
+                                              std::size_t nb,
+                                              std::size_t mb) {
+  const std::size_t p = dist.grid_rows(), q = dist.grid_cols();
+  std::vector<std::size_t> counts(p * q, 0);
+  // Count one period exactly, then scale; handle the ragged remainder
+  // explicitly so arbitrary nb/mb are exact.
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = 0; j < mb; ++j) {
+      const ProcCoord o = dist.owner(i, j);
+      counts[o.row * q + o.col] += 1;
+    }
+  return counts;
+}
+
+double sweep_makespan(const Distribution2D& dist, const CycleTimeGrid& grid,
+                      std::size_t nb, std::size_t mb) {
+  HG_CHECK(grid.rows() == dist.grid_rows() &&
+               grid.cols() == dist.grid_cols(),
+           "grid/distribution shape mismatch");
+  const std::vector<std::size_t> counts = blocks_per_processor(dist, nb, mb);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < grid.rows(); ++i)
+    for (std::size_t j = 0; j < grid.cols(); ++j)
+      worst = std::max(worst, static_cast<double>(
+                                  counts[i * grid.cols() + j]) *
+                                  grid(i, j));
+  return worst;
+}
+
+NeighborCensus neighbor_census(const Distribution2D& dist) {
+  const std::size_t bp = dist.period_rows();
+  const std::size_t bq = dist.period_cols();
+  const std::size_t p = dist.grid_rows(), q = dist.grid_cols();
+
+  std::vector<std::set<std::size_t>> west(p * q), north(p * q);
+  // Scan two periods in each direction so wrap-around adjacencies at the
+  // period boundary are included.
+  for (std::size_t i = 0; i < 2 * bp; ++i) {
+    for (std::size_t j = 0; j < 2 * bq; ++j) {
+      const ProcCoord me = dist.owner(i, j);
+      const std::size_t my_id = me.row * q + me.col;
+      if (j > 0) {
+        const ProcCoord w = dist.owner(i, j - 1);
+        const std::size_t w_id = w.row * q + w.col;
+        if (w_id != my_id) west[my_id].insert(w_id);
+      }
+      if (i > 0) {
+        const ProcCoord n = dist.owner(i - 1, j);
+        const std::size_t n_id = n.row * q + n.col;
+        if (n_id != my_id) north[my_id].insert(n_id);
+      }
+    }
+  }
+
+  NeighborCensus out;
+  for (std::size_t id = 0; id < p * q; ++id) {
+    out.max_west_neighbors = std::max(out.max_west_neighbors, west[id].size());
+    out.max_north_neighbors =
+        std::max(out.max_north_neighbors, north[id].size());
+  }
+
+  // Alignment check: within one period, every block row must map to a
+  // single grid row across all block columns, and every block column to a
+  // single grid column across all block rows.
+  out.aligned = true;
+  for (std::size_t i = 0; i < bp && out.aligned; ++i) {
+    const std::size_t row0 = dist.owner(i, 0).row;
+    for (std::size_t j = 1; j < bq; ++j)
+      if (dist.owner(i, j).row != row0) {
+        out.aligned = false;
+        break;
+      }
+  }
+  for (std::size_t j = 0; j < bq && out.aligned; ++j) {
+    const std::size_t col0 = dist.owner(0, j).col;
+    for (std::size_t i = 1; i < bp; ++i)
+      if (dist.owner(i, j).col != col0) {
+        out.aligned = false;
+        break;
+      }
+  }
+  return out;
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,83 @@
+// Block-to-processor distributions over a 2D processor grid.
+//
+// A distribution answers "which processor owns global block (I, J)?" for an
+// N_b x M_b matrix of r x r blocks. All of the paper's schemes are periodic:
+// ownership depends only on (I mod period_rows, J mod period_cols).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cycle_time_grid.hpp"
+
+namespace hetgrid {
+
+/// Grid coordinates of a processor.
+struct ProcCoord {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const ProcCoord&, const ProcCoord&) = default;
+};
+
+/// Interface for periodic 2D block distributions.
+class Distribution2D {
+ public:
+  virtual ~Distribution2D() = default;
+
+  virtual std::size_t grid_rows() const = 0;
+  virtual std::size_t grid_cols() const = 0;
+
+  /// Period of the ownership pattern in each dimension (B_p, B_q).
+  virtual std::size_t period_rows() const = 0;
+  virtual std::size_t period_cols() const = 0;
+
+  /// Owner of global block (I, J).
+  virtual ProcCoord owner(std::size_t block_row,
+                          std::size_t block_col) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Number of blocks each processor owns in an nb x mb block matrix;
+/// indexed [grid_row * grid_cols + grid_col].
+std::vector<std::size_t> blocks_per_processor(const Distribution2D& dist,
+                                              std::size_t nb, std::size_t mb);
+
+/// Parallel time for one fully parallel update sweep over an nb x mb block
+/// matrix: max over processors of (owned blocks) * t_ij. The "one step of
+/// the outer-product algorithm" cost that the allocation minimizes.
+double sweep_makespan(const Distribution2D& dist, const CycleTimeGrid& grid,
+                      std::size_t nb, std::size_t mb);
+
+/// Result of the neighbor census: how many *distinct* processors sit
+/// immediately west (resp. north) of each processor's blocks. The paper's
+/// grid communication pattern requires at most one of each (Section 3.1.2);
+/// Kalinov–Lastovetsky violates this (Figure 3).
+struct NeighborCensus {
+  /// Max over processors of the number of distinct west neighbors (owners
+  /// of blocks immediately left of the processor's blocks). Descriptive:
+  /// Figure 3 of the paper shows Kalinov–Lastovetsky giving a processor
+  /// two west neighbors.
+  std::size_t max_west_neighbors = 0;
+  /// Max over processors of the number of distinct north neighbors.
+  std::size_t max_north_neighbors = 0;
+  /// The paper's Section 3.1.2 condition: the owner's grid row depends
+  /// only on the block row and the owner's grid column only on the block
+  /// column (each processor of a grid row owns the same matrix rows).
+  /// This is what confines communication to the grid's rings; K–L
+  /// violates it on non-rank-1 grids.
+  bool aligned = false;
+
+  /// True iff broadcasts stay on the grid rings — every processor
+  /// communicates only with its direct grid neighbors.
+  bool grid_pattern() const { return aligned; }
+};
+
+/// Scans one full period of the pattern (with wrap-around) and counts the
+/// distinct west/north neighbor processors of every processor.
+NeighborCensus neighbor_census(const Distribution2D& dist);
+
+}  // namespace hetgrid

@@ -1,0 +1,74 @@
+#include "dist/kalinov_lastovetsky.hpp"
+
+#include <numeric>
+
+#include "core/alloc1d.hpp"
+
+namespace hetgrid {
+
+KalinovLastovetskyDistribution::KalinovLastovetskyDistribution(
+    const CycleTimeGrid& grid, std::vector<std::size_t> row_periods,
+    std::size_t col_period) {
+  build(grid, std::move(row_periods), col_period);
+}
+
+KalinovLastovetskyDistribution::KalinovLastovetskyDistribution(
+    const CycleTimeGrid& grid, std::size_t row_period,
+    std::size_t col_period) {
+  build(grid, std::vector<std::size_t>(grid.cols(), row_period), col_period);
+}
+
+void KalinovLastovetskyDistribution::build(
+    const CycleTimeGrid& grid, std::vector<std::size_t> row_periods,
+    std::size_t col_period) {
+  p_ = grid.rows();
+  q_ = grid.cols();
+  HG_CHECK(row_periods.size() == q_,
+           "need one row period per grid column, got " << row_periods.size());
+  HG_CHECK(col_period >= q_,
+           "column period " << col_period << " smaller than grid columns "
+                            << q_);
+
+  // Step 1: inside each grid column, balance row slots by the 1D scheme on
+  // that column's own cycle-times.
+  row_maps_.resize(q_);
+  std::vector<double> column_capacity(q_, 0.0);
+  for (std::size_t j = 0; j < q_; ++j) {
+    HG_CHECK(row_periods[j] >= p_, "row period " << row_periods[j]
+                                                 << " smaller than grid rows "
+                                                 << p_);
+    std::vector<double> column_times(p_);
+    for (std::size_t i = 0; i < p_; ++i) column_times[i] = grid(i, j);
+    const Alloc1dResult a = allocate_1d(column_times, row_periods[j]);
+    row_maps_[j] = a.order;
+    for (std::size_t i = 0; i < p_; ++i)
+      column_capacity[j] += 1.0 / column_times[i];
+  }
+
+  // Step 2: balance column slots across grid columns by aggregate speed
+  // (1 / sum_i 1/t_ij), again with the 1D scheme.
+  std::vector<double> aggregate(q_);
+  for (std::size_t j = 0; j < q_; ++j) aggregate[j] = 1.0 / column_capacity[j];
+  col_map_ = allocate_1d(aggregate, col_period).order;
+
+  // Full vertical period = lcm of the per-column row periods.
+  row_period_lcm_ = 1;
+  for (std::size_t j = 0; j < q_; ++j)
+    row_period_lcm_ = std::lcm(row_period_lcm_, row_maps_[j].size());
+}
+
+std::vector<std::size_t>
+KalinovLastovetskyDistribution::row_counts_of_column(std::size_t gj) const {
+  HG_CHECK(gj < q_, "grid column out of range");
+  std::vector<std::size_t> counts(p_, 0);
+  for (std::size_t g : row_maps_[gj]) counts[g] += 1;
+  return counts;
+}
+
+std::vector<std::size_t> KalinovLastovetskyDistribution::col_counts() const {
+  std::vector<std::size_t> counts(q_, 0);
+  for (std::size_t g : col_map_) counts[g] += 1;
+  return counts;
+}
+
+}  // namespace hetgrid

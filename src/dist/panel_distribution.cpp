@@ -1,0 +1,162 @@
+#include "dist/panel_distribution.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/alloc1d.hpp"
+#include "core/rounding.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+void check_slot_map(const std::vector<std::size_t>& map, std::size_t limit,
+                    const char* what) {
+  HG_CHECK(!map.empty(), what << " slot map is empty");
+  std::vector<bool> seen(limit, false);
+  for (std::size_t v : map) {
+    HG_CHECK(v < limit, what << " slot map entry " << v << " out of range");
+    seen[v] = true;
+  }
+  for (std::size_t g = 0; g < limit; ++g)
+    HG_CHECK(seen[g], what << " grid index " << g << " owns no panel slot");
+}
+
+std::vector<std::size_t> contiguous_map(
+    const std::vector<std::size_t>& counts) {
+  std::vector<std::size_t> map;
+  for (std::size_t g = 0; g < counts.size(); ++g)
+    map.insert(map.end(), counts[g], g);
+  return map;
+}
+
+std::vector<std::size_t> interleaved_map(
+    const std::vector<std::size_t>& counts,
+    const std::vector<double>& aggregate_times) {
+  // The greedy 1D schedule on the aggregate speeds decides which grid
+  // row/column takes each successive panel slot; we then clamp to the
+  // requested counts (the greedy and the rounding can differ by one unit
+  // when shares round differently).
+  const std::size_t slots =
+      std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  std::vector<std::size_t> remaining = counts;
+  std::vector<std::size_t> map;
+  map.reserve(slots);
+
+  // Re-run the greedy but skip entities whose quota is exhausted.
+  std::vector<std::size_t> given(counts.size(), 0);
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::size_t best = counts.size();
+    double best_finish = 0.0;
+    for (std::size_t g = 0; g < counts.size(); ++g) {
+      if (given[g] == counts[g]) continue;
+      const double finish =
+          static_cast<double>(given[g] + 1) * aggregate_times[g];
+      if (best == counts.size() || finish < best_finish) {
+        best = g;
+        best_finish = finish;
+      }
+    }
+    HG_INTERNAL_CHECK(best < counts.size(), "slot quota bookkeeping broken");
+    given[best] += 1;
+    map.push_back(best);
+  }
+  return map;
+}
+
+}  // namespace
+
+PanelDistribution::PanelDistribution(std::size_t p, std::size_t q,
+                                     std::vector<std::size_t> row_map,
+                                     std::vector<std::size_t> col_map,
+                                     std::string name)
+    : p_(p), q_(q), row_map_(std::move(row_map)),
+      col_map_(std::move(col_map)), name_(std::move(name)) {
+  HG_CHECK(p > 0 && q > 0, "grid dimensions must be positive");
+  check_slot_map(row_map_, p_, "row");
+  check_slot_map(col_map_, q_, "column");
+}
+
+PanelDistribution PanelDistribution::block_cyclic(std::size_t p,
+                                                  std::size_t q) {
+  std::vector<std::size_t> rmap(p), cmap(q);
+  std::iota(rmap.begin(), rmap.end(), std::size_t{0});
+  std::iota(cmap.begin(), cmap.end(), std::size_t{0});
+  return PanelDistribution(p, q, std::move(rmap), std::move(cmap),
+                           "block-cyclic");
+}
+
+PanelDistribution PanelDistribution::from_counts(
+    std::vector<std::size_t> counts_r, std::vector<std::size_t> counts_c,
+    const CycleTimeGrid& grid, PanelOrder row_order, PanelOrder col_order,
+    std::string name) {
+  HG_CHECK(counts_r.size() == grid.rows() && counts_c.size() == grid.cols(),
+           "counts shape does not match grid");
+  std::vector<std::size_t> rmap =
+      row_order == PanelOrder::kContiguous
+          ? contiguous_map(counts_r)
+          : interleaved_map(counts_r,
+                            row_aggregate_cycle_times(grid, counts_c));
+  std::vector<std::size_t> cmap =
+      col_order == PanelOrder::kContiguous
+          ? contiguous_map(counts_c)
+          : interleaved_map(counts_c,
+                            column_aggregate_cycle_times(grid, counts_r));
+  return PanelDistribution(grid.rows(), grid.cols(), std::move(rmap),
+                           std::move(cmap), std::move(name));
+}
+
+PanelDistribution PanelDistribution::from_allocation(
+    const CycleTimeGrid& grid, const GridAllocation& alloc,
+    std::size_t panel_rows, std::size_t panel_cols, PanelOrder row_order,
+    PanelOrder col_order, std::string name) {
+  HG_CHECK(alloc.shapes_match(grid), "allocation does not match grid");
+  std::vector<std::size_t> counts_r =
+      round_to_sum_positive(alloc.r, panel_rows);
+  std::vector<std::size_t> counts_c =
+      round_to_sum_positive(alloc.c, panel_cols);
+  return from_counts(std::move(counts_r), std::move(counts_c), grid,
+                     row_order, col_order, std::move(name));
+}
+
+std::vector<std::size_t> PanelDistribution::row_multiplicities() const {
+  std::vector<std::size_t> counts(p_, 0);
+  for (std::size_t g : row_map_) counts[g] += 1;
+  return counts;
+}
+
+std::vector<std::size_t> PanelDistribution::col_multiplicities() const {
+  std::vector<std::size_t> counts(q_, 0);
+  for (std::size_t g : col_map_) counts[g] += 1;
+  return counts;
+}
+
+std::vector<double> column_aggregate_cycle_times(
+    const CycleTimeGrid& grid, const std::vector<std::size_t>& counts_r) {
+  HG_CHECK(counts_r.size() == grid.rows(), "counts shape mismatch");
+  std::vector<double> agg(grid.cols());
+  for (std::size_t j = 0; j < grid.cols(); ++j) {
+    double cap = 0.0;
+    for (std::size_t i = 0; i < grid.rows(); ++i)
+      cap += static_cast<double>(counts_r[i]) / grid(i, j);
+    HG_CHECK(cap > 0.0, "grid column " << j << " has zero capacity");
+    agg[j] = 1.0 / cap;
+  }
+  return agg;
+}
+
+std::vector<double> row_aggregate_cycle_times(
+    const CycleTimeGrid& grid, const std::vector<std::size_t>& counts_c) {
+  HG_CHECK(counts_c.size() == grid.cols(), "counts shape mismatch");
+  std::vector<double> agg(grid.rows());
+  for (std::size_t i = 0; i < grid.rows(); ++i) {
+    double cap = 0.0;
+    for (std::size_t j = 0; j < grid.cols(); ++j)
+      cap += static_cast<double>(counts_c[j]) / grid(i, j);
+    HG_CHECK(cap > 0.0, "grid row " << i << " has zero capacity");
+    agg[i] = 1.0 / cap;
+  }
+  return agg;
+}
+
+}  // namespace hetgrid

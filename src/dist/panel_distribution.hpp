@@ -1,0 +1,104 @@
+// The paper's heterogeneous block-panel distribution (Section 3.1.2).
+//
+// A panel of B_p x B_q blocks is replicated cyclically over the matrix;
+// within the panel, every block row is owned entirely by one grid row and
+// every block column by one grid column (that is what guarantees the
+// 4-neighbor grid communication pattern). The per-grid-row multiplicities
+// r_i and per-grid-column multiplicities c_j come from the allocation
+// solvers; the *order* of rows/columns within the panel is free for matrix
+// multiplication and chosen by the 1D scheme for LU/QR (Section 3.2.2).
+#pragma once
+
+#include "core/allocation.hpp"
+#include "core/cycle_time_grid.hpp"
+#include "dist/distribution.hpp"
+
+namespace hetgrid {
+
+/// How to lay the per-row/column block multiplicities out inside a panel.
+enum class PanelOrder {
+  /// Grid row i's r_i block rows are consecutive (paper Figures 2 and 4's
+  /// rows). Fine for matrix multiplication, where step cost is
+  /// order-independent.
+  kContiguous,
+  /// Slots are interleaved by the greedy 1D schedule on the aggregate
+  /// row/column speeds (the "ABAABA" ordering of Section 3.2.2). Keeps the
+  /// shrinking trailing matrix of LU/QR balanced at every step.
+  kInterleaved,
+};
+
+class PanelDistribution final : public Distribution2D {
+ public:
+  /// Direct construction from slot maps: row_map[s] = grid row owning the
+  /// s-th block row of the panel (size B_p), likewise col_map (size B_q).
+  /// Every grid row/column must own at least one slot.
+  PanelDistribution(std::size_t p, std::size_t q,
+                    std::vector<std::size_t> row_map,
+                    std::vector<std::size_t> col_map, std::string name);
+
+  /// Homogeneous ScaLAPACK block-cyclic distribution: B_p = p, B_q = q, one
+  /// slot per grid row/column.
+  static PanelDistribution block_cyclic(std::size_t p, std::size_t q);
+
+  /// Builds a panel from integer multiplicities (counts_r[i] slots for grid
+  /// row i, counts_c[j] for grid column j). Row and column slot orders are
+  /// independent: the paper's LU layout (Figure 4) keeps rows contiguous
+  /// but interleaves columns.
+  static PanelDistribution from_counts(std::vector<std::size_t> counts_r,
+                                       std::vector<std::size_t> counts_c,
+                                       const CycleTimeGrid& grid,
+                                       PanelOrder row_order,
+                                       PanelOrder col_order,
+                                       std::string name);
+
+  /// Rounds a rational allocation to a B_p x B_q panel (largest-remainder,
+  /// every grid row/column keeps at least one slot) and builds the panel.
+  /// For kInterleaved, the slot order comes from the greedy 1D schedule on
+  /// the aggregate row/column cycle-times implied by the allocation.
+  static PanelDistribution from_allocation(const CycleTimeGrid& grid,
+                                           const GridAllocation& alloc,
+                                           std::size_t panel_rows,
+                                           std::size_t panel_cols,
+                                           PanelOrder row_order,
+                                           PanelOrder col_order,
+                                           std::string name);
+
+  std::size_t grid_rows() const override { return p_; }
+  std::size_t grid_cols() const override { return q_; }
+  std::size_t period_rows() const override { return row_map_.size(); }
+  std::size_t period_cols() const override { return col_map_.size(); }
+
+  ProcCoord owner(std::size_t block_row,
+                  std::size_t block_col) const override {
+    return {row_map_[block_row % row_map_.size()],
+            col_map_[block_col % col_map_.size()]};
+  }
+
+  std::string name() const override { return name_; }
+
+  const std::vector<std::size_t>& row_map() const { return row_map_; }
+  const std::vector<std::size_t>& col_map() const { return col_map_; }
+
+  /// Blocks per panel owned by grid row i (the integer r_i).
+  std::vector<std::size_t> row_multiplicities() const;
+  /// Blocks per panel owned by grid column j (the integer c_j).
+  std::vector<std::size_t> col_multiplicities() const;
+
+ private:
+  std::size_t p_, q_;
+  std::vector<std::size_t> row_map_, col_map_;
+  std::string name_;
+};
+
+/// Aggregate cycle-time of each grid column under an allocation: column j
+/// behaves like a single processor of cycle-time 1 / sum_i (r_i / t_ij)
+/// once rows are distributed with shares r_i (Section 3.2.2's "column
+/// operates like" argument, generalized from equal shares).
+std::vector<double> column_aggregate_cycle_times(
+    const CycleTimeGrid& grid, const std::vector<std::size_t>& counts_r);
+
+/// Same for grid rows (used to order block rows within the panel).
+std::vector<double> row_aggregate_cycle_times(
+    const CycleTimeGrid& grid, const std::vector<std::size_t>& counts_c);
+
+}  // namespace hetgrid

@@ -1,0 +1,116 @@
+#include "graph/spanning_tree.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), components_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  HG_DCHECK(x < parent_.size(), "find out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t x, std::size_t y) {
+  std::size_t rx = find(x), ry = find(y);
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  --components_;
+  return true;
+}
+
+namespace {
+
+struct Enumerator {
+  std::size_t p, q, n_vertices, needed;
+  std::vector<BipartiteEdge> edges;  // all p*q edges in fixed order
+  std::vector<BipartiteEdge> chosen;
+  const std::function<bool(const std::vector<BipartiteEdge>&)>* visit;
+  std::uint64_t count = 0;
+  bool stopped = false;
+
+  // Returns true if the vertices can still be fully connected using the
+  // current forest plus edges[idx..]; prunes dead branches early.
+  bool completable(const UnionFind& uf_now, std::size_t idx) const {
+    UnionFind uf = uf_now;  // small copy (p+q entries)
+    for (std::size_t e = idx; e < edges.size(); ++e)
+      uf.unite(edges[e].row, p + edges[e].col);
+    return uf.components() == 1;
+  }
+
+  void recurse(std::size_t idx, UnionFind uf) {
+    if (stopped) return;
+    if (chosen.size() == needed) {
+      ++count;
+      if (!(*visit)(chosen)) stopped = true;
+      return;
+    }
+    if (idx == edges.size()) return;
+    if (chosen.size() + (edges.size() - idx) < needed) return;
+    if (!completable(uf, idx)) return;
+
+    // Branch 1: include edges[idx] if it joins two components.
+    {
+      UnionFind uf_in = uf;
+      if (uf_in.unite(edges[idx].row, p + edges[idx].col)) {
+        chosen.push_back(edges[idx]);
+        recurse(idx + 1, std::move(uf_in));
+        chosen.pop_back();
+      }
+    }
+    // Branch 2: exclude edges[idx].
+    recurse(idx + 1, std::move(uf));
+  }
+};
+
+}  // namespace
+
+std::uint64_t enumerate_spanning_trees(
+    std::size_t p, std::size_t q,
+    const std::function<bool(const std::vector<BipartiteEdge>&)>& visit) {
+  HG_CHECK(p > 0 && q > 0, "grid dimensions must be positive");
+  Enumerator en;
+  en.p = p;
+  en.q = q;
+  en.n_vertices = p + q;
+  en.needed = p + q - 1;
+  en.visit = &visit;
+  en.edges.reserve(p * q);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j) en.edges.push_back({i, j});
+  en.chosen.reserve(en.needed);
+  en.recurse(0, UnionFind(en.n_vertices));
+  return en.count;
+}
+
+std::uint64_t spanning_tree_count(std::size_t p, std::size_t q) {
+  HG_CHECK(p > 0 && q > 0, "grid dimensions must be positive");
+  auto pow_sat = [](std::uint64_t base, std::size_t exp) {
+    std::uint64_t acc = 1;
+    for (std::size_t i = 0; i < exp; ++i) {
+      if (base != 0 &&
+          acc > std::numeric_limits<std::uint64_t>::max() / base)
+        return std::numeric_limits<std::uint64_t>::max();
+      acc *= base;
+    }
+    return acc;
+  };
+  const std::uint64_t a = pow_sat(p, q - 1);
+  const std::uint64_t b = pow_sat(q, p - 1);
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a)
+    return std::numeric_limits<std::uint64_t>::max();
+  return a * b;
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,58 @@
+// Spanning-tree machinery for the exact solver (paper Section 4.3.1).
+//
+// The optimization variables r_1..r_p, c_1..c_q are the vertices of the
+// complete bipartite graph K_{p,q}; the edge (r_i, c_j) carries the
+// constraint r_i * t_ij * c_j <= 1. The paper shows the optimum of Obj2 is
+// attained on a spanning tree whose edges are all tight (equalities), so the
+// exact solver enumerates every spanning tree of K_{p,q}.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hetgrid {
+
+/// An edge of K_{p,q}: connects row vertex `row` (0-based, < p) with column
+/// vertex `col` (0-based, < q).
+struct BipartiteEdge {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const BipartiteEdge&, const BipartiteEdge&) = default;
+};
+
+/// Union-find over p + q vertices (rows first, then columns), used both by
+/// the enumerator and exposed for callers that build trees incrementally.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  /// Returns false (and does nothing) if x and y were already connected.
+  bool unite(std::size_t x, std::size_t y);
+  std::size_t components() const { return components_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::size_t components_;
+};
+
+/// Invokes `visit` once per spanning tree of K_{p,q}; each tree is a list of
+/// exactly p + q - 1 edges in ascending edge-index order. Returns the number
+/// of trees visited. If `visit` returns false, enumeration stops early.
+///
+/// Complexity is proportional to the number of trees (p^{q-1} * q^{p-1},
+/// Scoins' formula) plus pruned branches; intended for the small grids where
+/// the paper's exact method is feasible.
+std::uint64_t enumerate_spanning_trees(
+    std::size_t p, std::size_t q,
+    const std::function<bool(const std::vector<BipartiteEdge>&)>& visit);
+
+/// Number of spanning trees of K_{p,q} by Scoins' formula p^{q-1} * q^{p-1}.
+/// Used by tests to validate the enumerator and by callers to bound work
+/// before launching the exact solver. Saturates at UINT64_MAX on overflow.
+std::uint64_t spanning_tree_count(std::size_t p, std::size_t q);
+
+}  // namespace hetgrid

@@ -1,0 +1,37 @@
+// Cholesky factorization (lower variant) — the third dense solver kernel
+// whose ScaLAPACK parallelization shares the paper's outer-product
+// structure (panel factor -> panel broadcast -> symmetric trailing update).
+#pragma once
+
+#include "matrix/matrix.hpp"
+
+namespace hetgrid {
+
+/// Unblocked in-place Cholesky of the lower triangle: A = L * L^T with L
+/// lower triangular. Only the lower triangle of `a` is referenced and
+/// overwritten (the strict upper triangle is left untouched). Returns
+/// false if the matrix is not (numerically) positive definite.
+bool cholesky_factor_unblocked(MatrixView a);
+
+/// Blocked right-looking Cholesky: factor the diagonal block, solve the
+/// sub-diagonal panel (L21 := A21 * inv(L11)^T), symmetric rank-b update
+/// of the trailing matrix. Returns false on a non-positive pivot.
+bool cholesky_factor_blocked(MatrixView a, std::size_t block);
+
+/// B := B * inv(L)^T with L lower triangular, non-unit diagonal — the
+/// panel solve of the blocked Cholesky.
+void trsm_right_lower_transposed(const ConstMatrixView& l, MatrixView b);
+
+/// Solves A x = b given the Cholesky factor (forward then transposed-back
+/// substitution). `b` is overwritten with the solution.
+void cholesky_solve(const ConstMatrixView& l, MatrixView b);
+
+/// Reconstructs L * L^T from the lower triangle of `a` (upper ignored).
+Matrix cholesky_reconstruct(const ConstMatrixView& a);
+
+/// Fills `a` with a random symmetric positive definite matrix
+/// (A = M M^T + n*I) using the given generator.
+class Rng;
+void fill_spd(MatrixView a, Rng& rng);
+
+}  // namespace hetgrid

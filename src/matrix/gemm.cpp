@@ -1,0 +1,114 @@
+#include "matrix/gemm.hpp"
+
+#include <algorithm>
+
+namespace hetgrid {
+
+namespace {
+
+// Cache-blocking tile sizes: a KC x NC panel of B is streamed against
+// MC x KC panels of A; tuned for "fits comfortably in L1/L2" rather than for
+// a specific machine.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kNc = 128;
+
+double op_at(const ConstMatrixView& m, Trans t, std::size_t i, std::size_t j) {
+  return t == Trans::No ? m(i, j) : m(j, i);
+}
+
+void scale_c(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  for (std::size_t j = 0; j < c.cols(); ++j)
+    for (std::size_t i = 0; i < c.rows(); ++i)
+      c(i, j) = (beta == 0.0) ? 0.0 : beta * c(i, j);
+}
+
+void check_shapes(Trans trans_a, Trans trans_b, const ConstMatrixView& a,
+                  const ConstMatrixView& b, const MatrixView& c) {
+  const std::size_t m = c.rows(), n = c.cols();
+  const std::size_t ka = trans_a == Trans::No ? a.cols() : a.rows();
+  const std::size_t ma = trans_a == Trans::No ? a.rows() : a.cols();
+  const std::size_t kb = trans_b == Trans::No ? b.rows() : b.cols();
+  const std::size_t nb = trans_b == Trans::No ? b.cols() : b.rows();
+  HG_CHECK(ma == m && nb == n && ka == kb,
+           "gemm shape mismatch: C " << m << "x" << n << ", op(A) " << ma
+                                     << "x" << ka << ", op(B) " << kb << "x"
+                                     << nb);
+}
+
+// Inner kernel for the no-transpose fast path: C(i,j) += sum_p A(i,p)*B(p,j)
+// over a tile, with B element hoisted so the inner loop is a saxpy down a
+// contiguous column of A and C.
+void tile_nn(double alpha, const ConstMatrixView& a, const ConstMatrixView& b,
+             MatrixView c, std::size_t i0, std::size_t i1, std::size_t p0,
+             std::size_t p1, std::size_t j0, std::size_t j1) {
+  for (std::size_t j = j0; j < j1; ++j) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double bpj = alpha * b(p, j);
+      if (bpj == 0.0) continue;
+      const double* acol = a.data() + i0 + p * a.ld();
+      double* ccol = c.data() + i0 + j * c.ld();
+      const std::size_t len = i1 - i0;
+      for (std::size_t i = 0; i < len; ++i) ccol[i] += acol[i] * bpj;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
+          const ConstMatrixView& b, double beta, MatrixView c) {
+  check_shapes(trans_a, trans_b, a, b, c);
+  scale_c(beta, c);
+  if (alpha == 0.0) return;
+
+  const std::size_t m = c.rows(), n = c.cols();
+  const std::size_t k = trans_a == Trans::No ? a.cols() : a.rows();
+
+  if (trans_a == Trans::No && trans_b == Trans::No) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+      const std::size_t j1 = std::min(j0 + kNc, n);
+      for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+        const std::size_t p1 = std::min(p0 + kKc, k);
+        for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
+          const std::size_t i1 = std::min(i0 + kMc, m);
+          tile_nn(alpha, a, b, c, i0, i1, p0, p1, j0, j1);
+        }
+      }
+    }
+    return;
+  }
+
+  // Transposed paths: correctness-first triple loop (these only appear in the
+  // QR update, far off any benchmark's critical path).
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += op_at(a, trans_a, i, p) * op_at(b, trans_b, p, j);
+      c(i, j) += alpha * acc;
+    }
+}
+
+void gemm_update(const ConstMatrixView& a, const ConstMatrixView& b,
+                 MatrixView c) {
+  gemm(Trans::No, Trans::No, 1.0, a, b, 1.0, c);
+}
+
+void gemm_reference(Trans trans_a, Trans trans_b, double alpha,
+                    const ConstMatrixView& a, const ConstMatrixView& b,
+                    double beta, MatrixView c) {
+  check_shapes(trans_a, trans_b, a, b, c);
+  const std::size_t m = c.rows(), n = c.cols();
+  const std::size_t k = trans_a == Trans::No ? a.cols() : a.rows();
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += op_at(a, trans_a, i, p) * op_at(b, trans_b, p, j);
+      c(i, j) = alpha * acc + (beta == 0.0 ? 0.0 : beta * c(i, j));
+    }
+}
+
+}  // namespace hetgrid

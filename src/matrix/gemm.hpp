@@ -1,0 +1,30 @@
+// General matrix multiply kernels.
+//
+// gemm computes C := alpha * op(A) * op(B) + beta * C with a cache-blocked
+// triple loop (jik order, column-major friendly). This is the compute kernel
+// the distributed outer-product algorithm calls on each local block update.
+#pragma once
+
+#include "matrix/matrix.hpp"
+
+namespace hetgrid {
+
+enum class Trans { No, Yes };
+
+/// C := alpha * op(A) * op(B) + beta * C.
+/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
+          const ConstMatrixView& b, double beta, MatrixView c);
+
+/// Convenience: C += A * B (the rank-k update at the heart of the paper's
+/// kernels).
+void gemm_update(const ConstMatrixView& a, const ConstMatrixView& b,
+                 MatrixView c);
+
+/// Reference (unblocked, naive) implementation used by tests to validate the
+/// blocked kernel.
+void gemm_reference(Trans trans_a, Trans trans_b, double alpha,
+                    const ConstMatrixView& a, const ConstMatrixView& b,
+                    double beta, MatrixView c);
+
+}  // namespace hetgrid

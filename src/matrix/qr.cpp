@@ -1,0 +1,147 @@
+#include "matrix/qr.hpp"
+
+#include <cmath>
+
+#include "matrix/gemm.hpp"
+#include "matrix/trsm.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+// Applies the reflector H = I - tau * v v^T (v stored in col k of `qr`
+// below the diagonal, v[k] = 1 implicit) to columns [j0, cols) of `target`
+// rows k..m.
+void apply_reflector(const ConstMatrixView& qr, std::size_t k, double tau,
+                     MatrixView target) {
+  if (tau == 0.0) return;
+  const std::size_t m = qr.rows();
+  for (std::size_t j = 0; j < target.cols(); ++j) {
+    // w = v^T * target(k:m, j)
+    double w = target(k, j);
+    for (std::size_t i = k + 1; i < m; ++i) w += qr(i, k) * target(i, j);
+    w *= tau;
+    target(k, j) -= w;
+    for (std::size_t i = k + 1; i < m; ++i) target(i, j) -= qr(i, k) * w;
+  }
+}
+
+}  // namespace
+
+QrResult qr_factor(MatrixView a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HG_CHECK(m >= n, "qr_factor requires rows >= cols, got " << m << "x" << n);
+  QrResult res;
+  res.tau.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k.
+    double norm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm2 += a(i, k) * a(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) {
+      res.tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = a(k, k);
+    const double beta = (alpha >= 0.0) ? -norm : norm;
+    const double v0 = alpha - beta;
+    res.tau[k] = -v0 / beta;  // == (beta - alpha)/beta, in (0, 2]
+    // Normalize so v[k] = 1.
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) /= v0;
+    a(k, k) = beta;
+
+    // Apply H_k to the trailing columns. Temporarily treat a(k,k) as 1.
+    if (k + 1 < n) {
+      const double saved = a(k, k);
+      a(k, k) = 1.0;
+      MatrixView trailing = a.block(0, k + 1, m, n - (k + 1));
+      apply_reflector(a, k, res.tau[k], trailing);
+      a(k, k) = saved;
+    }
+  }
+  return res;
+}
+
+void qr_apply_qt(const ConstMatrixView& qr, const std::vector<double>& tau,
+                 MatrixView b) {
+  HG_CHECK(b.rows() == qr.rows(), "rhs shape mismatch");
+  // Q^T = H_{n-1} ... H_1 H_0 applied in forward order.
+  Matrix work(qr.rows(), qr.cols(), 0.0);
+  work.view().copy_from(qr);
+  for (std::size_t k = 0; k < tau.size(); ++k) {
+    const double saved = work(k, k);
+    work(k, k) = 1.0;
+    apply_reflector(work.view(), k, tau[k], b);
+    work(k, k) = saved;
+  }
+}
+
+Matrix qr_form_q(const ConstMatrixView& qr, const std::vector<double>& tau) {
+  const std::size_t m = qr.rows();
+  const std::size_t n = qr.cols();
+  // Start from the first n columns of I and apply H_0 H_1 ... H_{n-1} in
+  // reverse order.
+  Matrix q(m, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+  Matrix work(m, n, 0.0);
+  work.view().copy_from(qr);
+  for (std::size_t kk = tau.size(); kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    const double saved = work(k, k);
+    work(k, k) = 1.0;
+    apply_reflector(work.view(), k, tau[k], q.view());
+    work(k, k) = saved;
+  }
+  return q;
+}
+
+Matrix qr_form_t(const ConstMatrixView& panel,
+                 const std::vector<double>& tau) {
+  const std::size_t m = panel.rows();
+  const std::size_t b = panel.cols();
+  HG_CHECK(tau.size() == b, "tau size mismatch");
+
+  // v_i is column i of the unit lower trapezoid: v_i[i] = 1, v_i[r] =
+  // panel(r, i) for r > i, zero above.
+  auto v_at = [&](std::size_t r, std::size_t i) -> double {
+    if (r < i) return 0.0;
+    if (r == i) return 1.0;
+    return panel(r, i);
+  };
+
+  Matrix t(b, b, 0.0);
+  for (std::size_t i = 0; i < b; ++i) {
+    t(i, i) = tau[i];
+    if (i == 0 || tau[i] == 0.0) continue;
+    // w = V(:, 0:i)^T v_i.
+    std::vector<double> w(i, 0.0);
+    for (std::size_t c = 0; c < i; ++c) {
+      double acc = 0.0;
+      for (std::size_t r = i; r < m; ++r) acc += v_at(r, c) * v_at(r, i);
+      w[c] = acc;
+    }
+    // T(0:i, i) = -tau_i * T(0:i, 0:i) * w.
+    for (std::size_t r = 0; r < i; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = r; c < i; ++c) acc += t(r, c) * w[c];
+      t(r, i) = -tau[i] * acc;
+    }
+  }
+  return t;
+}
+
+void qr_solve(const ConstMatrixView& qr, const std::vector<double>& tau,
+              MatrixView b) {
+  const std::size_t n = qr.cols();
+  qr_apply_qt(qr, tau, b);
+  MatrixView top = b.block(0, 0, n, b.cols());
+  // R is the upper triangle of qr.
+  Matrix r(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) r(i, j) = qr(i, j);
+  trsm_left_upper(r.view(), top);
+}
+
+}  // namespace hetgrid

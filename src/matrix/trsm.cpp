@@ -1,0 +1,47 @@
+#include "matrix/trsm.hpp"
+
+namespace hetgrid {
+
+void trsm_left_lower_unit(const ConstMatrixView& l, MatrixView b) {
+  const std::size_t n = l.rows();
+  HG_CHECK(l.cols() == n, "L must be square");
+  HG_CHECK(b.rows() == n, "rhs rows " << b.rows() << " != " << n);
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = b(i, j);
+      for (std::size_t p = 0; p < i; ++p) x -= l(i, p) * b(p, j);
+      b(i, j) = x;  // unit diagonal: no divide
+    }
+  }
+}
+
+void trsm_left_upper(const ConstMatrixView& u, MatrixView b) {
+  const std::size_t n = u.rows();
+  HG_CHECK(u.cols() == n, "U must be square");
+  HG_CHECK(b.rows() == n, "rhs rows " << b.rows() << " != " << n);
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double x = b(i, j);
+      for (std::size_t p = i + 1; p < n; ++p) x -= u(i, p) * b(p, j);
+      HG_CHECK(u(i, i) != 0.0, "singular U at diagonal " << i);
+      b(i, j) = x / u(i, i);
+    }
+  }
+}
+
+void trsm_right_upper(const ConstMatrixView& u, MatrixView b) {
+  const std::size_t n = u.rows();
+  HG_CHECK(u.cols() == n, "U must be square");
+  HG_CHECK(b.cols() == n, "rhs cols " << b.cols() << " != " << n);
+  for (std::size_t j = 0; j < n; ++j) {
+    HG_CHECK(u(j, j) != 0.0, "singular U at diagonal " << j);
+    for (std::size_t i = 0; i < b.rows(); ++i) {
+      double x = b(i, j);
+      for (std::size_t p = 0; p < j; ++p) x -= b(i, p) * u(p, j);
+      b(i, j) = x / u(j, j);
+    }
+  }
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,32 @@
+// Triangular solves with multiple right-hand sides (BLAS-3 trsm subset).
+//
+// Only the variants the right-looking LU / QR factorizations need are
+// implemented; each is explicit rather than hidden behind a flag soup.
+#pragma once
+
+#include "matrix/matrix.hpp"
+
+namespace hetgrid {
+
+/// B := inv(L) * B where L is lower triangular with unit diagonal
+/// (forward substitution; the "apply L panel" step of LU).
+void trsm_left_lower_unit(const ConstMatrixView& l, MatrixView b);
+
+/// B := inv(U) * B where U is upper triangular, non-unit diagonal
+/// (back substitution).
+void trsm_left_upper(const ConstMatrixView& u, MatrixView b);
+
+/// B := B * inv(U) where U is upper triangular, non-unit diagonal
+/// (the "compute U12 row panel" step of right-looking LU uses the dual:
+///  solving X * L11^T = ... is expressed with this form on transposes; we
+///  provide the direct right-solve used by our blocked LU).
+void trsm_right_upper(const ConstMatrixView& u, MatrixView b);
+
+/// B := inv(L11) * B for the LU row-panel update: given the unit-lower factor
+/// L11 of the diagonal block, computes U12 = inv(L11) * A12. Alias of
+/// trsm_left_lower_unit, named for call-site clarity.
+inline void lu_row_panel_update(const ConstMatrixView& l11, MatrixView a12) {
+  trsm_left_lower_unit(l11, a12);
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,27 @@
+#include "mp/block_store.hpp"
+
+#include <utility>
+
+namespace hetgrid {
+
+void BlockStore::put(BlockKey key, Matrix block) {
+  blocks_[key] = std::move(block);
+}
+
+MatrixView BlockStore::at(BlockKey key) {
+  auto it = blocks_.find(key);
+  HG_CHECK(it != blocks_.end(), "block (" << key.row << "," << key.col
+                                          << ") is not in local memory");
+  return it->second.view();
+}
+
+ConstMatrixView BlockStore::at(BlockKey key) const {
+  auto it = blocks_.find(key);
+  HG_CHECK(it != blocks_.end(), "block (" << key.row << "," << key.col
+                                          << ") is not in local memory");
+  return it->second.view();
+}
+
+void BlockStore::erase(BlockKey key) { blocks_.erase(key); }
+
+}  // namespace hetgrid

@@ -1,0 +1,57 @@
+// Per-processor distributed block storage.
+//
+// Each processor owns the blocks its distribution assigns to it and holds
+// transient copies of blocks it received (broadcast panels). Nothing is
+// shared: the message-passing runtime moves data exclusively through
+// explicit send/receive pairs, so a kernel that "forgets" a communication
+// step fails loudly with a missing-block error instead of silently reading
+// another processor's memory — exactly the property that makes the
+// distributed-memory port of a kernel trustworthy.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "matrix/matrix.hpp"
+
+namespace hetgrid {
+
+/// Global coordinates of an r x r block.
+struct BlockKey {
+  std::size_t row = 0;
+  std::size_t col = 0;
+
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const {
+    return k.row * 0x9e3779b97f4a7c15ULL ^ k.col;
+  }
+};
+
+/// One processor's local memory: a map from global block coordinates to
+/// locally stored block contents.
+class BlockStore {
+ public:
+  /// Inserts (or overwrites) a block copy.
+  void put(BlockKey key, Matrix block);
+
+  /// Mutable access; throws PreconditionError if the block is not local —
+  /// the runtime equivalent of dereferencing a remote pointer.
+  MatrixView at(BlockKey key);
+  ConstMatrixView at(BlockKey key) const;
+
+  bool contains(BlockKey key) const { return blocks_.count(key) > 0; }
+
+  /// Removes transient copies (received panels) after a step; owned data
+  /// is re-put by the kernels as they update it.
+  void erase(BlockKey key);
+
+  std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::unordered_map<BlockKey, Matrix, BlockKeyHash> blocks_;
+};
+
+}  // namespace hetgrid

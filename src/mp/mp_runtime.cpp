@@ -1,0 +1,577 @@
+#include "mp/mp_runtime.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "matrix/cholesky.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/trsm.hpp"
+#include "mp/block_store.hpp"
+#include "mp/virtual_network.hpp"
+
+namespace hetgrid {
+
+double MpReport::average_utilization() const {
+  if (makespan <= 0.0 || busy.empty()) return 0.0;
+  double acc = 0.0;
+  for (double b : busy) acc += b / makespan;
+  return acc / static_cast<double>(busy.size());
+}
+
+namespace {
+
+std::size_t block_count(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block;
+}
+std::size_t block_lo(std::size_t idx, std::size_t block) {
+  return idx * block;
+}
+std::size_t block_len(std::size_t idx, std::size_t block, std::size_t n) {
+  return std::min(n - idx * block, block);
+}
+double vol_frac(std::size_t r, std::size_t c, std::size_t k,
+                std::size_t block) {
+  const double full = static_cast<double>(block) * static_cast<double>(block) *
+                      static_cast<double>(block);
+  return static_cast<double>(r) * static_cast<double>(c) *
+         static_cast<double>(k) / full;
+}
+
+// Shared state for one distributed execution.
+struct MpContext {
+  const Machine& machine;
+  const Distribution2D& dist;
+  std::size_t block;
+  std::size_t p, q;
+  VirtualNetwork net;
+  std::vector<BlockStore> store;  // one per processor
+  std::vector<double> clock;      // per-processor compute clock
+  std::vector<double> busy;
+
+  MpContext(const Machine& m, const Distribution2D& d, std::size_t blk)
+      : machine(m), dist(d), block(blk), p(d.grid_rows()), q(d.grid_cols()),
+        net(p * q, m.net), store(p * q), clock(p * q, 0.0),
+        busy(p * q, 0.0) {
+    m.net.validate();
+    HG_CHECK(m.grid.rows() == p && m.grid.cols() == q,
+             "machine grid does not match distribution");
+    HG_CHECK(blk > 0, "block size must be positive");
+  }
+
+  std::size_t pid(std::size_t gi, std::size_t gj) const {
+    return gi * q + gj;
+  }
+  std::size_t owner_pid(std::size_t bi, std::size_t bj) const {
+    const ProcCoord o = dist.owner(bi, bj);
+    return pid(o.row, o.col);
+  }
+  double cycle_time(std::size_t id) const {
+    return machine.grid(id / q, id % q);
+  }
+
+  /// Ring-broadcasts the listed blocks (all already present at grid
+  /// position (gi, src_gj)) along grid row gi, starting no earlier than
+  /// `start`. `ready[id]` is updated with the time the bundle is fully
+  /// available at each processor of the row; copies land in the
+  /// receivers' stores.
+  void ring_broadcast_row(std::size_t gi, std::size_t src_gj,
+                          const std::vector<BlockKey>& keys,
+                          double start, std::vector<double>& ready) {
+    const std::size_t src = pid(gi, src_gj);
+    ready[src] = std::max(ready[src], start);
+    if (q == 1 || keys.empty()) return;
+    double upstream = ready[src];
+    for (std::size_t hop = 1; hop < q; ++hop) {
+      const std::size_t from = pid(gi, (src_gj + hop - 1) % q);
+      const std::size_t to = pid(gi, (src_gj + hop) % q);
+      const double arrival =
+          net.transfer(from, to, keys.size(), upstream);
+      for (const BlockKey& k : keys) {
+        Matrix copy(store[src].at(k).rows(), store[src].at(k).cols());
+        copy.view().copy_from(store[src].at(k));
+        store[to].put(k, std::move(copy));
+      }
+      ready[to] = std::max(ready[to], arrival);
+      upstream = arrival;
+    }
+  }
+
+  /// Same along a grid column.
+  void ring_broadcast_col(std::size_t gj, std::size_t src_gi,
+                          const std::vector<BlockKey>& keys,
+                          double start, std::vector<double>& ready) {
+    const std::size_t src = pid(src_gi, gj);
+    ready[src] = std::max(ready[src], start);
+    if (p == 1 || keys.empty()) return;
+    double upstream = ready[src];
+    for (std::size_t hop = 1; hop < p; ++hop) {
+      const std::size_t from = pid((src_gi + hop - 1) % p, gj);
+      const std::size_t to = pid((src_gi + hop) % p, gj);
+      const double arrival =
+          net.transfer(from, to, keys.size(), upstream);
+      for (const BlockKey& k : keys) {
+        Matrix copy(store[src].at(k).rows(), store[src].at(k).cols());
+        copy.view().copy_from(store[src].at(k));
+        store[to].put(k, std::move(copy));
+      }
+      ready[to] = std::max(ready[to], arrival);
+      upstream = arrival;
+    }
+  }
+
+  /// Copies one block to another processor right away (feeder transfer for
+  /// misaligned distributions: a panel block that a foreign grid row/column
+  /// needs is first shipped to that line's ring source). Returns arrival.
+  double feeder(std::size_t from, std::size_t to, BlockKey key,
+                double start) {
+    if (from == to) return start;
+    const double arrival = net.transfer(from, to, 1, start);
+    Matrix copy(store[from].at(key).rows(), store[from].at(key).cols());
+    copy.view().copy_from(store[from].at(key));
+    store[to].put(key, std::move(copy));
+    return arrival;
+  }
+
+  /// Runs `seconds` of compute on `id` that may not start before `ready`.
+  void compute(std::size_t id, double ready, double seconds) {
+    const double start = std::max(clock[id], ready);
+    clock[id] = start + seconds;
+    busy[id] += seconds;
+  }
+
+  MpReport report() const {
+    MpReport rep;
+    rep.clock = clock;
+    rep.busy = busy;
+    rep.makespan = *std::max_element(clock.begin(), clock.end());
+    rep.messages = net.messages_sent();
+    rep.blocks_moved = net.bytes_blocks_sent();
+    return rep;
+  }
+};
+
+// Scatters the global matrix `m` (tagged by `which` to disambiguate A/B/C
+// in the stores: block keys get a row offset of which * nbr_total) to the
+// owners. Returns nothing; timing-free setup, as in ScaLAPACK where data
+// is assumed distributed from the start.
+void scatter(MpContext& ctx, const ConstMatrixView& m, std::size_t which,
+             std::size_t nbr, std::size_t nbc) {
+  for (std::size_t bi = 0; bi < nbr; ++bi) {
+    const std::size_t ilo = block_lo(bi, ctx.block);
+    const std::size_t ilen = block_len(bi, ctx.block, m.rows());
+    for (std::size_t bj = 0; bj < nbc; ++bj) {
+      const std::size_t jlo = block_lo(bj, ctx.block);
+      const std::size_t jlen = block_len(bj, ctx.block, m.cols());
+      Matrix blk(ilen, jlen);
+      blk.view().copy_from(m.block(ilo, jlo, ilen, jlen));
+      ctx.store[ctx.owner_pid(bi, bj)].put(
+          BlockKey{which * nbr + bi, bj}, std::move(blk));
+    }
+  }
+}
+
+void gather(MpContext& ctx, MatrixView m, std::size_t which,
+            std::size_t nbr, std::size_t nbc) {
+  for (std::size_t bi = 0; bi < nbr; ++bi) {
+    const std::size_t ilo = block_lo(bi, ctx.block);
+    const std::size_t ilen = block_len(bi, ctx.block, m.rows());
+    for (std::size_t bj = 0; bj < nbc; ++bj) {
+      const std::size_t jlo = block_lo(bj, ctx.block);
+      const std::size_t jlen = block_len(bj, ctx.block, m.cols());
+      m.block(ilo, jlo, ilen, jlen)
+          .copy_from(ctx.store[ctx.owner_pid(bi, bj)].at(
+              BlockKey{which * nbr + bi, bj}));
+    }
+  }
+}
+
+constexpr std::size_t kTagA = 0, kTagB = 1, kTagC = 2;
+
+}  // namespace
+
+MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
+                    const ConstMatrixView& a, const ConstMatrixView& b,
+                    MatrixView c, std::size_t block,
+                    const KernelCosts& costs) {
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
+               c.rows() == n && c.cols() == n,
+           "run_mp_mmm needs square same-size A, B, C");
+  MpContext ctx(machine, dist, block);
+  const std::size_t nb = block_count(n, block);
+  const std::size_t procs = ctx.p * ctx.q;
+
+  scatter(ctx, a, kTagA, nb, nb);
+  scatter(ctx, b, kTagB, nb, nb);
+  c.fill(0.0);
+  scatter(ctx, c, kTagC, nb, nb);
+
+  std::vector<double> a_ready(procs), b_ready(procs);
+  std::vector<std::vector<BlockKey>> row_keys(ctx.p), col_keys(ctx.q);
+  std::vector<double> row_start(ctx.p), col_start(ctx.q);
+  std::vector<std::size_t> a_src(ctx.p, 0), b_src(ctx.q, 0);
+  std::vector<char> need_rows(ctx.p), need_cols(ctx.q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    std::fill(a_ready.begin(), a_ready.end(), 0.0);
+    std::fill(b_ready.begin(), b_ready.end(), 0.0);
+    std::fill(row_start.begin(), row_start.end(), 0.0);
+    std::fill(col_start.begin(), col_start.end(), 0.0);
+    for (auto& v : row_keys) v.clear();
+    for (auto& v : col_keys) v.clear();
+
+    // A block (bi, k) must reach every grid row that owns some C block of
+    // block row bi; a B block (k, bj) every grid column owning C blocks of
+    // block column bj. With an aligned distribution that is exactly the
+    // block's own grid row/column; a misaligned one (Kalinov–Lastovetsky)
+    // additionally ships blocks to foreign lines first (feeder transfers)
+    // — the extra messages Figure 3 of the paper warns about. Each line's
+    // ring source is fixed to the home position of the line's first key;
+    // all other keys are fed to it before the ring starts.
+    bool a_src_set_row[64] = {};  // p, q <= 64 enforced by practical grids
+    HG_CHECK(ctx.p <= 64 && ctx.q <= 64, "grid too large for mp runtime");
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const BlockKey key{kTagA * nb + bi, k};
+      const ProcCoord home = ctx.dist.owner(bi, k);
+      std::fill(need_rows.begin(), need_rows.end(), 0);
+      for (std::size_t bj = 0; bj < nb; ++bj)
+        need_rows[ctx.dist.owner(bi, bj).row] = 1;
+      for (std::size_t gi = 0; gi < ctx.p; ++gi) {
+        if (!need_rows[gi]) continue;
+        if (!a_src_set_row[gi]) {
+          a_src[gi] = home.col;
+          a_src_set_row[gi] = true;
+        }
+        if (ctx.pid(home.row, home.col) != ctx.pid(gi, a_src[gi])) {
+          const double arrival =
+              ctx.feeder(ctx.pid(home.row, home.col),
+                         ctx.pid(gi, a_src[gi]), key, 0.0);
+          row_start[gi] = std::max(row_start[gi], arrival);
+        }
+        row_keys[gi].push_back(key);
+      }
+    }
+    bool b_src_set_col[64] = {};
+    for (std::size_t bj = 0; bj < nb; ++bj) {
+      const BlockKey key{kTagB * nb + k, bj};
+      const ProcCoord home = ctx.dist.owner(k, bj);
+      std::fill(need_cols.begin(), need_cols.end(), 0);
+      for (std::size_t bi = 0; bi < nb; ++bi)
+        need_cols[ctx.dist.owner(bi, bj).col] = 1;
+      for (std::size_t gj = 0; gj < ctx.q; ++gj) {
+        if (!need_cols[gj]) continue;
+        if (!b_src_set_col[gj]) {
+          b_src[gj] = home.row;
+          b_src_set_col[gj] = true;
+        }
+        if (ctx.pid(home.row, home.col) != ctx.pid(b_src[gj], gj)) {
+          const double arrival =
+              ctx.feeder(ctx.pid(home.row, home.col),
+                         ctx.pid(b_src[gj], gj), key, 0.0);
+          col_start[gj] = std::max(col_start[gj], arrival);
+        }
+        col_keys[gj].push_back(key);
+      }
+    }
+
+    for (std::size_t gi = 0; gi < ctx.p; ++gi)
+      ctx.ring_broadcast_row(gi, a_src[gi], row_keys[gi], row_start[gi],
+                             a_ready);
+    for (std::size_t gj = 0; gj < ctx.q; ++gj)
+      ctx.ring_broadcast_col(gj, b_src[gj], col_keys[gj], col_start[gj],
+                             b_ready);
+
+    // Local updates: C_IJ += A_Ik * B_kJ on owned blocks.
+    const std::size_t klen = block_len(k, block, n);
+    for (std::size_t id = 0; id < procs; ++id) {
+      double work = 0.0;
+      const double ready = std::max(a_ready[id], b_ready[id]);
+      for (std::size_t bi = 0; bi < nb; ++bi) {
+        for (std::size_t bj = 0; bj < nb; ++bj) {
+          if (ctx.owner_pid(bi, bj) != id) continue;
+          const std::size_t ilen = block_len(bi, block, n);
+          const std::size_t jlen = block_len(bj, block, n);
+          gemm_update(ctx.store[id].at(BlockKey{kTagA * nb + bi, k}),
+                      ctx.store[id].at(BlockKey{kTagB * nb + k, bj}),
+                      ctx.store[id].at(BlockKey{kTagC * nb + bi, bj}));
+          work += ctx.cycle_time(id) * costs.update *
+                  vol_frac(ilen, jlen, klen, block);
+        }
+      }
+      if (work > 0.0) ctx.compute(id, ready, work);
+    }
+
+    // Drop transient panel copies (keep owned originals).
+    for (std::size_t id = 0; id < procs; ++id) {
+      for (std::size_t bi = 0; bi < nb; ++bi)
+        if (ctx.owner_pid(bi, k) != id)
+          ctx.store[id].erase(BlockKey{kTagA * nb + bi, k});
+      for (std::size_t bj = 0; bj < nb; ++bj)
+        if (ctx.owner_pid(k, bj) != id)
+          ctx.store[id].erase(BlockKey{kTagB * nb + k, bj});
+    }
+  }
+
+  gather(ctx, c, kTagC, nb, nb);
+  return ctx.report();
+}
+
+MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
+                   MatrixView a, std::size_t block,
+                   const KernelCosts& costs, bool lookahead) {
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n, "run_mp_lu needs a square matrix");
+  // LU's row/column panels must each live inside one grid row/column for
+  // the ring broadcasts below to have a single source — exactly the
+  // paper's alignment condition. Misaligned distributions (K–L) are not
+  // LU-capable without extra redistribution messages.
+  HG_CHECK(neighbor_census(dist).aligned,
+           "run_mp_lu requires an aligned (grid-pattern) distribution");
+  MpContext ctx(machine, dist, block);
+  const std::size_t nb = block_count(n, block);
+  const std::size_t procs = ctx.p * ctx.q;
+
+  scatter(ctx, a, kTagA, nb, nb);
+  MpReport early;
+
+  std::vector<double> diag_ready(procs), l_ready(procs), u_ready(procs);
+  std::vector<std::vector<BlockKey>> row_keys(ctx.p), col_keys(ctx.q);
+  // Lookahead: virtual time deferred from the previous step's non-critical
+  // trailing work (the arithmetic itself always runs in canonical order).
+  std::vector<double> deferred(procs, 0.0);
+  std::vector<double> deferred_ready(procs, 0.0);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t klen = block_len(k, block, n);
+    const ProcCoord diag = ctx.dist.owner(k, k);
+    const std::size_t diag_id = ctx.pid(diag.row, diag.col);
+    const BlockKey diag_key{kTagA * nb + k, k};
+
+    // --- Factor the diagonal block at its owner.
+    if (!lu_factor_nopivot(ctx.store[diag_id].at(diag_key))) {
+      early = ctx.report();
+      early.factorized = false;
+      gather(ctx, a, kTagA, nb, nb);
+      return early;
+    }
+    ctx.compute(diag_id, 0.0,
+                ctx.cycle_time(diag_id) * costs.panel_factor *
+                    vol_frac(klen, klen, klen, block));
+
+    // --- Broadcast the diagonal block down its grid column (for the L21
+    // solves) and note its availability.
+    std::fill(diag_ready.begin(), diag_ready.end(), 0.0);
+    ctx.ring_broadcast_col(diag.col, diag.row, {diag_key},
+                           ctx.clock[diag_id], diag_ready);
+
+    // --- L21 solves: owners of blocks (I, k), I > k.
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t id = ctx.owner_pid(bi, k);
+      const std::size_t ilen = block_len(bi, block, n);
+      trsm_right_upper(ctx.store[id].at(diag_key),
+                       ctx.store[id].at(BlockKey{kTagA * nb + bi, k}));
+      ctx.compute(id, diag_ready[id],
+                  ctx.cycle_time(id) * costs.panel_factor *
+                      vol_frac(ilen, klen, klen, block));
+    }
+
+    // --- Horizontal broadcast of the L panel (diag + L21) per grid row.
+    std::fill(l_ready.begin(), l_ready.end(), 0.0);
+    for (auto& v : row_keys) v.clear();
+    for (std::size_t bi = k; bi < nb; ++bi)
+      row_keys[ctx.dist.owner(bi, k).row].push_back(
+          BlockKey{kTagA * nb + bi, k});
+    for (std::size_t gi = 0; gi < ctx.p; ++gi)
+      ctx.ring_broadcast_row(gi, diag.col, row_keys[gi],
+                             ctx.clock[ctx.pid(gi, diag.col)], l_ready);
+
+    // --- U12 solves: owners of (k, J), J > k need L11 (came with the L
+    // panel broadcast along their row).
+    for (std::size_t bj = k + 1; bj < nb; ++bj) {
+      const std::size_t id = ctx.owner_pid(k, bj);
+      const std::size_t jlen = block_len(bj, block, n);
+      trsm_left_lower_unit(ctx.store[id].at(diag_key),
+                           ctx.store[id].at(BlockKey{kTagA * nb + k, bj}));
+      ctx.compute(id, l_ready[id],
+                  ctx.cycle_time(id) * costs.trsm *
+                      vol_frac(klen, jlen, klen, block));
+    }
+
+    // --- Vertical broadcast of the U panel per grid column.
+    std::fill(u_ready.begin(), u_ready.end(), 0.0);
+    for (auto& v : col_keys) v.clear();
+    for (std::size_t bj = k + 1; bj < nb; ++bj)
+      col_keys[ctx.dist.owner(k, bj).col].push_back(
+          BlockKey{kTagA * nb + k, bj});
+    for (std::size_t gj = 0; gj < ctx.q; ++gj)
+      ctx.ring_broadcast_col(gj, diag.row, col_keys[gj],
+                             ctx.clock[ctx.pid(diag.row, gj)], u_ready);
+
+    // --- Settle the previous step's deferred (non-critical) work before
+    // this step's trailing phase: the panel and solves above already went
+    // out ahead of it — that is the lookahead.
+    for (std::size_t id = 0; id < procs; ++id) {
+      if (deferred[id] > 0.0) {
+        ctx.compute(id, deferred_ready[id], deferred[id]);
+        deferred[id] = 0.0;
+        deferred_ready[id] = 0.0;
+      }
+    }
+
+    // --- Trailing updates A_IJ -= L_Ik * U_kJ on owned blocks. With
+    // lookahead, the blocks the next panel needs (block column/row k+1)
+    // are charged on the critical path now; the rest is deferred to after
+    // the next step's panel phase.
+    for (std::size_t id = 0; id < procs; ++id) {
+      double work_next = 0.0, work_rest = 0.0;
+      const double ready = std::max(l_ready[id], u_ready[id]);
+      for (std::size_t bi = k + 1; bi < nb; ++bi) {
+        for (std::size_t bj = k + 1; bj < nb; ++bj) {
+          if (ctx.owner_pid(bi, bj) != id) continue;
+          const std::size_t ilen = block_len(bi, block, n);
+          const std::size_t jlen = block_len(bj, block, n);
+          gemm(Trans::No, Trans::No, -1.0,
+               ctx.store[id].at(BlockKey{kTagA * nb + bi, k}),
+               ctx.store[id].at(BlockKey{kTagA * nb + k, bj}), 1.0,
+               ctx.store[id].at(BlockKey{kTagA * nb + bi, bj}));
+          const double cost = ctx.cycle_time(id) * costs.update *
+                              vol_frac(ilen, jlen, klen, block);
+          if (lookahead && bi != k + 1 && bj != k + 1)
+            work_rest += cost;
+          else
+            work_next += cost;
+        }
+      }
+      if (work_next > 0.0) ctx.compute(id, ready, work_next);
+      if (work_rest > 0.0) {
+        deferred[id] += work_rest;
+        deferred_ready[id] = std::max(deferred_ready[id], ready);
+      }
+    }
+
+    // --- Drop transient copies of this step's panels.
+    for (std::size_t id = 0; id < procs; ++id) {
+      for (std::size_t bi = k; bi < nb; ++bi)
+        if (ctx.owner_pid(bi, k) != id)
+          ctx.store[id].erase(BlockKey{kTagA * nb + bi, k});
+      for (std::size_t bj = k + 1; bj < nb; ++bj)
+        if (ctx.owner_pid(k, bj) != id)
+          ctx.store[id].erase(BlockKey{kTagA * nb + k, bj});
+    }
+  }
+
+  gather(ctx, a, kTagA, nb, nb);
+  return ctx.report();
+}
+
+MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
+                         MatrixView a, std::size_t block,
+                         const KernelCosts& costs) {
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n, "run_mp_cholesky needs a square matrix");
+  HG_CHECK(neighbor_census(dist).aligned,
+           "run_mp_cholesky requires an aligned distribution");
+  MpContext ctx(machine, dist, block);
+  const std::size_t nb = block_count(n, block);
+  const std::size_t procs = ctx.p * ctx.q;
+
+  scatter(ctx, a, kTagA, nb, nb);
+
+  std::vector<double> diag_ready(procs), l_ready(procs), c_ready(procs);
+  std::vector<std::vector<BlockKey>> row_keys(ctx.p);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t klen = block_len(k, block, n);
+    const ProcCoord diag = ctx.dist.owner(k, k);
+    const std::size_t diag_id = ctx.pid(diag.row, diag.col);
+    const BlockKey diag_key{kTagA * nb + k, k};
+
+    // --- Factor the diagonal block.
+    if (!cholesky_factor_unblocked(ctx.store[diag_id].at(diag_key))) {
+      MpReport rep = ctx.report();
+      rep.factorized = false;
+      gather(ctx, a, kTagA, nb, nb);
+      return rep;
+    }
+    ctx.compute(diag_id, 0.0,
+                ctx.cycle_time(diag_id) * costs.chol_factor *
+                    vol_frac(klen, klen, klen, block));
+
+    // --- Diagonal block down its grid column for the L21 solves.
+    std::fill(diag_ready.begin(), diag_ready.end(), 0.0);
+    ctx.ring_broadcast_col(diag.col, diag.row, {diag_key},
+                           ctx.clock[diag_id], diag_ready);
+
+    // --- L21 solves: A_Ik := A_Ik * inv(L11)^T.
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t id = ctx.owner_pid(bi, k);
+      const std::size_t ilen = block_len(bi, block, n);
+      trsm_right_lower_transposed(
+          ctx.store[id].at(diag_key),
+          ctx.store[id].at(BlockKey{kTagA * nb + bi, k}));
+      ctx.compute(id, diag_ready[id],
+                  ctx.cycle_time(id) * costs.chol_factor *
+                      vol_frac(ilen, klen, klen, block));
+    }
+
+    // --- Phase 1: L panel along each grid row.
+    std::fill(l_ready.begin(), l_ready.end(), 0.0);
+    for (auto& v : row_keys) v.clear();
+    for (std::size_t bi = k + 1; bi < nb; ++bi)
+      row_keys[ctx.dist.owner(bi, k).row].push_back(
+          BlockKey{kTagA * nb + bi, k});
+    for (std::size_t gi = 0; gi < ctx.p; ++gi)
+      ctx.ring_broadcast_row(gi, diag.col, row_keys[gi],
+                             ctx.clock[ctx.pid(gi, diag.col)], l_ready);
+
+    // --- Phase 2: each L block (J, k) relays down grid column
+    // owner(.,J).col, starting from the processor of its own grid row in
+    // that column (which received it in phase 1). Bundle per
+    // (column, source-row) ring.
+    std::fill(c_ready.begin(), c_ready.end(), 0.0);
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<BlockKey>>
+        col_rings;
+    for (std::size_t bj = k + 1; bj < nb; ++bj) {
+      const std::size_t gj = ctx.dist.owner(0, bj).col;
+      const std::size_t src_gi = ctx.dist.owner(bj, k).row;
+      col_rings[{gj, src_gi}].push_back(BlockKey{kTagA * nb + bj, k});
+    }
+    for (const auto& [line, keys] : col_rings) {
+      const auto [gj, src_gi] = line;
+      ctx.ring_broadcast_col(gj, src_gi, keys,
+                             l_ready[ctx.pid(src_gi, gj)], c_ready);
+    }
+
+    // --- Symmetric trailing update A_IJ -= L_I * L_J^T, I >= J > k.
+    for (std::size_t id = 0; id < procs; ++id) {
+      double work = 0.0;
+      const double ready = std::max(l_ready[id], c_ready[id]);
+      for (std::size_t bi = k + 1; bi < nb; ++bi) {
+        for (std::size_t bj = k + 1; bj <= bi; ++bj) {
+          if (ctx.owner_pid(bi, bj) != id) continue;
+          const std::size_t ilen = block_len(bi, block, n);
+          const std::size_t jlen = block_len(bj, block, n);
+          gemm(Trans::No, Trans::Yes, -1.0,
+               ctx.store[id].at(BlockKey{kTagA * nb + bi, k}),
+               ctx.store[id].at(BlockKey{kTagA * nb + bj, k}), 1.0,
+               ctx.store[id].at(BlockKey{kTagA * nb + bi, bj}));
+          work += ctx.cycle_time(id) * costs.update *
+                  vol_frac(ilen, jlen, klen, block);
+        }
+      }
+      if (work > 0.0) ctx.compute(id, ready, work);
+    }
+
+    // --- Drop transient copies of the panel.
+    for (std::size_t id = 0; id < procs; ++id)
+      for (std::size_t bi = k; bi < nb; ++bi)
+        if (ctx.owner_pid(bi, k) != id)
+          ctx.store[id].erase(BlockKey{kTagA * nb + bi, k});
+  }
+
+  gather(ctx, a, kTagA, nb, nb);
+  return ctx.report();
+}
+
+}  // namespace hetgrid

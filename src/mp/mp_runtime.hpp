@@ -1,0 +1,72 @@
+// Asynchronous message-passing runtime: distributed-memory execution of
+// the paper's kernels with per-processor storage and explicit messages.
+//
+// This is the highest-fidelity model in hetgrid. Compared to the
+// bulk-synchronous virtual runtime (src/runtime):
+//   * every processor has its own BlockStore — data moves only through
+//     VirtualNetwork::transfer, and reading a block that was never sent
+//     throws (catching missing-communication bugs in kernel ports);
+//   * there is no global barrier — per-processor clocks advance
+//     independently, ring broadcasts pipeline hop by hop through the
+//     contended network, and later steps' panel broadcasts overlap earlier
+//     steps' updates, exactly as a well-written MPI code behaves;
+//   * numerics are real: the gathered results are verified against the
+//     sequential kernels by the tests.
+//
+// The paper's own MPI experiments live in its companion paper [4]; this
+// runtime is the faithful stand-in (see DESIGN.md's substitution table).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "matrix/matrix.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetgrid {
+
+struct MpReport {
+  double makespan = 0.0;        // max over processors of the final clock
+  std::vector<double> clock;    // per-processor finish time
+  std::vector<double> busy;     // per-processor pure compute time
+  std::size_t messages = 0;     // point-to-point messages sent
+  double blocks_moved = 0.0;    // total r x r blocks transferred
+  bool factorized = true;       // LU: false if a zero pivot was hit
+
+  double average_utilization() const;
+};
+
+/// Distributed-memory C = A * B (outer-product algorithm) with square
+/// blocks of `block` elements. A and B are scattered to their owners, the
+/// per-step panels travel by ring broadcasts, and the owned C blocks are
+/// gathered into `c` at the end.
+MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
+                    const ConstMatrixView& a, const ConstMatrixView& b,
+                    MatrixView c, std::size_t block,
+                    const KernelCosts& costs = {});
+
+/// Distributed-memory right-looking LU without pivoting (diagonally
+/// dominant input required). `a` is scattered, factored, and the packed
+/// L\U factors gathered back into `a`.
+///
+/// With `lookahead` enabled, each processor updates the blocks the *next*
+/// panel needs (block column / row k+1) first and defers the rest of its
+/// trailing update until after the next step's panel and triangular
+/// solves — the classic lookahead optimization that takes the panel
+/// factorization off the critical path. Numerical results are identical;
+/// only the virtual schedule changes.
+MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
+                   MatrixView a, std::size_t block,
+                   const KernelCosts& costs = {}, bool lookahead = false);
+
+/// Distributed-memory right-looking Cholesky (lower variant) on an SPD
+/// matrix. The L21 panel is ring-broadcast along grid rows, then each
+/// block is relayed down its trailing block-column's grid column (the
+/// "transposed panel" broadcast of the symmetric update). Requires an
+/// aligned distribution.
+MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
+                         MatrixView a, std::size_t block,
+                         const KernelCosts& costs = {});
+
+}  // namespace hetgrid

@@ -1,0 +1,49 @@
+#include "mp/virtual_network.hpp"
+
+#include <algorithm>
+
+namespace hetgrid {
+
+VirtualNetwork::VirtualNetwork(std::size_t processors,
+                               const NetworkModel& model)
+    : model_(model), send_free_(processors, 0.0),
+      recv_free_(processors, 0.0) {
+  model_.validate();
+  HG_CHECK(processors > 0, "network needs at least one processor");
+}
+
+double VirtualNetwork::transfer(std::size_t src, std::size_t dst,
+                                std::size_t blocks, double earliest) {
+  HG_CHECK(src < send_free_.size() && dst < send_free_.size(),
+           "processor id out of range");
+  if (src == dst || blocks == 0) return earliest;
+
+  const double duration =
+      model_.latency +
+      static_cast<double>(blocks) * model_.block_transfer;
+
+  double start = std::max({earliest, send_free_[src], recv_free_[dst]});
+  if (model_.topology == Topology::kEthernet) {
+    // One shared medium: the transfer also waits for the bus.
+    start = std::max(start, bus_free_);
+    bus_free_ = start + duration;
+  }
+  const double done = start + duration;
+  send_free_[src] = done;
+  recv_free_[dst] = done;
+  ++messages_;
+  blocks_sent_ += static_cast<double>(blocks);
+  return done;
+}
+
+double VirtualNetwork::send_free(std::size_t proc) const {
+  HG_CHECK(proc < send_free_.size(), "processor id out of range");
+  return send_free_[proc];
+}
+
+double VirtualNetwork::recv_free(std::size_t proc) const {
+  HG_CHECK(proc < recv_free_.size(), "processor id out of range");
+  return recv_free_[proc];
+}
+
+}  // namespace hetgrid

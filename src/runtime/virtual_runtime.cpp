@@ -1,0 +1,587 @@
+#include "runtime/virtual_runtime.hpp"
+
+#include <algorithm>
+
+#include "matrix/cholesky.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/qr.hpp"
+#include "matrix/trsm.hpp"
+
+namespace hetgrid {
+
+double VirtualReport::average_utilization() const {
+  if (makespan <= 0.0 || busy.empty()) return 0.0;
+  double acc = 0.0;
+  for (double b : busy) acc += b / makespan;
+  return acc / static_cast<double>(busy.size());
+}
+
+namespace {
+
+std::size_t block_count(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block;
+}
+
+// Extent of block index I along a dimension of n elements.
+std::size_t block_lo(std::size_t idx, std::size_t block) {
+  return idx * block;
+}
+std::size_t block_len(std::size_t idx, std::size_t block, std::size_t n) {
+  const std::size_t lo = idx * block;
+  return std::min(n - lo, block);
+}
+
+// Fraction of a full r x r x r block operation that a ragged block
+// represents, so edge blocks are charged proportionally to their flops.
+double vol_frac(std::size_t rows, std::size_t cols, std::size_t inner,
+                std::size_t block) {
+  const double full = static_cast<double>(block) * static_cast<double>(block) *
+                      static_cast<double>(block);
+  return static_cast<double>(rows) * static_cast<double>(cols) *
+         static_cast<double>(inner) / full;
+}
+
+// Per-phase clock accounting: charge() accumulates work on a processor;
+// finish() folds the phase's critical path into the report and clears.
+class PhaseClock {
+ public:
+  PhaseClock(std::size_t procs, VirtualReport& rep)
+      : charges_(procs, 0.0), rep_(rep) {}
+
+  void charge(std::size_t proc, double amount) {
+    charges_[proc] += amount;
+    rep_.busy[proc] += amount;
+    rep_.block_ops += 1;
+  }
+
+  void finish() {
+    double worst = 0.0;
+    for (double& c : charges_) {
+      worst = std::max(worst, c);
+      c = 0.0;
+    }
+    rep_.compute_time += worst;
+    rep_.makespan += worst;
+  }
+
+ private:
+  std::vector<double> charges_;
+  VirtualReport& rep_;
+};
+
+double combine_broadcasts(const NetworkModel& net,
+                          const std::vector<double>& line_costs) {
+  double total = 0.0, worst = 0.0;
+  for (double c : line_costs) {
+    total += c;
+    worst = std::max(worst, c);
+  }
+  return net.topology == Topology::kEthernet ? total : worst;
+}
+
+void charge_comm(VirtualReport& rep, double amount) {
+  rep.comm_time += amount;
+  rep.makespan += amount;
+}
+
+}  // namespace
+
+VirtualReport run_distributed_mmm(const Machine& machine,
+                                  const Distribution2D& dist,
+                                  const ConstMatrixView& a,
+                                  const ConstMatrixView& b, MatrixView c,
+                                  std::size_t block,
+                                  const KernelCosts& costs) {
+  machine.net.validate();
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
+               c.rows() == n && c.cols() == n,
+           "run_distributed_mmm needs square same-size A, B, C");
+  HG_CHECK(block > 0, "block size must be positive");
+  HG_CHECK(machine.grid.rows() == dist.grid_rows() &&
+               machine.grid.cols() == dist.grid_cols(),
+           "machine grid does not match distribution");
+
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::size_t nb = block_count(n, block);
+
+  VirtualReport rep;
+  rep.busy.assign(p * q, 0.0);
+  c.fill(0.0);
+
+  PhaseClock clock(p * q, rep);
+  std::vector<double> line_costs;
+  std::vector<std::size_t> a_rows(p), b_cols(q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    // Broadcast phase: the A column panel travels along grid rows, the B
+    // row panel along grid columns.
+    std::fill(a_rows.begin(), a_rows.end(), 0);
+    std::fill(b_cols.begin(), b_cols.end(), 0);
+    for (std::size_t i = 0; i < nb; ++i) a_rows[dist.owner(i, k).row] += 1;
+    for (std::size_t j = 0; j < nb; ++j) b_cols[dist.owner(k, j).col] += 1;
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(a_rows[gi], q));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(b_cols[gj], p));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    // Update phase: C_IJ += A_Ik * B_kJ on every block, executed by its
+    // owner at its speed.
+    const std::size_t klen = block_len(k, block, n);
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, n);
+      for (std::size_t bj = 0; bj < nb; ++bj) {
+        const std::size_t jlo = block_lo(bj, block);
+        const std::size_t jlen = block_len(bj, block, n);
+        const ProcCoord o = dist.owner(bi, bj);
+        gemm_update(a.block(ilo, block_lo(k, block), ilen, klen),
+                    b.block(block_lo(k, block), jlo, klen, jlen),
+                    c.block(ilo, jlo, ilen, jlen));
+        clock.charge(o.row * q + o.col,
+                     grid(o.row, o.col) * costs.update *
+                         vol_frac(ilen, jlen, klen, block));
+      }
+    }
+    clock.finish();
+  }
+  return rep;
+}
+
+VirtualLuReport run_distributed_lu(const Machine& machine,
+                                   const Distribution2D& dist, MatrixView a,
+                                   std::size_t block,
+                                   const KernelCosts& costs) {
+  machine.net.validate();
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n, "run_distributed_lu needs a square matrix");
+  HG_CHECK(block > 0, "block size must be positive");
+  HG_CHECK(machine.grid.rows() == dist.grid_rows() &&
+               machine.grid.cols() == dist.grid_cols(),
+           "machine grid does not match distribution");
+
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::size_t nb = block_count(n, block);
+
+  VirtualLuReport rep;
+  rep.busy.assign(p * q, 0.0);
+  PhaseClock clock(p * q, rep);
+  std::vector<double> line_costs;
+  std::vector<std::size_t> l_rows(p), u_cols(q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t klo = block_lo(k, block);
+    const std::size_t klen = block_len(k, block, n);
+    const ProcCoord diag = dist.owner(k, k);
+
+    // --- Panel phase: factor the diagonal block, then form the L21 blocks
+    // below it (A_Ik := A_Ik * inv(U11)), all inside the owner grid column.
+    MatrixView diag_block = a.block(klo, klo, klen, klen);
+    if (!lu_factor_nopivot(diag_block)) {
+      // Zero pivot: the triangular solves below would divide by zero.
+      // Report failure and stop; the matrix is left partially factored.
+      rep.factorized = false;
+      return rep;
+    }
+    clock.charge(diag.row * q + diag.col,
+                 grid(diag.row, diag.col) * costs.panel_factor *
+                     vol_frac(klen, klen, klen, block));
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, n);
+      const ProcCoord o = dist.owner(bi, k);
+      trsm_right_upper(diag_block, a.block(ilo, klo, ilen, klen));
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.panel_factor *
+                       vol_frac(ilen, klen, klen, block));
+    }
+    clock.finish();
+
+    // --- Horizontal broadcast of the L panel.
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i) l_rows[dist.owner(i, k).row] += 1;
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    // --- Row phase: U12 blocks (A_kJ := inv(L11) * A_kJ) in the owner row.
+    for (std::size_t bj = k + 1; bj < nb; ++bj) {
+      const std::size_t jlo = block_lo(bj, block);
+      const std::size_t jlen = block_len(bj, block, n);
+      const ProcCoord o = dist.owner(k, bj);
+      trsm_left_lower_unit(diag_block, a.block(klo, jlo, klen, jlen));
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.trsm *
+                       vol_frac(klen, jlen, klen, block));
+    }
+    clock.finish();
+
+    // --- Vertical broadcast of the U panel.
+    std::fill(u_cols.begin(), u_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nb; ++j)
+      u_cols[dist.owner(k, j).col] += 1;
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    // --- Trailing update A_IJ -= A_Ik * A_kJ.
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, n);
+      for (std::size_t bj = k + 1; bj < nb; ++bj) {
+        const std::size_t jlo = block_lo(bj, block);
+        const std::size_t jlen = block_len(bj, block, n);
+        const ProcCoord o = dist.owner(bi, bj);
+        gemm(Trans::No, Trans::No, -1.0, a.block(ilo, klo, ilen, klen),
+             a.block(klo, jlo, klen, jlen), 1.0,
+             a.block(ilo, jlo, ilen, jlen));
+        clock.charge(o.row * q + o.col,
+                     grid(o.row, o.col) * costs.update *
+                         vol_frac(ilen, jlen, klen, block));
+      }
+    }
+    clock.finish();
+  }
+  return rep;
+}
+
+VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
+                                                  const Distribution2D& dist,
+                                                  MatrixView a,
+                                                  std::size_t block,
+                                                  const KernelCosts& costs) {
+  machine.net.validate();
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n, "run_distributed_lu_pivoted needs a square matrix");
+  HG_CHECK(block > 0, "block size must be positive");
+  HG_CHECK(machine.grid.rows() == dist.grid_rows() &&
+               machine.grid.cols() == dist.grid_cols(),
+           "machine grid does not match distribution");
+
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::size_t nb = block_count(n, block);
+
+  VirtualPivotedLuReport rep;
+  rep.busy.assign(p * q, 0.0);
+  rep.piv.resize(n);
+  PhaseClock clock(p * q, rep);
+  std::vector<double> line_costs;
+  std::vector<std::size_t> l_rows(p), u_cols(q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t klo = block_lo(k, block);
+    const std::size_t b = block_len(k, block, n);
+
+    // --- Panel phase with partial pivoting (ScaLAPACK pdgetf2): factor
+    // the full-height panel; the pivot row interchange moves data, never
+    // ownership.
+    MatrixView panel = a.block(klo, klo, n - klo, b);
+    const LuResult pres = lu_factor_unblocked(panel);
+    rep.singular = rep.singular || pres.singular;
+    double swap_comm = 0.0;
+    for (std::size_t i = 0; i < b; ++i) {
+      const std::size_t g1 = klo + i;
+      const std::size_t g2 = klo + pres.piv[i];
+      rep.piv[g1] = g2;
+      if (g1 != g2) {
+        // The panel factorization already swapped the panel columns; swap
+        // the remaining columns of the two rows.
+        for (std::size_t j = 0; j < klo; ++j) std::swap(a(g1, j), a(g2, j));
+        for (std::size_t j = klo + b; j < n; ++j)
+          std::swap(a(g1, j), a(g2, j));
+        const std::size_t o1 = dist.owner(g1 / block, 0).row;
+        const std::size_t o2 = dist.owner(g2 / block, 0).row;
+        if (o1 != o2)
+          swap_comm += 2.0 * (machine.net.latency +
+                              static_cast<double>(nb) *
+                                  machine.net.block_transfer);
+      }
+    }
+    charge_comm(rep, swap_comm);
+    for (std::size_t bi = k; bi < nb; ++bi) {
+      const ProcCoord o = dist.owner(bi, k);
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.panel_factor *
+                       vol_frac(block_len(bi, block, n), b, b, block));
+    }
+    clock.finish();
+
+    // --- Broadcast the L panel along grid rows.
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i) l_rows[dist.owner(i, k).row] += 1;
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    if (k + 1 >= nb) continue;
+
+    // --- Row phase: U12 := inv(L11) * A12.
+    ConstMatrixView l11 = a.block(klo, klo, b, b);
+    for (std::size_t bj = k + 1; bj < nb; ++bj) {
+      const std::size_t jlo = block_lo(bj, block);
+      const std::size_t jlen = block_len(bj, block, n);
+      const ProcCoord o = dist.owner(k, bj);
+      trsm_left_lower_unit(l11, a.block(klo, jlo, b, jlen));
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.trsm *
+                       vol_frac(b, jlen, b, block));
+    }
+    clock.finish();
+
+    // --- Broadcast the U panel down grid columns.
+    std::fill(u_cols.begin(), u_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nb; ++j)
+      u_cols[dist.owner(k, j).col] += 1;
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    // --- Trailing update.
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, n);
+      for (std::size_t bj = k + 1; bj < nb; ++bj) {
+        const std::size_t jlo = block_lo(bj, block);
+        const std::size_t jlen = block_len(bj, block, n);
+        const ProcCoord o = dist.owner(bi, bj);
+        gemm(Trans::No, Trans::No, -1.0, a.block(ilo, klo, ilen, b),
+             a.block(klo, jlo, b, jlen), 1.0,
+             a.block(ilo, jlo, ilen, jlen));
+        clock.charge(o.row * q + o.col,
+                     grid(o.row, o.col) * costs.update *
+                         vol_frac(ilen, jlen, b, block));
+      }
+    }
+    clock.finish();
+  }
+  return rep;
+}
+
+VirtualQrReport run_distributed_qr(const Machine& machine,
+                                   const Distribution2D& dist, MatrixView a,
+                                   std::size_t block,
+                                   const KernelCosts& costs) {
+  machine.net.validate();
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  HG_CHECK(rows >= cols, "run_distributed_qr needs rows >= cols, got "
+                             << rows << "x" << cols);
+  HG_CHECK(block > 0, "block size must be positive");
+  HG_CHECK(machine.grid.rows() == dist.grid_rows() &&
+               machine.grid.cols() == dist.grid_cols(),
+           "machine grid does not match distribution");
+
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::size_t nbr = block_count(rows, block);
+  const std::size_t nbc = block_count(cols, block);
+
+  VirtualQrReport rep;
+  rep.busy.assign(p * q, 0.0);
+  rep.tau.reserve(cols);
+  PhaseClock clock(p * q, rep);
+  std::vector<double> line_costs;
+  std::vector<std::size_t> v_rows(p), w_cols(q);
+
+  for (std::size_t k = 0; k < nbc; ++k) {
+    const std::size_t klo = block_lo(k, block);
+    const std::size_t b = block_len(k, block, cols);
+
+    // --- Panel phase: Householder QR of the current column panel,
+    // executed block-row by block-row inside the owner grid column.
+    MatrixView panel = a.block(klo, klo, rows - klo, b);
+    const QrResult pres = qr_factor(panel);
+    rep.tau.insert(rep.tau.end(), pres.tau.begin(), pres.tau.end());
+    for (std::size_t bi = k; bi < nbr; ++bi) {
+      const ProcCoord o = dist.owner(bi, k);
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.qr_factor *
+                       vol_frac(block_len(bi, block, rows), b, b, block));
+    }
+    clock.finish();
+
+    if (k + 1 >= nbc) continue;
+
+    // --- Broadcast the V panel along grid rows, then the reduced W panel
+    // along grid columns (same ring pattern as LU's L and U panels).
+    std::fill(v_rows.begin(), v_rows.end(), 0);
+    for (std::size_t i = k; i < nbr; ++i) v_rows[dist.owner(i, k).row] += 1;
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(v_rows[gi], q));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    std::fill(w_cols.begin(), w_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nbc; ++j)
+      w_cols[dist.owner(k, j).col] += 1;
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(w_cols[gj], p));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    // --- Compact-WY trailing update over columns J > k, rows I >= k:
+    //   C := C - V * (T^T * (V^T * C)).
+    // V is the unit lower trapezoid of the panel; T from larft.
+    const std::size_t mrest = rows - klo;
+    Matrix v(mrest, b, 0.0);
+    for (std::size_t j = 0; j < b; ++j) {
+      v(j, j) = 1.0;
+      for (std::size_t i = j + 1; i < mrest; ++i) v(i, j) = panel(i, j);
+    }
+    const Matrix t = qr_form_t(panel, pres.tau);
+    const std::size_t ntrail = cols - (klo + b);
+    Matrix w(b, ntrail, 0.0);
+
+    // Pass 1: W = V^T * C, accumulated block by block so each owner is
+    // charged for its share (half of the qr_update weight).
+    for (std::size_t bi = k; bi < nbr; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, rows);
+      for (std::size_t bj = k + 1; bj < nbc; ++bj) {
+        const std::size_t jlo = block_lo(bj, block);
+        const std::size_t jlen = block_len(bj, block, cols);
+        const ProcCoord o = dist.owner(bi, bj);
+        gemm(Trans::Yes, Trans::No, 1.0,
+             v.view().block(ilo - klo, 0, ilen, b),
+             a.block(ilo, jlo, ilen, jlen), 1.0,
+             w.view().block(0, jlo - (klo + b), b, jlen));
+        clock.charge(o.row * q + o.col,
+                     grid(o.row, o.col) * 0.5 * costs.qr_update *
+                         vol_frac(ilen, jlen, b, block));
+      }
+    }
+    clock.finish();
+
+    // Y = T^T * W (small b x ntrail product; charged to the diagonal
+    // block's owner as part of the panel critical path).
+    Matrix y(b, ntrail, 0.0);
+    gemm(Trans::Yes, Trans::No, 1.0, t.view(), w.view(), 0.0, y.view());
+    {
+      const ProcCoord o = dist.owner(k, k);
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.qr_update *
+                       vol_frac(b, ntrail, b, block));
+      clock.finish();
+    }
+
+    // Pass 2: C -= V * Y, again block by block.
+    for (std::size_t bi = k; bi < nbr; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, rows);
+      for (std::size_t bj = k + 1; bj < nbc; ++bj) {
+        const std::size_t jlo = block_lo(bj, block);
+        const std::size_t jlen = block_len(bj, block, cols);
+        const ProcCoord o = dist.owner(bi, bj);
+        gemm(Trans::No, Trans::No, -1.0,
+             v.view().block(ilo - klo, 0, ilen, b),
+             y.view().block(0, jlo - (klo + b), b, jlen), 1.0,
+             a.block(ilo, jlo, ilen, jlen));
+        clock.charge(o.row * q + o.col,
+                     grid(o.row, o.col) * 0.5 * costs.qr_update *
+                         vol_frac(ilen, jlen, b, block));
+      }
+    }
+    clock.finish();
+  }
+  return rep;
+}
+
+VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
+                                               const Distribution2D& dist,
+                                               MatrixView a,
+                                               std::size_t block,
+                                               const KernelCosts& costs) {
+  machine.net.validate();
+  const std::size_t n = a.rows();
+  HG_CHECK(a.cols() == n, "run_distributed_cholesky needs a square matrix");
+  HG_CHECK(block > 0, "block size must be positive");
+  HG_CHECK(machine.grid.rows() == dist.grid_rows() &&
+               machine.grid.cols() == dist.grid_cols(),
+           "machine grid does not match distribution");
+
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const std::size_t nb = block_count(n, block);
+
+  VirtualCholeskyReport rep;
+  rep.busy.assign(p * q, 0.0);
+  PhaseClock clock(p * q, rep);
+  std::vector<double> line_costs;
+  std::vector<std::size_t> l_rows(p), l_cols(q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t klo = block_lo(k, block);
+    const std::size_t b = block_len(k, block, n);
+    const ProcCoord diag = dist.owner(k, k);
+
+    // --- Panel phase: factor the diagonal block, solve L21.
+    MatrixView a11 = a.block(klo, klo, b, b);
+    if (!cholesky_factor_unblocked(a11)) {
+      rep.factorized = false;
+      return rep;
+    }
+    clock.charge(diag.row * q + diag.col,
+                 grid(diag.row, diag.col) * costs.chol_factor *
+                     vol_frac(b, b, b, block));
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, n);
+      const ProcCoord o = dist.owner(bi, k);
+      trsm_right_lower_transposed(a11, a.block(ilo, klo, ilen, b));
+      clock.charge(o.row * q + o.col,
+                   grid(o.row, o.col) * costs.chol_factor *
+                       vol_frac(ilen, b, b, block));
+    }
+    clock.finish();
+
+    // --- Broadcast L21 along grid rows and (transposed) along columns.
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    std::fill(l_cols.begin(), l_cols.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      l_rows[dist.owner(i, k).row] += 1;
+      l_cols[dist.owner(k, i).col] += 1;
+    }
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(l_cols[gj], p));
+    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+
+    // --- Symmetric trailing update (lower blocks only):
+    //   A_IJ -= L_I * L_J^T for I >= J > k.
+    for (std::size_t bi = k + 1; bi < nb; ++bi) {
+      const std::size_t ilo = block_lo(bi, block);
+      const std::size_t ilen = block_len(bi, block, n);
+      for (std::size_t bj = k + 1; bj <= bi; ++bj) {
+        const std::size_t jlo = block_lo(bj, block);
+        const std::size_t jlen = block_len(bj, block, n);
+        const ProcCoord o = dist.owner(bi, bj);
+        gemm(Trans::No, Trans::Yes, -1.0, a.block(ilo, klo, ilen, b),
+             a.block(jlo, klo, jlen, b), 1.0,
+             a.block(ilo, jlo, ilen, jlen));
+        clock.charge(o.row * q + o.col,
+                     grid(o.row, o.col) * costs.update *
+                         vol_frac(ilen, jlen, b, block));
+      }
+    }
+    clock.finish();
+  }
+  return rep;
+}
+
+}  // namespace hetgrid

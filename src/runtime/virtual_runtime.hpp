@@ -1,0 +1,109 @@
+// Virtual-time execution of the distributed kernels with real numerics.
+//
+// The discrete simulator (src/sim) charges costs without touching data;
+// this runtime actually *executes* the blocked outer-product multiplication
+// and the right-looking LU, block operation by block operation, under any
+// periodic distribution. Each grid processor carries a virtual clock that
+// advances by (its cycle-time x phase weight) per block operation it owns;
+// steps are bulk-synchronous, so the per-step makespan is the slowest
+// processor's clock, exactly as on the simulated HNOW.
+//
+// The point is end-to-end validation: the computed product / factorization
+// must match the sequential kernels bit-for-bit in structure (same blocked
+// arithmetic => same rounding up to associativity of disjoint blocks), and
+// the accumulated virtual makespans must reproduce the simulator's compute
+// times. MPI is deliberately not used: the companion paper [4] holds the
+// real-machine experiments, and a message-passing harness would add nothing
+// to the load-balance question studied here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "matrix/matrix.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetgrid {
+
+struct VirtualReport {
+  double makespan = 0.0;      // virtual seconds, including broadcast charges
+  double compute_time = 0.0;  // critical-path compute portion
+  double comm_time = 0.0;     // broadcast portion
+  /// Per-processor total busy compute time.
+  std::vector<double> busy;
+  std::size_t block_ops = 0;  // block operations executed
+
+  double average_utilization() const;
+};
+
+/// Executes C = A * B (all n x n) by the outer-product algorithm with
+/// square blocks of `block` elements (ragged edge blocks allowed) under
+/// `dist` on `machine`. C is overwritten.
+VirtualReport run_distributed_mmm(const Machine& machine,
+                                  const Distribution2D& dist,
+                                  const ConstMatrixView& a,
+                                  const ConstMatrixView& b, MatrixView c,
+                                  std::size_t block,
+                                  const KernelCosts& costs = {});
+
+/// Executes the right-looking blocked LU *without pivoting* in place (the
+/// matrix must be safely factorizable without pivoting, e.g. diagonally
+/// dominant; pivoting would migrate rows across processor rows and change
+/// ownership — ScaLAPACK physically swaps data, which the virtual runtime
+/// does not model). Returns false in the report's `factorized` flag if a
+/// zero pivot was hit.
+struct VirtualLuReport : VirtualReport {
+  bool factorized = true;
+};
+
+VirtualLuReport run_distributed_lu(const Machine& machine,
+                                   const Distribution2D& dist, MatrixView a,
+                                   std::size_t block,
+                                   const KernelCosts& costs = {});
+
+/// Right-looking blocked LU *with partial pivoting*, ScaLAPACK-style: the
+/// pivot search scans the whole column (charged to the owner column's
+/// processors), and the row interchange physically swaps the two matrix
+/// rows everywhere — ownership of block coordinates never changes, data
+/// moves instead. Each swap between rows owned by different grid rows is
+/// charged one exchange message per involved block column pair.
+struct VirtualPivotedLuReport : VirtualReport {
+  std::vector<std::size_t> piv;  // LAPACK-style ipiv (0-based)
+  bool singular = false;
+};
+
+VirtualPivotedLuReport run_distributed_lu_pivoted(
+    const Machine& machine, const Distribution2D& dist, MatrixView a,
+    std::size_t block, const KernelCosts& costs = {});
+
+/// Executes the right-looking blocked Householder QR in place (compact-WY
+/// trailing updates: C -= V (T^T (V^T C))). Accepts rectangular matrices
+/// with rows >= cols (least-squares systems). On return the upper triangle
+/// of `a` holds R, the strict lower trapezoid the Householder vectors, and
+/// the report carries the concatenated tau scalars (same packing as
+/// qr_factor, so qr_form_q / qr_apply_qt work on the result).
+struct VirtualQrReport : VirtualReport {
+  std::vector<double> tau;
+};
+
+VirtualQrReport run_distributed_qr(const Machine& machine,
+                                   const Distribution2D& dist, MatrixView a,
+                                   std::size_t block,
+                                   const KernelCosts& costs = {});
+
+/// Executes the right-looking blocked Cholesky (lower variant) in place on
+/// a symmetric positive definite matrix. Only the lower triangle is
+/// referenced/overwritten. `factorized` is false if a non-positive pivot
+/// was hit (matrix not SPD).
+struct VirtualCholeskyReport : VirtualReport {
+  bool factorized = true;
+};
+
+VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
+                                               const Distribution2D& dist,
+                                               MatrixView a,
+                                               std::size_t block,
+                                               const KernelCosts& costs = {});
+
+}  // namespace hetgrid

@@ -1,0 +1,58 @@
+// Communication model for the simulated heterogeneous network of
+// workstations (paper Section 2.2).
+//
+// Two interconnect families are modelled:
+//  * Ethernet — a shared medium: every transmission in the machine
+//    serializes, but a physical broadcast reaches a whole row/column in one
+//    transmission.
+//  * Switched (Myrinet-like) — independent links: different processors
+//    communicate in parallel, while each single processor's communications
+//    stay sequential (the paper's assumption).
+//
+// Broadcasts along grid rows/columns are ring broadcasts; with pipelining
+// (`pipelined = true`, ScaLAPACK's steady-state assumption) the per-step
+// cost of a ring broadcast is one hop, otherwise the message crosses all
+// hops within the step.
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+enum class Topology {
+  kEthernet,
+  kSwitched,
+};
+
+struct NetworkModel {
+  Topology topology = Topology::kSwitched;
+  /// Per-message start-up cost (seconds).
+  double latency = 1.0e-4;
+  /// Transfer time for one r x r block (seconds).
+  double block_transfer = 2.0e-4;
+  /// Ring broadcasts amortize across steps (steady-state pipelining).
+  bool pipelined = true;
+
+  void validate() const {
+    HG_CHECK(latency >= 0.0 && block_transfer >= 0.0,
+             "network costs must be nonnegative");
+  }
+
+  /// Cost charged to one ring broadcast of `blocks` blocks along a line of
+  /// `line_size` processors, as seen by the critical path of one step.
+  double broadcast_cost(std::size_t blocks, std::size_t line_size) const {
+    if (line_size <= 1 || blocks == 0) return 0.0;
+    const double one_hop =
+        latency + static_cast<double>(blocks) * block_transfer;
+    if (topology == Topology::kEthernet) return one_hop;  // bus broadcast
+    const std::size_t hops = pipelined ? 1 : line_size - 1;
+    return one_hop * static_cast<double>(hops);
+  }
+
+  /// Zero-cost network, for isolating pure load-balance effects.
+  static NetworkModel free() { return {Topology::kSwitched, 0.0, 0.0, true}; }
+};
+
+}  // namespace hetgrid

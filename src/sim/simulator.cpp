@@ -1,0 +1,313 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace hetgrid {
+
+double SimReport::average_utilization() const {
+  if (total_time <= 0.0 || busy.empty()) return 0.0;
+  double acc = 0.0;
+  for (double b : busy) acc += b / total_time;
+  return acc / static_cast<double>(busy.size());
+}
+
+double SimReport::slowdown_vs_perfect() const {
+  if (perfect_compute_bound <= 0.0) return 1.0;
+  return total_time / perfect_compute_bound;
+}
+
+namespace {
+
+void check_machine(const Machine& machine, const Distribution2D& dist) {
+  machine.net.validate();
+  HG_CHECK(machine.grid.rows() == dist.grid_rows() &&
+               machine.grid.cols() == dist.grid_cols(),
+           "machine grid " << machine.grid.rows() << "x" << machine.grid.cols()
+                           << " does not match distribution grid "
+                           << dist.grid_rows() << "x" << dist.grid_cols());
+}
+
+// Combines per-line broadcast costs according to the topology: on Ethernet
+// every transmission serializes across the machine; on a switched network
+// the lines proceed in parallel.
+double combine_broadcasts(const NetworkModel& net,
+                          const std::vector<double>& line_costs) {
+  double total = 0.0, worst = 0.0;
+  for (double c : line_costs) {
+    total += c;
+    worst = std::max(worst, c);
+  }
+  return net.topology == Topology::kEthernet ? total : worst;
+}
+
+}  // namespace
+
+SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
+                       std::size_t nb, const KernelCosts& costs) {
+  check_machine(machine, dist);
+  HG_CHECK(nb > 0, "matrix must have at least one block");
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+
+  SimReport rep;
+  rep.kernel = "mmm";
+  rep.distribution = dist.name();
+  rep.busy.assign(p * q, 0.0);
+
+  // Ownership of the nb x nb block matrix (identical in every step: the
+  // whole C matrix is updated at every k).
+  std::vector<std::size_t> owned(p * q, 0);
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = 0; j < nb; ++j) {
+      const ProcCoord o = dist.owner(i, j);
+      owned[o.row * q + o.col] += 1;
+    }
+
+  double compute_step = 0.0;
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j) {
+      const double work = static_cast<double>(owned[i * q + j]) *
+                          grid(i, j) * costs.update;
+      compute_step = std::max(compute_step, work);
+    }
+
+  const double step_volume =
+      static_cast<double>(nb) * static_cast<double>(nb) * costs.update;
+  const double perfect_step = step_volume / grid.total_capacity();
+
+  // Broadcast counts are computed per step: the A column panel at step k is
+  // block column k, whose row ownership may depend on k for misaligned
+  // distributions (Kalinov–Lastovetsky).
+  std::vector<std::size_t> a_rows(p), b_cols(q);
+  std::vector<double> h_costs(p), v_costs(q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    std::fill(a_rows.begin(), a_rows.end(), 0);
+    std::fill(b_cols.begin(), b_cols.end(), 0);
+    for (std::size_t i = 0; i < nb; ++i) a_rows[dist.owner(i, k).row] += 1;
+    for (std::size_t j = 0; j < nb; ++j) b_cols[dist.owner(k, j).col] += 1;
+    for (std::size_t i = 0; i < p; ++i)
+      h_costs[i] = machine.net.broadcast_cost(a_rows[i], q);
+    for (std::size_t j = 0; j < q; ++j)
+      v_costs[j] = machine.net.broadcast_cost(b_cols[j], p);
+
+    const double comm_step = combine_broadcasts(machine.net, h_costs) +
+                             combine_broadcasts(machine.net, v_costs);
+    rep.comm_time += comm_step;
+    rep.compute_time += compute_step;
+    rep.steps.push_back({k, 0.0, 0.0, compute_step, comm_step});
+    rep.perfect_compute_bound += perfect_step;
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j)
+        rep.busy[i * q + j] += static_cast<double>(owned[i * q + j]) *
+                               grid(i, j) * costs.update;
+  }
+  rep.total_time = rep.comm_time + rep.compute_time;
+  return rep;
+}
+
+namespace {
+
+struct FactorizationWeights {
+  double panel;   // per block of the current column panel
+  double row;     // per block of the current row panel (trsm / reflector)
+  double update;  // per block of the trailing submatrix
+  const char* kernel;
+};
+
+SimReport simulate_factorization(const Machine& machine,
+                                 const Distribution2D& dist, std::size_t nb,
+                                 const FactorizationWeights& w) {
+  check_machine(machine, dist);
+  HG_CHECK(nb > 0, "matrix must have at least one block");
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const double capacity = grid.total_capacity();
+
+  SimReport rep;
+  rep.kernel = w.kernel;
+  rep.distribution = dist.name();
+  rep.busy.assign(p * q, 0.0);
+
+  std::vector<std::size_t> trailing(p * q);
+  std::vector<std::size_t> panel_rows(p), row_cols(q);
+  std::vector<std::size_t> l_rows(p), u_cols(q);
+  std::vector<double> line_costs;
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const ProcCoord diag = dist.owner(k, k);
+
+    // --- Panel factorization: column k, rows k..nb-1, done by the owner
+    // grid column in parallel across its grid rows.
+    std::fill(panel_rows.begin(), panel_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i)
+      panel_rows[dist.owner(i, k).row] += 1;
+    double panel_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi) {
+      const double tt = static_cast<double>(panel_rows[gi]) *
+                        grid(gi, diag.col) * w.panel;
+      panel_time = std::max(panel_time, tt);
+      rep.busy[gi * q + diag.col] += tt;
+    }
+
+    // --- Horizontal broadcast of the L panel (one ring per grid row).
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i) l_rows[dist.owner(i, k).row] += 1;
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    const double l_bcast = combine_broadcasts(machine.net, line_costs);
+
+    // --- Row panel: row k, columns k+1..nb-1, solved by the owner grid row.
+    std::fill(row_cols.begin(), row_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nb; ++j)
+      row_cols[dist.owner(k, j).col] += 1;
+    double row_time = 0.0;
+    for (std::size_t gj = 0; gj < q; ++gj) {
+      const double tt =
+          static_cast<double>(row_cols[gj]) * grid(diag.row, gj) * w.row;
+      row_time = std::max(row_time, tt);
+      rep.busy[diag.row * q + gj] += tt;
+    }
+
+    // --- Vertical broadcast of the U row panel (one ring per grid column).
+    std::fill(u_cols.begin(), u_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nb; ++j)
+      u_cols[dist.owner(k, j).col] += 1;
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
+    const double u_bcast = combine_broadcasts(machine.net, line_costs);
+
+    // --- Trailing update of blocks (I > k, J > k).
+    std::fill(trailing.begin(), trailing.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i)
+      for (std::size_t j = k + 1; j < nb; ++j) {
+        const ProcCoord o = dist.owner(i, j);
+        trailing[o.row * q + o.col] += 1;
+      }
+    double update_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi)
+      for (std::size_t gj = 0; gj < q; ++gj) {
+        const double tt = static_cast<double>(trailing[gi * q + gj]) *
+                          grid(gi, gj) * w.update;
+        update_time = std::max(update_time, tt);
+        rep.busy[gi * q + gj] += tt;
+      }
+
+    rep.compute_time += panel_time + row_time + update_time;
+    rep.comm_time += l_bcast + u_bcast;
+    rep.steps.push_back(
+        {k, panel_time, row_time, update_time, l_bcast + u_bcast});
+
+    const double panel_vol =
+        static_cast<double>(nb - k) * w.panel;
+    const double row_vol = static_cast<double>(nb - k - 1) * w.row;
+    const double upd_vol = static_cast<double>(nb - k - 1) *
+                           static_cast<double>(nb - k - 1) * w.update;
+    rep.perfect_compute_bound += (panel_vol + row_vol + upd_vol) / capacity;
+  }
+  rep.total_time = rep.compute_time + rep.comm_time;
+  return rep;
+}
+
+}  // namespace
+
+SimReport simulate_cholesky(const Machine& machine,
+                            const Distribution2D& dist, std::size_t nb,
+                            const KernelCosts& costs) {
+  check_machine(machine, dist);
+  HG_CHECK(nb > 0, "matrix must have at least one block");
+  const CycleTimeGrid& grid = machine.grid;
+  const std::size_t p = grid.rows(), q = grid.cols();
+  const double capacity = grid.total_capacity();
+
+  SimReport rep;
+  rep.kernel = "cholesky";
+  rep.distribution = dist.name();
+  rep.busy.assign(p * q, 0.0);
+
+  std::vector<std::size_t> panel_rows(p), trailing(p * q), l_rows(p),
+      l_cols(q);
+  std::vector<double> line_costs;
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const ProcCoord diag = dist.owner(k, k);
+
+    // Panel phase: factor the diagonal block and solve the sub-diagonal
+    // panel inside the owner grid column.
+    std::fill(panel_rows.begin(), panel_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i)
+      panel_rows[dist.owner(i, k).row] += 1;
+    double panel_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi) {
+      const double tt = static_cast<double>(panel_rows[gi]) *
+                        grid(gi, diag.col) * costs.chol_factor;
+      panel_time = std::max(panel_time, tt);
+      rep.busy[gi * q + diag.col] += tt;
+    }
+
+    // The L21 panel travels along grid rows (as the left GEMM operand) and
+    // along grid columns (transposed, as the right operand).
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    std::fill(l_cols.begin(), l_cols.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      l_rows[dist.owner(i, k).row] += 1;
+      // Block (i, k) transposed is needed by the grid column owning block
+      // column i of the trailing matrix.
+      l_cols[dist.owner(k, i).col] += 1;
+    }
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    double bcast = combine_broadcasts(machine.net, line_costs);
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(l_cols[gj], p));
+    bcast += combine_broadcasts(machine.net, line_costs);
+
+    // Symmetric trailing update: only lower blocks (I >= J > k).
+    std::fill(trailing.begin(), trailing.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i)
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        const ProcCoord o = dist.owner(i, j);
+        trailing[o.row * q + o.col] += 1;
+      }
+    double update_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi)
+      for (std::size_t gj = 0; gj < q; ++gj) {
+        const double tt = static_cast<double>(trailing[gi * q + gj]) *
+                          grid(gi, gj) * costs.update;
+        update_time = std::max(update_time, tt);
+        rep.busy[gi * q + gj] += tt;
+      }
+
+    rep.compute_time += panel_time + update_time;
+    rep.comm_time += bcast;
+    rep.steps.push_back({k, panel_time, 0.0, update_time, bcast});
+
+    const double m = static_cast<double>(nb - k - 1);
+    rep.perfect_compute_bound +=
+        (static_cast<double>(nb - k) * costs.chol_factor +
+         m * (m + 1.0) / 2.0 * costs.update) /
+        capacity;
+  }
+  rep.total_time = rep.compute_time + rep.comm_time;
+  return rep;
+}
+
+SimReport simulate_lu(const Machine& machine, const Distribution2D& dist,
+                      std::size_t nb, const KernelCosts& costs) {
+  return simulate_factorization(
+      machine, dist, nb,
+      {costs.panel_factor, costs.trsm, costs.update, "lu"});
+}
+
+SimReport simulate_qr(const Machine& machine, const Distribution2D& dist,
+                      std::size_t nb, const KernelCosts& costs) {
+  return simulate_factorization(
+      machine, dist, nb,
+      {costs.qr_factor, costs.qr_update, costs.qr_update, "qr"});
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,99 @@
+// Bulk-synchronous simulation of the paper's three kernels on a
+// heterogeneous 2D grid under any periodic block distribution.
+//
+// The simulator replays the outer-product matrix multiplication
+// (Section 3.1) and the right-looking LU / QR factorizations (Section 3.2)
+// step by step, charging each processor its owned block operations at its
+// cycle-time and each row/column broadcast at the network model's cost. It
+// reports the makespan, its compute/communication split, per-processor busy
+// times, and the per-step perfect-balance lower bound — everything the
+// strategy-comparison benchmarks need.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/cycle_time_grid.hpp"
+#include "dist/distribution.hpp"
+#include "sim/network.hpp"
+
+namespace hetgrid {
+
+/// A simulated machine: cycle-times are seconds per r x r block update.
+struct Machine {
+  CycleTimeGrid grid;
+  NetworkModel net;
+};
+
+/// Timeline record for one bulk-synchronous step of a simulated kernel.
+struct StepRecord {
+  std::size_t step = 0;  // k, the block step index
+  double panel = 0.0;    // panel-factorization phase critical path
+  double row = 0.0;      // row-panel (trsm/reflector) phase (LU/QR only)
+  double update = 0.0;   // trailing / full update phase critical path
+  double comm = 0.0;     // broadcast phases
+
+  double total() const { return panel + row + update + comm; }
+};
+
+struct SimReport {
+  std::string kernel;        // "mmm", "lu", "qr", "cholesky"
+  std::string distribution;  // distribution name
+  double total_time = 0.0;   // simulated makespan (seconds)
+  double compute_time = 0.0; // sum over steps of the compute critical path
+  double comm_time = 0.0;    // sum over steps of the broadcast critical path
+  /// Per-processor busy compute time, indexed [grid_row * q + grid_col].
+  std::vector<double> busy;
+  /// Sum over steps of (step work volume / total grid capacity): the
+  /// makespan of a perfectly balanced, zero-communication execution with
+  /// the same bulk-synchronous step structure.
+  double perfect_compute_bound = 0.0;
+  /// Per-step timeline (one record per block step, in order).
+  std::vector<StepRecord> steps;
+
+  /// Average fraction of the makespan processors spend computing.
+  double average_utilization() const;
+  /// total_time relative to the perfect bound (>= 1; 1 means optimal).
+  double slowdown_vs_perfect() const;
+};
+
+/// Relative flop weights of the kernels' phases, in units of one block
+/// update (= one r x r GEMM accumulation, the paper's cycle-time unit).
+struct KernelCosts {
+  double panel_factor = 0.5;  // LU panel: half the flops of a full update
+  double trsm = 0.5;          // triangular solve on one block
+  double update = 1.0;        // rank-r GEMM update of one block
+  double qr_factor = 2.0;     // Householder panel on one block
+  double qr_update = 2.0;     // apply block reflector to one block
+  double chol_factor = 0.5;   // Cholesky panel work per block (half of LU's
+                              // GEMM update, like the LU panel)
+};
+
+/// Simulates C = A * B on nb x nb blocks (outer-product algorithm,
+/// Section 3.1): nb steps, each with one horizontal and one vertical
+/// broadcast followed by the full rank-r update sweep.
+SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
+                       std::size_t nb, const KernelCosts& costs = {});
+
+/// Simulates the right-looking LU factorization (Section 3.2): at step k,
+/// panel factorization in the owner column, L broadcast along rows, U
+/// triangular solves in the owner row, U broadcast along columns, trailing
+/// update of blocks (I > k, J > k).
+SimReport simulate_lu(const Machine& machine, const Distribution2D& dist,
+                      std::size_t nb, const KernelCosts& costs = {});
+
+/// Simulates the right-looking Householder QR (same communication pattern
+/// as LU, heavier panel and update flops).
+SimReport simulate_qr(const Machine& machine, const Distribution2D& dist,
+                      std::size_t nb, const KernelCosts& costs = {});
+
+/// Simulates the right-looking Cholesky factorization (lower variant): at
+/// step k the owner column factors/solves the panel, the L21 panel is
+/// broadcast along rows and (transposed) along columns, and only the lower
+/// trailing blocks (I >= J > k) are updated.
+SimReport simulate_cholesky(const Machine& machine,
+                            const Distribution2D& dist, std::size_t nb,
+                            const KernelCosts& costs = {});
+
+}  // namespace hetgrid

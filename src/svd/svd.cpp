@@ -1,0 +1,217 @@
+#include "svd/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "matrix/gemm.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+double vec_norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+void normalize(std::vector<double>& v) {
+  const double n = vec_norm(v);
+  HG_CHECK(n > 0.0, "cannot normalize zero vector");
+  for (double& x : v) x /= n;
+}
+
+// y = m^T x (x has rows(m) entries, y gets cols(m)).
+void mat_t_vec(const ConstMatrixView& m, const std::vector<double>& x,
+               std::vector<double>& y) {
+  y.assign(m.cols(), 0.0);
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i) acc += m(i, j) * x[i];
+    y[j] = acc;
+  }
+}
+
+// y = m x.
+void mat_vec(const ConstMatrixView& m, const std::vector<double>& x,
+             std::vector<double>& y) {
+  y.assign(m.rows(), 0.0);
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    const double xj = x[j];
+    for (std::size_t i = 0; i < m.rows(); ++i) y[i] += m(i, j) * xj;
+  }
+}
+
+}  // namespace
+
+SingularTriplet dominant_triplet(const ConstMatrixView& m, double tol,
+                                 int max_iter) {
+  HG_CHECK(m.rows() > 0 && m.cols() > 0, "empty matrix");
+  SingularTriplet out;
+  // Deterministic start: all-ones right vector. For the positive matrices
+  // the heuristic feeds us (entries 1/t_ij > 0) this has a nonzero component
+  // on the Perron-like dominant direction, so convergence is guaranteed.
+  std::vector<double> v(m.cols(), 1.0);
+  normalize(v);
+  std::vector<double> u, next_v;
+
+  double sigma = 0.0;
+  int it = 0;
+  for (; it < max_iter; ++it) {
+    mat_vec(m, v, u);
+    const double un = vec_norm(u);
+    if (un == 0.0) {
+      // v is in the null space; the matrix may be rank-deficient in this
+      // direction. Return sigma = 0 with the current vectors.
+      out.sigma = 0.0;
+      out.u.assign(m.rows(), 0.0);
+      out.v = v;
+      out.iterations = it;
+      return out;
+    }
+    for (double& x : u) x /= un;
+    mat_t_vec(m, u, next_v);
+    const double new_sigma = vec_norm(next_v);
+    if (new_sigma == 0.0) break;
+    for (double& x : next_v) x /= new_sigma;
+    const bool converged = std::abs(new_sigma - sigma) <=
+                           tol * std::max(1.0, std::abs(new_sigma));
+    sigma = new_sigma;
+    v.swap(next_v);
+    if (converged) {
+      ++it;
+      break;
+    }
+  }
+
+  // Sign convention: first component of v nonnegative.
+  if (!v.empty() && v[0] < 0.0) {
+    for (double& x : v) x = -x;
+    for (double& x : u) x = -x;
+  }
+  out.sigma = sigma;
+  out.u = std::move(u);
+  out.v = std::move(v);
+  out.iterations = it;
+  return out;
+}
+
+SvdResult jacobi_svd(const ConstMatrixView& m, double tol, int max_sweeps) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  HG_CHECK(rows > 0 && cols > 0, "empty matrix");
+
+  // One-sided Jacobi works on a tall matrix; transpose if needed and swap
+  // U/V at the end.
+  const bool transposed = rows < cols;
+  const std::size_t r = transposed ? cols : rows;
+  const std::size_t c = transposed ? rows : cols;
+
+  Matrix a(r, c, 0.0);
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (transposed)
+        a(j, i) = m(i, j);
+      else
+        a(i, j) = m(i, j);
+    }
+
+  Matrix v = Matrix::identity(c);
+
+  int sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < c; ++p) {
+      for (std::size_t q = p + 1; q < c; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < r; ++i) {
+          app += a(i, p) * a(i, p);
+          aqq += a(i, q) * a(i, q);
+          apq += a(i, p) * a(i, q);
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0)
+          continue;
+        rotated = true;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0)
+                             ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                             : -1.0 / (-zeta + std::sqrt(1.0 + zeta * zeta));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (std::size_t i = 0; i < r; ++i) {
+          const double ap = a(i, p), aq = a(i, q);
+          a(i, p) = cs * ap - sn * aq;
+          a(i, q) = sn * ap + cs * aq;
+        }
+        for (std::size_t i = 0; i < c; ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = cs * vp - sn * vq;
+          v(i, q) = sn * vp + cs * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Column norms of the rotated matrix are the singular values.
+  std::vector<double> sigma(c, 0.0);
+  Matrix u(r, c, 0.0);
+  for (std::size_t j = 0; j < c; ++j) {
+    double n2 = 0.0;
+    for (std::size_t i = 0; i < r; ++i) n2 += a(i, j) * a(i, j);
+    sigma[j] = std::sqrt(n2);
+    if (sigma[j] > 0.0)
+      for (std::size_t i = 0; i < r; ++i) u(i, j) = a(i, j) / sigma[j];
+  }
+
+  // Sort descending by sigma.
+  std::vector<std::size_t> order(c);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.sigma.resize(c);
+  out.u = Matrix(r, c, 0.0);
+  out.v = Matrix(c, c, 0.0);
+  for (std::size_t j = 0; j < c; ++j) {
+    out.sigma[j] = sigma[order[j]];
+    for (std::size_t i = 0; i < r; ++i) out.u(i, j) = u(i, order[j]);
+    for (std::size_t i = 0; i < c; ++i) out.v(i, j) = v(i, order[j]);
+  }
+  out.sweeps = sweep;
+
+  if (transposed) std::swap(out.u, out.v);
+
+  // Truncate to k = min(rows, cols) columns (one-sided Jacobi produces c
+  // columns where c = min dimension already, so shapes line up: U rows x k,
+  // V cols x k).
+  return out;
+}
+
+Matrix rank1_approximation(const ConstMatrixView& m) {
+  SingularTriplet t = dominant_triplet(m);
+  Matrix out(m.rows(), m.cols(), 0.0);
+  for (std::size_t j = 0; j < m.cols(); ++j)
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      out(i, j) = t.sigma * t.u[i] * t.v[j];
+  return out;
+}
+
+double rank1_defect(const ConstMatrixView& m) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < m.cols(); ++j)
+    for (std::size_t i = 0; i < m.rows(); ++i) total += m(i, j) * m(i, j);
+  if (total == 0.0) return 0.0;
+  const Matrix r1 = rank1_approximation(m);
+  double resid = 0.0;
+  for (std::size_t j = 0; j < m.cols(); ++j)
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const double d = m(i, j) - r1(i, j);
+      resid += d * d;
+    }
+  return std::sqrt(resid / total);
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,58 @@
+// Singular value decomposition kernels for the rank-1-approximation
+// heuristic (paper Section 4.4.2).
+//
+// The heuristic needs only the dominant singular triplet (s, a, b) of the
+// small p x q matrix T^inv = (1/t_ij); we provide a power-iteration routine
+// for that, plus a full one-sided Jacobi SVD used for validation, for the
+// rank-1 distance diagnostics, and for the T-vs-T^inv ablation.
+#pragma once
+
+#include <vector>
+
+#include "matrix/matrix.hpp"
+
+namespace hetgrid {
+
+/// Dominant singular triplet: m ~ sigma * u * v^T is the best rank-1
+/// approximation in the l2 / Frobenius sense (Eckart–Young).
+struct SingularTriplet {
+  double sigma = 0.0;
+  std::vector<double> u;  // left singular vector, size rows
+  std::vector<double> v;  // right singular vector, size cols
+  int iterations = 0;     // power iterations used
+};
+
+/// Computes the dominant singular triplet by power iteration on the Gram
+/// operator (alternating m^T m), with deterministic start vector. Both
+/// returned vectors are unit-norm with a sign convention of nonnegative
+/// first component of v (so results are reproducible across platforms).
+///
+/// Converges for any matrix with sigma_1 > sigma_2; for sigma_1 == sigma_2
+/// it still returns a valid dominant-subspace vector (any is acceptable for
+/// the heuristic).
+SingularTriplet dominant_triplet(const ConstMatrixView& m,
+                                 double tol = 1e-14, int max_iter = 10000);
+
+/// Full SVD result: m = U * diag(sigma) * V^T, sigma sorted descending.
+/// U is rows x k, V is cols x k where k = min(rows, cols).
+struct SvdResult {
+  Matrix u;
+  std::vector<double> sigma;
+  Matrix v;
+  int sweeps = 0;  // Jacobi sweeps used
+};
+
+/// One-sided Jacobi SVD (Hestenes). Accurate for the small, well-scaled
+/// matrices hetgrid feeds it; O(sweeps * rows * cols^2).
+SvdResult jacobi_svd(const ConstMatrixView& m, double tol = 1e-14,
+                     int max_sweeps = 60);
+
+/// Best rank-1 approximation sigma_1 * u_1 v_1^T as a dense matrix.
+Matrix rank1_approximation(const ConstMatrixView& m);
+
+/// Frobenius distance from `m` to its best rank-1 approximation, normalized
+/// by ||m||_F. Zero iff rank(m) <= 1. The paper's heuristic performs best
+/// when this is small for the arranged cycle-time matrix.
+double rank1_defect(const ConstMatrixView& m);
+
+}  // namespace hetgrid

@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+Cli::Cli(int argc, const char* const* argv,
+         std::map<std::string, std::string> spec)
+    : values_(std::move(spec)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    HG_CHECK(arg.rfind("--", 0) == 0, "expected --flag[=value], got " << arg);
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value = "1";  // bare flag means boolean true
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = values_.find(name);
+    HG_CHECK(it != values_.end(), "unknown flag --" << name);
+    it->second = value;
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string& s = get_string(name);
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  HG_CHECK(end && *end == '\0' && !s.empty(),
+           "flag --" << name << " is not an integer: " << s);
+  return v;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string& s = get_string(name);
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  HG_CHECK(end && *end == '\0' && !s.empty(),
+           "flag --" << name << " is not a number: " << s);
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string& s = get_string(name);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  auto it = values_.find(name);
+  HG_CHECK(it != values_.end(), "flag --" << name << " not declared in spec");
+  return it->second;
+}
+
+std::vector<double> parse_positive_list(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    HG_CHECK(!item.empty(), "empty entry in list '" << csv << "'");
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    HG_CHECK(end && *end == '\0', "malformed number: " << item);
+    HG_CHECK(v > 0.0, "values must be positive, got " << v);
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  HG_CHECK(!out.empty(), "list must contain at least one value");
+  return out;
+}
+
+std::string Cli::describe() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    oss << (first ? "" : " ") << k << '=' << v;
+    first = false;
+  }
+  return oss.str();
+}
+
+}  // namespace hetgrid

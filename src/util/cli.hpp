@@ -1,0 +1,40 @@
+// Minimal --flag=value parser shared by the bench/example binaries.
+//
+// Every hetgrid executable accepts the same flag syntax:
+//   ./bench_fig6 --nmax=8 --trials=200 --seed=42 --csv
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetgrid {
+
+/// Parsed command line. Unknown flags are an error (typos should not turn a
+/// parameter sweep into the default sweep silently).
+class Cli {
+ public:
+  /// `spec` maps flag name -> default value (as text); every flag present in
+  /// argv must appear in spec. Boolean flags may be given without "=value".
+  Cli(int argc, const char* const* argv,
+      std::map<std::string, std::string> spec);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Renders "name=value name=value ..." for experiment provenance lines.
+  std::string describe() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Parses a comma-separated list of positive doubles ("1,2,3.5") — the
+/// --times=... syntax of the hetgrid CLI. Throws PreconditionError on
+/// empty lists, malformed numbers, or non-positive values.
+std::vector<double> parse_positive_list(const std::string& csv);
+
+}  // namespace hetgrid

@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  HG_CHECK(n_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  HG_CHECK(n_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  HG_CHECK(n_ > 0, "max of empty sample");
+  return max_;
+}
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::vector<double> values, double p) {
+  HG_CHECK(!values.empty(), "percentile of empty sample");
+  HG_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]: " << p);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  HG_CHECK(!values.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double harmonic_mean(const std::vector<double>& values) {
+  HG_CHECK(!values.empty(), "harmonic mean of empty sample");
+  double inv_sum = 0.0;
+  for (double v : values) {
+    HG_CHECK(v > 0.0, "harmonic mean needs positive values, got " << v);
+    inv_sum += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / inv_sum;
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,42 @@
+// Streaming statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetgrid {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics). `p` in [0,100]. Copies and sorts; fine for harness sizes.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean of a sample. Requires a non-empty vector.
+double mean_of(const std::vector<double>& values);
+
+/// Harmonic mean; all values must be positive.
+double harmonic_mean(const std::vector<double>& values);
+
+}  // namespace hetgrid

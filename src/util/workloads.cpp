@@ -1,0 +1,46 @@
+#include "util/workloads.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+std::string workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return "uniform";
+    case WorkloadKind::kTwoGenerations:
+      return "two-generations";
+    case WorkloadKind::kPowerTail:
+      return "power-tail";
+    case WorkloadKind::kNearHomogeneous:
+      return "near-homogeneous";
+  }
+  HG_INTERNAL_CHECK(false, "unknown workload kind");
+}
+
+std::vector<double> draw_cycle_times(WorkloadKind kind, std::size_t count,
+                                     Rng& rng) {
+  std::vector<double> t(count);
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      for (double& v : t) v = rng.uniform(1e-3, 1.0);
+      break;
+    case WorkloadKind::kTwoGenerations:
+      for (std::size_t i = 0; i < count; ++i)
+        t[i] = (i % 2 == 0) ? rng.uniform(0.1, 0.2) : rng.uniform(0.5, 1.0);
+      rng.shuffle(t);
+      break;
+    case WorkloadKind::kPowerTail:
+      for (double& v : t) v = std::min(10.0, 0.1 / rng.uniform(0.01, 1.0));
+      break;
+    case WorkloadKind::kNearHomogeneous:
+      for (double& v : t) v = rng.uniform(0.45, 0.55);
+      break;
+  }
+  for (double v : t) HG_INTERNAL_CHECK(v > 0.0, "nonpositive cycle-time");
+  return t;
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,35 @@
+// Cycle-time generators beyond U(0,1]: realistic HNOW speed profiles for
+// the robustness benchmarks.
+//
+// The paper's Section 4.4.4 draws cycle-times uniformly; real departments
+// look different — a few fast new machines plus a tail of old ones, or two
+// distinct hardware generations. These generators let the benches check
+// that the solvers' behaviour is not an artifact of the uniform draw.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hetgrid {
+
+enum class WorkloadKind {
+  kUniform,        // U(eps, 1] — the paper's draw
+  kTwoGenerations, // half ~ U(0.1, 0.2], half ~ U(0.5, 1.0]
+  kPowerTail,      // 1 / U(eps, 1]: few very fast, long slow tail, capped
+  kNearHomogeneous // U(0.45, 0.55]: sanity regime, little to gain
+};
+
+/// All kinds, for sweeps.
+inline const WorkloadKind kAllWorkloadKinds[] = {
+    WorkloadKind::kUniform, WorkloadKind::kTwoGenerations,
+    WorkloadKind::kPowerTail, WorkloadKind::kNearHomogeneous};
+
+std::string workload_name(WorkloadKind kind);
+
+/// Draws `count` positive cycle-times of the given profile.
+std::vector<double> draw_cycle_times(WorkloadKind kind, std::size_t count,
+                                     Rng& rng);
+
+}  // namespace hetgrid

@@ -1,0 +1,137 @@
+// Tests for the 1D heterogeneous allocator (paper refs [5,6]; used by the
+// K–L baseline and the LU/QR panel-column ordering of Section 3.2.2).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/alloc1d.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// Brute-force optimal makespan over all compositions of `slots`.
+double brute_force_makespan(const std::vector<double>& t, std::size_t slots) {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> n(t.size(), 0);
+  std::function<void(std::size_t, std::size_t)> rec = [&](std::size_t i,
+                                                          std::size_t left) {
+    if (i + 1 == t.size()) {
+      n[i] = left;
+      double mk = 0.0;
+      for (std::size_t k = 0; k < t.size(); ++k)
+        mk = std::max(mk, static_cast<double>(n[k]) * t[k]);
+      best = std::min(best, mk);
+      return;
+    }
+    for (std::size_t give = 0; give <= left; ++give) {
+      n[i] = give;
+      rec(i + 1, left - give);
+    }
+  };
+  rec(0, slots);
+  return best;
+}
+
+TEST(Alloc1d, PaperLuOrderingIsABAABA) {
+  // Section 3.2.2: aggregate column cycle-times 3/20 and 5/17, six panel
+  // columns -> ordering ABAABA with counts 4 and 2.
+  const Alloc1dResult res = allocate_1d({3.0 / 20.0, 5.0 / 17.0}, 6);
+  EXPECT_EQ(res.order, (std::vector<std::size_t>{0, 1, 0, 0, 1, 0}));
+  EXPECT_EQ(res.counts, (std::vector<std::size_t>{4, 2}));
+}
+
+TEST(Alloc1d, KalinovLastovetskyRowSplits) {
+  // Figure 3: column {1,3} with 4 row slots -> 3:1; column {2,5} with 7
+  // row slots -> 5:2.
+  EXPECT_EQ(allocate_1d({1.0, 3.0}, 4).counts,
+            (std::vector<std::size_t>{3, 1}));
+  EXPECT_EQ(allocate_1d({2.0, 5.0}, 7).counts,
+            (std::vector<std::size_t>{5, 2}));
+}
+
+TEST(Alloc1d, KalinovLastovetskyColumnSplit) {
+  // Aggregate column cycle-times 3/2 and 20/7; 61 column slots -> 40:21.
+  const Alloc1dResult res = allocate_1d({1.5, 20.0 / 7.0}, 61);
+  EXPECT_EQ(res.counts, (std::vector<std::size_t>{40, 21}));
+  // That split is exactly balanced: 40 * 3/2 == 21 * 20/7 == 60.
+  EXPECT_NEAR(res.makespan, 60.0, 1e-12);
+}
+
+TEST(Alloc1d, CountsSumToSlots) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 1 + rng.below(6);
+    const std::size_t slots = rng.below(40);
+    const Alloc1dResult res = allocate_1d(rng.cycle_times(m, 0.05), slots);
+    std::size_t sum = 0;
+    for (std::size_t c : res.counts) sum += c;
+    EXPECT_EQ(sum, slots);
+    EXPECT_EQ(res.order.size(), slots);
+  }
+}
+
+TEST(Alloc1d, GreedyIsOptimalVsBruteForce) {
+  Rng rng(22);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 2 + rng.below(2);  // 2 or 3 processors
+    const std::size_t slots = 1 + rng.below(8);
+    const std::vector<double> t = rng.cycle_times(m, 0.05);
+    const Alloc1dResult res = allocate_1d(t, slots);
+    EXPECT_NEAR(res.makespan, brute_force_makespan(t, slots),
+                1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Alloc1d, OrderIsConsistentWithCounts) {
+  const Alloc1dResult res = allocate_1d({1.0, 2.0, 4.0}, 14);
+  std::vector<std::size_t> tally(3, 0);
+  for (std::size_t i : res.order) tally[i] += 1;
+  EXPECT_EQ(tally, res.counts);
+}
+
+TEST(Alloc1d, HomogeneousProcessorsRoundRobin) {
+  const Alloc1dResult res = allocate_1d({1.0, 1.0, 1.0}, 6);
+  EXPECT_EQ(res.counts, (std::vector<std::size_t>{2, 2, 2}));
+  // Ties break toward lower index -> strict round-robin.
+  EXPECT_EQ(res.order, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Alloc1d, FastProcessorTakesEverythingWhenJustified) {
+  // One processor 10x faster than the other: with 5 slots the slow one
+  // should get none (5 * 0.1 = 0.5 < 1 * 1.0).
+  const Alloc1dResult res = allocate_1d({0.1, 1.0}, 5);
+  EXPECT_EQ(res.counts, (std::vector<std::size_t>{5, 0}));
+}
+
+TEST(Alloc1d, ZeroSlotsGiveEmptyAllocation) {
+  const Alloc1dResult res = allocate_1d({1.0, 2.0}, 0);
+  EXPECT_EQ(res.counts, (std::vector<std::size_t>{0, 0}));
+  EXPECT_TRUE(res.order.empty());
+  EXPECT_DOUBLE_EQ(res.makespan, 0.0);
+}
+
+TEST(Alloc1d, RejectsBadInput) {
+  EXPECT_THROW(allocate_1d({}, 3), PreconditionError);
+  EXPECT_THROW(allocate_1d({1.0, -1.0}, 3), PreconditionError);
+}
+
+TEST(ProportionalShares, InverseSpeedNormalized) {
+  const std::vector<double> s = proportional_shares({1.0, 3.0});
+  EXPECT_NEAR(s[0], 0.75, 1e-12);
+  EXPECT_NEAR(s[1], 0.25, 1e-12);
+}
+
+TEST(AggregateCycleTime, MatchesPaperExamples) {
+  // LU example: 6 processors of cycle-time 1 plus 2 of cycle-time 3
+  // behave like one processor of cycle-time 3/20.
+  EXPECT_NEAR(aggregate_cycle_time({1, 1, 1, 1, 1, 1, 3, 3}), 3.0 / 20.0,
+              1e-12);
+  // And 6 of cycle-time 2 plus 2 of cycle-time 5 -> 5/17.
+  EXPECT_NEAR(aggregate_cycle_time({2, 2, 2, 2, 2, 2, 5, 5}), 5.0 / 17.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,131 @@
+// Tests for the Cholesky factorization kernels.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/cholesky.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/norms.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  fill_spd(a.view(), rng);
+  return a;
+}
+
+TEST(Cholesky, FactorsKnown2x2) {
+  // A = [4 2; 2 5] = L L^T with L = [2 0; 1 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 5.0;
+  ASSERT_TRUE(cholesky_factor_unblocked(a.view()));
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(cholesky_factor_unblocked(a.view()));
+}
+
+TEST(Cholesky, FillSpdProducesFactorableMatrices) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(12, 12);
+    fill_spd(a.view(), rng);
+    Matrix copy(12, 12);
+    copy.view().copy_from(a.view());
+    EXPECT_TRUE(cholesky_factor_unblocked(copy.view())) << trial;
+  }
+}
+
+class CholeskyBlockedSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CholeskyBlockedSizes, ReconstructsOriginal) {
+  const auto [n, block] = GetParam();
+  const Matrix orig = random_spd(static_cast<std::size_t>(n),
+                                 static_cast<std::uint64_t>(n * 13 + block));
+  Matrix a(orig.rows(), orig.cols());
+  a.view().copy_from(orig.view());
+  ASSERT_TRUE(
+      cholesky_factor_blocked(a.view(), static_cast<std::size_t>(block)));
+  const Matrix rec = cholesky_reconstruct(a.view());
+  EXPECT_LT(max_abs_diff(rec.view(), orig.view()) / norm_max(orig.view()),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, CholeskyBlockedSizes,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(6, 2),
+                      std::make_tuple(16, 4), std::make_tuple(25, 8),
+                      std::make_tuple(32, 32), std::make_tuple(30, 7)));
+
+TEST(Cholesky, BlockedMatchesUnblockedFactors) {
+  const Matrix orig = random_spd(20, 41);
+  Matrix a1(20, 20), a2(20, 20);
+  a1.view().copy_from(orig.view());
+  a2.view().copy_from(orig.view());
+  ASSERT_TRUE(cholesky_factor_unblocked(a1.view()));
+  ASSERT_TRUE(cholesky_factor_blocked(a2.view(), 5));
+  // Compare lower triangles only.
+  for (std::size_t j = 0; j < 20; ++j)
+    for (std::size_t i = j; i < 20; ++i)
+      EXPECT_NEAR(a1(i, j), a2(i, j), 1e-10) << i << "," << j;
+}
+
+TEST(Cholesky, SolveRecoversSolution) {
+  const std::size_t n = 24;
+  const Matrix a = random_spd(n, 43);
+  Rng rng(44);
+  Matrix x_true(n, 3);
+  fill_random(x_true.view(), rng);
+  Matrix b(n, 3, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), x_true.view(), 0.0, b.view());
+
+  Matrix l(n, n);
+  l.view().copy_from(a.view());
+  ASSERT_TRUE(cholesky_factor_blocked(l.view(), 6));
+  cholesky_solve(l.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x_true.view()), 1e-9);
+}
+
+TEST(TrsmRightLowerTransposed, InvertsMultiplication) {
+  Rng rng(45);
+  const std::size_t n = 9, m = 4;
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    l(i, i) = 1.5 + rng.uniform();
+    for (std::size_t j = 0; j < i; ++j) l(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix x(m, n);
+  fill_random(x.view(), rng);
+  // b = x * L^T.
+  Matrix b(m, n, 0.0);
+  gemm(Trans::No, Trans::Yes, 1.0, x.view(), l.view(), 0.0, b.view());
+  trsm_right_lower_transposed(l.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x.view()), 1e-10);
+}
+
+TEST(Cholesky, UpperTriangleLeftUntouchedByUnblocked) {
+  Matrix a = random_spd(8, 47);
+  Matrix orig(8, 8);
+  orig.view().copy_from(a.view());
+  ASSERT_TRUE(cholesky_factor_unblocked(a.view()));
+  for (std::size_t j = 1; j < 8; ++j)
+    for (std::size_t i = 0; i < j; ++i)
+      EXPECT_DOUBLE_EQ(a(i, j), orig(i, j));
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,207 @@
+// Tests for the block distributions: homogeneous block-cyclic, the paper's
+// heterogeneous block-panel scheme, and the Kalinov–Lastovetsky baseline.
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+#include "core/rank1_solver.hpp"
+#include "dist/distribution.hpp"
+#include "dist/kalinov_lastovetsky.hpp"
+#include "dist/panel_distribution.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// ----------------------------------------------------- block-cyclic
+
+TEST(BlockCyclic, OwnershipIsModular) {
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 3);
+  EXPECT_EQ(d.owner(0, 0), (ProcCoord{0, 0}));
+  EXPECT_EQ(d.owner(1, 2), (ProcCoord{1, 2}));
+  EXPECT_EQ(d.owner(2, 3), (ProcCoord{0, 0}));
+  EXPECT_EQ(d.owner(5, 7), (ProcCoord{1, 1}));
+  EXPECT_EQ(d.period_rows(), 2u);
+  EXPECT_EQ(d.period_cols(), 3u);
+}
+
+TEST(BlockCyclic, HasGridCommunicationPattern) {
+  const PanelDistribution d = PanelDistribution::block_cyclic(3, 4);
+  const NeighborCensus census = neighbor_census(d);
+  EXPECT_TRUE(census.grid_pattern());
+  EXPECT_EQ(census.max_west_neighbors, 1u);
+  EXPECT_EQ(census.max_north_neighbors, 1u);
+}
+
+TEST(BlockCyclic, EvenBlockCountsWhenDivisible) {
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const auto counts = blocks_per_processor(d, 8, 8);
+  for (std::size_t c : counts) EXPECT_EQ(c, 16u);
+}
+
+// ----------------------------------------------------- panel (Figure 2)
+
+TEST(Panel, PaperFigure2Layout) {
+  // Grid {1,2;3,6}, panel B_p=4, B_q=3, rows split 3:1, columns 2:1.
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::from_counts(
+      {3, 1}, {2, 1}, g, PanelOrder::kContiguous, PanelOrder::kContiguous,
+      "fig2");
+  EXPECT_EQ(d.row_map(), (std::vector<std::size_t>{0, 0, 0, 1}));
+  EXPECT_EQ(d.col_map(), (std::vector<std::size_t>{0, 0, 1}));
+
+  // Figure 2's 10x10 value pattern: processor cycle-times at positions.
+  const double expected_row0[] = {1, 1, 2, 1, 1, 2, 1, 1, 2, 1};
+  const double expected_row3[] = {3, 3, 6, 3, 3, 6, 3, 3, 6, 3};
+  for (std::size_t j = 0; j < 10; ++j) {
+    const ProcCoord o0 = d.owner(0, j);
+    const ProcCoord o3 = d.owner(3, j);
+    EXPECT_DOUBLE_EQ(g(o0.row, o0.col), expected_row0[j]) << "col " << j;
+    EXPECT_DOUBLE_EQ(g(o3.row, o3.col), expected_row3[j]) << "col " << j;
+  }
+}
+
+TEST(Panel, Figure2PanelBalancesPerfectly) {
+  // Within one 4x3 panel: 6/3/2/1 blocks at speeds 1/2/3/6 -> all busy 6.
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::from_counts(
+      {3, 1}, {2, 1}, g, PanelOrder::kContiguous, PanelOrder::kContiguous,
+      "fig2");
+  const auto counts = blocks_per_processor(d, 4, 3);
+  EXPECT_EQ(counts, (std::vector<std::size_t>{6, 3, 2, 1}));
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_DOUBLE_EQ(static_cast<double>(counts[i * 2 + j]) * g(i, j), 6.0);
+}
+
+TEST(Panel, GridPatternAlwaysHolds) {
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t p = 1 + rng.below(4), q = 1 + rng.below(4);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    const GridAllocation a = rank1_projection(g);
+    const PanelDistribution d = PanelDistribution::from_allocation(
+        g, a, p + rng.below(12), q + rng.below(12),
+        trial % 2 ? PanelOrder::kInterleaved : PanelOrder::kContiguous,
+        trial % 3 ? PanelOrder::kInterleaved : PanelOrder::kContiguous,
+        "trial");
+    EXPECT_TRUE(neighbor_census(d).grid_pattern()) << "trial " << trial;
+  }
+}
+
+TEST(Panel, Figure4LuColumnOrdering) {
+  // Grid {1,2;3,5}, B_p=8 rows split 6:2 contiguous, B_q=6 columns split
+  // 4:2 interleaved as ABAABA (Section 3.2.2).
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::from_counts(
+      {6, 2}, {4, 2}, g, PanelOrder::kContiguous, PanelOrder::kInterleaved,
+      "fig4");
+  EXPECT_EQ(d.col_map(), (std::vector<std::size_t>{0, 1, 0, 0, 1, 0}));
+  EXPECT_EQ(d.row_map(),
+            (std::vector<std::size_t>{0, 0, 0, 0, 0, 0, 1, 1}));
+  EXPECT_EQ(d.row_multiplicities(), (std::vector<std::size_t>{6, 2}));
+  EXPECT_EQ(d.col_multiplicities(), (std::vector<std::size_t>{4, 2}));
+}
+
+TEST(Panel, FromAllocationRoundsSharesToPanel) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const GridAllocation a = rank1_projection(g);  // perfect: r 1:1/3, c 1:1/2
+  const PanelDistribution d = PanelDistribution::from_allocation(
+      g, a, 4, 3, PanelOrder::kContiguous, PanelOrder::kContiguous, "alloc");
+  EXPECT_EQ(d.row_multiplicities(), (std::vector<std::size_t>{3, 1}));
+  EXPECT_EQ(d.col_multiplicities(), (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(Panel, RejectsRowWithoutSlots) {
+  EXPECT_THROW(PanelDistribution(2, 2, {0, 0, 0}, {0, 1}, "bad"),
+               PreconditionError);
+}
+
+TEST(Panel, SweepMakespanMatchesHandComputation) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution bc = PanelDistribution::block_cyclic(2, 2);
+  // 4x4 blocks, block-cyclic: every processor owns 4 blocks; the slowest
+  // (t=6) dominates: makespan = 24.
+  EXPECT_DOUBLE_EQ(sweep_makespan(bc, g, 4, 4), 24.0);
+
+  const PanelDistribution het = PanelDistribution::from_counts(
+      {3, 1}, {2, 1}, g, PanelOrder::kContiguous, PanelOrder::kContiguous,
+      "het");
+  // 12x12 blocks = 3x4 whole panels: counts scale to 72/36/24/12;
+  // every processor busy 72 time units.
+  EXPECT_DOUBLE_EQ(sweep_makespan(het, g, 12, 12), 72.0);
+}
+
+// ----------------------------------------------------- Kalinov–Lastovetsky
+
+TEST(KalinovLastovetsky, PaperFigure3RowAndColumnSplits) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution d(g, {4, 7}, 61);
+  EXPECT_EQ(d.row_counts_of_column(0), (std::vector<std::size_t>{3, 1}));
+  EXPECT_EQ(d.row_counts_of_column(1), (std::vector<std::size_t>{5, 2}));
+  EXPECT_EQ(d.col_counts(), (std::vector<std::size_t>{40, 21}));
+}
+
+TEST(KalinovLastovetsky, ViolatesGridPatternOnNonRank1Grid) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution d(g, {4, 7}, 61);
+  const NeighborCensus census = neighbor_census(d);
+  EXPECT_FALSE(census.grid_pattern());
+  EXPECT_GE(census.max_west_neighbors, 2u);
+}
+
+TEST(KalinovLastovetsky, PerfectBalanceInTheRationalLimit) {
+  // With periods equal to exact denominators, K–L balances perfectly:
+  // every processor's share * its cycle-time is equal.
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution d(g, {4, 7}, 61);
+  // One full period: 28 block rows (lcm(4,7)) x 61 block columns.
+  const auto counts = blocks_per_processor(d, 28, 61);
+  std::vector<double> busy(4);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      busy[i * 2 + j] = static_cast<double>(counts[i * 2 + j]) * g(i, j);
+  for (double b : busy) EXPECT_NEAR(b, busy[0], 1e-9);
+}
+
+TEST(KalinovLastovetsky, PeriodIsLcmOfRowPeriods) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution d(g, {4, 7}, 61);
+  EXPECT_EQ(d.period_rows(), 28u);
+  EXPECT_EQ(d.period_cols(), 61u);
+}
+
+TEST(KalinovLastovetsky, UniformGridDegeneratesToBlockCyclicPattern) {
+  const CycleTimeGrid g(2, 2, std::vector<double>(4, 1.0));
+  const KalinovLastovetskyDistribution d(g, 2, 2);
+  const NeighborCensus census = neighbor_census(d);
+  EXPECT_TRUE(census.grid_pattern());
+}
+
+TEST(KalinovLastovetsky, RejectsTooSmallPeriods) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  EXPECT_THROW(KalinovLastovetskyDistribution(g, 1, 4), PreconditionError);
+  EXPECT_THROW(KalinovLastovetskyDistribution(g, 4, 1), PreconditionError);
+}
+
+// ----------------------------------------------------- census details
+
+TEST(NeighborCensus, HeterogeneousPanelStillGridPattern) {
+  // Non-rank-1 grid with imperfect balance must still keep the 4-neighbor
+  // property — that is the whole point of the paper's constraint.
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const HeuristicResult h = solve_heuristic(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 8, 6, PanelOrder::kContiguous,
+      PanelOrder::kInterleaved, "het-lu");
+  EXPECT_TRUE(neighbor_census(d).grid_pattern());
+}
+
+TEST(NeighborCensus, SingleProcessorHasNoNeighbors) {
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  const NeighborCensus census = neighbor_census(d);
+  EXPECT_EQ(census.max_west_neighbors, 0u);
+  EXPECT_EQ(census.max_north_neighbors, 0u);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,117 @@
+// Tests for the spanning-tree exact solver (paper Section 4.3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_solver.hpp"
+#include "core/heuristic.hpp"
+#include "core/rank1_solver.hpp"
+#include "graph/spanning_tree.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// Numerical reference for p = 2: with r_1 = 1 fixed (scale freedom) and a
+// given r_2, the optimal column shares are c_j = 1 / max_i (r_i t_ij), so
+// the objective reduces to a 1D function of r_2 we can grid-search.
+double brute_force_obj2_p2(const CycleTimeGrid& g) {
+  HG_CHECK(g.rows() == 2, "helper is for 2 x q grids");
+  double best = 0.0;
+  // r2 spans a wide log range; the optimum has r2 in (0, inf) but by
+  // symmetry of the scale freedom values far outside cycle-time ratios
+  // cannot win.
+  for (int step = 0; step <= 200000; ++step) {
+    const double r2 = std::pow(10.0, -3.0 + 6.0 * step / 200000.0);
+    double csum = 0.0;
+    for (std::size_t j = 0; j < g.cols(); ++j)
+      csum += 1.0 / std::max(g(0, j), r2 * g(1, j));
+    best = std::max(best, (1.0 + r2) * csum);
+  }
+  return best;
+}
+
+TEST(ExactSolver, Rank1GridAchievesCapacityBound) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const ExactSolution sol = solve_exact(g);
+  EXPECT_NEAR(sol.obj2, obj2_upper_bound(g), 1e-12);
+  EXPECT_TRUE(is_feasible(g, sol.alloc));
+  EXPECT_EQ(sol.trees_enumerated, 4u);
+  EXPECT_GE(sol.trees_acceptable, 1u);
+}
+
+TEST(ExactSolver, PaperCounterexampleCannotBePerfect) {
+  // Section 3.1.2: {1,2;3,5} admits no perfect balance, so the optimum is
+  // strictly below the capacity bound 1 + 1/2 + 1/3 + 1/5.
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const ExactSolution sol = solve_exact(g);
+  EXPECT_LT(sol.obj2, obj2_upper_bound(g) - 1e-6);
+  EXPECT_TRUE(is_feasible(g, sol.alloc));
+  EXPECT_TRUE(is_tight(g, sol.alloc));
+}
+
+TEST(ExactSolver, MatchesBruteForceOn2xqGrids) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t q = 2 + rng.below(3);
+    const CycleTimeGrid g(2, q, rng.cycle_times(2 * q, 0.05));
+    const ExactSolution sol = solve_exact(g);
+    const double ref = brute_force_obj2_p2(g);
+    EXPECT_NEAR(sol.obj2, ref, 1e-3 * ref) << "trial " << trial;
+    EXPECT_GE(sol.obj2, ref - 1e-3 * ref) << "solver below grid search";
+  }
+}
+
+TEST(ExactSolver, SingleRowGridIsCapacity) {
+  const CycleTimeGrid g(1, 4, {1, 2, 4, 8});
+  const ExactSolution sol = solve_exact(g);
+  EXPECT_NEAR(sol.obj2, 1.0 + 0.5 + 0.25 + 0.125, 1e-12);
+  EXPECT_EQ(sol.trees_enumerated, 1u);
+}
+
+TEST(ExactSolver, DominatesHeuristicOnFixedArrangement) {
+  Rng rng(63);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t p = 2 + rng.below(2), q = 2 + rng.below(2);
+    const CycleTimeGrid g =
+        CycleTimeGrid::sorted_row_major(p, q, rng.cycle_times(p * q, 0.05));
+    const ExactSolution sol = solve_exact(g);
+    const GridAllocation h = heuristic_allocation(g);
+    EXPECT_GE(sol.obj2, obj2_value(h) - 1e-9) << "trial " << trial;
+    const GridAllocation r1 = rank1_projection(g);
+    EXPECT_GE(sol.obj2, obj2_value(r1) - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ExactSolver, SolutionIsAlwaysTight) {
+  Rng rng(64);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CycleTimeGrid g(3, 3, rng.cycle_times(9, 0.05));
+    const ExactSolution sol = solve_exact(g);
+    EXPECT_TRUE(is_feasible(g, sol.alloc, 1e-8)) << "trial " << trial;
+    // The optimum saturates at least one constraint in every row/column:
+    // otherwise a share could be scaled up, contradicting optimality.
+    EXPECT_TRUE(is_tight(g, sol.alloc, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(ExactSolver, TreeCapGuard) {
+  const CycleTimeGrid g(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_THROW(solve_exact(g, 10), PreconditionError);
+  EXPECT_EQ(exact_solver_cost(3, 3), 81u);
+}
+
+TEST(ExactSolver, ScaleInvarianceOfArgmax) {
+  // Multiplying all cycle-times by s divides the objective by s and leaves
+  // the chosen allocation equivalent up to the same scaling.
+  Rng rng(65);
+  const std::vector<double> t = rng.cycle_times(6, 0.05);
+  std::vector<double> t2(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) t2[i] = 3.0 * t[i];
+  const ExactSolution a = solve_exact(CycleTimeGrid(2, 3, t));
+  const ExactSolution b = solve_exact(CycleTimeGrid(2, 3, t2));
+  EXPECT_NEAR(a.obj2, 3.0 * b.obj2, 1e-9 * a.obj2);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,124 @@
+// Tests for the bipartite spanning-tree enumerator behind the exact solver.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/spanning_tree.hpp"
+#include "util/check.hpp"
+
+namespace hetgrid {
+namespace {
+
+// ----------------------------------------------------- union-find
+
+TEST(UnionFind, StartsFullyDisconnected) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.components(), 5u);
+  EXPECT_NE(uf.find(0), uf.find(1));
+}
+
+TEST(UnionFind, UniteMergesComponents) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.components(), 2u);
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_EQ(uf.components(), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+}
+
+TEST(UnionFind, UniteOnSameComponentReturnsFalse) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.components(), 2u);
+}
+
+// ----------------------------------------------------- counting
+
+struct CountCase {
+  std::size_t p, q;
+  std::uint64_t expected;  // Scoins: p^(q-1) * q^(p-1)
+};
+
+class SpanningTreeCounts : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(SpanningTreeCounts, EnumeratorMatchesScoinsFormula) {
+  const CountCase c = GetParam();
+  EXPECT_EQ(spanning_tree_count(c.p, c.q), c.expected);
+  std::uint64_t visited = enumerate_spanning_trees(
+      c.p, c.q, [](const std::vector<BipartiteEdge>&) { return true; });
+  EXPECT_EQ(visited, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, SpanningTreeCounts,
+    ::testing::Values(CountCase{1, 1, 1}, CountCase{1, 5, 1},
+                      CountCase{2, 2, 4}, CountCase{2, 3, 12},
+                      CountCase{3, 3, 81}, CountCase{2, 4, 32},
+                      CountCase{3, 4, 432}, CountCase{4, 4, 4096}));
+
+TEST(SpanningTreeCount, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(spanning_tree_count(50, 50),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+// ----------------------------------------------------- tree validity
+
+TEST(SpanningTrees, EveryVisitedTreeIsASpanningTree) {
+  const std::size_t p = 3, q = 3;
+  enumerate_spanning_trees(p, q, [&](const std::vector<BipartiteEdge>& t) {
+    EXPECT_EQ(t.size(), p + q - 1);
+    UnionFind uf(p + q);
+    for (const BipartiteEdge& e : t) {
+      EXPECT_LT(e.row, p);
+      EXPECT_LT(e.col, q);
+      EXPECT_TRUE(uf.unite(e.row, p + e.col)) << "cycle in emitted tree";
+    }
+    EXPECT_EQ(uf.components(), 1u) << "emitted tree does not span";
+    return true;
+  });
+}
+
+TEST(SpanningTrees, TreesAreDistinct) {
+  std::set<std::vector<std::pair<std::size_t, std::size_t>>> seen;
+  enumerate_spanning_trees(2, 3, [&](const std::vector<BipartiteEdge>& t) {
+    std::vector<std::pair<std::size_t, std::size_t>> key;
+    for (const auto& e : t) key.emplace_back(e.row, e.col);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate tree emitted";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(SpanningTrees, EarlyStopHonored) {
+  std::uint64_t calls = 0;
+  const std::uint64_t visited =
+      enumerate_spanning_trees(3, 3, [&](const std::vector<BipartiteEdge>&) {
+        return ++calls < 5;
+      });
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(SpanningTrees, DegenerateOneByOne) {
+  std::uint64_t calls = 0;
+  enumerate_spanning_trees(1, 1, [&](const std::vector<BipartiteEdge>& t) {
+    ++calls;
+    EXPECT_EQ(t.size(), 1u);
+    return true;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(SpanningTrees, RejectsZeroDimensions) {
+  EXPECT_THROW(enumerate_spanning_trees(
+                   0, 3, [](const std::vector<BipartiteEdge>&) {
+                     return true;
+                   }),
+               PreconditionError);
+  EXPECT_THROW(spanning_tree_count(3, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetgrid

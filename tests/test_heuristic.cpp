@@ -1,0 +1,161 @@
+// Tests for the polynomial heuristic (paper Section 4.4), anchored on the
+// fully worked 3x3 example in Sections 4.4.2–4.4.3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_solver.hpp"
+#include "core/heuristic.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// The paper prints values to 4 decimals.
+constexpr double kPaperTol = 1.5e-4;
+
+TEST(Heuristic, PaperExampleFirstStepSharesMatch) {
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const HeuristicStep& s0 = res.first();
+  ASSERT_EQ(s0.alloc.r.size(), 3u);
+  EXPECT_NEAR(s0.alloc.r[0], 1.1661, kPaperTol);
+  EXPECT_NEAR(s0.alloc.r[1], 0.3675, kPaperTol);
+  EXPECT_NEAR(s0.alloc.r[2], 0.2100, kPaperTol);
+  EXPECT_NEAR(s0.alloc.c[0], 0.6803, kPaperTol);
+  EXPECT_NEAR(s0.alloc.c[1], 0.4288, kPaperTol);
+  EXPECT_NEAR(s0.alloc.c[2], 0.2859, kPaperTol);
+}
+
+TEST(Heuristic, PaperExampleFirstStepWorkloadMatrix) {
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const HeuristicStep& s0 = res.first();
+  const std::vector<double> b = workload_matrix(s0.grid, s0.alloc);
+  // Paper's B matrix, row-major.
+  const double expected[] = {0.7933, 1.0, 1.0,    1.0, 0.7879,
+                             0.6303, 1.0, 0.7203, 0.5402};
+  for (int k = 0; k < 9; ++k) EXPECT_NEAR(b[k], expected[k], kPaperTol);
+  EXPECT_NEAR(s0.avg_workload, 0.8302, kPaperTol);
+  EXPECT_NEAR(s0.obj2, 2.4322, kPaperTol);
+}
+
+TEST(Heuristic, PaperExampleRefinementTrajectory) {
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ASSERT_GE(res.iterations(), 2);
+  // After the first refinement the paper reaches {1,2,3;4,5,7;6,8,9} with
+  // objective 2.5065.
+  EXPECT_EQ(res.steps[1].grid.row_major(),
+            (std::vector<double>{1, 2, 3, 4, 5, 7, 6, 8, 9}));
+  EXPECT_NEAR(res.steps[1].obj2, 2.5065, kPaperTol);
+}
+
+TEST(Heuristic, PaperExampleConvergesToPublishedArrangement) {
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.final().grid.row_major(),
+            (std::vector<double>{1, 2, 3, 4, 6, 8, 5, 7, 9}));
+  EXPECT_NEAR(res.final().obj2, 2.5889, kPaperTol);
+}
+
+TEST(Heuristic, InitialArrangementIsSortedRowMajor) {
+  const HeuristicResult res = solve_heuristic(2, 2, {5, 1, 4, 2});
+  EXPECT_EQ(res.first().grid.row_major(),
+            (std::vector<double>{1, 2, 4, 5}));
+}
+
+TEST(Heuristic, AllocationsAlwaysFeasibleAndTight) {
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t p = 1 + rng.below(5), q = 1 + rng.below(5);
+    const HeuristicResult res =
+        solve_heuristic(p, q, rng.cycle_times(p * q, 0.02));
+    for (const HeuristicStep& s : res.steps) {
+      EXPECT_TRUE(is_feasible(s.grid, s.alloc, 1e-8)) << "trial " << trial;
+      EXPECT_TRUE(is_tight(s.grid, s.alloc, 1e-8)) << "trial " << trial;
+      EXPECT_LE(s.obj2, obj2_upper_bound(s.grid) * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(Heuristic, PerfectOnRank1Pools) {
+  // A pool that can be arranged into a rank-1 matrix: outer product of
+  // {1,2} x {1,3}. The sorted row-major arrangement {1,2;3,6} is rank 1,
+  // so the very first step is already perfect.
+  const HeuristicResult res = solve_heuristic(2, 2, {1, 2, 3, 6});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.final().avg_workload, 1.0, 1e-9);
+  EXPECT_NEAR(res.final().obj2, 2.0, 1e-9);
+}
+
+TEST(Heuristic, HomogeneousPoolIsPerfect) {
+  const HeuristicResult res =
+      solve_heuristic(3, 3, std::vector<double>(9, 2.0));
+  EXPECT_NEAR(res.final().avg_workload, 1.0, 1e-9);
+  // Obj2 = capacity = 9 / 2.
+  EXPECT_NEAR(res.final().obj2, 4.5, 1e-9);
+}
+
+TEST(Heuristic, MaxStepsOneDisablesRefinement) {
+  HeuristicOptions opts;
+  opts.max_steps = 1;
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9}, opts);
+  EXPECT_EQ(res.iterations(), 1);
+  EXPECT_FALSE(res.converged);
+  EXPECT_DOUBLE_EQ(res.refinement_gain(), 0.0);
+}
+
+TEST(Heuristic, RefineFromCustomStartKeepsPool) {
+  const CycleTimeGrid start(2, 2, {5, 1, 2, 4});  // deliberately unsorted
+  const HeuristicResult res = refine_from(start);
+  std::vector<double> pool = res.final().grid.row_major();
+  std::sort(pool.begin(), pool.end());
+  EXPECT_EQ(pool, (std::vector<double>{1, 2, 4, 5}));
+}
+
+TEST(Heuristic, DirectTApproximationAlsoFeasible) {
+  // Ablation path: approximate T instead of T^inv. Still must produce
+  // feasible, tight allocations (just usually worse ones).
+  Rng rng(102);
+  HeuristicOptions opts;
+  opts.approximate_inverse = false;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t p = 2 + rng.below(3), q = 2 + rng.below(3);
+    const HeuristicResult res =
+        solve_heuristic(p, q, rng.cycle_times(p * q, 0.02), opts);
+    const HeuristicStep& f = res.final();
+    EXPECT_TRUE(is_feasible(f.grid, f.alloc, 1e-8)) << "trial " << trial;
+    EXPECT_TRUE(is_tight(f.grid, f.alloc, 1e-8)) << "trial " << trial;
+  }
+}
+
+TEST(Heuristic, NeverBeatsExactOnFinalArrangement) {
+  Rng rng(103);
+  for (int trial = 0; trial < 30; ++trial) {
+    const HeuristicResult res = solve_heuristic(2, 3, rng.cycle_times(6, 0.05));
+    const ExactSolution ex = solve_exact(res.final().grid);
+    EXPECT_GE(ex.obj2, res.final().obj2 - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Heuristic, IterationsAreBounded) {
+  Rng rng(104);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HeuristicResult res = solve_heuristic(4, 4, rng.cycle_times(16, 0.02));
+    EXPECT_LE(res.iterations(), 200);
+    EXPECT_GE(res.iterations(), 1);
+  }
+}
+
+TEST(Heuristic, RefinementGainIsFiniteAndReported) {
+  const HeuristicResult res =
+      solve_heuristic(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_TRUE(std::isfinite(res.refinement_gain()));
+  EXPECT_NEAR(res.refinement_gain(), 2.5889 / 2.4322 - 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,182 @@
+// End-to-end integration tests: cycle-time pool -> solver -> distribution
+// -> simulated/executed kernel, checking the paper's headline claims.
+#include <gtest/gtest.h>
+
+#include "core/arrangement.hpp"
+#include "core/exact_solver.hpp"
+#include "core/heuristic.hpp"
+#include "dist/kalinov_lastovetsky.hpp"
+#include "dist/panel_distribution.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/norms.hpp"
+#include "runtime/virtual_runtime.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+struct Pipeline {
+  CycleTimeGrid grid;
+  GridAllocation alloc;
+  PanelDistribution dist;
+};
+
+Pipeline build_heuristic_pipeline(std::size_t p, std::size_t q,
+                                  const std::vector<double>& pool,
+                                  std::size_t bp, std::size_t bq) {
+  const HeuristicResult h = solve_heuristic(p, q, pool);
+  PanelDistribution d = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, bp, bq, PanelOrder::kContiguous,
+      PanelOrder::kInterleaved, "heuristic-panel");
+  return {h.final().grid, h.final().alloc, std::move(d)};
+}
+
+TEST(Integration, HeuristicPipelineBeatsBlockCyclicOnMmmAndLu) {
+  Rng rng(201);
+  int mmm_wins = 0, lu_wins = 0;
+  const int trials = 15;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::size_t p = 2, q = 2 + rng.below(2);
+    const std::vector<double> pool = rng.cycle_times(p * q, 0.05);
+    const Pipeline pl = build_heuristic_pipeline(p, q, pool, 6 * p, 6 * q);
+    const Machine m{pl.grid, NetworkModel::free()};
+    const PanelDistribution bc = PanelDistribution::block_cyclic(p, q);
+    const std::size_t nb = 12 * p * q;
+
+    // Integer rounding of the shares into a finite panel can cost a couple
+    // of percent on nearly homogeneous pools, so allow a 3% cushion while
+    // requiring the trend across every trial.
+    if (simulate_mmm(m, pl.dist, nb).total_time <=
+        simulate_mmm(m, bc, nb).total_time * 1.03)
+      ++mmm_wins;
+    if (simulate_lu(m, pl.dist, nb).total_time <=
+        simulate_lu(m, bc, nb).total_time * 1.03)
+      ++lu_wins;
+  }
+  EXPECT_EQ(mmm_wins, trials);
+  EXPECT_GE(lu_wins, trials - 1);
+}
+
+TEST(Integration, ExactArrangementDominatesHeuristicInSimulation) {
+  Rng rng(202);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(4, 0.1);
+    const OptimalArrangement opt = solve_optimal_arrangement(2, 2, pool);
+    const HeuristicResult h = solve_heuristic(2, 2, pool);
+
+    const PanelDistribution d_opt = PanelDistribution::from_allocation(
+        opt.grid, opt.solution.alloc, 8, 8, PanelOrder::kContiguous,
+        PanelOrder::kContiguous, "exact");
+    const PanelDistribution d_h = PanelDistribution::from_allocation(
+        h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+        PanelOrder::kContiguous, "heuristic");
+
+    const Machine m_opt{opt.grid, NetworkModel::free()};
+    const Machine m_h{h.final().grid, NetworkModel::free()};
+    const std::size_t nb = 32;
+    // Rounding to an 8x8 panel can cost the exact solution a little; allow
+    // a 5% rounding cushion while requiring the trend.
+    EXPECT_LE(simulate_mmm(m_opt, d_opt, nb).total_time,
+              simulate_mmm(m_h, d_h, nb).total_time * 1.05)
+        << "trial " << trial;
+  }
+}
+
+TEST(Integration, SimulatedUtilizationTracksSolverWorkload) {
+  // The solver predicts mean(B) as the average busy fraction; the MMM
+  // simulation of the induced panel (with a fine enough panel) must land
+  // close to that prediction.
+  Rng rng(203);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(4, 0.2);
+    const HeuristicResult h = solve_heuristic(2, 2, pool);
+    const std::size_t bp = 24, bq = 24;
+    const PanelDistribution d = PanelDistribution::from_allocation(
+        h.final().grid, h.final().alloc, bp, bq, PanelOrder::kContiguous,
+        PanelOrder::kContiguous, "fine");
+    const Machine m{h.final().grid, NetworkModel::free()};
+    const SimReport rep = simulate_mmm(m, d, bp);
+    EXPECT_NEAR(rep.average_utilization(), h.final().avg_workload, 0.08)
+        << "trial " << trial;
+  }
+}
+
+TEST(Integration, EndToEndNumericsThroughHeuristicDistribution) {
+  // Full stack: pool -> heuristic -> panel -> virtual execution -> exact
+  // numerical agreement with the sequential kernels.
+  // nb = 36/6 = 6 block rows/columns: exactly one 6x6 panel period.
+  const std::size_t n = 36, block = 6;
+  const std::vector<double> pool{0.3, 0.55, 0.7, 0.9, 1.0, 1.4};
+  const Pipeline pl = build_heuristic_pipeline(2, 3, pool, 6, 6);
+
+  Rng rng(204);
+  Matrix a(n, n), b(n, n), c(n, n), ref(n, n, 0.0);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const Machine m{pl.grid, NetworkModel::free()};
+  const VirtualReport rep =
+      run_distributed_mmm(m, pl.dist, a.view(), b.view(), c.view(), block);
+  gemm_reference(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0,
+                 ref.view());
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-11);
+  EXPECT_GT(rep.average_utilization(), 0.5);
+}
+
+TEST(Integration, PerfectBoundIsUniversalLowerBound) {
+  Rng rng(205);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(4, 0.05);
+    const HeuristicResult h = solve_heuristic(2, 2, pool);
+    const Machine m{h.final().grid, NetworkModel::free()};
+    const PanelDistribution bc = PanelDistribution::block_cyclic(2, 2);
+    const PanelDistribution het = PanelDistribution::from_allocation(
+        h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+        PanelOrder::kContiguous, "het");
+    for (const Distribution2D* d :
+         {static_cast<const Distribution2D*>(&bc),
+          static_cast<const Distribution2D*>(&het)}) {
+      const SimReport mm = simulate_mmm(m, *d, 16);
+      const SimReport lu = simulate_lu(m, *d, 16);
+      EXPECT_GE(mm.total_time, mm.perfect_compute_bound - 1e-9);
+      EXPECT_GE(lu.total_time, lu.perfect_compute_bound - 1e-9);
+    }
+  }
+}
+
+TEST(Integration, KalinovLastovetskyTradeoff) {
+  // K-L balances at least as well as the grid-constrained panel (it drops
+  // the constraint), but violates the 4-neighbor pattern; the paper's
+  // scheme accepts a small balance loss to keep grid communication.
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution kl(g, {4, 7}, 61);
+  const HeuristicResult h = solve_heuristic(2, 2, {1, 2, 3, 5});
+  const PanelDistribution het = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 28, 61, PanelOrder::kContiguous,
+      PanelOrder::kContiguous, "het");
+
+  EXPECT_FALSE(neighbor_census(kl).grid_pattern());
+  EXPECT_TRUE(neighbor_census(het).grid_pattern());
+
+  const Machine m{g, NetworkModel::free()};
+  const Machine mh{h.final().grid, NetworkModel::free()};
+  const std::size_t nb = 2 * 28 * 1;  // multiple of K-L's row period
+  const double t_kl = simulate_mmm(m, kl, nb).compute_time;
+  const double t_het = simulate_mmm(mh, het, nb).compute_time;
+  EXPECT_LE(t_kl, t_het * (1.0 + 1e-9));
+  // But the paper's scheme stays within a modest factor.
+  EXPECT_LE(t_het, t_kl * 1.25);
+}
+
+TEST(Integration, SortedArrangementReducesToHomogeneousCase) {
+  // All-equal pool: every strategy coincides; sanity for the whole stack.
+  const std::vector<double> pool(4, 0.5);
+  const Pipeline pl = build_heuristic_pipeline(2, 2, pool, 4, 4);
+  const Machine m{pl.grid, NetworkModel::free()};
+  const PanelDistribution bc = PanelDistribution::block_cyclic(2, 2);
+  EXPECT_NEAR(simulate_mmm(m, pl.dist, 16).total_time,
+              simulate_mmm(m, bc, 16).total_time, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetgrid

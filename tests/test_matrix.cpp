@@ -1,0 +1,273 @@
+// Unit tests for the dense-matrix substrate: storage, views, GEMM, TRSM.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/gemm.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/trsm.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// ---------------------------------------------------------------- storage
+
+TEST(Matrix, StoresColumnMajor) {
+  Matrix m(2, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(1, 0) = 2.0;
+  m(0, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3.0);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix i = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, BlockViewAliasesParentStorage) {
+  Matrix m(4, 4, 0.0);
+  MatrixView blk = m.block(1, 2, 2, 2);
+  blk(0, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 42.0);
+  EXPECT_EQ(blk.ld(), m.ld());
+}
+
+TEST(Matrix, NestedBlockViews) {
+  Matrix m(6, 6, 0.0);
+  MatrixView outer = m.block(1, 1, 4, 4);
+  MatrixView inner = outer.block(1, 1, 2, 2);
+  inner(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(2, 2), 7.0);
+}
+
+TEST(Matrix, FillAndCopy) {
+  Matrix a(3, 3, 0.0), b(3, 3, 0.0);
+  a.view().fill(2.5);
+  b.view().copy_from(a.view());
+  EXPECT_TRUE(approx_equal(a.view(), b.view(), 0.0));
+}
+
+TEST(Matrix, CopyFromRejectsShapeMismatch) {
+  Matrix a(2, 2), b(3, 3);
+  EXPECT_THROW(b.view().copy_from(a.view()), PreconditionError);
+}
+
+TEST(Matrix, ApproxEqualRespectsTolerance) {
+  Matrix a(2, 2, 1.0), b(2, 2, 1.0);
+  b(0, 0) = 1.0 + 1e-6;
+  EXPECT_TRUE(approx_equal(a.view(), b.view(), 1e-5));
+  EXPECT_FALSE(approx_equal(a.view(), b.view(), 1e-7));
+}
+
+TEST(Matrix, FillRandomInRange) {
+  Rng rng(1);
+  Matrix m(10, 10);
+  fill_random(m.view(), rng);
+  EXPECT_LE(norm_max(m.view()), 1.0);
+  EXPECT_GT(norm_frobenius(m.view()), 0.0);
+}
+
+TEST(Matrix, DiagonallyDominantHasLargeDiagonal) {
+  Rng rng(2);
+  Matrix m(8, 8);
+  fill_diagonally_dominant(m.view(), rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < 8; ++j)
+      if (j != i) off += std::abs(m(i, j));
+    EXPECT_GT(std::abs(m(i, i)), off);
+  }
+}
+
+// ---------------------------------------------------------------- norms
+
+TEST(Norms, FrobeniusOfKnownMatrix) {
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(norm_frobenius(m.view()), 5.0);
+}
+
+TEST(Norms, InfNormIsMaxRowSum) {
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 1.0;
+  m(0, 1) = -2.0;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(norm_inf(m.view()), 3.0);
+}
+
+TEST(Norms, MaxAbsDiffShapes) {
+  Matrix a(2, 2, 1.0), b(2, 3, 1.0);
+  EXPECT_THROW(max_abs_diff(a.view(), b.view()), PreconditionError);
+}
+
+// ---------------------------------------------------------------- gemm
+
+// Parameterized over (m, n, k): blocked gemm must match the reference for
+// shapes spanning smaller-than-tile, tile-boundary, and ragged sizes.
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, BlockedMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + n * 100 + k));
+  Matrix a(m, k), b(k, n), c(m, n), c_ref(m, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c.view(), rng);
+  c_ref.view().copy_from(c.view());
+
+  gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), -0.5, c.view());
+  gemm_reference(Trans::No, Trans::No, 1.5, a.view(), b.view(), -0.5,
+                 c_ref.view());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-12 * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 63, 66),
+                      std::make_tuple(100, 1, 100),
+                      std::make_tuple(1, 100, 100),
+                      std::make_tuple(129, 130, 65)));
+
+TEST(Gemm, AlphaZeroSkipsProduct) {
+  Matrix a(4, 4, 7.0), b(4, 4, 7.0), c(4, 4, 2.0);
+  gemm(Trans::No, Trans::No, 0.0, a.view(), b.view(), 1.0, c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Matrix a = Matrix::identity(3), b = Matrix::identity(3), c(3, 3);
+  c.view().fill(std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_TRUE(approx_equal(c.view(), Matrix::identity(3).view(), 0.0));
+}
+
+TEST(Gemm, TransposedVariantsMatchReference) {
+  Rng rng(9);
+  const int m = 13, n = 11, k = 17;
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      Matrix a(ta == Trans::No ? m : k, ta == Trans::No ? k : m);
+      Matrix b(tb == Trans::No ? k : n, tb == Trans::No ? n : k);
+      Matrix c(m, n), c_ref(m, n);
+      fill_random(a.view(), rng);
+      fill_random(b.view(), rng);
+      c.view().fill(0.3);
+      c_ref.view().copy_from(c.view());
+      gemm(ta, tb, 2.0, a.view(), b.view(), 1.0, c.view());
+      gemm_reference(ta, tb, 2.0, a.view(), b.view(), 1.0, c_ref.view());
+      EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-12 * k);
+    }
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(
+      gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view()),
+      PreconditionError);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(4);
+  Matrix a(16, 16);
+  fill_random(a.view(), rng);
+  Matrix c(16, 16, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), Matrix::identity(16).view(), 0.0,
+       c.view());
+  EXPECT_LT(max_abs_diff(a.view(), c.view()), 1e-14);
+}
+
+TEST(Gemm, UpdateAccumulates) {
+  Matrix a = Matrix::identity(2), b = Matrix::identity(2), c(2, 2, 1.0);
+  gemm_update(a.view(), b.view(), c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+}
+
+TEST(Gemm, WorksOnSubviews) {
+  Rng rng(5);
+  Matrix big(20, 20, 0.0);
+  Matrix a(6, 6), b(6, 6);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0,
+       big.block(7, 9, 6, 6));
+  Matrix ref(6, 6, 0.0);
+  gemm_reference(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0,
+                 ref.view());
+  EXPECT_LT(max_abs_diff(big.block(7, 9, 6, 6), ref.view()), 1e-13);
+  // The rest of `big` untouched.
+  EXPECT_DOUBLE_EQ(big(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(big(19, 19), 0.0);
+}
+
+// ---------------------------------------------------------------- trsm
+
+TEST(Trsm, LowerUnitSolveInvertsMultiplication) {
+  Rng rng(6);
+  const int n = 12, nrhs = 5;
+  Matrix l(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    l(i, i) = 1.0;
+    for (int j = 0; j < i; ++j) l(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix x(n, nrhs);
+  fill_random(x.view(), rng);
+  Matrix b(n, nrhs, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, l.view(), x.view(), 0.0, b.view());
+  trsm_left_lower_unit(l.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x.view()), 1e-10);
+}
+
+TEST(Trsm, UpperSolveInvertsMultiplication) {
+  Rng rng(7);
+  const int n = 10, nrhs = 3;
+  Matrix u(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    u(i, i) = 2.0 + rng.uniform();
+    for (int j = i + 1; j < n; ++j) u(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix x(n, nrhs);
+  fill_random(x.view(), rng);
+  Matrix b(n, nrhs, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, u.view(), x.view(), 0.0, b.view());
+  trsm_left_upper(u.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x.view()), 1e-10);
+}
+
+TEST(Trsm, RightUpperSolveInvertsRightMultiplication) {
+  Rng rng(8);
+  const int n = 9, m = 4;
+  Matrix u(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    u(i, i) = 1.5 + rng.uniform();
+    for (int j = i + 1; j < n; ++j) u(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix x(m, n);
+  fill_random(x.view(), rng);
+  Matrix b(m, n, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, x.view(), u.view(), 0.0, b.view());
+  trsm_right_upper(u.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x.view()), 1e-10);
+}
+
+TEST(Trsm, SingularUpperThrows) {
+  Matrix u(2, 2, 0.0);
+  u(0, 0) = 1.0;  // u(1,1) == 0 -> singular
+  Matrix b(2, 1, 1.0);
+  EXPECT_THROW(trsm_left_upper(u.view(), b.view()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetgrid

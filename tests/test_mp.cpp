@@ -1,0 +1,442 @@
+// Tests for the asynchronous message-passing runtime: the network timing
+// model, the distributed block stores, and the MMM / LU kernels on top.
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+#include "dist/kalinov_lastovetsky.hpp"
+#include "dist/panel_distribution.hpp"
+#include "matrix/cholesky.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/norms.hpp"
+#include "mp/block_store.hpp"
+#include "mp/mp_runtime.hpp"
+#include "mp/virtual_network.hpp"
+#include "runtime/virtual_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// ----------------------------------------------------- network
+
+TEST(VirtualNetwork, TransferTimesAddLatencyAndVolume) {
+  const NetworkModel net{Topology::kSwitched, 0.5, 0.1, true};
+  VirtualNetwork vn(4, net);
+  // 3 blocks: 0.5 + 3*0.1 = 0.8, starting at t=1.
+  EXPECT_DOUBLE_EQ(vn.transfer(0, 1, 3, 1.0), 1.8);
+}
+
+TEST(VirtualNetwork, SenderSerializesItsMessages) {
+  const NetworkModel net{Topology::kSwitched, 1.0, 0.0, true};
+  VirtualNetwork vn(4, net);
+  EXPECT_DOUBLE_EQ(vn.transfer(0, 1, 1, 0.0), 1.0);
+  // Second send from 0 cannot start before the first finished.
+  EXPECT_DOUBLE_EQ(vn.transfer(0, 2, 1, 0.0), 2.0);
+  // A different sender is unaffected (switched network).
+  EXPECT_DOUBLE_EQ(vn.transfer(3, 1, 1, 0.0), 2.0);  // waits on recv side
+  EXPECT_DOUBLE_EQ(vn.transfer(3, 2, 1, 0.0), 3.0);  // 3's send side now busy
+}
+
+TEST(VirtualNetwork, EthernetSharesOneBus) {
+  const NetworkModel net{Topology::kEthernet, 1.0, 0.0, true};
+  VirtualNetwork vn(4, net);
+  EXPECT_DOUBLE_EQ(vn.transfer(0, 1, 1, 0.0), 1.0);
+  // Disjoint endpoints, but the bus is busy until t=1.
+  EXPECT_DOUBLE_EQ(vn.transfer(2, 3, 1, 0.0), 2.0);
+}
+
+TEST(VirtualNetwork, SelfSendIsFree) {
+  const NetworkModel net{Topology::kSwitched, 1.0, 1.0, true};
+  VirtualNetwork vn(2, net);
+  EXPECT_DOUBLE_EQ(vn.transfer(0, 0, 10, 3.5), 3.5);
+  EXPECT_EQ(vn.messages_sent(), 0u);
+}
+
+TEST(VirtualNetwork, CountsTraffic) {
+  const NetworkModel net = NetworkModel::free();
+  VirtualNetwork vn(3, net);
+  vn.transfer(0, 1, 4, 0.0);
+  vn.transfer(1, 2, 6, 0.0);
+  EXPECT_EQ(vn.messages_sent(), 2u);
+  EXPECT_DOUBLE_EQ(vn.bytes_blocks_sent(), 10.0);
+}
+
+// ----------------------------------------------------- block store
+
+TEST(BlockStore, PutGetRoundTrip) {
+  BlockStore s;
+  Matrix m(2, 2, 3.0);
+  s.put({1, 2}, std::move(m));
+  EXPECT_TRUE(s.contains({1, 2}));
+  EXPECT_DOUBLE_EQ(s.at({1, 2})(0, 0), 3.0);
+}
+
+TEST(BlockStore, MissingBlockThrows) {
+  BlockStore s;
+  EXPECT_THROW(s.at({0, 0}), PreconditionError);
+}
+
+TEST(BlockStore, EraseRemovesCopy) {
+  BlockStore s;
+  s.put({0, 0}, Matrix(1, 1, 1.0));
+  s.erase({0, 0});
+  EXPECT_FALSE(s.contains({0, 0}));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+// ----------------------------------------------------- MP MMM
+
+TEST(MpMmm, MatchesSequentialProduct) {
+  const std::size_t n = 24, block = 6;
+  Rng rng(31);
+  Matrix a(n, n), b(n, n), c(n, n), ref(n, n, 0.0);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::from_counts(
+      {3, 1}, {2, 1}, g, PanelOrder::kContiguous, PanelOrder::kContiguous,
+      "het");
+  const Machine m{g, {Topology::kSwitched, 1e-4, 2e-4, true}};
+  const MpReport rep = run_mp_mmm(m, d, a.view(), b.view(), c.view(), block);
+  gemm_reference(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0,
+                 ref.view());
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-11);
+  EXPECT_GT(rep.messages, 0u);
+  EXPECT_GT(rep.makespan, 0.0);
+}
+
+TEST(MpMmm, CorrectUnderKalinovLastovetsky) {
+  const std::size_t n = 28, block = 4;
+  Rng rng(32);
+  Matrix a(n, n), b(n, n), c(n, n), ref(n, n, 0.0);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution kl(g, {4, 7}, 61);
+  const Machine m{g, NetworkModel::free()};
+  run_mp_mmm(m, kl, a.view(), b.view(), c.view(), block);
+  gemm_reference(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0,
+                 ref.view());
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-11);
+}
+
+TEST(MpMmm, FreeNetworkMatchesBspComputeOnHomogeneousGrid) {
+  // Homogeneous grid + free network: every step's compute is identical on
+  // all processors, so the async makespan equals the BSP compute time.
+  const std::size_t n = 16, block = 4;
+  Rng rng(33);
+  Matrix a(n, n), b(n, n), c(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const CycleTimeGrid g(2, 2, std::vector<double>(4, 0.5));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, NetworkModel::free()};
+  const MpReport mp = run_mp_mmm(m, d, a.view(), b.view(), c.view(), block);
+  const SimReport bsp = simulate_mmm(m, d, n / block);
+  EXPECT_NEAR(mp.makespan, bsp.compute_time, 1e-9);
+}
+
+TEST(MpMmm, AsyncNeverSlowerThanBspBound) {
+  // Without barriers, the async makespan is at most the BSP makespan
+  // (same work, same messages, fewer synchronization constraints) — up to
+  // the slightly different broadcast accounting; we check compute-only.
+  Rng rng(34);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 24, block = 4;
+    Matrix a(n, n), b(n, n), c(n, n);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    const std::vector<double> pool = rng.cycle_times(4, 0.2);
+    const CycleTimeGrid g = CycleTimeGrid::sorted_row_major(2, 2, pool);
+    const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+    const Machine m{g, NetworkModel::free()};
+    const MpReport mp =
+        run_mp_mmm(m, d, a.view(), b.view(), c.view(), block);
+    const SimReport bsp = simulate_mmm(m, d, n / block);
+    EXPECT_LE(mp.makespan, bsp.total_time + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MpMmm, UtilizationBounded) {
+  const std::size_t n = 16, block = 4;
+  Rng rng(35);
+  Matrix a(n, n), b(n, n), c(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kEthernet, 1e-3, 1e-3, true}};
+  const MpReport rep = run_mp_mmm(m, d, a.view(), b.view(), c.view(), block);
+  EXPECT_GT(rep.average_utilization(), 0.0);
+  EXPECT_LE(rep.average_utilization(), 1.0 + 1e-12);
+}
+
+// ----------------------------------------------------- MP LU
+
+TEST(MpLu, MatchesSequentialNoPivotFactors) {
+  const std::size_t n = 24, block = 4;
+  Rng rng(41);
+  Matrix orig(n, n);
+  fill_diagonally_dominant(orig.view(), rng);
+  Matrix seq(n, n), par(n, n);
+  seq.view().copy_from(orig.view());
+  par.view().copy_from(orig.view());
+  ASSERT_TRUE(lu_factor_nopivot(seq.view()));
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kSwitched, 1e-4, 2e-4, true}};
+  const MpReport rep = run_mp_lu(m, d, par.view(), block);
+  EXPECT_TRUE(rep.factorized);
+  EXPECT_LT(max_abs_diff(seq.view(), par.view()), 1e-10);
+}
+
+TEST(MpLu, HeterogeneousPanelDistribution) {
+  const std::size_t n = 48, block = 6;
+  Rng rng(42);
+  Matrix orig(n, n);
+  fill_diagonally_dominant(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+
+  const HeuristicResult h = solve_heuristic(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+      PanelOrder::kInterleaved, "het-lu");
+  const Machine m{h.final().grid, NetworkModel::free()};
+  const MpReport rep = run_mp_lu(m, d, a.view(), block);
+  EXPECT_TRUE(rep.factorized);
+
+  const Matrix prod = lu_reconstruct(a.view(), n);
+  EXPECT_LT(max_abs_diff(prod.view(), orig.view()) / norm_max(orig.view()),
+            1e-11);
+}
+
+TEST(MpLu, RejectsMisalignedDistribution) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution kl(g, {4, 7}, 61);
+  Matrix a(8, 8, 1.0);
+  const Machine m{g, NetworkModel::free()};
+  EXPECT_THROW(run_mp_lu(m, kl, a.view(), 2), PreconditionError);
+}
+
+TEST(MpLu, ReportsZeroPivot) {
+  Matrix a(4, 4, 0.0);
+  const Machine m{CycleTimeGrid(1, 1, {1.0}), NetworkModel::free()};
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  EXPECT_FALSE(run_mp_lu(m, d, a.view(), 2).factorized);
+}
+
+TEST(MpLu, AsyncOverlapBeatsOrMatchesBsp) {
+  // LU has real cross-step dependencies, but broadcast/compute overlap
+  // still lets the async execution finish no later than the BSP model
+  // under the same network costs.
+  const std::size_t n = 32, block = 4;
+  Rng rng(43);
+  Matrix a(n, n);
+  fill_diagonally_dominant(a.view(), rng);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kSwitched, 1e-3, 1e-3, false}};
+  const MpReport mp = run_mp_lu(m, d, a.view(), block);
+  const SimReport bsp = simulate_lu(m, d, n / block);
+  EXPECT_LE(mp.makespan, bsp.total_time * 1.05);
+}
+
+// ----------------------------------------------------- MP Cholesky
+
+TEST(MpCholesky, MatchesSequentialBlockedFactors) {
+  const std::size_t n = 24, block = 4;
+  Rng rng(46);
+  Matrix orig(n, n);
+  fill_spd(orig.view(), rng);
+  Matrix seq(n, n), par(n, n);
+  seq.view().copy_from(orig.view());
+  par.view().copy_from(orig.view());
+
+  ASSERT_TRUE(cholesky_factor_blocked(seq.view(), block));
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kSwitched, 1e-4, 2e-4, true}};
+  const MpReport rep = run_mp_cholesky(m, d, par.view(), block);
+  EXPECT_TRUE(rep.factorized);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i)
+      EXPECT_NEAR(seq(i, j), par(i, j), 1e-10) << i << "," << j;
+}
+
+TEST(MpCholesky, HeterogeneousPanelReconstruction) {
+  const std::size_t n = 48, block = 6;
+  Rng rng(47);
+  Matrix orig(n, n);
+  fill_spd(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+
+  const HeuristicResult h = solve_heuristic(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+      PanelOrder::kInterleaved, "het-chol");
+  const Machine m{h.final().grid, NetworkModel::free()};
+  const MpReport rep = run_mp_cholesky(m, d, a.view(), block);
+  ASSERT_TRUE(rep.factorized);
+
+  const Matrix rec = cholesky_reconstruct(a.view());
+  EXPECT_LT(max_abs_diff(rec.view(), orig.view()) / norm_max(orig.view()),
+            1e-11);
+}
+
+TEST(MpCholesky, ReportsNonSpdInput) {
+  Matrix a(6, 6, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) = -2.0;
+  const Machine m{CycleTimeGrid(1, 1, {1.0}), NetworkModel::free()};
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  EXPECT_FALSE(run_mp_cholesky(m, d, a.view(), 2).factorized);
+}
+
+TEST(MpCholesky, MovesFewerBlocksThanLu) {
+  // Cholesky broadcasts one (symmetric) panel per step where LU moves two
+  // distinct ones; with the same machine and matrix its traffic is lower.
+  const std::size_t n = 32, block = 4;
+  Rng rng(48);
+  Matrix spd(n, n);
+  fill_spd(spd.view(), rng);
+  Matrix a_lu(n, n), a_ch(n, n);
+  a_lu.view().copy_from(spd.view());
+  a_ch.view().copy_from(spd.view());
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, NetworkModel::free()};
+  const MpReport lu = run_mp_lu(m, d, a_lu.view(), block);
+  const MpReport ch = run_mp_cholesky(m, d, a_ch.view(), block);
+  EXPECT_LT(ch.blocks_moved, lu.blocks_moved);
+}
+
+// ----------------------------------------------------- pipelining
+
+TEST(MpPipelining, RingArrivalsAreMonotoneAlongTheRing) {
+  // With one source and a hop cost, processors further along the ring see
+  // the panel strictly later; the makespan reflects the last arrival.
+  const NetworkModel net{Topology::kSwitched, 1.0, 0.0, true};
+  const CycleTimeGrid g(1, 4, std::vector<double>(4, 1e-6));
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 4);
+  Matrix a(8, 8), b(8, 8), c(8, 8);
+  Rng rng(51);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const Machine m{g, net};
+  const MpReport rep = run_mp_mmm(m, d, a.view(), b.view(), c.view(), 2);
+  // 4 steps; each step's horizontal ring has 3 hops of latency 1. With
+  // negligible compute, per-step critical path ~3; rings of consecutive
+  // steps pipeline through the network, so the makespan sits between the
+  // one-ring cost and the fully serialized bound.
+  EXPECT_GE(rep.makespan, 3.0);
+  EXPECT_LE(rep.makespan, 4.0 * 3.0 + 1.0);
+}
+
+TEST(MpPipelining, SlowNetworkDominatesMakespan) {
+  const CycleTimeGrid g(2, 2, std::vector<double>(4, 1e-9));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  Matrix a(16, 16), b(16, 16), c(16, 16);
+  Rng rng(52);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const Machine m{g, {Topology::kSwitched, 0.5, 0.5, true}};
+  const MpReport rep = run_mp_mmm(m, d, a.view(), b.view(), c.view(), 4);
+  double busy_total = 0.0;
+  for (double x : rep.busy) busy_total += x;
+  EXPECT_GT(rep.makespan, 100.0 * busy_total);  // pure comm regime
+}
+
+TEST(MpPipelining, EthernetSlowerThanSwitchedEndToEnd) {
+  Rng rng(53);
+  const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.2));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  Matrix a(16, 16), b(16, 16), c(16, 16);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const Machine sw{g, {Topology::kSwitched, 1e-2, 1e-2, true}};
+  const Machine eth{g, {Topology::kEthernet, 1e-2, 1e-2, true}};
+  const double t_sw =
+      run_mp_mmm(sw, d, a.view(), b.view(), c.view(), 4).makespan;
+  const double t_eth =
+      run_mp_mmm(eth, d, a.view(), b.view(), c.view(), 4).makespan;
+  EXPECT_GE(t_eth, t_sw);
+}
+
+TEST(MpPipelining, FasterProcessorsFinishEarlier) {
+  // Async execution: the per-processor finish times reflect their load;
+  // with block-cyclic on a heterogeneous grid the fast processor's clock
+  // ends well below the slow one's.
+  Rng rng(54);
+  const CycleTimeGrid g(2, 2, {0.1, 0.1, 0.1, 1.0});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  Matrix a(16, 16), b(16, 16), c(16, 16);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const Machine m{g, NetworkModel::free()};
+  const MpReport rep = run_mp_mmm(m, d, a.view(), b.view(), c.view(), 4);
+  EXPECT_LT(rep.clock[0], rep.clock[3]);
+  EXPECT_NEAR(rep.makespan, rep.clock[3], 1e-12);
+}
+
+TEST(MpLu, LookaheadPreservesNumericsAndNeverSlowsDown) {
+  const std::size_t n = 48, block = 4;
+  Rng rng(45);
+  Matrix orig(n, n);
+  fill_diagonally_dominant(orig.view(), rng);
+  Matrix base(n, n), look(n, n);
+  base.view().copy_from(orig.view());
+  look.view().copy_from(orig.view());
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kSwitched, 1e-3, 1e-3, true}};
+  const KernelCosts costs;
+  const MpReport r_base = run_mp_lu(m, d, base.view(), block, costs, false);
+  const MpReport r_look = run_mp_lu(m, d, look.view(), block, costs, true);
+
+  // Identical arithmetic (only the virtual schedule differs).
+  EXPECT_LT(max_abs_diff(base.view(), look.view()), 0.0 + 1e-15);
+  // Same total work.
+  for (std::size_t i = 0; i < r_base.busy.size(); ++i)
+    EXPECT_NEAR(r_base.busy[i], r_look.busy[i], 1e-9);
+  // Lookahead takes the panel off the critical path: never slower.
+  EXPECT_LE(r_look.makespan, r_base.makespan + 1e-9);
+}
+
+TEST(MpLu, LookaheadHelpsWhenPanelOwnerIsLoaded) {
+  // A grid whose fastest processor owns the panel column under
+  // block-cyclic: the serial panel chain is the bottleneck, and deferring
+  // the rest-updates shortens the makespan measurably.
+  const std::size_t n = 64, block = 4;
+  Rng rng(49);
+  Matrix a1(n, n), a2(n, n);
+  fill_diagonally_dominant(a1.view(), rng);
+  a2.view().copy_from(a1.view());
+  const CycleTimeGrid g(2, 2, {1.0, 1.0, 1.0, 1.0});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, NetworkModel::free()};
+  const KernelCosts costs;
+  const double t0 = run_mp_lu(m, d, a1.view(), block, costs, false).makespan;
+  const double t1 = run_mp_lu(m, d, a2.view(), block, costs, true).makespan;
+  EXPECT_LT(t1, t0);
+}
+
+TEST(MpLu, MessageTrafficScalesWithProblem) {
+  Rng rng(44);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, NetworkModel::free()};
+  Matrix small(16, 16), large(32, 32);
+  fill_diagonally_dominant(small.view(), rng);
+  fill_diagonally_dominant(large.view(), rng);
+  const MpReport r_small = run_mp_lu(m, d, small.view(), 4);
+  const MpReport r_large = run_mp_lu(m, d, large.view(), 4);
+  EXPECT_GT(r_large.messages, r_small.messages);
+  EXPECT_GT(r_large.blocks_moved, r_small.blocks_moved);
+}
+
+}  // namespace
+}  // namespace hetgrid

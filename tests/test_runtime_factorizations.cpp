@@ -1,0 +1,334 @@
+// Tests for the distributed QR and Cholesky virtual-runtime kernels.
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+#include "dist/panel_distribution.hpp"
+#include "matrix/cholesky.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/qr.hpp"
+#include "runtime/virtual_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+Machine free_machine(CycleTimeGrid grid) {
+  return Machine{std::move(grid), NetworkModel::free()};
+}
+
+// ----------------------------------------------------- block reflector T
+
+TEST(QrFormT, SingleReflectorIsTau) {
+  Rng rng(1);
+  Matrix panel(6, 1);
+  fill_random(panel.view(), rng);
+  const QrResult res = qr_factor(panel.view());
+  const Matrix t = qr_form_t(panel.view(), res.tau);
+  EXPECT_DOUBLE_EQ(t(0, 0), res.tau[0]);
+}
+
+TEST(QrFormT, BlockReflectorEqualsReflectorProduct) {
+  // (I - V T V^T) x must equal H_0 H_1 ... H_{b-1} x = Q^T' ... applied via
+  // qr_apply_qt's reflector loop on a tall panel.
+  Rng rng(2);
+  const std::size_t m = 10, b = 4;
+  Matrix panel(m, b);
+  fill_random(panel.view(), rng);
+  Matrix packed(m, b);
+  packed.view().copy_from(panel.view());
+  const QrResult res = qr_factor(packed.view());
+  const Matrix t = qr_form_t(packed.view(), res.tau);
+
+  // V: unit lower trapezoid.
+  Matrix v(m, b, 0.0);
+  for (std::size_t j = 0; j < b; ++j) {
+    v(j, j) = 1.0;
+    for (std::size_t i = j + 1; i < m; ++i) v(i, j) = packed(i, j);
+  }
+
+  Rng rng2(3);
+  Matrix x(m, 2), x_wy(m, 2);
+  fill_random(x.view(), rng2);
+  x_wy.view().copy_from(x.view());
+
+  // Reference: apply reflectors in forward order (this is Q^T x).
+  qr_apply_qt(packed.view(), res.tau, x.view());
+
+  // Compact WY: Q^T = I - V T^T V^T  (since Q = H_0...H_{b-1} = I - V T V^T,
+  // Q^T = I - V T^T V^T).
+  Matrix w(b, 2, 0.0);
+  gemm(Trans::Yes, Trans::No, 1.0, v.view(), x_wy.view(), 0.0, w.view());
+  Matrix y(b, 2, 0.0);
+  gemm(Trans::Yes, Trans::No, 1.0, t.view(), w.view(), 0.0, y.view());
+  gemm(Trans::No, Trans::No, -1.0, v.view(), y.view(), 1.0, x_wy.view());
+
+  EXPECT_LT(max_abs_diff(x.view(), x_wy.view()), 1e-12);
+}
+
+// ----------------------------------------------------- distributed QR
+
+TEST(RuntimeQr, ReconstructsOriginalMatrix) {
+  const std::size_t n = 24, block = 6;
+  Rng rng(11);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::from_counts(
+      {3, 1}, {2, 1}, g, PanelOrder::kContiguous, PanelOrder::kContiguous,
+      "het");
+  const VirtualQrReport rep =
+      run_distributed_qr(free_machine(g), d, a.view(), block);
+  ASSERT_EQ(rep.tau.size(), n);
+
+  const Matrix qmat = qr_form_q(a.view(), rep.tau);
+  Matrix r(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) r(i, j) = a(i, j);
+  Matrix prod(n, n, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, qmat.view(), r.view(), 0.0, prod.view());
+  EXPECT_LT(max_abs_diff(prod.view(), orig.view()), 1e-10);
+}
+
+TEST(RuntimeQr, MatchesSequentialUnblockedFactors) {
+  // The blocked compact-WY algorithm produces the same packed reflectors
+  // and R as the unblocked sequential QR, up to roundoff.
+  const std::size_t n = 18, block = 6;
+  Rng rng(12);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);
+  Matrix seq(n, n), par(n, n);
+  seq.view().copy_from(orig.view());
+  par.view().copy_from(orig.view());
+
+  const QrResult sres = qr_factor(seq.view());
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const VirtualQrReport rep =
+      run_distributed_qr(free_machine(g), d, par.view(), block);
+
+  EXPECT_LT(max_abs_diff(seq.view(), par.view()), 1e-10);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(sres.tau[i], rep.tau[i], 1e-10) << "tau " << i;
+}
+
+TEST(RuntimeQr, RaggedBlocksStillCorrect) {
+  const std::size_t n = 22, block = 5;
+  Rng rng(13);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const VirtualQrReport rep =
+      run_distributed_qr(free_machine(g), d, a.view(), block);
+
+  const Matrix qmat = qr_form_q(a.view(), rep.tau);
+  Matrix r(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) r(i, j) = a(i, j);
+  Matrix prod(n, n, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, qmat.view(), r.view(), 0.0, prod.view());
+  EXPECT_LT(max_abs_diff(prod.view(), orig.view()), 1e-10);
+}
+
+TEST(RuntimeQr, ChargesMoreThanLuOnSameMachine) {
+  const std::size_t n = 24, block = 4;
+  Rng rng(14);
+  Matrix a1(n, n), a2(n, n);
+  fill_diagonally_dominant(a1.view(), rng);
+  a2.view().copy_from(a1.view());
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m = free_machine(g);
+  const VirtualLuReport lu = run_distributed_lu(m, d, a1.view(), block);
+  const VirtualQrReport qr = run_distributed_qr(m, d, a2.view(), block);
+  EXPECT_GT(qr.compute_time, lu.compute_time);
+}
+
+// ----------------------------------------------------- distributed Cholesky
+
+TEST(RuntimeCholesky, ReconstructsSpdMatrix) {
+  const std::size_t n = 24, block = 6;
+  Rng rng(21);
+  Matrix orig(n, n);
+  fill_spd(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::from_counts(
+      {3, 1}, {2, 1}, g, PanelOrder::kContiguous, PanelOrder::kInterleaved,
+      "het");
+  const VirtualCholeskyReport rep =
+      run_distributed_cholesky(free_machine(g), d, a.view(), block);
+  ASSERT_TRUE(rep.factorized);
+  const Matrix rec = cholesky_reconstruct(a.view());
+  EXPECT_LT(max_abs_diff(rec.view(), orig.view()) / norm_max(orig.view()),
+            1e-12);
+}
+
+TEST(RuntimeCholesky, MatchesSequentialBlockedFactors) {
+  const std::size_t n = 20, block = 5;
+  Rng rng(22);
+  Matrix orig(n, n);
+  fill_spd(orig.view(), rng);
+  Matrix seq(n, n), par(n, n);
+  seq.view().copy_from(orig.view());
+  par.view().copy_from(orig.view());
+
+  ASSERT_TRUE(cholesky_factor_blocked(seq.view(), block));
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  ASSERT_TRUE(run_distributed_cholesky(free_machine(g), d, par.view(), block)
+                  .factorized);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j; i < n; ++i)
+      EXPECT_NEAR(seq(i, j), par(i, j), 1e-10) << i << "," << j;
+}
+
+TEST(RuntimeCholesky, VirtualComputeMatchesSimulator) {
+  const std::size_t n = 24, block = 4, nb = n / block;
+  Rng rng(23);
+  Matrix a(n, n);
+  fill_spd(a.view(), rng);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m = free_machine(g);
+  const VirtualCholeskyReport vr =
+      run_distributed_cholesky(m, d, a.view(), block);
+  const SimReport sr = simulate_cholesky(m, d, nb);
+  EXPECT_NEAR(vr.compute_time, sr.compute_time, 1e-9);
+  for (std::size_t i = 0; i < vr.busy.size(); ++i)
+    EXPECT_NEAR(vr.busy[i], sr.busy[i], 1e-9) << "proc " << i;
+}
+
+TEST(RuntimeCholesky, ReportsNonSpdMatrix) {
+  Matrix a(6, 6, 0.0);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) = -1.0;
+  const Machine m = free_machine(CycleTimeGrid(1, 1, {1.0}));
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  EXPECT_FALSE(
+      run_distributed_cholesky(m, d, a.view(), 2).factorized);
+}
+
+TEST(RuntimeCholesky, CheaperThanLuOnSameMatrix) {
+  // Cholesky does about half the work of LU (triangular trailing update).
+  const std::size_t n = 32, block = 4;
+  Rng rng(24);
+  Matrix spd(n, n);
+  fill_spd(spd.view(), rng);
+  Matrix a_lu(n, n), a_ch(n, n);
+  a_lu.view().copy_from(spd.view());
+  a_ch.view().copy_from(spd.view());
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m = free_machine(g);
+  const double t_lu =
+      run_distributed_lu(m, d, a_lu.view(), block).compute_time;
+  const double t_ch =
+      run_distributed_cholesky(m, d, a_ch.view(), block).compute_time;
+  EXPECT_LT(t_ch, t_lu);
+}
+
+// ----------------------------------------------------- pivoted LU
+
+TEST(RuntimePivotedLu, MatchesSequentialBlockedFactorsExactly) {
+  // Same pivot path as lu_factor_blocked => identical factors and ipiv.
+  const std::size_t n = 24, block = 6;
+  Rng rng(61);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);  // general matrix: pivoting required
+  Matrix seq(n, n), par(n, n);
+  seq.view().copy_from(orig.view());
+  par.view().copy_from(orig.view());
+
+  const LuResult sres = lu_factor_blocked(seq.view(), block);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const VirtualPivotedLuReport rep = run_distributed_lu_pivoted(
+      free_machine(g), d, par.view(), block);
+
+  EXPECT_FALSE(rep.singular);
+  EXPECT_EQ(rep.piv, sres.piv);
+  EXPECT_LT(max_abs_diff(seq.view(), par.view()), 1e-12);
+}
+
+TEST(RuntimePivotedLu, SolvesGeneralSystem) {
+  const std::size_t n = 30, block = 5;
+  Rng rng(62);
+  Matrix a_orig(n, n);
+  fill_random(a_orig.view(), rng);
+  Matrix x_true(n, 1);
+  fill_random(x_true.view(), rng);
+  Matrix b(n, 1, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, a_orig.view(), x_true.view(), 0.0,
+       b.view());
+
+  Matrix lu(n, n);
+  lu.view().copy_from(a_orig.view());
+  const CycleTimeGrid g(2, 3, {1, 2, 3, 2, 4, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 3);
+  const VirtualPivotedLuReport rep = run_distributed_lu_pivoted(
+      free_machine(g), d, lu.view(), block);
+  ASSERT_FALSE(rep.singular);
+  lu_solve(lu.view(), rep.piv, b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x_true.view()), 1e-9);
+}
+
+TEST(RuntimePivotedLu, ChargesSwapCommunication) {
+  const std::size_t n = 24, block = 4;
+  Rng rng(63);
+  Matrix a(n, n);
+  fill_random(a.view(), rng);
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  Machine m = free_machine(g);
+  m.net = {Topology::kSwitched, 1e-3, 1e-3, true};
+  const VirtualPivotedLuReport rep =
+      run_distributed_lu_pivoted(m, d, a.view(), block);
+  // With random data, cross-grid-row pivot swaps are all but certain.
+  EXPECT_GT(rep.comm_time, 0.0);
+}
+
+TEST(RuntimePivotedLu, DetectsSingularMatrix) {
+  Matrix a(6, 6, 1.0);  // rank 1
+  const Machine m = free_machine(CycleTimeGrid(1, 1, {1.0}));
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  const VirtualPivotedLuReport rep =
+      run_distributed_lu_pivoted(m, d, a.view(), 2);
+  EXPECT_TRUE(rep.singular);
+}
+
+// ----------------------------------------------------- simulator parity
+
+TEST(SimCholesky, PerfectBoundAndMonotonicity) {
+  Rng rng(25);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.05));
+    const Machine m{g, NetworkModel::free()};
+    const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+    const SimReport rep = simulate_cholesky(m, d, 16);
+    EXPECT_GE(rep.total_time, rep.perfect_compute_bound - 1e-9);
+    EXPECT_DOUBLE_EQ(rep.total_time, rep.compute_time + rep.comm_time);
+  }
+}
+
+TEST(SimCholesky, HeterogeneousPanelBeatsBlockCyclic) {
+  const HeuristicResult h = solve_heuristic(2, 2, {1, 2, 3, 6});
+  const Machine m{h.final().grid, NetworkModel::free()};
+  const PanelDistribution het = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+      PanelOrder::kInterleaved, "het");
+  const PanelDistribution bc = PanelDistribution::block_cyclic(2, 2);
+  EXPECT_LT(simulate_cholesky(m, het, 48).total_time,
+            simulate_cholesky(m, bc, 48).total_time);
+}
+
+}  // namespace
+}  // namespace hetgrid

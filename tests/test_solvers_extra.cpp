@@ -1,0 +1,177 @@
+// Tests for the closed-form 2x2 solver, the local-search arrangement
+// solver, and the workload generators.
+#include <gtest/gtest.h>
+
+#include "core/exact2x2.hpp"
+#include "core/exact_solver.hpp"
+#include "core/arrangement.hpp"
+#include "core/heuristic.hpp"
+#include "core/local_search.hpp"
+#include "util/rng.hpp"
+#include "util/workloads.hpp"
+
+namespace hetgrid {
+namespace {
+
+// ----------------------------------------------------- exact 2x2
+
+TEST(Exact2x2, MatchesEnumerativeSolverOnRandomGrids) {
+  Rng rng(71);
+  for (int trial = 0; trial < 200; ++trial) {
+    const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.02));
+    const Exact2x2Solution closed = solve_exact_2x2(g);
+    const ExactSolution enumerated = solve_exact(g);
+    EXPECT_NEAR(closed.obj2, enumerated.obj2, 1e-9 * closed.obj2)
+        << "trial " << trial;
+    EXPECT_TRUE(is_feasible(g, closed.alloc, 1e-9));
+  }
+}
+
+TEST(Exact2x2, Rank1GridHasAllConstraintsTight) {
+  const Exact2x2Solution sol =
+      solve_exact_2x2(CycleTimeGrid(2, 2, {1, 2, 3, 6}));
+  EXPECT_EQ(sol.slack_constraint, 4);
+  EXPECT_NEAR(sol.obj2, 2.0, 1e-12);
+}
+
+TEST(Exact2x2, PaperCounterexampleHasOneSlackProcessor) {
+  // {1,2;3,5}: perfect balance impossible, so exactly one processor idles
+  // at the optimum.
+  const Exact2x2Solution sol =
+      solve_exact_2x2(CycleTimeGrid(2, 2, {1, 2, 3, 5}));
+  EXPECT_NE(sol.slack_constraint, 4);
+  EXPECT_LT(sol.obj2, 1.0 + 0.5 + 1.0 / 3.0 + 0.2 - 1e-6);
+}
+
+TEST(Exact2x2, RejectsWrongShape) {
+  EXPECT_THROW(solve_exact_2x2(CycleTimeGrid(2, 3, {1, 2, 3, 4, 5, 6})),
+               PreconditionError);
+}
+
+// ----------------------------------------------------- local search
+
+TEST(LocalSearch, NeverWorseThanItsStartingPoint) {
+  Rng rng(72);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t p = 2 + rng.below(2), q = 2 + rng.below(2);
+    const HeuristicResult h =
+        solve_heuristic(p, q, rng.cycle_times(p * q, 0.05));
+    const LocalSearchResult ls = local_search(h.final().grid);
+    EXPECT_GE(ls.obj2, h.final().obj2 - 1e-9) << "trial " << trial;
+    EXPECT_TRUE(is_feasible(ls.grid, ls.alloc, 1e-8));
+    EXPECT_TRUE(ls.local_optimum);
+  }
+}
+
+TEST(LocalSearch, ClosesPartOfTheGapToOptimal) {
+  Rng rng(73);
+  double heur_total = 0.0, ls_total = 0.0, opt_total = 0.0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(6, 0.05);
+    const HeuristicResult h = solve_heuristic(2, 3, pool);
+    const LocalSearchResult ls = solve_local_search(2, 3, pool);
+    const OptimalArrangement opt = solve_optimal_arrangement(2, 3, pool);
+    heur_total += h.final().obj2;
+    ls_total += ls.obj2;
+    opt_total += opt.solution.obj2;
+    EXPECT_LE(ls.obj2, opt.solution.obj2 + 1e-9);
+  }
+  EXPECT_GE(ls_total, heur_total);
+  // On aggregate local search recovers a meaningful share of the gap.
+  EXPECT_GT(ls_total - heur_total, 0.1 * (opt_total - heur_total));
+}
+
+TEST(LocalSearch, ExactAllocatorFindsOptimalArrangementOften) {
+  Rng rng(74);
+  LocalSearchOptions opts;
+  opts.allocator = [](const CycleTimeGrid& g) {
+    return solve_exact(g).alloc;
+  };
+  int hits = 0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::vector<double> pool = rng.cycle_times(4, 0.05);
+    const LocalSearchResult ls = solve_local_search(2, 2, pool, opts);
+    const OptimalArrangement opt = solve_optimal_arrangement(2, 2, pool);
+    if (std::abs(ls.obj2 - opt.solution.obj2) < 1e-9 * opt.solution.obj2)
+      ++hits;
+  }
+  // 2x2 has only two non-decreasing arrangements; swap search with the
+  // exact evaluator should essentially always land on the optimum.
+  EXPECT_GE(hits, trials - 1);
+}
+
+TEST(LocalSearch, HomogeneousPoolHasNoImprovingSwap) {
+  const LocalSearchResult ls =
+      solve_local_search(2, 2, std::vector<double>(4, 1.0));
+  EXPECT_EQ(ls.swaps, 0);
+  EXPECT_TRUE(ls.local_optimum);
+}
+
+TEST(LocalSearch, SwapCapRespected) {
+  Rng rng(75);
+  LocalSearchOptions opts;
+  opts.max_swaps = 1;
+  const LocalSearchResult ls =
+      solve_local_search(3, 3, rng.cycle_times(9, 0.05), opts);
+  EXPECT_LE(ls.swaps, 1);
+}
+
+// ----------------------------------------------------- workloads
+
+TEST(Workloads, AllKindsProducePositiveTimes) {
+  Rng rng(76);
+  for (WorkloadKind kind : kAllWorkloadKinds) {
+    const auto t = draw_cycle_times(kind, 200, rng);
+    EXPECT_EQ(t.size(), 200u);
+    for (double v : t) EXPECT_GT(v, 0.0) << workload_name(kind);
+  }
+}
+
+TEST(Workloads, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (WorkloadKind kind : kAllWorkloadKinds)
+    names.insert(workload_name(kind));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Workloads, TwoGenerationsIsBimodal) {
+  Rng rng(77);
+  const auto t = draw_cycle_times(WorkloadKind::kTwoGenerations, 100, rng);
+  int fast = 0, slow = 0;
+  for (double v : t) {
+    if (v <= 0.2) ++fast;
+    if (v >= 0.5) ++slow;
+  }
+  EXPECT_EQ(fast, 50);
+  EXPECT_EQ(slow, 50);
+}
+
+TEST(Workloads, NearHomogeneousHasSmallSpread) {
+  Rng rng(78);
+  const auto t = draw_cycle_times(WorkloadKind::kNearHomogeneous, 100, rng);
+  const double mx = *std::max_element(t.begin(), t.end());
+  const double mn = *std::min_element(t.begin(), t.end());
+  EXPECT_LT(mx / mn, 1.25);
+}
+
+TEST(Workloads, PowerTailIsCapped) {
+  Rng rng(79);
+  for (double v : draw_cycle_times(WorkloadKind::kPowerTail, 500, rng))
+    EXPECT_LE(v, 10.0);
+}
+
+TEST(Workloads, SolversHandleEveryKind) {
+  Rng rng(80);
+  for (WorkloadKind kind : kAllWorkloadKinds) {
+    const auto pool = draw_cycle_times(kind, 9, rng);
+    const HeuristicResult h = solve_heuristic(3, 3, pool);
+    EXPECT_TRUE(is_feasible(h.final().grid, h.final().alloc, 1e-8))
+        << workload_name(kind);
+    EXPECT_TRUE(is_tight(h.final().grid, h.final().alloc, 1e-8))
+        << workload_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,194 @@
+// Tests for the SVD kernels backing the paper's Section 4.4 heuristic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/gemm.hpp"
+#include "matrix/norms.hpp"
+#include "svd/svd.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(m, n);
+  fill_random(a.view(), rng);
+  return a;
+}
+
+Matrix positive_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(m, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) a(i, j) = 0.1 + rng.uniform();
+  return a;
+}
+
+// ----------------------------------------------------- dominant triplet
+
+TEST(DominantTriplet, ExactOnDiagonalMatrix) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 5.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 1.0;
+  const SingularTriplet t = dominant_triplet(a.view());
+  EXPECT_NEAR(t.sigma, 5.0, 1e-10);
+  EXPECT_NEAR(std::abs(t.u[0]), 1.0, 1e-8);
+  EXPECT_NEAR(std::abs(t.v[0]), 1.0, 1e-8);
+}
+
+TEST(DominantTriplet, ExactOnRank1Matrix) {
+  // m = 3 * u * v^T with u = (3,4)/5, v = (1,0).
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 3.0 * 0.6;
+  m(1, 0) = 3.0 * 0.8;
+  const SingularTriplet t = dominant_triplet(m.view());
+  EXPECT_NEAR(t.sigma, 3.0, 1e-12);
+  EXPECT_NEAR(t.u[0], 0.6, 1e-10);
+  EXPECT_NEAR(t.u[1], 0.8, 1e-10);
+  EXPECT_NEAR(t.v[0], 1.0, 1e-10);
+}
+
+TEST(DominantTriplet, UnitNormVectors) {
+  const Matrix a = positive_matrix(5, 7, 3);
+  const SingularTriplet t = dominant_triplet(a.view());
+  double un = 0.0, vn = 0.0;
+  for (double x : t.u) un += x * x;
+  for (double x : t.v) vn += x * x;
+  EXPECT_NEAR(un, 1.0, 1e-12);
+  EXPECT_NEAR(vn, 1.0, 1e-12);
+}
+
+TEST(DominantTriplet, SignConventionIsDeterministic) {
+  const Matrix a = random_matrix(4, 4, 10);
+  const SingularTriplet t1 = dominant_triplet(a.view());
+  const SingularTriplet t2 = dominant_triplet(a.view());
+  EXPECT_GE(t1.v[0], 0.0);
+  for (std::size_t i = 0; i < t1.v.size(); ++i)
+    EXPECT_DOUBLE_EQ(t1.v[i], t2.v[i]);
+}
+
+TEST(DominantTriplet, PositiveMatrixGivesPositiveVectors) {
+  // Perron–Frobenius: the dominant singular vectors of an entrywise
+  // positive matrix are entrywise positive (after the sign convention) —
+  // the property the heuristic relies on for r_i, c_j > 0.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Matrix a = positive_matrix(4, 5, 100 + seed);
+    const SingularTriplet t = dominant_triplet(a.view());
+    for (double x : t.u) EXPECT_GT(x, 0.0) << "seed " << seed;
+    for (double x : t.v) EXPECT_GT(x, 0.0) << "seed " << seed;
+  }
+}
+
+TEST(DominantTriplet, MatchesJacobiSigma) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Matrix a = random_matrix(6, 4, 200 + seed);
+    const SingularTriplet t = dominant_triplet(a.view());
+    const SvdResult full = jacobi_svd(a.view());
+    EXPECT_NEAR(t.sigma, full.sigma[0], 1e-8 * full.sigma[0])
+        << "seed " << seed;
+  }
+}
+
+TEST(DominantTriplet, ZeroMatrixGivesZeroSigma) {
+  Matrix a(3, 3, 0.0);
+  const SingularTriplet t = dominant_triplet(a.view());
+  EXPECT_DOUBLE_EQ(t.sigma, 0.0);
+}
+
+// ----------------------------------------------------- jacobi svd
+
+class JacobiShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(JacobiShapes, ReconstructsMatrix) {
+  const auto [m, n] = GetParam();
+  const Matrix a =
+      random_matrix(m, n, static_cast<std::uint64_t>(m * 100 + n));
+  const SvdResult svd = jacobi_svd(a.view());
+
+  const std::size_t k = svd.sigma.size();
+  Matrix us(m, k, 0.0);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i)
+      us(i, j) = svd.u(i, j) * svd.sigma[j];
+  Matrix rec(m, n, 0.0);
+  gemm(Trans::No, Trans::Yes, 1.0, us.view(), svd.v.view(), 0.0, rec.view());
+  EXPECT_LT(max_abs_diff(rec.view(), a.view()), 1e-10);
+}
+
+TEST_P(JacobiShapes, SigmasSortedAndNonNegative) {
+  const auto [m, n] = GetParam();
+  const Matrix a =
+      random_matrix(m, n, static_cast<std::uint64_t>(m * 51 + n));
+  const SvdResult svd = jacobi_svd(a.view());
+  for (std::size_t i = 0; i + 1 < svd.sigma.size(); ++i)
+    EXPECT_GE(svd.sigma[i], svd.sigma[i + 1]);
+  for (double s : svd.sigma) EXPECT_GE(s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, JacobiShapes,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(3, 3),
+                                           std::make_pair(5, 3),
+                                           std::make_pair(3, 5),
+                                           std::make_pair(12, 12)));
+
+TEST(JacobiSvd, SingularValuesOfKnownMatrix) {
+  // [[3, 0], [0, -4]] has singular values {4, 3}.
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = -4.0;
+  const SvdResult svd = jacobi_svd(a.view());
+  EXPECT_NEAR(svd.sigma[0], 4.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[1], 3.0, 1e-12);
+}
+
+TEST(JacobiSvd, FrobeniusNormIsSigmaNorm) {
+  const Matrix a = random_matrix(7, 5, 301);
+  const SvdResult svd = jacobi_svd(a.view());
+  double sum = 0.0;
+  for (double s : svd.sigma) sum += s * s;
+  EXPECT_NEAR(std::sqrt(sum), norm_frobenius(a.view()), 1e-10);
+}
+
+// ----------------------------------------------------- rank-1 machinery
+
+TEST(Rank1Approximation, EckartYoungError) {
+  // The best rank-1 approximation error (Frobenius) is
+  // sqrt(sum_{i>=2} sigma_i^2).
+  const Matrix a = random_matrix(6, 6, 401);
+  const SvdResult svd = jacobi_svd(a.view());
+  double tail = 0.0;
+  for (std::size_t i = 1; i < svd.sigma.size(); ++i)
+    tail += svd.sigma[i] * svd.sigma[i];
+
+  const Matrix r1 = rank1_approximation(a.view());
+  Matrix diff(6, 6);
+  diff.view().copy_from(a.view());
+  for (std::size_t j = 0; j < 6; ++j)
+    for (std::size_t i = 0; i < 6; ++i) diff(i, j) -= r1(i, j);
+  EXPECT_NEAR(norm_frobenius(diff.view()), std::sqrt(tail), 1e-8);
+}
+
+TEST(Rank1Defect, ZeroForRank1Matrix) {
+  Matrix a(3, 4, 0.0);
+  const double u[] = {1.0, 2.0, 3.0};
+  const double v[] = {1.0, 0.5, 2.0, 4.0};
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 3; ++i) a(i, j) = u[i] * v[j];
+  EXPECT_LT(rank1_defect(a.view()), 1e-12);
+}
+
+TEST(Rank1Defect, PositiveForFullRankMatrix) {
+  EXPECT_GT(rank1_defect(Matrix::identity(3).view()), 0.1);
+}
+
+TEST(Rank1Defect, ZeroMatrixHasZeroDefect) {
+  Matrix a(2, 2, 0.0);
+  EXPECT_DOUBLE_EQ(rank1_defect(a.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -1,0 +1,280 @@
+// hetgrid command-line interface.
+//
+// Subcommands:
+//   solve     --times=1,2,3,6 --p=2 --q=2 [--solver=heuristic|exact|auto]
+//             solve the 2D load-balancing problem, print the arrangement,
+//             shares, workload matrix, and objective.
+//   design    --times=... [--spread-report]
+//             sweep all grid shapes for the pool and recommend one.
+//   panel     --times=... --p=2 --q=2 --bp=8 --bq=6 [--order=lu|mmm]
+//             print the rounded block panel (slot maps + multiplicities)
+//             and its neighbor census.
+//   simulate  --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=64
+//             [--network=free|switched|ethernet] [--strategy=...]
+//             simulate a kernel under a strategy and print the report.
+//
+// Everything prints aligned tables; add --csv for machine-readable copies.
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hetgrid.hpp"
+#include "util/cli.hpp"
+
+namespace hetgrid::cli {
+
+std::vector<double> parse_times(const std::string& csv) {
+  return parse_positive_list(csv);
+}
+
+void print_allocation(const CycleTimeGrid& grid, const GridAllocation& alloc,
+                      std::ostream& os) {
+  os << "arrangement (cycle-times):\n" << grid.to_string(4);
+  os << "row shares r:";
+  for (double r : alloc.r) os << ' ' << Table::num(r, 4);
+  os << "\ncolumn shares c:";
+  for (double c : alloc.c) os << ' ' << Table::num(c, 4);
+  os << "\nworkload matrix B (busy fractions):\n";
+  const std::vector<double> b = workload_matrix(grid, alloc);
+  for (std::size_t i = 0; i < grid.rows(); ++i) {
+    for (std::size_t j = 0; j < grid.cols(); ++j)
+      os << (j ? " " : "") << Table::num(b[i * grid.cols() + j], 4);
+    os << '\n';
+  }
+  os << "objective (sum r)(sum c) = " << Table::num(obj2_value(alloc), 4)
+     << "  of capacity bound " << Table::num(obj2_upper_bound(grid), 4)
+     << "  (" << Table::num(100.0 * obj2_value(alloc) / obj2_upper_bound(grid),
+                            1)
+     << "%)\naverage workload = "
+     << Table::num(average_workload(grid, alloc), 4) << '\n';
+}
+
+int cmd_solve(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"},
+                 {"solver", "auto"}, {"csv", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+
+  const std::string solver = cli.get_string("solver");
+  if (solver == "heuristic") {
+    const HeuristicResult res = solve_heuristic(p, q, pool);
+    std::cout << "solver: heuristic (" << res.iterations() << " steps, "
+              << (res.converged ? "converged" : "step cap hit") << ")\n";
+    print_allocation(res.final().grid, res.final().alloc, std::cout);
+    return 0;
+  }
+  if (solver == "exact" ||
+      (solver == "auto" && exact_solver_cost(p, q) <= 100000 &&
+       pool.size() <= 10)) {
+    const OptimalArrangement opt = solve_optimal_arrangement(p, q, pool);
+    std::cout << "solver: exact (" << opt.arrangements_tried
+              << " non-decreasing arrangements x "
+              << exact_solver_cost(p, q) << " spanning trees)\n";
+    print_allocation(opt.grid, opt.solution.alloc, std::cout);
+    return 0;
+  }
+  HG_CHECK(solver == "auto", "unknown --solver: " << solver);
+  const HeuristicResult res = solve_heuristic(p, q, pool);
+  std::cout << "solver: heuristic (exact too costly for this size; "
+            << res.iterations() << " steps)\n";
+  print_allocation(res.final().grid, res.final().alloc, std::cout);
+  return 0;
+}
+
+int cmd_design(int argc, const char* const* argv) {
+  const Cli cli(argc, argv, {{"times", ""}, {"csv", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const std::size_t n = pool.size();
+
+  Table table("grid shapes for " + std::to_string(n) + " processors");
+  table.header({"shape", "obj2", "efficiency", "steps"});
+  double best_eff = 0.0;
+  std::string best;
+  for (std::size_t p = 1; p <= n; ++p) {
+    if (n % p != 0) continue;
+    const std::size_t q = n / p;
+    const HeuristicResult h = solve_heuristic(p, q, pool);
+    const double eff = h.final().obj2 / obj2_upper_bound(h.final().grid);
+    table.row({std::to_string(p) + "x" + std::to_string(q),
+               Table::num(h.final().obj2, 4), Table::num(eff, 4),
+               Table::num(static_cast<std::int64_t>(h.iterations()))});
+    if (eff > best_eff) {
+      best_eff = eff;
+      best = std::to_string(p) + "x" + std::to_string(q);
+    }
+  }
+  table.print(std::cout);
+  if (cli.get_bool("csv")) table.print_csv(std::cout);
+  std::cout << "recommended: " << best << " ("
+            << Table::num(100.0 * best_eff, 1) << "% of aggregate speed)\n";
+  return 0;
+}
+
+int cmd_panel(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"}, {"bp", "0"},
+                 {"bq", "0"}, {"order", "lu"}, {"csv", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+  const auto bp = static_cast<std::size_t>(cli.get_int("bp"));
+  const auto bq = static_cast<std::size_t>(cli.get_int("bq"));
+  HG_CHECK(bp >= p && bq >= q, "--bp/--bq must be at least --p/--q");
+  const std::string order = cli.get_string("order");
+  HG_CHECK(order == "lu" || order == "mmm",
+           "--order must be lu (interleaved columns) or mmm (contiguous)");
+
+  const HeuristicResult h = solve_heuristic(p, q, pool);
+  const PanelDistribution dist = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, bp, bq, PanelOrder::kContiguous,
+      order == "lu" ? PanelOrder::kInterleaved : PanelOrder::kContiguous,
+      "panel");
+
+  std::cout << "arrangement:\n" << h.final().grid.to_string(4);
+  std::cout << "panel " << bp << "x" << bq << "\nrow slot map:   ";
+  for (std::size_t g : dist.row_map()) std::cout << g << ' ';
+  std::cout << "\ncolumn slot map:";
+  for (std::size_t g : dist.col_map()) std::cout << ' ' << g;
+  std::cout << "\nrow multiplicities:";
+  for (std::size_t m : dist.row_multiplicities()) std::cout << ' ' << m;
+  std::cout << "\ncolumn multiplicities:";
+  for (std::size_t m : dist.col_multiplicities()) std::cout << ' ' << m;
+  const NeighborCensus census = neighbor_census(dist);
+  std::cout << "\naligned (4-neighbor grid pattern): "
+            << (census.grid_pattern() ? "yes" : "no")
+            << "\nmax west neighbors: " << census.max_west_neighbors
+            << ", max north neighbors: " << census.max_north_neighbors
+            << '\n';
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"},
+                 {"kernel", "mmm"}, {"nb", "64"}, {"network", "switched"},
+                 {"strategy", "heuristic"}, {"scale", "8"}, {"csv", "0"},
+                 {"trace", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+  const auto nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const auto scale = static_cast<std::size_t>(cli.get_int("scale"));
+
+  NetworkModel net;
+  const std::string network = cli.get_string("network");
+  if (network == "free")
+    net = NetworkModel::free();
+  else if (network == "switched")
+    net = {Topology::kSwitched, 1e-4, 2e-4, true};
+  else if (network == "ethernet")
+    net = {Topology::kEthernet, 1e-4, 2e-4, true};
+  else
+    HG_CHECK(false, "unknown --network: " << network);
+
+  const std::string strategy = cli.get_string("strategy");
+  CycleTimeGrid grid = CycleTimeGrid::sorted_row_major(p, q, pool);
+  std::unique_ptr<Distribution2D> dist;
+  if (strategy == "block-cyclic") {
+    dist = std::make_unique<PanelDistribution>(
+        PanelDistribution::block_cyclic(p, q));
+  } else if (strategy == "kl") {
+    dist = std::make_unique<KalinovLastovetskyDistribution>(grid, scale * p,
+                                                            scale * q);
+  } else if (strategy == "heuristic") {
+    const HeuristicResult h = solve_heuristic(p, q, pool);
+    grid = h.final().grid;
+    dist = std::make_unique<PanelDistribution>(
+        PanelDistribution::from_allocation(
+            grid, h.final().alloc, scale * p, scale * q,
+            PanelOrder::kContiguous, PanelOrder::kInterleaved, "heuristic"));
+  } else {
+    HG_CHECK(false, "unknown --strategy: " << strategy
+                                           << " (block-cyclic|kl|heuristic)");
+  }
+
+  const Machine machine{grid, net};
+  const std::string kernel = cli.get_string("kernel");
+  SimReport rep;
+  if (kernel == "mmm")
+    rep = simulate_mmm(machine, *dist, nb);
+  else if (kernel == "lu")
+    rep = simulate_lu(machine, *dist, nb);
+  else if (kernel == "qr")
+    rep = simulate_qr(machine, *dist, nb);
+  else if (kernel == "chol")
+    rep = simulate_cholesky(machine, *dist, nb);
+  else
+    HG_CHECK(false, "unknown --kernel: " << kernel);
+
+  Table table("simulated " + kernel + " (" + std::to_string(nb) + "x" +
+              std::to_string(nb) + " blocks, " + strategy + ", " + network +
+              ")");
+  table.header({"metric", "value"});
+  table.row({"total time (s)", Table::num(rep.total_time, 2)});
+  table.row({"compute time (s)", Table::num(rep.compute_time, 2)});
+  table.row({"comm time (s)", Table::num(rep.comm_time, 2)});
+  table.row({"perfect bound (s)", Table::num(rep.perfect_compute_bound, 2)});
+  table.row({"slowdown vs perfect", Table::num(rep.slowdown_vs_perfect(), 3)});
+  table.row({"avg utilization", Table::num(rep.average_utilization(), 3)});
+  table.print(std::cout);
+  if (cli.get_bool("csv")) table.print_csv(std::cout);
+
+  if (cli.get_bool("trace")) {
+    Table trace("per-step timeline (first and last 5 steps)");
+    trace.header({"step", "panel", "row", "update", "comm"});
+    auto emit_step = [&](const StepRecord& s) {
+      trace.row({Table::num(static_cast<std::int64_t>(s.step)),
+                 Table::num(s.panel, 3), Table::num(s.row, 3),
+                 Table::num(s.update, 3), Table::num(s.comm, 4)});
+    };
+    const std::size_t total = rep.steps.size();
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, total); ++i)
+      emit_step(rep.steps[i]);
+    if (total > 10) trace.row({"...", "", "", "", ""});
+    for (std::size_t i = total > 5 ? std::max<std::size_t>(5, total - 5) : total;
+         i < total; ++i)
+      emit_step(rep.steps[i]);
+    std::cout << '\n';
+    trace.print(std::cout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: hetgrid <solve|design|panel|simulate> [--flags]\n"
+      "  solve    --times=1,2,3,6 --p=2 --q=2 [--solver=heuristic|exact|auto]\n"
+      "  design   --times=0.2,0.3,...\n"
+      "  panel    --times=... --p=2 --q=2 --bp=8 --bq=6 [--order=lu|mmm]\n"
+      "  simulate --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=64\n"
+      "           [--network=free|switched|ethernet]\n"
+      "           [--strategy=block-cyclic|kl|heuristic]\n";
+  return 2;
+}
+
+}  // namespace hetgrid::cli
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  if (argc < 2) return cli::usage();
+  const std::string cmd = argv[1];
+  // Shift argv so the subcommand's flags start at index 1.
+  try {
+    if (cmd == "solve") return cli::cmd_solve(argc - 1, argv + 1);
+    if (cmd == "design") return cli::cmd_design(argc - 1, argv + 1);
+    if (cmd == "panel") return cli::cmd_panel(argc - 1, argv + 1);
+    if (cmd == "simulate") return cli::cmd_simulate(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return cli::usage();
+}
