@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_exact_gap"
+  "../bench/ablation_exact_gap.pdb"
+  "CMakeFiles/ablation_exact_gap.dir/ablation_exact_gap.cpp.o"
+  "CMakeFiles/ablation_exact_gap.dir/ablation_exact_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

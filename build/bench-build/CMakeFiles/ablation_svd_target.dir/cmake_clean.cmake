@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_svd_target"
+  "../bench/ablation_svd_target.pdb"
+  "CMakeFiles/ablation_svd_target.dir/ablation_svd_target.cpp.o"
+  "CMakeFiles/ablation_svd_target.dir/ablation_svd_target.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_svd_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_avg_workload"
+  "../bench/fig6_avg_workload.pdb"
+  "CMakeFiles/fig6_avg_workload.dir/fig6_avg_workload.cpp.o"
+  "CMakeFiles/fig6_avg_workload.dir/fig6_avg_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_avg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

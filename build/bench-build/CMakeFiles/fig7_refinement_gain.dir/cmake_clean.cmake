@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_refinement_gain"
+  "../bench/fig7_refinement_gain.pdb"
+  "CMakeFiles/fig7_refinement_gain.dir/fig7_refinement_gain.cpp.o"
+  "CMakeFiles/fig7_refinement_gain.dir/fig7_refinement_gain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_refinement_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mp_model_fidelity"
+  "../bench/mp_model_fidelity.pdb"
+  "CMakeFiles/mp_model_fidelity.dir/mp_model_fidelity.cpp.o"
+  "CMakeFiles/mp_model_fidelity.dir/mp_model_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

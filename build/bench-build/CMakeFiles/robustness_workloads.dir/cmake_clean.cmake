@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_workloads"
+  "../bench/robustness_workloads.pdb"
+  "CMakeFiles/robustness_workloads.dir/robustness_workloads.cpp.o"
+  "CMakeFiles/robustness_workloads.dir/robustness_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scalability_1d_vs_2d"
+  "../bench/scalability_1d_vs_2d.pdb"
+  "CMakeFiles/scalability_1d_vs_2d.dir/scalability_1d_vs_2d.cpp.o"
+  "CMakeFiles/scalability_1d_vs_2d.dir/scalability_1d_vs_2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_1d_vs_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_lu_strategies"
+  "../bench/sim_lu_strategies.pdb"
+  "CMakeFiles/sim_lu_strategies.dir/sim_lu_strategies.cpp.o"
+  "CMakeFiles/sim_lu_strategies.dir/sim_lu_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_lu_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_mmm_strategies"
+  "../bench/sim_mmm_strategies.pdb"
+  "CMakeFiles/sim_mmm_strategies.dir/sim_mmm_strategies.cpp.o"
+  "CMakeFiles/sim_mmm_strategies.dir/sim_mmm_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_mmm_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_worked_examples"
+  "../bench/table_worked_examples.pdb"
+  "CMakeFiles/table_worked_examples.dir/table_worked_examples.cpp.o"
+  "CMakeFiles/table_worked_examples.dir/table_worked_examples.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_worked_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/grid_designer.cpp" "examples/CMakeFiles/grid_designer.dir/grid_designer.cpp.o" "gcc" "examples/CMakeFiles/grid_designer.dir/grid_designer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hetgrid_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetgrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hetgrid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetgrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/hetgrid_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hetgrid_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/hetgrid_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_designer.dir/grid_designer.cpp.o"
+  "CMakeFiles/grid_designer.dir/grid_designer.cpp.o.d"
+  "grid_designer"
+  "grid_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

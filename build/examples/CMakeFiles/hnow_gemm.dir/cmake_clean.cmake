@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnow_gemm.dir/hnow_gemm.cpp.o"
+  "CMakeFiles/hnow_gemm.dir/hnow_gemm.cpp.o.d"
+  "hnow_gemm"
+  "hnow_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnow_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

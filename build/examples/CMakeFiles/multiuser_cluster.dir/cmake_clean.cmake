@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_cluster.dir/multiuser_cluster.cpp.o"
+  "CMakeFiles/multiuser_cluster.dir/multiuser_cluster.cpp.o.d"
+  "multiuser_cluster"
+  "multiuser_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_least_squares.dir/qr_least_squares.cpp.o"
+  "CMakeFiles/qr_least_squares.dir/qr_least_squares.cpp.o.d"
+  "qr_least_squares"
+  "qr_least_squares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_least_squares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qr_least_squares.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloc1d.cpp" "src/core/CMakeFiles/hetgrid_core.dir/alloc1d.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/alloc1d.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/hetgrid_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/arrangement.cpp" "src/core/CMakeFiles/hetgrid_core.dir/arrangement.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/arrangement.cpp.o.d"
+  "/root/repo/src/core/cycle_time_grid.cpp" "src/core/CMakeFiles/hetgrid_core.dir/cycle_time_grid.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/cycle_time_grid.cpp.o.d"
+  "/root/repo/src/core/exact2x2.cpp" "src/core/CMakeFiles/hetgrid_core.dir/exact2x2.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/exact2x2.cpp.o.d"
+  "/root/repo/src/core/exact_solver.cpp" "src/core/CMakeFiles/hetgrid_core.dir/exact_solver.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/core/heuristic.cpp" "src/core/CMakeFiles/hetgrid_core.dir/heuristic.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/heuristic.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/hetgrid_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/rank1_solver.cpp" "src/core/CMakeFiles/hetgrid_core.dir/rank1_solver.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/rank1_solver.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/hetgrid_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/hetgrid_core.dir/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetgrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/hetgrid_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/hetgrid_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hetgrid_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

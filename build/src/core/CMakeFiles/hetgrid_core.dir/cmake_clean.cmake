@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_core.dir/alloc1d.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/alloc1d.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/allocation.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/arrangement.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/arrangement.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/cycle_time_grid.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/cycle_time_grid.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/exact2x2.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/exact2x2.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/exact_solver.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/heuristic.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/heuristic.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/local_search.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/rank1_solver.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/rank1_solver.cpp.o.d"
+  "CMakeFiles/hetgrid_core.dir/rounding.cpp.o"
+  "CMakeFiles/hetgrid_core.dir/rounding.cpp.o.d"
+  "libhetgrid_core.a"
+  "libhetgrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_dist.dir/distribution.cpp.o"
+  "CMakeFiles/hetgrid_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/hetgrid_dist.dir/kalinov_lastovetsky.cpp.o"
+  "CMakeFiles/hetgrid_dist.dir/kalinov_lastovetsky.cpp.o.d"
+  "CMakeFiles/hetgrid_dist.dir/panel_distribution.cpp.o"
+  "CMakeFiles/hetgrid_dist.dir/panel_distribution.cpp.o.d"
+  "libhetgrid_dist.a"
+  "libhetgrid_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

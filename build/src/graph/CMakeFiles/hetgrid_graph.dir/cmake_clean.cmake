@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_graph.dir/spanning_tree.cpp.o"
+  "CMakeFiles/hetgrid_graph.dir/spanning_tree.cpp.o.d"
+  "libhetgrid_graph.a"
+  "libhetgrid_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/cholesky.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/cholesky.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/cholesky.cpp.o.d"
+  "/root/repo/src/matrix/gemm.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/gemm.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/gemm.cpp.o.d"
+  "/root/repo/src/matrix/lu.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/lu.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/lu.cpp.o.d"
+  "/root/repo/src/matrix/matrix.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/matrix.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/matrix.cpp.o.d"
+  "/root/repo/src/matrix/norms.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/norms.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/norms.cpp.o.d"
+  "/root/repo/src/matrix/qr.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/qr.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/qr.cpp.o.d"
+  "/root/repo/src/matrix/trsm.cpp" "src/matrix/CMakeFiles/hetgrid_matrix.dir/trsm.cpp.o" "gcc" "src/matrix/CMakeFiles/hetgrid_matrix.dir/trsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

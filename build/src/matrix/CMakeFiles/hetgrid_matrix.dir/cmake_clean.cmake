@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_matrix.dir/cholesky.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hetgrid_matrix.dir/gemm.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/gemm.cpp.o.d"
+  "CMakeFiles/hetgrid_matrix.dir/lu.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/lu.cpp.o.d"
+  "CMakeFiles/hetgrid_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/matrix.cpp.o.d"
+  "CMakeFiles/hetgrid_matrix.dir/norms.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/norms.cpp.o.d"
+  "CMakeFiles/hetgrid_matrix.dir/qr.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/qr.cpp.o.d"
+  "CMakeFiles/hetgrid_matrix.dir/trsm.cpp.o"
+  "CMakeFiles/hetgrid_matrix.dir/trsm.cpp.o.d"
+  "libhetgrid_matrix.a"
+  "libhetgrid_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_mp.dir/block_store.cpp.o"
+  "CMakeFiles/hetgrid_mp.dir/block_store.cpp.o.d"
+  "CMakeFiles/hetgrid_mp.dir/mp_runtime.cpp.o"
+  "CMakeFiles/hetgrid_mp.dir/mp_runtime.cpp.o.d"
+  "CMakeFiles/hetgrid_mp.dir/virtual_network.cpp.o"
+  "CMakeFiles/hetgrid_mp.dir/virtual_network.cpp.o.d"
+  "libhetgrid_mp.a"
+  "libhetgrid_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_runtime.dir/virtual_runtime.cpp.o"
+  "CMakeFiles/hetgrid_runtime.dir/virtual_runtime.cpp.o.d"
+  "libhetgrid_runtime.a"
+  "libhetgrid_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

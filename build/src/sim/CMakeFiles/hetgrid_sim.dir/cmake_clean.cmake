@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hetgrid_sim.dir/simulator.cpp.o.d"
+  "libhetgrid_sim.a"
+  "libhetgrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_svd.dir/svd.cpp.o"
+  "CMakeFiles/hetgrid_svd.dir/svd.cpp.o.d"
+  "libhetgrid_svd.a"
+  "libhetgrid_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

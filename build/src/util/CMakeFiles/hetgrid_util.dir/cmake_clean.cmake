@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid_util.dir/check.cpp.o"
+  "CMakeFiles/hetgrid_util.dir/check.cpp.o.d"
+  "CMakeFiles/hetgrid_util.dir/cli.cpp.o"
+  "CMakeFiles/hetgrid_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hetgrid_util.dir/rng.cpp.o"
+  "CMakeFiles/hetgrid_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hetgrid_util.dir/stats.cpp.o"
+  "CMakeFiles/hetgrid_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hetgrid_util.dir/table.cpp.o"
+  "CMakeFiles/hetgrid_util.dir/table.cpp.o.d"
+  "CMakeFiles/hetgrid_util.dir/workloads.cpp.o"
+  "CMakeFiles/hetgrid_util.dir/workloads.cpp.o.d"
+  "libhetgrid_util.a"
+  "libhetgrid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

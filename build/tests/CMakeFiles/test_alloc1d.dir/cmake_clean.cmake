@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc1d.dir/test_alloc1d.cpp.o"
+  "CMakeFiles/test_alloc1d.dir/test_alloc1d.cpp.o.d"
+  "test_alloc1d"
+  "test_alloc1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrangement.dir/test_arrangement.cpp.o"
+  "CMakeFiles/test_arrangement.dir/test_arrangement.cpp.o.d"
+  "test_arrangement"
+  "test_arrangement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_solver.dir/test_exact_solver.cpp.o"
+  "CMakeFiles/test_exact_solver.dir/test_exact_solver.cpp.o.d"
+  "test_exact_solver"
+  "test_exact_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

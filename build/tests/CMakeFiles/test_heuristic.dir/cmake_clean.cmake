@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristic.dir/test_heuristic.cpp.o"
+  "CMakeFiles/test_heuristic.dir/test_heuristic.cpp.o.d"
+  "test_heuristic"
+  "test_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

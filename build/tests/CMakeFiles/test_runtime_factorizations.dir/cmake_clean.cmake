@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_factorizations.dir/test_runtime_factorizations.cpp.o"
+  "CMakeFiles/test_runtime_factorizations.dir/test_runtime_factorizations.cpp.o.d"
+  "test_runtime_factorizations"
+  "test_runtime_factorizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_factorizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solvers_extra.dir/test_solvers_extra.cpp.o"
+  "CMakeFiles/test_solvers_extra.dir/test_solvers_extra.cpp.o.d"
+  "test_solvers_extra"
+  "test_solvers_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solvers_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetgrid.dir/hetgrid_cli.cpp.o"
+  "CMakeFiles/hetgrid.dir/hetgrid_cli.cpp.o.d"
+  "hetgrid"
+  "hetgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hetgrid.
+# This may be replaced when dependencies are built.
