@@ -4,6 +4,7 @@
 // interleaved column ordering (ABAABA-style), "heuristic-contig" keeps the
 // columns contiguous, isolating the ordering's contribution.
 #include "bench/bench_common.hpp"
+#include "obs/utilization.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetgrid;
@@ -28,10 +29,12 @@ int main(int argc, char** argv) {
   const int trials = static_cast<int>(cli.get_int("trials"));
   Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
 
-  auto run = [&](const Machine& m, const Distribution2D& d, std::size_t nb) {
-    if (kernel == "qr") return simulate_qr(m, d, nb);
-    if (kernel == "chol") return simulate_cholesky(m, d, nb);
-    return simulate_lu(m, d, nb);
+  auto run = [&](const Machine& m, const Distribution2D& d, std::size_t nb,
+                 TraceSink* sink) {
+    const KernelCosts costs;
+    if (kernel == "qr") return simulate_qr(m, d, nb, costs, sink);
+    if (kernel == "chol") return simulate_cholesky(m, d, nb, costs, sink);
+    return simulate_lu(m, d, nb, costs, sink);
   };
 
   struct Shape {
@@ -42,11 +45,12 @@ int main(int argc, char** argv) {
 
   Table table;
   table.header({"grid", "strategy", "slowdown_vs_perfect", "ci95",
-                "utilization"});
+                "utilization", "min_util", "idle_frac"});
   for (const Shape& s : shapes) {
     const std::size_t nb =
         static_cast<std::size_t>(cli.get_int("nbfactor")) * s.p * s.q;
-    std::map<std::string, RunningStats> slowdown, util;
+    std::map<std::string, RunningStats> slowdown, util, min_util,
+        idle_frac;
     for (int trial = 0; trial < trials; ++trial) {
       const std::vector<double> pool = rng.cycle_times(s.p * s.q);
       // Interleaved columns (the paper's LU ordering).
@@ -65,9 +69,14 @@ int main(int argc, char** argv) {
       }
       for (const auto& st : strategies) {
         const Machine m{st.grid, net};
-        const SimReport rep = run(m, *st.dist, nb);
+        MemoryTraceSink sink;
+        const SimReport rep = run(m, *st.dist, nb, &sink);
         slowdown[st.name].add(rep.slowdown_vs_perfect());
         util[st.name].add(rep.average_utilization());
+        const TraceSummary sum =
+            summarize_trace(sink.events(), s.p * s.q, rep.total_time);
+        min_util[st.name].add(min_utilization(sum));
+        idle_frac[st.name].add(mean_idle_fraction(sum));
       }
     }
     const std::string grid_name =
@@ -79,7 +88,9 @@ int main(int argc, char** argv) {
       if (it == slowdown.end()) continue;
       table.row({grid_name, name, Table::num(it->second.mean(), 3),
                  Table::num(it->second.ci95_halfwidth(), 3),
-                 Table::num(util[name].mean(), 3)});
+                 Table::num(util[name].mean(), 3),
+                 Table::num(min_util[name].mean(), 3),
+                 Table::num(idle_frac[name].mean(), 3)});
     }
   }
   bench::emit(table, cli);

@@ -9,6 +9,7 @@
 // relative to the perfect-balance zero-communication bound (1.0 = optimal)
 // and the mean processor utilization.
 #include "bench/bench_common.hpp"
+#include "obs/utilization.hpp"
 
 int main(int argc, char** argv) {
   using namespace hetgrid;
@@ -36,21 +37,28 @@ int main(int argc, char** argv) {
 
   Table table;
   table.header({"grid", "strategy", "slowdown_vs_perfect", "ci95",
-                "utilization", "comm_frac"});
+                "utilization", "comm_frac", "min_util", "idle_frac"});
   for (const Shape& s : shapes) {
     const std::size_t nb =
         static_cast<std::size_t>(cli.get_int("nbfactor")) * s.p * s.q;
-    std::map<std::string, RunningStats> slowdown, util, comm_frac;
+    std::map<std::string, RunningStats> slowdown, util, comm_frac,
+        min_util, idle_frac;
     for (int trial = 0; trial < trials; ++trial) {
       const std::vector<double> pool = rng.cycle_times(s.p * s.q);
       const auto strategies = bench::build_strategies(
           s.p, s.q, pool, scale, s.exact, PanelOrder::kContiguous);
       for (const auto& st : strategies) {
         const Machine m{st.grid, net};
-        const SimReport rep = simulate_mmm(m, *st.dist, nb);
+        MemoryTraceSink sink;
+        const SimReport rep =
+            simulate_mmm(m, *st.dist, nb, KernelCosts{}, &sink);
         slowdown[st.name].add(rep.slowdown_vs_perfect());
         util[st.name].add(rep.average_utilization());
         comm_frac[st.name].add(rep.comm_time / rep.total_time);
+        const TraceSummary sum =
+            summarize_trace(sink.events(), s.p * s.q, rep.total_time);
+        min_util[st.name].add(min_utilization(sum));
+        idle_frac[st.name].add(mean_idle_fraction(sum));
       }
     }
     const std::string grid_name =
@@ -62,7 +70,9 @@ int main(int argc, char** argv) {
       table.row({grid_name, name, Table::num(it->second.mean(), 3),
                  Table::num(it->second.ci95_halfwidth(), 3),
                  Table::num(util[name].mean(), 3),
-                 Table::num(comm_frac[name].mean(), 3)});
+                 Table::num(comm_frac[name].mean(), 3),
+                 Table::num(min_util[name].mean(), 3),
+                 Table::num(idle_frac[name].mean(), 3)});
     }
   }
   bench::emit(table, cli);

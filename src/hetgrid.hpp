@@ -39,6 +39,9 @@
 #include "matrix/qr.hpp"              // IWYU pragma: export
 #include "matrix/trsm.hpp"            // IWYU pragma: export
 #include "mp/mp_runtime.hpp"          // IWYU pragma: export
+#include "obs/chrome_trace.hpp"       // IWYU pragma: export
+#include "obs/trace.hpp"              // IWYU pragma: export
+#include "obs/utilization.hpp"        // IWYU pragma: export
 #include "runtime/virtual_runtime.hpp"   // IWYU pragma: export
 #include "sim/network.hpp"            // IWYU pragma: export
 #include "sim/simulator.hpp"          // IWYU pragma: export

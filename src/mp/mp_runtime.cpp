@@ -9,6 +9,7 @@
 #include "matrix/trsm.hpp"
 #include "mp/block_store.hpp"
 #include "mp/virtual_network.hpp"
+#include "obs/trace.hpp"
 
 namespace hetgrid {
 
@@ -48,15 +49,23 @@ struct MpContext {
   std::vector<BlockStore> store;  // one per processor
   std::vector<double> clock;      // per-processor compute clock
   std::vector<double> busy;
+  TraceSink* sink;
+  std::size_t step = 0;
 
-  MpContext(const Machine& m, const Distribution2D& d, std::size_t blk)
+  MpContext(const Machine& m, const Distribution2D& d, std::size_t blk,
+            TraceSink* s)
       : machine(m), dist(d), block(blk), p(d.grid_rows()), q(d.grid_cols()),
-        net(p * q, m.net), store(p * q), clock(p * q, 0.0),
-        busy(p * q, 0.0) {
+        net(p * q, m.net, s), store(p * q), clock(p * q, 0.0),
+        busy(p * q, 0.0), sink(s) {
     m.net.validate();
     HG_CHECK(m.grid.rows() == p && m.grid.cols() == q,
              "machine grid does not match distribution");
     HG_CHECK(blk > 0, "block size must be positive");
+  }
+
+  void set_step(std::size_t k) {
+    step = k;
+    net.set_step(k);
   }
 
   std::size_t pid(std::size_t gi, std::size_t gj) const {
@@ -134,10 +143,13 @@ struct MpContext {
   }
 
   /// Runs `seconds` of compute on `id` that may not start before `ready`.
-  void compute(std::size_t id, double ready, double seconds) {
+  void compute(std::size_t id, double ready, double seconds,
+               const char* name) {
     const double start = std::max(clock[id], ready);
     clock[id] = start + seconds;
     busy[id] += seconds;
+    trace_span(sink, TraceEventKind::kComputeBlock, id, start, seconds, step,
+               name);
   }
 
   MpReport report() const {
@@ -193,12 +205,12 @@ constexpr std::size_t kTagA = 0, kTagB = 1, kTagC = 2;
 MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                     const ConstMatrixView& a, const ConstMatrixView& b,
                     MatrixView c, std::size_t block,
-                    const KernelCosts& costs) {
+                    const KernelCosts& costs, TraceSink* sink) {
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
                c.rows() == n && c.cols() == n,
            "run_mp_mmm needs square same-size A, B, C");
-  MpContext ctx(machine, dist, block);
+  MpContext ctx(machine, dist, block, sink);
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
@@ -214,6 +226,7 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
   std::vector<char> need_rows(ctx.p), need_cols(ctx.q);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    ctx.set_step(k);
     std::fill(a_ready.begin(), a_ready.end(), 0.0);
     std::fill(b_ready.begin(), b_ready.end(), 0.0);
     std::fill(row_start.begin(), row_start.end(), 0.0);
@@ -299,7 +312,7 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                   vol_frac(ilen, jlen, klen, block);
         }
       }
-      if (work > 0.0) ctx.compute(id, ready, work);
+      if (work > 0.0) ctx.compute(id, ready, work, "update");
     }
 
     // Drop transient panel copies (keep owned originals).
@@ -319,7 +332,8 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
 
 MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                    MatrixView a, std::size_t block,
-                   const KernelCosts& costs, bool lookahead) {
+                   const KernelCosts& costs, bool lookahead,
+                   TraceSink* sink) {
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_mp_lu needs a square matrix");
   // LU's row/column panels must each live inside one grid row/column for
@@ -328,7 +342,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
   // LU-capable without extra redistribution messages.
   HG_CHECK(neighbor_census(dist).aligned,
            "run_mp_lu requires an aligned (grid-pattern) distribution");
-  MpContext ctx(machine, dist, block);
+  MpContext ctx(machine, dist, block, sink);
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
@@ -343,6 +357,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
   std::vector<double> deferred_ready(procs, 0.0);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    ctx.set_step(k);
     const std::size_t klen = block_len(k, block, n);
     const ProcCoord diag = ctx.dist.owner(k, k);
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
@@ -357,7 +372,8 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     }
     ctx.compute(diag_id, 0.0,
                 ctx.cycle_time(diag_id) * costs.panel_factor *
-                    vol_frac(klen, klen, klen, block));
+                    vol_frac(klen, klen, klen, block),
+                "panel");
 
     // --- Broadcast the diagonal block down its grid column (for the L21
     // solves) and note its availability.
@@ -373,7 +389,8 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                        ctx.store[id].at(BlockKey{kTagA * nb + bi, k}));
       ctx.compute(id, diag_ready[id],
                   ctx.cycle_time(id) * costs.panel_factor *
-                      vol_frac(ilen, klen, klen, block));
+                      vol_frac(ilen, klen, klen, block),
+                  "l-solve");
     }
 
     // --- Horizontal broadcast of the L panel (diag + L21) per grid row.
@@ -395,7 +412,8 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                            ctx.store[id].at(BlockKey{kTagA * nb + k, bj}));
       ctx.compute(id, l_ready[id],
                   ctx.cycle_time(id) * costs.trsm *
-                      vol_frac(klen, jlen, klen, block));
+                      vol_frac(klen, jlen, klen, block),
+                  "u-solve");
     }
 
     // --- Vertical broadcast of the U panel per grid column.
@@ -413,7 +431,8 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     // out ahead of it — that is the lookahead.
     for (std::size_t id = 0; id < procs; ++id) {
       if (deferred[id] > 0.0) {
-        ctx.compute(id, deferred_ready[id], deferred[id]);
+        ctx.compute(id, deferred_ready[id], deferred[id],
+                    "update-deferred");
         deferred[id] = 0.0;
         deferred_ready[id] = 0.0;
       }
@@ -443,7 +462,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
             work_next += cost;
         }
       }
-      if (work_next > 0.0) ctx.compute(id, ready, work_next);
+      if (work_next > 0.0) ctx.compute(id, ready, work_next, "update");
       if (work_rest > 0.0) {
         deferred[id] += work_rest;
         deferred_ready[id] = std::max(deferred_ready[id], ready);
@@ -467,12 +486,12 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
 
 MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                          MatrixView a, std::size_t block,
-                         const KernelCosts& costs) {
+                         const KernelCosts& costs, TraceSink* sink) {
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_mp_cholesky needs a square matrix");
   HG_CHECK(neighbor_census(dist).aligned,
            "run_mp_cholesky requires an aligned distribution");
-  MpContext ctx(machine, dist, block);
+  MpContext ctx(machine, dist, block, sink);
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
@@ -482,6 +501,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
   std::vector<std::vector<BlockKey>> row_keys(ctx.p);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    ctx.set_step(k);
     const std::size_t klen = block_len(k, block, n);
     const ProcCoord diag = ctx.dist.owner(k, k);
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
@@ -496,7 +516,8 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     }
     ctx.compute(diag_id, 0.0,
                 ctx.cycle_time(diag_id) * costs.chol_factor *
-                    vol_frac(klen, klen, klen, block));
+                    vol_frac(klen, klen, klen, block),
+                "panel");
 
     // --- Diagonal block down its grid column for the L21 solves.
     std::fill(diag_ready.begin(), diag_ready.end(), 0.0);
@@ -512,7 +533,8 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
           ctx.store[id].at(BlockKey{kTagA * nb + bi, k}));
       ctx.compute(id, diag_ready[id],
                   ctx.cycle_time(id) * costs.chol_factor *
-                      vol_frac(ilen, klen, klen, block));
+                      vol_frac(ilen, klen, klen, block),
+                  "l-solve");
     }
 
     // --- Phase 1: L panel along each grid row.
@@ -560,7 +582,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                   vol_frac(ilen, jlen, klen, block);
         }
       }
-      if (work > 0.0) ctx.compute(id, ready, work);
+      if (work > 0.0) ctx.compute(id, ready, work, "update");
     }
 
     // --- Drop transient copies of the panel.

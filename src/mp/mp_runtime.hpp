@@ -44,7 +44,8 @@ struct MpReport {
 MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                     const ConstMatrixView& a, const ConstMatrixView& b,
                     MatrixView c, std::size_t block,
-                    const KernelCosts& costs = {});
+                    const KernelCosts& costs = {},
+                    TraceSink* sink = nullptr);
 
 /// Distributed-memory right-looking LU without pivoting (diagonally
 /// dominant input required). `a` is scattered, factored, and the packed
@@ -58,7 +59,8 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
 /// only the virtual schedule changes.
 MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                    MatrixView a, std::size_t block,
-                   const KernelCosts& costs = {}, bool lookahead = false);
+                   const KernelCosts& costs = {}, bool lookahead = false,
+                   TraceSink* sink = nullptr);
 
 /// Distributed-memory right-looking Cholesky (lower variant) on an SPD
 /// matrix. The L21 panel is ring-broadcast along grid rows, then each
@@ -67,6 +69,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
 /// aligned distribution.
 MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                          MatrixView a, std::size_t block,
-                         const KernelCosts& costs = {});
+                         const KernelCosts& costs = {},
+                         TraceSink* sink = nullptr);
 
 }  // namespace hetgrid

@@ -5,9 +5,9 @@
 namespace hetgrid {
 
 VirtualNetwork::VirtualNetwork(std::size_t processors,
-                               const NetworkModel& model)
+                               const NetworkModel& model, TraceSink* sink)
     : model_(model), send_free_(processors, 0.0),
-      recv_free_(processors, 0.0) {
+      recv_free_(processors, 0.0), sink_(sink) {
   model_.validate();
   HG_CHECK(processors > 0, "network needs at least one processor");
 }
@@ -33,6 +33,10 @@ double VirtualNetwork::transfer(std::size_t src, std::size_t dst,
   recv_free_[dst] = done;
   ++messages_;
   blocks_sent_ += static_cast<double>(blocks);
+  trace_span(sink_, TraceEventKind::kSend, src, start, duration, step_,
+             "send", static_cast<double>(blocks), dst);
+  trace_span(sink_, TraceEventKind::kRecv, dst, start, duration, step_,
+             "recv", static_cast<double>(blocks), src);
   return done;
 }
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "util/check.hpp"
 
@@ -18,7 +19,12 @@ namespace hetgrid {
 
 class VirtualNetwork {
  public:
-  VirtualNetwork(std::size_t processors, const NetworkModel& model);
+  VirtualNetwork(std::size_t processors, const NetworkModel& model,
+                 TraceSink* sink = nullptr);
+
+  /// Tags subsequently timed transfers with the kernel step for the
+  /// trace (purely observational).
+  void set_step(std::size_t step) { step_ = step; }
 
   /// Times one message of `blocks` r x r blocks from `src` to `dst`, not
   /// starting before `earliest` (data readiness at the sender). Returns
@@ -40,6 +46,8 @@ class VirtualNetwork {
   std::vector<double> send_free_;
   std::vector<double> recv_free_;
   double bus_free_ = 0.0;  // Ethernet shared medium
+  TraceSink* sink_ = nullptr;
+  std::size_t step_ = 0;
   std::size_t messages_ = 0;
   double blocks_sent_ = 0.0;
 };

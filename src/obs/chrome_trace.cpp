@@ -1,0 +1,111 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hetgrid {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Fixed-point microseconds with trailing zeros trimmed, so the output is
+// deterministic across platforms (no locale, no %g surprises).
+std::string format_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds * 1e6);
+  std::string s(buf);
+  const std::size_t dot = s.find('.');
+  std::size_t last = s.find_last_not_of('0');
+  if (last == dot) last -= 1;
+  s.erase(last + 1);
+  return s;
+}
+
+std::string format_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  std::string s(buf);
+  const std::size_t dot = s.find('.');
+  std::size_t last = s.find_last_not_of('0');
+  if (last == dot) last -= 1;
+  s.erase(last + 1);
+  return s;
+}
+
+void write_metadata(std::ostream& os, std::size_t tid,
+                    const std::string& name, bool first) {
+  if (!first) os << ",\n";
+  os << "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+     << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}},\n"
+     << "  {\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+     << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
+}
+
+}  // namespace
+
+std::vector<std::string> proc_lane_labels(std::size_t p, std::size_t q,
+                                          const double* cycle_times) {
+  std::vector<std::string> labels;
+  labels.reserve(p * q);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j) {
+      std::ostringstream lane;
+      lane << "P(" << i << "," << j << ")";
+      if (cycle_times != nullptr)
+        lane << " t=" << format_num(cycle_times[i * q + j]);
+      labels.push_back(lane.str());
+    }
+  return labels;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        std::size_t processors,
+                        const std::vector<std::string>& labels) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+     << "\"args\":{\"name\":\"hetgrid\"}}";
+  for (std::size_t id = 0; id < processors; ++id) {
+    const std::string name =
+        id < labels.size() ? labels[id] : "P" + std::to_string(id);
+    write_metadata(os, id, name, false);
+  }
+  write_metadata(os, processors, "machine", false);
+
+  for (const TraceEvent& e : events) {
+    const std::size_t tid = e.proc == kMachineLane ? processors : e.proc;
+    os << ",\n  {\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << to_string(e.kind) << "\",\"ph\":\"X\",\"ts\":" << format_us(e.start)
+       << ",\"dur\":" << format_us(e.duration) << ",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"step\":" << e.step;
+    if (e.blocks > 0.0) os << ",\"blocks\":" << format_num(e.blocks);
+    if (e.peer != kNoPeer) os << ",\"peer\":" << e.peer;
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,37 @@
+// Chrome/Perfetto trace exporter.
+//
+// Writes a trace in the Chrome Trace Event JSON format ("JSON Array
+// Format" wrapped in an object with "traceEvents"), loadable in
+// chrome://tracing and https://ui.perfetto.dev. One process ("hetgrid"),
+// one thread lane per processor named "P(i,j) t=<cycle-time>" plus a
+// "machine" lane for phase markers. Virtual seconds are exported as
+// microseconds, the format's native unit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace hetgrid {
+
+/// Human-readable lane labels, one per processor (index = flat id). The
+/// last extra entry, if any, is ignored; a trailing "machine" lane label
+/// is always emitted for kMachineLane events.
+std::vector<std::string> proc_lane_labels(std::size_t p, std::size_t q,
+                                          const double* cycle_times);
+
+/// Serializes `events` as Chrome Trace JSON. `labels` may be empty (lanes
+/// are then named "P<id>"). Deterministic output: events are written in
+/// the order given, metadata first.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        std::size_t processors,
+                        const std::vector<std::string>& labels = {});
+
+/// JSON string escaping (quotes, backslashes, control characters) for the
+/// exporter; exposed for tests.
+std::string json_escape(const std::string& s);
+
+}  // namespace hetgrid

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hetgrid {
+
+TraceSink::~TraceSink() = default;
+
+void MemoryTraceSink::record(TraceEvent event) {
+  events_.push_back(std::move(event));
+}
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kComputeBlock: return "compute_block";
+    case TraceEventKind::kSend: return "send";
+    case TraceEventKind::kRecv: return "recv";
+    case TraceEventKind::kBroadcast: return "broadcast";
+    case TraceEventKind::kIdle: return "idle";
+    case TraceEventKind::kPhase: return "phase";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Interval {
+  double lo, hi;
+};
+
+// Sorted union of the intervals; `out` receives the merged runs.
+void merge_intervals(std::vector<Interval>& iv, std::vector<Interval>& out) {
+  out.clear();
+  if (iv.empty()) return;
+  std::sort(iv.begin(), iv.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  out.push_back(iv.front());
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].lo <= out.back().hi)
+      out.back().hi = std::max(out.back().hi, iv[i].hi);
+    else
+      out.push_back(iv[i]);
+  }
+}
+
+bool counts_toward_busy(TraceEventKind kind) {
+  return kind == TraceEventKind::kComputeBlock ||
+         kind == TraceEventKind::kSend || kind == TraceEventKind::kRecv ||
+         kind == TraceEventKind::kBroadcast;
+}
+
+}  // namespace
+
+TraceSummary summarize_trace(const std::vector<TraceEvent>& events,
+                             std::size_t processors,
+                             double reported_makespan) {
+  HG_CHECK(processors > 0, "summarize_trace needs at least one processor");
+  TraceSummary sum;
+  sum.makespan = reported_makespan;
+  sum.procs.assign(processors, ProcCounters{});
+
+  std::vector<std::vector<Interval>> spans(processors);
+  for (const TraceEvent& e : events) {
+    if (e.proc >= processors || !counts_toward_busy(e.kind)) continue;
+    HG_CHECK(e.duration >= 0.0, "negative-duration trace span");
+    ProcCounters& pc = sum.procs[e.proc];
+    switch (e.kind) {
+      case TraceEventKind::kComputeBlock:
+        pc.compute_time += e.duration;
+        break;
+      case TraceEventKind::kSend:
+        pc.comm_time += e.duration;
+        pc.blocks_sent += e.blocks;
+        pc.messages_sent += 1;
+        break;
+      case TraceEventKind::kRecv:
+        pc.comm_time += e.duration;
+        pc.blocks_received += e.blocks;
+        pc.messages_received += 1;
+        break;
+      case TraceEventKind::kBroadcast:
+        pc.comm_time += e.duration;
+        pc.blocks_received += e.blocks;
+        break;
+      default:
+        break;
+    }
+    if (e.duration > 0.0) spans[e.proc].push_back({e.start, e.end()});
+    sum.makespan = std::max(sum.makespan, e.end());
+  }
+
+  std::vector<Interval> merged;
+  for (std::size_t id = 0; id < processors; ++id) {
+    merge_intervals(spans[id], merged);
+    double busy = 0.0;
+    for (const Interval& iv : merged) busy += iv.hi - iv.lo;
+    sum.procs[id].busy_time = busy;
+    sum.procs[id].idle_time = std::max(0.0, sum.makespan - busy);
+  }
+  return sum;
+}
+
+void append_idle_events(std::vector<TraceEvent>& events,
+                        std::size_t processors, double makespan) {
+  std::vector<std::vector<Interval>> spans(processors);
+  for (const TraceEvent& e : events) {
+    if (e.proc >= processors || !counts_toward_busy(e.kind)) continue;
+    if (e.duration > 0.0) spans[e.proc].push_back({e.start, e.end()});
+    makespan = std::max(makespan, e.end());
+  }
+  std::vector<Interval> merged;
+  for (std::size_t id = 0; id < processors; ++id) {
+    merge_intervals(spans[id], merged);
+    double cursor = 0.0;
+    auto emit_gap = [&](double until) {
+      if (until > cursor)
+        events.push_back({TraceEventKind::kIdle, id, cursor, until - cursor,
+                          0, 0.0, kNoPeer, "idle"});
+    };
+    for (const Interval& iv : merged) {
+      emit_gap(iv.lo);
+      cursor = std::max(cursor, iv.hi);
+    }
+    emit_gap(makespan);
+  }
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,60 @@
+#include "obs/utilization.hpp"
+
+#include <algorithm>
+
+namespace hetgrid {
+
+Table utilization_table(const TraceSummary& summary,
+                        const std::vector<std::string>& labels,
+                        const std::string& title) {
+  Table t(title);
+  t.header({"proc", "busy", "compute", "comm", "idle", "util", "msgs_out",
+            "msgs_in", "blocks_in"});
+  double busy = 0.0, compute = 0.0, comm = 0.0, idle = 0.0, util = 0.0;
+  double blocks_in = 0.0;
+  std::int64_t msgs_out = 0, msgs_in = 0;
+  for (std::size_t id = 0; id < summary.procs.size(); ++id) {
+    const ProcCounters& pc = summary.procs[id];
+    const std::string name =
+        id < labels.size() ? labels[id] : "P" + std::to_string(id);
+    t.row({name, Table::num(pc.busy_time, 4), Table::num(pc.compute_time, 4),
+           Table::num(pc.comm_time, 4), Table::num(pc.idle_time, 4),
+           Table::num(pc.utilization(summary.makespan), 3),
+           Table::num(static_cast<std::int64_t>(pc.messages_sent)),
+           Table::num(static_cast<std::int64_t>(pc.messages_received)),
+           Table::num(pc.blocks_received, 1)});
+    busy += pc.busy_time;
+    compute += pc.compute_time;
+    comm += pc.comm_time;
+    idle += pc.idle_time;
+    util += pc.utilization(summary.makespan);
+    msgs_out += static_cast<std::int64_t>(pc.messages_sent);
+    msgs_in += static_cast<std::int64_t>(pc.messages_received);
+    blocks_in += pc.blocks_received;
+  }
+  const double n = summary.procs.empty()
+                       ? 1.0
+                       : static_cast<double>(summary.procs.size());
+  t.row({"total", Table::num(busy, 4), Table::num(compute, 4),
+         Table::num(comm, 4), Table::num(idle, 4), Table::num(util / n, 3),
+         Table::num(msgs_out), Table::num(msgs_in),
+         Table::num(blocks_in, 1)});
+  return t;
+}
+
+double min_utilization(const TraceSummary& summary) {
+  double lo = summary.procs.empty() ? 0.0 : 1.0;
+  for (const ProcCounters& pc : summary.procs)
+    lo = std::min(lo, pc.utilization(summary.makespan));
+  return lo;
+}
+
+double mean_idle_fraction(const TraceSummary& summary) {
+  if (summary.procs.empty() || summary.makespan <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const ProcCounters& pc : summary.procs)
+    acc += pc.idle_time / summary.makespan;
+  return acc / static_cast<double>(summary.procs.size());
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,30 @@
+// Plain-text utilization report: one row per processor with its busy /
+// compute / communication / idle breakdown against the makespan, rendered
+// through util/table so it matches every other hetgrid report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace hetgrid {
+
+/// Builds the per-processor utilization table from a trace summary.
+/// `labels` (optional, from proc_lane_labels) names the rows; otherwise
+/// processors are named "P<id>". The final row aggregates the machine:
+/// totals for times, mean utilization.
+Table utilization_table(const TraceSummary& summary,
+                        const std::vector<std::string>& labels = {},
+                        const std::string& title = "per-processor utilization");
+
+/// Minimum over processors of busy_time / makespan — the straggler's view
+/// of the run (1.0 only for a perfectly balanced, communication-free
+/// execution).
+double min_utilization(const TraceSummary& summary);
+
+/// Mean over processors of idle_time / makespan.
+double mean_idle_fraction(const TraceSummary& summary);
+
+}  // namespace hetgrid

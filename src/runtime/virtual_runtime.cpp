@@ -7,6 +7,7 @@
 #include "matrix/lu.hpp"
 #include "matrix/qr.hpp"
 #include "matrix/trsm.hpp"
+#include "sim/trace_emit.hpp"
 
 namespace hetgrid {
 
@@ -44,10 +45,16 @@ double vol_frac(std::size_t rows, std::size_t cols, std::size_t inner,
 
 // Per-phase clock accounting: charge() accumulates work on a processor;
 // finish() folds the phase's critical path into the report and clears.
+// The clock also owns the run's timeline cursor and streams one compute
+// span per busy processor per phase (and one broadcast span per line
+// participant per comm phase) into the optional trace sink.
 class PhaseClock {
  public:
-  PhaseClock(std::size_t procs, VirtualReport& rep)
-      : charges_(procs, 0.0), rep_(rep) {}
+  PhaseClock(std::size_t p, std::size_t q, VirtualReport& rep,
+             TraceSink* sink)
+      : p_(p), q_(q), charges_(p * q, 0.0), rep_(rep), sink_(sink) {}
+
+  void set_step(std::size_t step) { step_ = step; }
 
   void charge(std::size_t proc, double amount) {
     charges_[proc] += amount;
@@ -55,35 +62,51 @@ class PhaseClock {
     rep_.block_ops += 1;
   }
 
-  void finish() {
+  void finish(const char* name) {
     double worst = 0.0;
-    for (double& c : charges_) {
-      worst = std::max(worst, c);
-      c = 0.0;
+    for (std::size_t id = 0; id < charges_.size(); ++id) {
+      if (charges_[id] > 0.0)
+        trace_span(sink_, TraceEventKind::kComputeBlock, id, now_,
+                   charges_[id], step_, name);
+      worst = std::max(worst, charges_[id]);
+      charges_[id] = 0.0;
     }
     rep_.compute_time += worst;
     rep_.makespan += worst;
+    now_ += worst;
+  }
+
+  /// One BSP broadcast phase along grid rows (`lines_are_rows`) or
+  /// columns; charges the combined cost and emits per-line spans.
+  void broadcast_phase(const NetworkModel& net,
+                       const std::vector<double>& line_costs,
+                       const std::vector<std::size_t>& line_blocks,
+                       bool lines_are_rows, const char* name) {
+    emit_broadcast_spans(sink_, net, line_costs, line_blocks, lines_are_rows,
+                         p_, q_, now_, step_, name);
+    comm(combine_broadcasts(net, line_costs), nullptr);
+  }
+
+  /// Unstructured communication charge (pivot-row exchanges). With a
+  /// non-null `name`, emits a machine-lane broadcast span — the exchange
+  /// is not attributed to individual processors by this BSP model.
+  void comm(double amount, const char* name) {
+    if (name != nullptr && amount > 0.0)
+      trace_span(sink_, TraceEventKind::kBroadcast, kMachineLane, now_,
+                 amount, step_, name);
+    rep_.comm_time += amount;
+    rep_.makespan += amount;
+    now_ += amount;
   }
 
  private:
+  std::size_t p_, q_;
   std::vector<double> charges_;
   VirtualReport& rep_;
+  TraceSink* sink_;
+  std::size_t step_ = 0;
+  double now_ = 0.0;
 };
-
-double combine_broadcasts(const NetworkModel& net,
-                          const std::vector<double>& line_costs) {
-  double total = 0.0, worst = 0.0;
-  for (double c : line_costs) {
-    total += c;
-    worst = std::max(worst, c);
-  }
-  return net.topology == Topology::kEthernet ? total : worst;
-}
-
-void charge_comm(VirtualReport& rep, double amount) {
-  rep.comm_time += amount;
-  rep.makespan += amount;
-}
 
 }  // namespace
 
@@ -92,7 +115,8 @@ VirtualReport run_distributed_mmm(const Machine& machine,
                                   const ConstMatrixView& a,
                                   const ConstMatrixView& b, MatrixView c,
                                   std::size_t block,
-                                  const KernelCosts& costs) {
+                                  const KernelCosts& costs,
+                                  TraceSink* sink) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
@@ -111,11 +135,12 @@ VirtualReport run_distributed_mmm(const Machine& machine,
   rep.busy.assign(p * q, 0.0);
   c.fill(0.0);
 
-  PhaseClock clock(p * q, rep);
+  PhaseClock clock(p, q, rep, sink);
   std::vector<double> line_costs;
   std::vector<std::size_t> a_rows(p), b_cols(q);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    clock.set_step(k);
     // Broadcast phase: the A column panel travels along grid rows, the B
     // row panel along grid columns.
     std::fill(a_rows.begin(), a_rows.end(), 0);
@@ -125,11 +150,11 @@ VirtualReport run_distributed_mmm(const Machine& machine,
     line_costs.clear();
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(a_rows[gi], q));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, a_rows, true, "a-panel");
     line_costs.clear();
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(b_cols[gj], p));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, b_cols, false, "b-panel");
 
     // Update phase: C_IJ += A_Ik * B_kJ on every block, executed by its
     // owner at its speed.
@@ -149,7 +174,7 @@ VirtualReport run_distributed_mmm(const Machine& machine,
                          vol_frac(ilen, jlen, klen, block));
       }
     }
-    clock.finish();
+    clock.finish("update");
   }
   return rep;
 }
@@ -157,7 +182,8 @@ VirtualReport run_distributed_mmm(const Machine& machine,
 VirtualLuReport run_distributed_lu(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
-                                   const KernelCosts& costs) {
+                                   const KernelCosts& costs,
+                                   TraceSink* sink) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_distributed_lu needs a square matrix");
@@ -172,11 +198,12 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
 
   VirtualLuReport rep;
   rep.busy.assign(p * q, 0.0);
-  PhaseClock clock(p * q, rep);
+  PhaseClock clock(p, q, rep, sink);
   std::vector<double> line_costs;
   std::vector<std::size_t> l_rows(p), u_cols(q);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    clock.set_step(k);
     const std::size_t klo = block_lo(k, block);
     const std::size_t klen = block_len(k, block, n);
     const ProcCoord diag = dist.owner(k, k);
@@ -202,7 +229,7 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
                    grid(o.row, o.col) * costs.panel_factor *
                        vol_frac(ilen, klen, klen, block));
     }
-    clock.finish();
+    clock.finish("panel");
 
     // --- Horizontal broadcast of the L panel.
     std::fill(l_rows.begin(), l_rows.end(), 0);
@@ -210,7 +237,7 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
     line_costs.clear();
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, l_rows, true, "l-bcast");
 
     // --- Row phase: U12 blocks (A_kJ := inv(L11) * A_kJ) in the owner row.
     for (std::size_t bj = k + 1; bj < nb; ++bj) {
@@ -222,7 +249,7 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
                    grid(o.row, o.col) * costs.trsm *
                        vol_frac(klen, jlen, klen, block));
     }
-    clock.finish();
+    clock.finish("row");
 
     // --- Vertical broadcast of the U panel.
     std::fill(u_cols.begin(), u_cols.end(), 0);
@@ -231,7 +258,7 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
     line_costs.clear();
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, u_cols, false, "u-bcast");
 
     // --- Trailing update A_IJ -= A_Ik * A_kJ.
     for (std::size_t bi = k + 1; bi < nb; ++bi) {
@@ -249,7 +276,7 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
                          vol_frac(ilen, jlen, klen, block));
       }
     }
-    clock.finish();
+    clock.finish("update");
   }
   return rep;
 }
@@ -258,7 +285,8 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
                                                   const Distribution2D& dist,
                                                   MatrixView a,
                                                   std::size_t block,
-                                                  const KernelCosts& costs) {
+                                                  const KernelCosts& costs,
+                                                  TraceSink* sink) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_distributed_lu_pivoted needs a square matrix");
@@ -274,11 +302,12 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
   VirtualPivotedLuReport rep;
   rep.busy.assign(p * q, 0.0);
   rep.piv.resize(n);
-  PhaseClock clock(p * q, rep);
+  PhaseClock clock(p, q, rep, sink);
   std::vector<double> line_costs;
   std::vector<std::size_t> l_rows(p), u_cols(q);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    clock.set_step(k);
     const std::size_t klo = block_lo(k, block);
     const std::size_t b = block_len(k, block, n);
 
@@ -307,14 +336,14 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
                                   machine.net.block_transfer);
       }
     }
-    charge_comm(rep, swap_comm);
+    clock.comm(swap_comm, "pivot-swaps");
     for (std::size_t bi = k; bi < nb; ++bi) {
       const ProcCoord o = dist.owner(bi, k);
       clock.charge(o.row * q + o.col,
                    grid(o.row, o.col) * costs.panel_factor *
                        vol_frac(block_len(bi, block, n), b, b, block));
     }
-    clock.finish();
+    clock.finish("panel");
 
     // --- Broadcast the L panel along grid rows.
     std::fill(l_rows.begin(), l_rows.end(), 0);
@@ -322,7 +351,7 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
     line_costs.clear();
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, l_rows, true, "l-bcast");
 
     if (k + 1 >= nb) continue;
 
@@ -337,7 +366,7 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
                    grid(o.row, o.col) * costs.trsm *
                        vol_frac(b, jlen, b, block));
     }
-    clock.finish();
+    clock.finish("row");
 
     // --- Broadcast the U panel down grid columns.
     std::fill(u_cols.begin(), u_cols.end(), 0);
@@ -346,7 +375,7 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
     line_costs.clear();
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, u_cols, false, "u-bcast");
 
     // --- Trailing update.
     for (std::size_t bi = k + 1; bi < nb; ++bi) {
@@ -364,7 +393,7 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
                          vol_frac(ilen, jlen, b, block));
       }
     }
-    clock.finish();
+    clock.finish("update");
   }
   return rep;
 }
@@ -372,7 +401,8 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
 VirtualQrReport run_distributed_qr(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
-                                   const KernelCosts& costs) {
+                                   const KernelCosts& costs,
+                                   TraceSink* sink) {
   machine.net.validate();
   const std::size_t rows = a.rows();
   const std::size_t cols = a.cols();
@@ -391,11 +421,12 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
   VirtualQrReport rep;
   rep.busy.assign(p * q, 0.0);
   rep.tau.reserve(cols);
-  PhaseClock clock(p * q, rep);
+  PhaseClock clock(p, q, rep, sink);
   std::vector<double> line_costs;
   std::vector<std::size_t> v_rows(p), w_cols(q);
 
   for (std::size_t k = 0; k < nbc; ++k) {
+    clock.set_step(k);
     const std::size_t klo = block_lo(k, block);
     const std::size_t b = block_len(k, block, cols);
 
@@ -410,7 +441,7 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
                    grid(o.row, o.col) * costs.qr_factor *
                        vol_frac(block_len(bi, block, rows), b, b, block));
     }
-    clock.finish();
+    clock.finish("panel");
 
     if (k + 1 >= nbc) continue;
 
@@ -421,7 +452,7 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
     line_costs.clear();
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(v_rows[gi], q));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, v_rows, true, "v-bcast");
 
     std::fill(w_cols.begin(), w_cols.end(), 0);
     for (std::size_t j = k + 1; j < nbc; ++j)
@@ -429,7 +460,7 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
     line_costs.clear();
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(w_cols[gj], p));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, w_cols, false, "w-bcast");
 
     // --- Compact-WY trailing update over columns J > k, rows I >= k:
     //   C := C - V * (T^T * (V^T * C)).
@@ -462,7 +493,7 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
                          vol_frac(ilen, jlen, b, block));
       }
     }
-    clock.finish();
+    clock.finish("w-accumulate");
 
     // Y = T^T * W (small b x ntrail product; charged to the diagonal
     // block's owner as part of the panel critical path).
@@ -473,7 +504,7 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
       clock.charge(o.row * q + o.col,
                    grid(o.row, o.col) * costs.qr_update *
                        vol_frac(b, ntrail, b, block));
-      clock.finish();
+      clock.finish("t-multiply");
     }
 
     // Pass 2: C -= V * Y, again block by block.
@@ -493,7 +524,7 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
                          vol_frac(ilen, jlen, b, block));
       }
     }
-    clock.finish();
+    clock.finish("update");
   }
   return rep;
 }
@@ -502,7 +533,8 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
                                                const Distribution2D& dist,
                                                MatrixView a,
                                                std::size_t block,
-                                               const KernelCosts& costs) {
+                                               const KernelCosts& costs,
+                                               TraceSink* sink) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_distributed_cholesky needs a square matrix");
@@ -517,11 +549,12 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
 
   VirtualCholeskyReport rep;
   rep.busy.assign(p * q, 0.0);
-  PhaseClock clock(p * q, rep);
+  PhaseClock clock(p, q, rep, sink);
   std::vector<double> line_costs;
   std::vector<std::size_t> l_rows(p), l_cols(q);
 
   for (std::size_t k = 0; k < nb; ++k) {
+    clock.set_step(k);
     const std::size_t klo = block_lo(k, block);
     const std::size_t b = block_len(k, block, n);
     const ProcCoord diag = dist.owner(k, k);
@@ -544,7 +577,7 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
                    grid(o.row, o.col) * costs.chol_factor *
                        vol_frac(ilen, b, b, block));
     }
-    clock.finish();
+    clock.finish("panel");
 
     // --- Broadcast L21 along grid rows and (transposed) along columns.
     std::fill(l_rows.begin(), l_rows.end(), 0);
@@ -556,11 +589,13 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
     line_costs.clear();
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, l_rows, true,
+                          "l-bcast-row");
     line_costs.clear();
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(l_cols[gj], p));
-    charge_comm(rep, combine_broadcasts(machine.net, line_costs));
+    clock.broadcast_phase(machine.net, line_costs, l_cols, false,
+                          "l-bcast-col");
 
     // --- Symmetric trailing update (lower blocks only):
     //   A_IJ -= L_I * L_J^T for I >= J > k.
@@ -579,7 +614,7 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
                          vol_frac(ilen, jlen, b, block));
       }
     }
-    clock.finish();
+    clock.finish("update");
   }
   return rep;
 }

@@ -45,7 +45,8 @@ VirtualReport run_distributed_mmm(const Machine& machine,
                                   const ConstMatrixView& a,
                                   const ConstMatrixView& b, MatrixView c,
                                   std::size_t block,
-                                  const KernelCosts& costs = {});
+                                  const KernelCosts& costs = {},
+                                  TraceSink* sink = nullptr);
 
 /// Executes the right-looking blocked LU *without pivoting* in place (the
 /// matrix must be safely factorizable without pivoting, e.g. diagonally
@@ -60,7 +61,8 @@ struct VirtualLuReport : VirtualReport {
 VirtualLuReport run_distributed_lu(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
-                                   const KernelCosts& costs = {});
+                                   const KernelCosts& costs = {},
+                                   TraceSink* sink = nullptr);
 
 /// Right-looking blocked LU *with partial pivoting*, ScaLAPACK-style: the
 /// pivot search scans the whole column (charged to the owner column's
@@ -75,7 +77,8 @@ struct VirtualPivotedLuReport : VirtualReport {
 
 VirtualPivotedLuReport run_distributed_lu_pivoted(
     const Machine& machine, const Distribution2D& dist, MatrixView a,
-    std::size_t block, const KernelCosts& costs = {});
+    std::size_t block, const KernelCosts& costs = {},
+    TraceSink* sink = nullptr);
 
 /// Executes the right-looking blocked Householder QR in place (compact-WY
 /// trailing updates: C -= V (T^T (V^T C))). Accepts rectangular matrices
@@ -90,7 +93,8 @@ struct VirtualQrReport : VirtualReport {
 VirtualQrReport run_distributed_qr(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
-                                   const KernelCosts& costs = {});
+                                   const KernelCosts& costs = {},
+                                   TraceSink* sink = nullptr);
 
 /// Executes the right-looking blocked Cholesky (lower variant) in place on
 /// a symmetric positive definite matrix. Only the lower triangle is
@@ -104,6 +108,7 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
                                                const Distribution2D& dist,
                                                MatrixView a,
                                                std::size_t block,
-                                               const KernelCosts& costs = {});
+                                               const KernelCosts& costs = {},
+                                               TraceSink* sink = nullptr);
 
 }  // namespace hetgrid

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace_emit.hpp"
+
 namespace hetgrid {
 
 double SimReport::average_utilization() const {
@@ -27,23 +29,11 @@ void check_machine(const Machine& machine, const Distribution2D& dist) {
                            << dist.grid_rows() << "x" << dist.grid_cols());
 }
 
-// Combines per-line broadcast costs according to the topology: on Ethernet
-// every transmission serializes across the machine; on a switched network
-// the lines proceed in parallel.
-double combine_broadcasts(const NetworkModel& net,
-                          const std::vector<double>& line_costs) {
-  double total = 0.0, worst = 0.0;
-  for (double c : line_costs) {
-    total += c;
-    worst = std::max(worst, c);
-  }
-  return net.topology == Topology::kEthernet ? total : worst;
-}
-
 }  // namespace
 
 SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
-                       std::size_t nb, const KernelCosts& costs) {
+                       std::size_t nb, const KernelCosts& costs,
+                       TraceSink* sink) {
   check_machine(machine, dist);
   HG_CHECK(nb > 0, "matrix must have at least one block");
   const CycleTimeGrid& grid = machine.grid;
@@ -81,6 +71,7 @@ SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
   std::vector<std::size_t> a_rows(p), b_cols(q);
   std::vector<double> h_costs(p), v_costs(q);
 
+  double now = 0.0;
   for (std::size_t k = 0; k < nb; ++k) {
     std::fill(a_rows.begin(), a_rows.end(), 0);
     std::fill(b_cols.begin(), b_cols.end(), 0);
@@ -91,16 +82,29 @@ SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
     for (std::size_t j = 0; j < q; ++j)
       v_costs[j] = machine.net.broadcast_cost(b_cols[j], p);
 
-    const double comm_step = combine_broadcasts(machine.net, h_costs) +
-                             combine_broadcasts(machine.net, v_costs);
+    const double h_comb = combine_broadcasts(machine.net, h_costs);
+    const double v_comb = combine_broadcasts(machine.net, v_costs);
+    const double comm_step = h_comb + v_comb;
+    emit_broadcast_spans(sink, machine.net, h_costs, a_rows, true, p, q, now,
+                         k, "a-panel");
+    emit_broadcast_spans(sink, machine.net, v_costs, b_cols, false, p, q,
+                         now + h_comb, k, "b-panel");
     rep.comm_time += comm_step;
     rep.compute_time += compute_step;
     rep.steps.push_back({k, 0.0, 0.0, compute_step, comm_step});
     rep.perfect_compute_bound += perfect_step;
     for (std::size_t i = 0; i < p; ++i)
-      for (std::size_t j = 0; j < q; ++j)
-        rep.busy[i * q + j] += static_cast<double>(owned[i * q + j]) *
-                               grid(i, j) * costs.update;
+      for (std::size_t j = 0; j < q; ++j) {
+        const double work = static_cast<double>(owned[i * q + j]) *
+                            grid(i, j) * costs.update;
+        rep.busy[i * q + j] += work;
+        if (work > 0.0)
+          trace_span(sink, TraceEventKind::kComputeBlock, i * q + j,
+                     now + comm_step, work, k, "update");
+      }
+    trace_span(sink, TraceEventKind::kPhase, kMachineLane, now,
+               comm_step + compute_step, k, "step");
+    now += comm_step + compute_step;
   }
   rep.total_time = rep.comm_time + rep.compute_time;
   return rep;
@@ -117,7 +121,8 @@ struct FactorizationWeights {
 
 SimReport simulate_factorization(const Machine& machine,
                                  const Distribution2D& dist, std::size_t nb,
-                                 const FactorizationWeights& w) {
+                                 const FactorizationWeights& w,
+                                 TraceSink* sink) {
   check_machine(machine, dist);
   HG_CHECK(nb > 0, "matrix must have at least one block");
   const CycleTimeGrid& grid = machine.grid;
@@ -134,6 +139,7 @@ SimReport simulate_factorization(const Machine& machine,
   std::vector<std::size_t> l_rows(p), u_cols(q);
   std::vector<double> line_costs;
 
+  double now = 0.0;
   for (std::size_t k = 0; k < nb; ++k) {
     const ProcCoord diag = dist.owner(k, k);
 
@@ -148,6 +154,9 @@ SimReport simulate_factorization(const Machine& machine,
                         grid(gi, diag.col) * w.panel;
       panel_time = std::max(panel_time, tt);
       rep.busy[gi * q + diag.col] += tt;
+      if (tt > 0.0)
+        trace_span(sink, TraceEventKind::kComputeBlock, gi * q + diag.col,
+                   now, tt, k, "panel");
     }
 
     // --- Horizontal broadcast of the L panel (one ring per grid row).
@@ -157,6 +166,8 @@ SimReport simulate_factorization(const Machine& machine,
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
     const double l_bcast = combine_broadcasts(machine.net, line_costs);
+    emit_broadcast_spans(sink, machine.net, line_costs, l_rows, true, p, q,
+                         now + panel_time, k, "l-bcast");
 
     // --- Row panel: row k, columns k+1..nb-1, solved by the owner grid row.
     std::fill(row_cols.begin(), row_cols.end(), 0);
@@ -168,6 +179,9 @@ SimReport simulate_factorization(const Machine& machine,
           static_cast<double>(row_cols[gj]) * grid(diag.row, gj) * w.row;
       row_time = std::max(row_time, tt);
       rep.busy[diag.row * q + gj] += tt;
+      if (tt > 0.0)
+        trace_span(sink, TraceEventKind::kComputeBlock, diag.row * q + gj,
+                   now + panel_time + l_bcast, tt, k, "row");
     }
 
     // --- Vertical broadcast of the U row panel (one ring per grid column).
@@ -178,6 +192,8 @@ SimReport simulate_factorization(const Machine& machine,
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
     const double u_bcast = combine_broadcasts(machine.net, line_costs);
+    emit_broadcast_spans(sink, machine.net, line_costs, u_cols, false, p, q,
+                         now + panel_time + l_bcast + row_time, k, "u-bcast");
 
     // --- Trailing update of blocks (I > k, J > k).
     std::fill(trailing.begin(), trailing.end(), 0);
@@ -186,6 +202,7 @@ SimReport simulate_factorization(const Machine& machine,
         const ProcCoord o = dist.owner(i, j);
         trailing[o.row * q + o.col] += 1;
       }
+    const double update_start = now + panel_time + l_bcast + row_time + u_bcast;
     double update_time = 0.0;
     for (std::size_t gi = 0; gi < p; ++gi)
       for (std::size_t gj = 0; gj < q; ++gj) {
@@ -193,12 +210,18 @@ SimReport simulate_factorization(const Machine& machine,
                           grid(gi, gj) * w.update;
         update_time = std::max(update_time, tt);
         rep.busy[gi * q + gj] += tt;
+        if (tt > 0.0)
+          trace_span(sink, TraceEventKind::kComputeBlock, gi * q + gj,
+                     update_start, tt, k, "update");
       }
 
     rep.compute_time += panel_time + row_time + update_time;
     rep.comm_time += l_bcast + u_bcast;
     rep.steps.push_back(
         {k, panel_time, row_time, update_time, l_bcast + u_bcast});
+    trace_span(sink, TraceEventKind::kPhase, kMachineLane, now,
+               rep.steps.back().total(), k, "step");
+    now += rep.steps.back().total();
 
     const double panel_vol =
         static_cast<double>(nb - k) * w.panel;
@@ -215,7 +238,7 @@ SimReport simulate_factorization(const Machine& machine,
 
 SimReport simulate_cholesky(const Machine& machine,
                             const Distribution2D& dist, std::size_t nb,
-                            const KernelCosts& costs) {
+                            const KernelCosts& costs, TraceSink* sink) {
   check_machine(machine, dist);
   HG_CHECK(nb > 0, "matrix must have at least one block");
   const CycleTimeGrid& grid = machine.grid;
@@ -231,6 +254,7 @@ SimReport simulate_cholesky(const Machine& machine,
       l_cols(q);
   std::vector<double> line_costs;
 
+  double now = 0.0;
   for (std::size_t k = 0; k < nb; ++k) {
     const ProcCoord diag = dist.owner(k, k);
 
@@ -245,6 +269,9 @@ SimReport simulate_cholesky(const Machine& machine,
                         grid(gi, diag.col) * costs.chol_factor;
       panel_time = std::max(panel_time, tt);
       rep.busy[gi * q + diag.col] += tt;
+      if (tt > 0.0)
+        trace_span(sink, TraceEventKind::kComputeBlock, gi * q + diag.col,
+                   now, tt, k, "panel");
     }
 
     // The L21 panel travels along grid rows (as the left GEMM operand) and
@@ -260,11 +287,16 @@ SimReport simulate_cholesky(const Machine& machine,
     line_costs.clear();
     for (std::size_t gi = 0; gi < p; ++gi)
       line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
-    double bcast = combine_broadcasts(machine.net, line_costs);
+    const double row_bcast = combine_broadcasts(machine.net, line_costs);
+    emit_broadcast_spans(sink, machine.net, line_costs, l_rows, true, p, q,
+                         now + panel_time, k, "l-bcast-row");
     line_costs.clear();
     for (std::size_t gj = 0; gj < q; ++gj)
       line_costs.push_back(machine.net.broadcast_cost(l_cols[gj], p));
-    bcast += combine_broadcasts(machine.net, line_costs);
+    const double col_bcast = combine_broadcasts(machine.net, line_costs);
+    emit_broadcast_spans(sink, machine.net, line_costs, l_cols, false, p, q,
+                         now + panel_time + row_bcast, k, "l-bcast-col");
+    const double bcast = row_bcast + col_bcast;
 
     // Symmetric trailing update: only lower blocks (I >= J > k).
     std::fill(trailing.begin(), trailing.end(), 0);
@@ -280,11 +312,17 @@ SimReport simulate_cholesky(const Machine& machine,
                           grid(gi, gj) * costs.update;
         update_time = std::max(update_time, tt);
         rep.busy[gi * q + gj] += tt;
+        if (tt > 0.0)
+          trace_span(sink, TraceEventKind::kComputeBlock, gi * q + gj,
+                     now + panel_time + bcast, tt, k, "update");
       }
 
     rep.compute_time += panel_time + update_time;
     rep.comm_time += bcast;
     rep.steps.push_back({k, panel_time, 0.0, update_time, bcast});
+    trace_span(sink, TraceEventKind::kPhase, kMachineLane, now,
+               rep.steps.back().total(), k, "step");
+    now += rep.steps.back().total();
 
     const double m = static_cast<double>(nb - k - 1);
     rep.perfect_compute_bound +=
@@ -297,17 +335,19 @@ SimReport simulate_cholesky(const Machine& machine,
 }
 
 SimReport simulate_lu(const Machine& machine, const Distribution2D& dist,
-                      std::size_t nb, const KernelCosts& costs) {
+                      std::size_t nb, const KernelCosts& costs,
+                      TraceSink* sink) {
   return simulate_factorization(
       machine, dist, nb,
-      {costs.panel_factor, costs.trsm, costs.update, "lu"});
+      {costs.panel_factor, costs.trsm, costs.update, "lu"}, sink);
 }
 
 SimReport simulate_qr(const Machine& machine, const Distribution2D& dist,
-                      std::size_t nb, const KernelCosts& costs) {
+                      std::size_t nb, const KernelCosts& costs,
+                      TraceSink* sink) {
   return simulate_factorization(
       machine, dist, nb,
-      {costs.qr_factor, costs.qr_update, costs.qr_update, "qr"});
+      {costs.qr_factor, costs.qr_update, costs.qr_update, "qr"}, sink);
 }
 
 }  // namespace hetgrid

@@ -16,6 +16,7 @@
 
 #include "core/cycle_time_grid.hpp"
 #include "dist/distribution.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 
 namespace hetgrid {
@@ -73,20 +74,27 @@ struct KernelCosts {
 /// Simulates C = A * B on nb x nb blocks (outer-product algorithm,
 /// Section 3.1): nb steps, each with one horizontal and one vertical
 /// broadcast followed by the full rank-r update sweep.
+///
+/// All simulate_* functions optionally stream their timeline into `sink`
+/// (compute/broadcast spans per processor, one phase marker per step; see
+/// doc/observability.md). A null sink costs nothing.
 SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
-                       std::size_t nb, const KernelCosts& costs = {});
+                       std::size_t nb, const KernelCosts& costs = {},
+                       TraceSink* sink = nullptr);
 
 /// Simulates the right-looking LU factorization (Section 3.2): at step k,
 /// panel factorization in the owner column, L broadcast along rows, U
 /// triangular solves in the owner row, U broadcast along columns, trailing
 /// update of blocks (I > k, J > k).
 SimReport simulate_lu(const Machine& machine, const Distribution2D& dist,
-                      std::size_t nb, const KernelCosts& costs = {});
+                      std::size_t nb, const KernelCosts& costs = {},
+                      TraceSink* sink = nullptr);
 
 /// Simulates the right-looking Householder QR (same communication pattern
 /// as LU, heavier panel and update flops).
 SimReport simulate_qr(const Machine& machine, const Distribution2D& dist,
-                      std::size_t nb, const KernelCosts& costs = {});
+                      std::size_t nb, const KernelCosts& costs = {},
+                      TraceSink* sink = nullptr);
 
 /// Simulates the right-looking Cholesky factorization (lower variant): at
 /// step k the owner column factors/solves the panel, the L21 panel is
@@ -94,6 +102,7 @@ SimReport simulate_qr(const Machine& machine, const Distribution2D& dist,
 /// trailing blocks (I >= J > k) are updated.
 SimReport simulate_cholesky(const Machine& machine,
                             const Distribution2D& dist, std::size_t nb,
-                            const KernelCosts& costs = {});
+                            const KernelCosts& costs = {},
+                            TraceSink* sink = nullptr);
 
 }  // namespace hetgrid

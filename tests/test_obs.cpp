@@ -1,0 +1,228 @@
+// Tests for the tracing/metrics subsystem (src/obs): counter accounting,
+// the Chrome Trace JSON exporter, idle-gap filling, and the invariant that
+// per-processor busy + idle time sums to the reported makespan in both the
+// bulk-synchronous simulator and the message-passing runtime.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dist/panel_distribution.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/matrix.hpp"
+#include "mp/mp_runtime.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+#include "obs/utilization.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+Machine machine_of(const CycleTimeGrid& g, const NetworkModel& net) {
+  return Machine{g, net};
+}
+
+// ----------------------------------------------------- summarize_trace
+
+TEST(TraceSummary, CountersAccumulatePerKind) {
+  MemoryTraceSink sink;
+  trace_span(&sink, TraceEventKind::kComputeBlock, 0, 0.0, 2.0, 0, "u");
+  trace_span(&sink, TraceEventKind::kSend, 0, 2.0, 1.0, 0, "send", 3.0, 1);
+  trace_span(&sink, TraceEventKind::kRecv, 1, 2.0, 1.0, 0, "recv", 3.0, 0);
+  const TraceSummary sum = summarize_trace(sink.events(), 2, 3.0);
+  EXPECT_DOUBLE_EQ(sum.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].compute_time, 2.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].comm_time, 1.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].busy_time, 3.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].idle_time, 0.0);
+  EXPECT_EQ(sum.procs[0].messages_sent, 1u);
+  EXPECT_DOUBLE_EQ(sum.procs[0].blocks_sent, 3.0);
+  EXPECT_EQ(sum.procs[1].messages_received, 1u);
+  EXPECT_DOUBLE_EQ(sum.procs[1].blocks_received, 3.0);
+  EXPECT_DOUBLE_EQ(sum.procs[1].busy_time, 1.0);
+  EXPECT_DOUBLE_EQ(sum.procs[1].idle_time, 2.0);
+}
+
+TEST(TraceSummary, OverlappingSpansAreNotDoubleCountedAsBusy) {
+  // Async runtimes overlap compute and communication on one processor;
+  // busy time is the measure of the union of the spans.
+  MemoryTraceSink sink;
+  trace_span(&sink, TraceEventKind::kComputeBlock, 0, 0.0, 4.0, 0, "u");
+  trace_span(&sink, TraceEventKind::kRecv, 0, 2.0, 4.0, 0, "recv");
+  const TraceSummary sum = summarize_trace(sink.events(), 1, 10.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].busy_time, 6.0);  // union [0,6), not 8
+  EXPECT_DOUBLE_EQ(sum.procs[0].idle_time, 4.0);
+}
+
+TEST(TraceSummary, MachineLaneEventsDoNotTouchProcessorCounters) {
+  MemoryTraceSink sink;
+  trace_span(&sink, TraceEventKind::kPhase, kMachineLane, 0.0, 5.0, 0, "s");
+  const TraceSummary sum = summarize_trace(sink.events(), 2, 5.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].busy_time, 0.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].idle_time, 5.0);
+  EXPECT_DOUBLE_EQ(sum.procs[1].idle_time, 5.0);
+}
+
+// ----------------------------------------------------- busy + idle == makespan
+
+TEST(TraceInvariant, SimBackendBusyPlusIdleSumsToMakespan) {
+  Rng rng(11);
+  const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.1));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const NetworkModel net{Topology::kSwitched, 1e-3, 1e-3, true};
+  MemoryTraceSink sink;
+  const SimReport rep =
+      simulate_lu(machine_of(g, net), d, 12, KernelCosts{}, &sink);
+  const TraceSummary sum = summarize_trace(sink.events(), 4, rep.total_time);
+  EXPECT_GE(sum.makespan, rep.total_time);
+  for (const ProcCounters& pc : sum.procs)
+    EXPECT_NEAR(pc.busy_time + pc.idle_time, sum.makespan, 1e-9);
+}
+
+TEST(TraceInvariant, MpBackendBusyPlusIdleSumsToMakespan) {
+  Rng rng(12);
+  const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.1));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const NetworkModel net{Topology::kEthernet, 1e-3, 1e-3, true};
+  const std::size_t block = 4, nb = 6, n = block * nb;
+  Matrix a(n, n);
+  fill_diagonally_dominant(a.view(), rng);
+  MemoryTraceSink sink;
+  const MpReport rep = run_mp_lu(Machine{g, net}, d, a.view(), block,
+                                 KernelCosts{}, false, &sink);
+  ASSERT_TRUE(rep.factorized);
+  const TraceSummary sum = summarize_trace(sink.events(), 4, rep.makespan);
+  for (std::size_t id = 0; id < 4; ++id) {
+    EXPECT_NEAR(sum.procs[id].busy_time + sum.procs[id].idle_time,
+                sum.makespan, 1e-9);
+    // Compute spans reproduce the runtime's own busy accounting.
+    EXPECT_NEAR(sum.procs[id].compute_time, rep.busy[id], 1e-9);
+  }
+}
+
+TEST(TraceInvariant, SimComputeSpansMatchReportedBusyTime) {
+  Rng rng(13);
+  const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.1));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  MemoryTraceSink sink;
+  const SimReport rep = simulate_mmm(machine_of(g, NetworkModel::free()), d,
+                                     8, KernelCosts{}, &sink);
+  const TraceSummary sum = summarize_trace(sink.events(), 4, rep.total_time);
+  for (std::size_t id = 0; id < 4; ++id)
+    EXPECT_NEAR(sum.procs[id].compute_time, rep.busy[id], 1e-9);
+}
+
+// ----------------------------------------------------- null sink
+
+TEST(TraceNullSink, ResultsAreIdenticalWithAndWithoutSink) {
+  Rng rng(14);
+  const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.1));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const NetworkModel net{Topology::kSwitched, 1e-3, 1e-3, true};
+  MemoryTraceSink sink;
+  const SimReport with =
+      simulate_lu(machine_of(g, net), d, 10, KernelCosts{}, &sink);
+  const SimReport without =
+      simulate_lu(machine_of(g, net), d, 10, KernelCosts{}, nullptr);
+  EXPECT_DOUBLE_EQ(with.total_time, without.total_time);
+  EXPECT_DOUBLE_EQ(with.compute_time, without.compute_time);
+  EXPECT_DOUBLE_EQ(with.comm_time, without.comm_time);
+  EXPECT_FALSE(sink.events().empty());
+}
+
+// ----------------------------------------------------- idle events
+
+TEST(TraceIdle, GapsAreFilledUpToTheMakespan) {
+  std::vector<TraceEvent> ev;
+  ev.push_back({TraceEventKind::kComputeBlock, 0, 1.0, 2.0, 0, 0.0,
+                kNoPeer, "u"});
+  append_idle_events(ev, 2, 5.0);
+  double idle0 = 0.0, idle1 = 0.0;
+  for (const TraceEvent& e : ev) {
+    if (e.kind != TraceEventKind::kIdle) continue;
+    (e.proc == 0 ? idle0 : idle1) += e.duration;
+  }
+  EXPECT_DOUBLE_EQ(idle0, 3.0);  // [0,1) and [3,5)
+  EXPECT_DOUBLE_EQ(idle1, 5.0);  // the whole run
+}
+
+// ----------------------------------------------------- Chrome JSON export
+
+TEST(ChromeTrace, GoldenOutputForATinyTrace) {
+  std::vector<TraceEvent> ev;
+  ev.push_back({TraceEventKind::kComputeBlock, 0, 0.0, 1.5, 2, 0.0,
+                kNoPeer, "update"});
+  ev.push_back({TraceEventKind::kSend, 0, 1.5, 0.25, 2, 3.0, 1, "send"});
+  std::ostringstream os;
+  write_chrome_trace(os, ev, 1, {"P(0,0) t=1"});
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+      "{\"name\":\"hetgrid\"}},\n"
+      "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":"
+      "{\"name\":\"P(0,0) t=1\"}},\n"
+      "  {\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"sort_index\":0}},\n"
+      "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":"
+      "{\"name\":\"machine\"}},\n"
+      "  {\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"sort_index\":1}},\n"
+      "  {\"name\":\"update\",\"cat\":\"compute_block\",\"ph\":\"X\","
+      "\"ts\":0,\"dur\":1500000,\"pid\":0,\"tid\":0,\"args\":{\"step\":2}},\n"
+      "  {\"name\":\"send\",\"cat\":\"send\",\"ph\":\"X\",\"ts\":1500000,"
+      "\"dur\":250000,\"pid\":0,\"tid\":0,\"args\":{\"step\":2,"
+      "\"blocks\":3,\"peer\":1}}\n"
+      "]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ChromeTrace, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(ChromeTrace, EndToEndOutputIsStructurallySound) {
+  Rng rng(15);
+  const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.1));
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const NetworkModel net{Topology::kSwitched, 1e-3, 1e-3, true};
+  MemoryTraceSink sink;
+  const SimReport rep =
+      simulate_mmm(machine_of(g, net), d, 8, KernelCosts{}, &sink);
+  std::vector<TraceEvent> ev = sink.events();
+  append_idle_events(ev, 4, rep.total_time);
+  std::ostringstream os;
+  write_chrome_trace(os, ev, 4, {});
+  const std::string out = os.str();
+  // Structural checks without a JSON parser: balanced braces/brackets,
+  // one record per line, and the wrapper keys present.
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  std::size_t braces = 0, brackets = 0;
+  for (char c : out) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0u);
+  EXPECT_EQ(brackets, 0u);
+  EXPECT_EQ(out.substr(out.size() - 3), "]}\n");
+}
+
+// ----------------------------------------------------- utilization table
+
+TEST(Utilization, TableAndScalarsAgreeWithTheSummary) {
+  MemoryTraceSink sink;
+  trace_span(&sink, TraceEventKind::kComputeBlock, 0, 0.0, 4.0, 0, "u");
+  trace_span(&sink, TraceEventKind::kComputeBlock, 1, 0.0, 1.0, 0, "u");
+  const TraceSummary sum = summarize_trace(sink.events(), 2, 4.0);
+  EXPECT_DOUBLE_EQ(min_utilization(sum), 0.25);
+  EXPECT_DOUBLE_EQ(mean_idle_fraction(sum), 0.375);
+  std::ostringstream os;
+  utilization_table(sum, {"fast", "slow"}).print(os);
+  EXPECT_NE(os.str().find("fast"), std::string::npos);
+  EXPECT_NE(os.str().find("slow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetgrid

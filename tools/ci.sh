@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification: strict (-Werror) configure + build + full test run,
+# in an isolated build-ci/ tree so it never disturbs the dev build/.
+# Usage: tools/ci.sh  (from the repository root; any CMake >= 3.16 works,
+# CMake >= 3.21 users can equivalently run `cmake --preset ci` etc.)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS=-Werror
+cmake --build build-ci -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir build-ci --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

@@ -12,9 +12,15 @@
 //   simulate  --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=64
 //             [--network=free|switched|ethernet] [--strategy=...]
 //             simulate a kernel under a strategy and print the report.
+//   trace     --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=16
+//             [--backend=sim|mp] [--out=trace.json] [...]
+//             run a kernel with the trace recorder on, write a Chrome /
+//             Perfetto trace.json, and print per-processor utilization.
 //
 // Everything prints aligned tables; add --csv for machine-readable copies.
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -154,6 +160,42 @@ int cmd_panel(int argc, const char* const* argv) {
   return 0;
 }
 
+NetworkModel parse_network_flag(const std::string& network) {
+  if (network == "free") return NetworkModel::free();
+  if (network == "switched") return {Topology::kSwitched, 1e-4, 2e-4, true};
+  if (network == "ethernet") return {Topology::kEthernet, 1e-4, 2e-4, true};
+  HG_CHECK(false, "unknown --network: " << network);
+}
+
+struct StrategyChoice {
+  CycleTimeGrid grid;
+  std::unique_ptr<Distribution2D> dist;
+};
+
+StrategyChoice build_strategy(const std::string& strategy, std::size_t p,
+                              std::size_t q, const std::vector<double>& pool,
+                              std::size_t scale) {
+  StrategyChoice out{CycleTimeGrid::sorted_row_major(p, q, pool), nullptr};
+  if (strategy == "block-cyclic") {
+    out.dist = std::make_unique<PanelDistribution>(
+        PanelDistribution::block_cyclic(p, q));
+  } else if (strategy == "kl") {
+    out.dist = std::make_unique<KalinovLastovetskyDistribution>(
+        out.grid, scale * p, scale * q);
+  } else if (strategy == "heuristic") {
+    const HeuristicResult h = solve_heuristic(p, q, pool);
+    out.grid = h.final().grid;
+    out.dist = std::make_unique<PanelDistribution>(
+        PanelDistribution::from_allocation(
+            out.grid, h.final().alloc, scale * p, scale * q,
+            PanelOrder::kContiguous, PanelOrder::kInterleaved, "heuristic"));
+  } else {
+    HG_CHECK(false, "unknown --strategy: " << strategy
+                                           << " (block-cyclic|kl|heuristic)");
+  }
+  return out;
+}
+
 int cmd_simulate(int argc, const char* const* argv) {
   const Cli cli(argc, argv,
                 {{"times", ""}, {"p", "0"}, {"q", "0"},
@@ -168,37 +210,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   const auto nb = static_cast<std::size_t>(cli.get_int("nb"));
   const auto scale = static_cast<std::size_t>(cli.get_int("scale"));
 
-  NetworkModel net;
   const std::string network = cli.get_string("network");
-  if (network == "free")
-    net = NetworkModel::free();
-  else if (network == "switched")
-    net = {Topology::kSwitched, 1e-4, 2e-4, true};
-  else if (network == "ethernet")
-    net = {Topology::kEthernet, 1e-4, 2e-4, true};
-  else
-    HG_CHECK(false, "unknown --network: " << network);
-
+  const NetworkModel net = parse_network_flag(network);
   const std::string strategy = cli.get_string("strategy");
-  CycleTimeGrid grid = CycleTimeGrid::sorted_row_major(p, q, pool);
-  std::unique_ptr<Distribution2D> dist;
-  if (strategy == "block-cyclic") {
-    dist = std::make_unique<PanelDistribution>(
-        PanelDistribution::block_cyclic(p, q));
-  } else if (strategy == "kl") {
-    dist = std::make_unique<KalinovLastovetskyDistribution>(grid, scale * p,
-                                                            scale * q);
-  } else if (strategy == "heuristic") {
-    const HeuristicResult h = solve_heuristic(p, q, pool);
-    grid = h.final().grid;
-    dist = std::make_unique<PanelDistribution>(
-        PanelDistribution::from_allocation(
-            grid, h.final().alloc, scale * p, scale * q,
-            PanelOrder::kContiguous, PanelOrder::kInterleaved, "heuristic"));
-  } else {
-    HG_CHECK(false, "unknown --strategy: " << strategy
-                                           << " (block-cyclic|kl|heuristic)");
-  }
+  StrategyChoice choice = build_strategy(strategy, p, q, pool, scale);
+  const CycleTimeGrid& grid = choice.grid;
+  const std::unique_ptr<Distribution2D>& dist = choice.dist;
 
   const Machine machine{grid, net};
   const std::string kernel = cli.get_string("kernel");
@@ -248,15 +265,116 @@ int cmd_simulate(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_trace(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"},
+                 {"kernel", "mmm"}, {"nb", "16"}, {"backend", "sim"},
+                 {"network", "switched"}, {"strategy", "heuristic"},
+                 {"scale", "8"}, {"block", "4"}, {"out", "trace.json"},
+                 {"csv", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+  const auto nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const auto scale = static_cast<std::size_t>(cli.get_int("scale"));
+  const auto block = static_cast<std::size_t>(cli.get_int("block"));
+  const std::string backend = cli.get_string("backend");
+  const std::string kernel = cli.get_string("kernel");
+  const std::string out_path = cli.get_string("out");
+
+  const NetworkModel net = parse_network_flag(cli.get_string("network"));
+  StrategyChoice choice =
+      build_strategy(cli.get_string("strategy"), p, q, pool, scale);
+  const Machine machine{choice.grid, net};
+  const Distribution2D& dist = *choice.dist;
+
+  MemoryTraceSink sink;
+  const KernelCosts costs;
+  double makespan = 0.0;
+  if (backend == "sim") {
+    SimReport rep;
+    if (kernel == "mmm")
+      rep = simulate_mmm(machine, dist, nb, costs, &sink);
+    else if (kernel == "lu")
+      rep = simulate_lu(machine, dist, nb, costs, &sink);
+    else if (kernel == "qr")
+      rep = simulate_qr(machine, dist, nb, costs, &sink);
+    else if (kernel == "chol")
+      rep = simulate_cholesky(machine, dist, nb, costs, &sink);
+    else
+      HG_CHECK(false, "unknown --kernel: " << kernel);
+    makespan = rep.total_time;
+  } else if (backend == "mp") {
+    // The message-passing runtime executes real arithmetic, so build a
+    // small n = nb * block matrix and run it for real.
+    const std::size_t n = nb * block;
+    Rng rng(7);
+    MpReport rep;
+    if (kernel == "mmm") {
+      Matrix a(n, n), b(n, n), c(n, n);
+      fill_random(a.view(), rng);
+      fill_random(b.view(), rng);
+      rep = run_mp_mmm(machine, dist, a.view(), b.view(), c.view(), block,
+                       costs, &sink);
+    } else if (kernel == "lu") {
+      Matrix a(n, n);
+      fill_diagonally_dominant(a.view(), rng);
+      rep = run_mp_lu(machine, dist, a.view(), block, costs, false, &sink);
+    } else if (kernel == "chol") {
+      Matrix a(n, n);
+      fill_spd(a.view(), rng);
+      rep = run_mp_cholesky(machine, dist, a.view(), block, costs, &sink);
+    } else {
+      HG_CHECK(false, "mp backend supports --kernel=mmm|lu|chol, got "
+                          << kernel);
+    }
+    makespan = rep.makespan;
+  } else {
+    HG_CHECK(false, "unknown --backend: " << backend << " (sim|mp)");
+  }
+
+  std::vector<double> cycle_times(p * q);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j)
+      cycle_times[i * q + j] = machine.grid(i, j);
+  const std::vector<std::string> labels =
+      proc_lane_labels(p, q, cycle_times.data());
+
+  std::vector<TraceEvent> events = sink.events();
+  append_idle_events(events, p * q, makespan);
+  {
+    std::ofstream os(out_path);
+    HG_CHECK(os.good(), "cannot open --out file: " << out_path);
+    write_chrome_trace(os, events, p * q, labels);
+  }
+
+  const TraceSummary summary = summarize_trace(sink.events(), p * q, makespan);
+  Table table = utilization_table(
+      summary, labels,
+      kernel + " on " + std::to_string(p) + "x" + std::to_string(q) + " (" +
+          backend + " backend), makespan " + Table::num(summary.makespan, 3) +
+          " s");
+  table.print(std::cout);
+  if (cli.get_bool("csv")) table.print_csv(std::cout);
+  std::cout << "wrote " << events.size() << " events to " << out_path
+            << " (open in https://ui.perfetto.dev or chrome://tracing)\n";
+  return 0;
+}
+
 int usage() {
   std::cerr <<
-      "usage: hetgrid <solve|design|panel|simulate> [--flags]\n"
+      "usage: hetgrid <solve|design|panel|simulate|trace> [--flags]\n"
       "  solve    --times=1,2,3,6 --p=2 --q=2 [--solver=heuristic|exact|auto]\n"
       "  design   --times=0.2,0.3,...\n"
       "  panel    --times=... --p=2 --q=2 --bp=8 --bq=6 [--order=lu|mmm]\n"
       "  simulate --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=64\n"
       "           [--network=free|switched|ethernet]\n"
-      "           [--strategy=block-cyclic|kl|heuristic]\n";
+      "           [--strategy=block-cyclic|kl|heuristic]\n"
+      "  trace    --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=16\n"
+      "           [--backend=sim|mp] [--out=trace.json] [--block=4]\n"
+      "           [--network=...] [--strategy=...]\n";
   return 2;
 }
 
@@ -272,6 +390,7 @@ int main(int argc, char** argv) {
     if (cmd == "design") return cli::cmd_design(argc - 1, argv + 1);
     if (cmd == "panel") return cli::cmd_panel(argc - 1, argv + 1);
     if (cmd == "simulate") return cli::cmd_simulate(argc - 1, argv + 1);
+    if (cmd == "trace") return cli::cmd_trace(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
