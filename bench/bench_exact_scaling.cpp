@@ -1,0 +1,114 @@
+// Scaling harness for the branch-and-bound exact solver (the EXPERIMENTS.md
+// table): for each grid size it times the exhaustive enumeration, the serial
+// branch-and-bound, and the parallel prefix-split search at several thread
+// counts, and reports the node/prune counters. The parallel rows must agree
+// with the serial ones on every counter — the run asserts it — so the only
+// column allowed to move with --threads is wall-clock time.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/exact_solver.hpp"
+#include "graph/spanning_tree.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace hetgrid;
+
+double time_solve(const CycleTimeGrid& grid, const ExactSolverOptions& opts,
+                  int reps, ExactSolution& out) {
+  // One warm-up solve, then the best of `reps` timed runs (the searches are
+  // deterministic, so min is the right estimator against scheduler noise).
+  out = solve_exact(grid, opts);
+  double best_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExactSolution sol = solve_exact(grid, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+    HG_INTERNAL_CHECK(sol.obj2 == out.obj2 && sol.nodes_visited == out.nodes_visited,
+                      "exact solver is not deterministic across runs");
+  }
+  return best_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  const Cli cli(argc, argv,
+                {{"max-size", "5"}, {"reps", "3"}, {"seed", "29"},
+                 {"threads", "1,2,4"}, {"csv", "0"}});
+  bench::print_header("Exact solver scaling — exhaustive vs branch-and-bound",
+                      cli);
+
+  const auto max_size = static_cast<std::size_t>(cli.get_int("max-size"));
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::vector<unsigned> thread_counts;
+  for (double v : parse_positive_list(cli.get_string("threads")))
+    thread_counts.push_back(static_cast<unsigned>(v));
+
+  Table table;
+  table.header({"grid", "trees", "mode", "threads", "ms", "nodes", "leaves",
+                "pruned", "speedup_vs_serial"});
+  const std::vector<std::pair<std::size_t, std::size_t>> sizes = {
+      {3, 3}, {3, 4}, {4, 4}, {4, 5}, {5, 5}, {5, 6}};
+  for (const auto& [p, q] : sizes) {
+    if (p > max_size || q > max_size + 1) continue;
+    const CycleTimeGrid grid =
+        CycleTimeGrid::sorted_row_major(p, q, rng.cycle_times(p * q, 0.05));
+    const std::string shape = std::to_string(p) + "x" + std::to_string(q);
+    const double trees = static_cast<double>(spanning_tree_count(p, q));
+
+    ExactSolution serial;
+    ExactSolverOptions serial_opts;
+    const double serial_ms = time_solve(grid, serial_opts, reps, serial);
+
+    ExactSolution full;
+    ExactSolverOptions full_opts;
+    full_opts.prune = false;
+    const double full_ms = time_solve(grid, full_opts, reps, full);
+    HG_INTERNAL_CHECK(full.trees_enumerated == spanning_tree_count(p, q),
+                      "exhaustive mode must evaluate every spanning tree");
+    table.row({shape, Table::num(trees, 0), "exhaustive", "1",
+               Table::num(full_ms, 2),
+               Table::num(static_cast<double>(full.nodes_visited), 0),
+               Table::num(static_cast<double>(full.trees_enumerated), 0), "0",
+               Table::num(serial_ms > 0.0 ? full_ms / serial_ms : 0.0, 2)});
+    table.row({shape, Table::num(trees, 0), "b&b", "1",
+               Table::num(serial_ms, 2),
+               Table::num(static_cast<double>(serial.nodes_visited), 0),
+               Table::num(static_cast<double>(serial.trees_enumerated), 0),
+               Table::num(static_cast<double>(serial.subtrees_pruned), 0),
+               "1.00"});
+
+    for (unsigned threads : thread_counts) {
+      if (threads <= 1) continue;
+      ExactSolution par;
+      ExactSolverOptions par_opts;
+      par_opts.threads = threads;
+      const double par_ms = time_solve(grid, par_opts, reps, par);
+      HG_INTERNAL_CHECK(
+          par.obj2 == serial.obj2 && par.alloc.r == serial.alloc.r &&
+              par.alloc.c == serial.alloc.c && par.tree == serial.tree &&
+              par.nodes_visited == serial.nodes_visited &&
+              par.trees_enumerated == serial.trees_enumerated &&
+              par.trees_acceptable == serial.trees_acceptable &&
+              par.subtrees_pruned == serial.subtrees_pruned,
+          "parallel search diverged from the serial result");
+      table.row({shape, Table::num(trees, 0), "b&b",
+                 std::to_string(threads), Table::num(par_ms, 2),
+                 Table::num(static_cast<double>(par.nodes_visited), 0),
+                 Table::num(static_cast<double>(par.trees_enumerated), 0),
+                 Table::num(static_cast<double>(par.subtrees_pruned), 0),
+                 Table::num(par_ms > 0.0 ? serial_ms / par_ms : 0.0, 2)});
+    }
+  }
+  bench::emit(table, cli);
+  return 0;
+}

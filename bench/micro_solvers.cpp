@@ -40,24 +40,38 @@ void BM_HeuristicSingleStep(benchmark::State& state) {
 }
 BENCHMARK(BM_HeuristicSingleStep)->DenseRange(2, 16, 2);
 
+// Args: {p, q, threads, prune}. threads=1/prune=1 is the default serial
+// branch-and-bound; prune=0 degenerates to the exhaustive enumeration.
 void BM_ExactSolver(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));
   const auto q = static_cast<std::size_t>(state.range(1));
+  ExactSolverOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(2));
+  opts.prune = state.range(3) != 0;
   Rng rng(3);
   const CycleTimeGrid grid =
       CycleTimeGrid::sorted_row_major(p, q, rng.cycle_times(p * q));
+  std::uint64_t nodes = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_exact(grid));
+    const ExactSolution sol = solve_exact(grid, opts);
+    nodes = sol.nodes_visited;
+    benchmark::DoNotOptimize(sol);
   }
   state.counters["trees"] =
       static_cast<double>(spanning_tree_count(p, q));
+  state.counters["nodes"] = static_cast<double>(nodes);
 }
 BENCHMARK(BM_ExactSolver)
-    ->Args({2, 2})
-    ->Args({2, 3})
-    ->Args({3, 3})
-    ->Args({3, 4})
-    ->Args({4, 4});
+    ->Args({2, 2, 1, 1})
+    ->Args({2, 3, 1, 1})
+    ->Args({3, 3, 1, 1})
+    ->Args({3, 4, 1, 1})
+    ->Args({4, 4, 1, 1})
+    ->Args({4, 4, 1, 0})
+    ->Args({4, 4, 4, 1})
+    ->Args({5, 5, 1, 1})
+    ->Args({5, 5, 4, 1})
+    ->Args({5, 5, 0, 1});
 
 void BM_OptimalArrangement(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));

@@ -120,12 +120,13 @@ std::uint64_t enumerate_all_arrangements(
 }
 
 OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
-                                             std::vector<double> pool) {
+                                             std::vector<double> pool,
+                                             const ExactSolverOptions& opts) {
   OptimalArrangement best{CycleTimeGrid(1, 1, {1.0}), {}, 0};
   bool found = false;
   best.arrangements_tried = enumerate_nondecreasing_arrangements(
       p, q, std::move(pool), [&](const CycleTimeGrid& grid) {
-        ExactSolution sol = solve_exact(grid);
+        ExactSolution sol = solve_exact(grid, opts);
         if (!found || sol.obj2 > best.solution.obj2) {
           found = true;
           best.grid = grid;
@@ -135,6 +136,12 @@ OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
       });
   HG_INTERNAL_CHECK(found, "no arrangement enumerated");
   return best;
+}
+
+OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
+                                             std::vector<double> pool) {
+  return solve_optimal_arrangement(p, q, std::move(pool),
+                                   ExactSolverOptions{});
 }
 
 }  // namespace hetgrid

@@ -39,6 +39,12 @@ struct OptimalArrangement {
   std::uint64_t arrangements_tried = 0;
 };
 
+/// `opts` is forwarded to every per-arrangement solve_exact call (e.g. to
+/// parallelize the inner tree searches or raise the tree cap).
+OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
+                                             std::vector<double> pool,
+                                             const ExactSolverOptions& opts);
+
 OptimalArrangement solve_optimal_arrangement(std::size_t p, std::size_t q,
                                              std::vector<double> pool);
 

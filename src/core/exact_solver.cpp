@@ -1,76 +1,411 @@
 #include "core/exact_solver.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
-#include "graph/spanning_tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hetgrid {
 
 namespace {
 
-// Propagates r_i t_ij c_j = 1 along the tree edges starting from r[0] = 1.
-// Tree edges arrive as a list; we sweep until all p + q values are set
-// (each sweep fixes at least one value because the edges form a tree).
-// Returns false if the tree left a variable unset (cannot happen for a
-// valid spanning tree; defensive).
-bool propagate(const CycleTimeGrid& grid,
-               const std::vector<BipartiteEdge>& tree, GridAllocation& out) {
+// Relative slack when checking the non-tree inequalities: propagation is a
+// chain of multiplications, so allow a little accumulated roundoff.
+constexpr double kTol = 1e-9;
+
+// Edges are decided in row-major index order; the search splits into tasks
+// on the include/exclude prefix of the first kSplitDepth edges. The depth
+// is a function of the grid alone (never of the thread count), so the task
+// list — and with it every counter and the returned tree — is identical
+// for any number of workers.
+constexpr std::uint32_t kSplitDepth = 10;
+
+struct Counters {
+  std::uint64_t trees_enumerated = 0;
+  std::uint64_t trees_acceptable = 0;
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t subtrees_pruned = 0;
+
+  void add(const Counters& o) {
+    trees_enumerated += o.trees_enumerated;
+    trees_acceptable += o.trees_acceptable;
+    nodes_visited += o.nodes_visited;
+    subtrees_pruned += o.subtrees_pruned;
+  }
+};
+
+struct Candidate {
+  bool found = false;
+  double obj2 = 0.0;  // incremental value; only used to compare candidates
+  std::vector<std::uint32_t> edge_idx;  // ascending edge indices of the tree
+};
+
+// An include/exclude decision prefix: bit e of `mask` set means edge e is
+// included, for e < depth. Only structurally valid prefixes are emitted, so
+// replaying one never needs checks.
+struct PrefixTask {
+  std::uint32_t depth = 0;
+  std::uint64_t mask = 0;
+};
+
+// The branch-and-bound engine. One instance per task (and one for prefix
+// generation); all state is local, so tasks run concurrently without
+// sharing anything but the read-only grid.
+//
+// Partial-forest state: every vertex v carries a relative share val_[v].
+// Within one union-find component with free scale x, the induced point is
+// r_i = val_[i] * x and c_j = val_[p+j] / x, so the product r_i c_j of any
+// same-component (row, column) pair is val-determined and scale-free. That
+// yields
+//   * an admissible Obj2 bound: obj2 = sum_ij r_i c_j, where same-component
+//     pairs contribute their fixed product and cross-component pairs at
+//     most 1/t_ij (any acceptable completion must satisfy r_i t_ij c_j <= 1);
+//   * an infeasibility cut: a same-component pair with
+//     val_i * val_j * t_ij > 1 + kTol violates its constraint in EVERY
+//     completion, so the subtree holds no acceptable tree.
+class Search {
+ public:
+  Search(const CycleTimeGrid& grid, bool prune)
+      : grid_(grid),
+        p_(grid.rows()),
+        q_(grid.cols()),
+        n_(p_ + q_),
+        needed_(n_ - 1),
+        n_edges_(static_cast<std::uint32_t>(p_ * q_)),
+        prune_(prune),
+        t_(grid.row_major()),
+        uf_(n_),
+        val_(n_, 1.0) {
+    inv_t_.resize(t_.size());
+    ub_ = 0.0;
+    for (std::size_t k = 0; k < t_.size(); ++k) {
+      inv_t_[k] = 1.0 / t_[k];
+      ub_ += inv_t_[k];  // all pairs start cross-component: capacity bound
+    }
+    chosen_.reserve(needed_);
+  }
+
+  // Replays a prefix emitted by a generation pass.
+  void replay(const PrefixTask& task) {
+    for (std::uint32_t e = 0; e < task.depth; ++e)
+      if (task.mask >> e & 1ull) {
+        apply_include(e);
+        chosen_.push_back(e);
+      }
+  }
+
+  // Walks the subtree rooted at the current state, deciding edges from
+  // `start` on. Generation mode (out_prefixes != nullptr): nodes at depth
+  // `limit` — and complete trees above it — are emitted as prefixes instead
+  // of being expanded/evaluated; the executor that replays them re-enters
+  // them, so they are not counted here. Execution mode: pass
+  // limit > n_edges() so every node is expanded.
+  void search(std::uint32_t start, std::uint32_t limit,
+              std::vector<PrefixTask>* out_prefixes, Candidate& best,
+              Counters& cnt) {
+    std::vector<Frame> stack;
+    stack.reserve(n_edges_ + 1 - start);
+    stack.push_back({start, 0, 0, 0, 0, 0.0, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.stage == 0) {
+        const bool leaf = chosen_.size() == needed_;
+        if (prune_ && (viol_ > 0 || ub_ <= best.obj2)) {
+          ++cnt.nodes_visited;
+          ++cnt.subtrees_pruned;
+          stack.pop_back();
+          continue;
+        }
+        if (out_prefixes != nullptr && (leaf || f.idx == limit)) {
+          out_prefixes->push_back({f.idx, mask_});
+          stack.pop_back();
+          continue;
+        }
+        ++cnt.nodes_visited;
+        if (leaf) {
+          evaluate_leaf(best, cnt);
+          stack.pop_back();
+          continue;
+        }
+        if (f.idx == n_edges_ ||
+            chosen_.size() + (n_edges_ - f.idx) < needed_ ||
+            !completable(f.idx)) {
+          stack.pop_back();
+          continue;
+        }
+        // Branch 1: include edges[idx] if it joins two components.
+        f.uf_mark = uf_.checkpoint();
+        f.val_mark = val_undo_.size();
+        f.saved_ub = ub_;
+        f.saved_viol = viol_;
+        const std::size_t row = f.idx / q_, colv = p_ + f.idx % q_;
+        if (uf_.find(row) != uf_.find(colv)) {
+          apply_include(f.idx);
+          chosen_.push_back(f.idx);
+          if (out_prefixes != nullptr) mask_ |= 1ull << f.idx;
+          f.stage = 1;
+          f.included = 1;
+        } else {
+          f.stage = 2;  // cycle edge: only the exclude branch exists
+        }
+        stack.push_back({f.idx + 1, 0, 0, 0, 0, 0.0, 0});
+        continue;
+      }
+      if (f.stage == 1) {
+        // Back from the include branch: restore the pre-include state
+        // (saved copies, never inverse arithmetic, so the state is
+        // bit-identical to a fresh replay of the same decisions).
+        chosen_.pop_back();
+        if (out_prefixes != nullptr) mask_ &= ~(1ull << f.idx);
+        uf_.rollback(f.uf_mark);
+        while (val_undo_.size() > f.val_mark) {
+          val_[val_undo_.back().vertex] = val_undo_.back().old_value;
+          val_undo_.pop_back();
+        }
+        ub_ = f.saved_ub;
+        viol_ = f.saved_viol;
+        f.stage = 2;
+        stack.push_back({f.idx + 1, 0, 0, 0, 0, 0.0, 0});
+        continue;
+      }
+      stack.pop_back();  // both branches done
+    }
+  }
+
+  std::uint32_t n_edges() const { return n_edges_; }
+
+ private:
+  struct ValUndo {
+    std::size_t vertex;
+    double old_value;
+  };
+
+  struct Frame {
+    std::uint32_t idx;      // edge this node decides
+    std::uint8_t stage;     // 0 fresh, 1 include explored, 2 exclude explored
+    std::uint8_t included;  // include branch was actually taken
+    std::size_t uf_mark;
+    std::size_t val_mark;
+    double saved_ub;
+    std::uint32_t saved_viol;
+  };
+
+  // Merges the components of edge e's endpoints (which must differ):
+  // rescales the column endpoint's component so the new edge is tight,
+  // then moves every newly intra-component pair from its 1/t cross bound
+  // to its now-fixed product, counting constraint violations.
+  void apply_include(std::uint32_t e) {
+    const std::size_t row = e / q_, colv = p_ + e % q_;
+    const std::size_t ra = uf_.find(row), rb = uf_.find(colv);
+    HG_DCHECK(ra != rb, "apply_include on a cycle edge");
+    a_members_.clear();
+    b_members_.clear();
+    for (std::size_t v = 0; v < n_; ++v) {
+      const std::size_t r = uf_.find(v);
+      if (r == ra)
+        a_members_.push_back(v);
+      else if (r == rb)
+        b_members_.push_back(v);
+    }
+    const double f = val_[row] * val_[colv] * t_[e];
+    for (std::size_t v : b_members_) {
+      val_undo_.push_back({v, val_[v]});
+      if (v < p_)
+        val_[v] *= f;  // row shares scale up with the component
+      else
+        val_[v] /= f;  // column shares scale down
+    }
+    uf_.unite(row, colv);
+    double ub = ub_;
+    for (std::size_t i : a_members_) {
+      if (i >= p_) continue;
+      for (std::size_t jv : b_members_) {
+        if (jv < p_) continue;
+        ub += pair_fixed(i, jv);
+      }
+    }
+    for (std::size_t i : b_members_) {
+      if (i >= p_) continue;
+      for (std::size_t jv : a_members_) {
+        if (jv < p_) continue;
+        ub += pair_fixed(i, jv);
+      }
+    }
+    ub_ = ub;
+  }
+
+  // Pair (row i, column vertex jv) just became intra-component: its product
+  // is now fixed. Returns the bound delta and counts a violation if the
+  // pair's constraint can no longer hold.
+  double pair_fixed(std::size_t i, std::size_t jv) {
+    const std::size_t k = i * q_ + (jv - p_);
+    const double prod = val_[i] * val_[jv];
+    if (prod * t_[k] > 1.0 + kTol) ++viol_;
+    return prod - inv_t_[k];
+  }
+
+  void evaluate_leaf(Candidate& best, Counters& cnt) {
+    ++cnt.trees_enumerated;
+    if (viol_ != 0) return;
+    ++cnt.trees_acceptable;
+    // Fix the (single) component's scale so that r_0 = 1.
+    const double a0 = val_[0];
+    double sum_r = 0.0, sum_c = 0.0;
+    for (std::size_t i = 0; i < p_; ++i) sum_r += val_[i] / a0;
+    for (std::size_t j = 0; j < q_; ++j) sum_c += val_[p_ + j] * a0;
+    const double obj2 = sum_r * sum_c;
+    if (!best.found || obj2 > best.obj2) {
+      best.found = true;
+      best.obj2 = obj2;
+      best.edge_idx = chosen_;
+    }
+  }
+
+  // True if the vertices can still be fully connected using the current
+  // forest plus edges[idx..].
+  bool completable(std::uint32_t idx) {
+    const std::size_t mark = uf_.checkpoint();
+    for (std::uint32_t e = idx; e < n_edges_; ++e)
+      uf_.unite(e / q_, p_ + e % q_);
+    const bool ok = uf_.components() == 1;
+    uf_.rollback(mark);
+    return ok;
+  }
+
+  const CycleTimeGrid& grid_;
+  const std::size_t p_, q_, n_, needed_;
+  const std::uint32_t n_edges_;
+  const bool prune_;
+  const std::vector<double>& t_;  // row-major cycle-times
+  std::vector<double> inv_t_;
+
+  UnionFind uf_;
+  std::vector<double> val_;  // rows: a_i, columns (offset p_): b_j
+  std::vector<ValUndo> val_undo_;
+  std::vector<std::uint32_t> chosen_;  // included edge indices, ascending
+  std::vector<std::size_t> a_members_, b_members_;  // merge scratch
+  double ub_ = 0.0;        // admissible Obj2 upper bound for this subtree
+  std::uint32_t viol_ = 0; // intra-component constraint violations
+  std::uint64_t mask_ = 0; // include-bits of the current path (generation)
+};
+
+}  // namespace
+
+ExactSolution solve_exact(const CycleTimeGrid& grid,
+                          const ExactSolverOptions& opts) {
   const std::size_t p = grid.rows(), q = grid.cols();
-  out.r.assign(p, -1.0);
-  out.c.assign(q, -1.0);
+  const std::uint64_t n_trees = spanning_tree_count(p, q);
+  HG_CHECK(n_trees <= opts.max_trees,
+           "exact solver would search " << n_trees << " spanning trees (cap "
+                                        << opts.max_trees << ")");
+
+  // Phase 1: deterministic prefix split. The generation pass walks the
+  // decision tree down to kSplitDepth, applying the same structural and
+  // infeasibility cuts as the executor, and emits every surviving node as
+  // a task — in DFS order, which is the order ties are resolved in.
+  const std::uint32_t n_edges = static_cast<std::uint32_t>(p * q);
+  const std::uint32_t split_depth = std::min(n_edges, kSplitDepth);
+  std::vector<PrefixTask> tasks;
+  Counters gen_counters;
+  {
+    Search gen(grid, opts.prune);
+    Candidate none;  // stays empty: the bound cut is inert while best == 0
+    gen.search(0, split_depth, &tasks, none, gen_counters);
+  }
+
+  // Phase 2: execute every task with its own engine and its own incumbent.
+  // Tasks never share mutable state, so scheduling order cannot change any
+  // result; the pool only changes wall-clock time.
+  struct TaskResult {
+    Candidate best;
+    Counters counters;
+  };
+  std::vector<TaskResult> results(tasks.size());
+  auto run_task = [&](std::size_t k) {
+    Search s(grid, opts.prune);
+    s.replay(tasks[k]);
+    s.search(tasks[k].depth, n_edges + 1, nullptr, results[k].best,
+             results[k].counters);
+  };
+  const unsigned threads =
+      std::min<std::size_t>(ThreadPool::resolve_threads(opts.threads),
+                            std::max<std::size_t>(tasks.size(), 1));
+  if (threads <= 1) {
+    for (std::size_t k = 0; k < tasks.size(); ++k) run_task(k);
+  } else {
+    ThreadPool pool(threads);
+    for (std::size_t k = 0; k < tasks.size(); ++k)
+      pool.submit([&run_task, k] { run_task(k); });
+    pool.wait_idle();
+  }
+
+  // Phase 3: deterministic merge in task (= DFS prefix) order. Strict
+  // improvement keeps the earliest task on ties, and each task's incumbent
+  // already is its earliest best tree in edge order, so the winner is the
+  // DFS-first maximum — exactly what a serial sweep returns.
+  ExactSolution out;
+  out.nodes_visited = gen_counters.nodes_visited;
+  out.subtrees_pruned = gen_counters.subtrees_pruned;
+  const Candidate* winner = nullptr;
+  for (const TaskResult& r : results) {
+    out.trees_enumerated += r.counters.trees_enumerated;
+    out.trees_acceptable += r.counters.trees_acceptable;
+    out.nodes_visited += r.counters.nodes_visited;
+    out.subtrees_pruned += r.counters.subtrees_pruned;
+    if (r.best.found && (winner == nullptr || r.best.obj2 > winner->obj2))
+      winner = &r.best;
+  }
+  HG_INTERNAL_CHECK(winner != nullptr && out.trees_acceptable > 0,
+                    "no acceptable spanning tree found; at least the "
+                    "bottleneck-relaxation tree must be acceptable");
+
+  out.tree.reserve(winner->edge_idx.size());
+  for (std::uint32_t e : winner->edge_idx)
+    out.tree.push_back({e / q, e % q});
+  const bool spanned = propagate_tree(grid, out.tree, out.alloc);
+  HG_INTERNAL_CHECK(spanned, "winning edge set does not span the grid");
+  out.obj2 = obj2_value(out.alloc);
+  return out;
+}
+
+ExactSolution solve_exact(const CycleTimeGrid& grid, std::uint64_t max_trees) {
+  ExactSolverOptions opts;
+  opts.max_trees = max_trees;
+  return solve_exact(grid, opts);
+}
+
+bool propagate_tree(const CycleTimeGrid& grid,
+                    const std::vector<BipartiteEdge>& tree,
+                    GridAllocation& out) {
+  const std::size_t p = grid.rows(), q = grid.cols();
+  out.r.assign(p, 0.0);
+  out.c.assign(q, 0.0);
+  // Explicit known-flags per variable: a sentinel value would make a NaN
+  // (or any propagation bug) silently pass as "known".
+  std::vector<std::uint8_t> r_known(p, 0), c_known(q, 0);
   out.r[0] = 1.0;
+  r_known[0] = 1;
   std::size_t remaining = p + q - 1;
   bool progress = true;
+  // Sweep until all p + q values are set; each sweep fixes at least one
+  // value when the edges form a tree.
   while (remaining > 0 && progress) {
     progress = false;
     for (const BipartiteEdge& e : tree) {
-      const bool r_known = out.r[e.row] >= 0.0;
-      const bool c_known = out.c[e.col] >= 0.0;
-      if (r_known == c_known) continue;  // both known or both unknown
-      if (r_known)
+      if (r_known[e.row] == c_known[e.col]) continue;  // both or neither
+      if (r_known[e.row]) {
         out.c[e.col] = 1.0 / (out.r[e.row] * grid(e.row, e.col));
-      else
+        c_known[e.col] = 1;
+      } else {
         out.r[e.row] = 1.0 / (out.c[e.col] * grid(e.row, e.col));
+        r_known[e.row] = 1;
+      }
       --remaining;
       progress = true;
     }
   }
   return remaining == 0;
-}
-
-}  // namespace
-
-ExactSolution solve_exact(const CycleTimeGrid& grid, std::uint64_t max_trees) {
-  const std::size_t p = grid.rows(), q = grid.cols();
-  const std::uint64_t n_trees = spanning_tree_count(p, q);
-  HG_CHECK(n_trees <= max_trees,
-           "exact solver would enumerate " << n_trees
-                                           << " spanning trees (cap "
-                                           << max_trees << ")");
-
-  ExactSolution best;
-  GridAllocation candidate;
-  // Relative slack when checking the non-tree inequalities: propagation is a
-  // chain of multiplications, so allow a little accumulated roundoff.
-  constexpr double kTol = 1e-9;
-
-  best.trees_enumerated = enumerate_spanning_trees(
-      p, q, [&](const std::vector<BipartiteEdge>& tree) {
-        if (!propagate(grid, tree, candidate)) return true;  // skip
-        if (!is_feasible(grid, candidate, kTol)) return true;
-        ++best.trees_acceptable;
-        const double value = obj2_value(candidate);
-        if (value > best.obj2) {
-          best.obj2 = value;
-          best.alloc = candidate;
-        }
-        return true;
-      });
-
-  HG_INTERNAL_CHECK(best.trees_acceptable > 0,
-                    "no acceptable spanning tree found; at least the "
-                    "bottleneck-relaxation tree must be acceptable");
-  return best;
 }
 
 std::uint64_t exact_solver_cost(std::size_t p, std::size_t q) {

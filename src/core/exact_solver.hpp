@@ -5,30 +5,82 @@
 // is realized by an *acceptable spanning tree* of K_{p,q}: fix r_1 = 1,
 // propagate r_i t_ij c_j = 1 along tree edges, and keep the tree whose
 // induced point satisfies all remaining inequalities with maximal value.
-// Cost is Theta(#trees) = p^{q-1} q^{p-1}; intended for small grids.
+//
+// The search is an iterative branch-and-bound over include/exclude
+// decisions on the edges in row-major order (doc/exact_solver.md):
+//  * one shared union-find with an undo log replaces the per-node copies of
+//    the naive enumerator;
+//  * each partial forest carries partially-propagated relative shares, from
+//    which an admissible upper bound on Obj2 prunes provably dominated
+//    subtrees, and intra-component constraint violations prune subtrees
+//    that cannot yield an acceptable tree;
+//  * the search splits deterministically on edge-inclusion prefixes into
+//    tasks that a thread pool executes with per-task incumbents, merged in
+//    prefix order with ties broken on tree edge order — so the result (and
+//    every counter) is bit-identical for any thread count.
+// Worst-case cost is Theta(#trees) = p^{q-1} q^{p-1}; pruning typically
+// visits a tiny fraction of that.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/allocation.hpp"
 #include "core/cycle_time_grid.hpp"
+#include "graph/spanning_tree.hpp"
 
 namespace hetgrid {
+
+struct ExactSolverOptions {
+  /// Guard against accidentally launching an infeasible search: solve_exact
+  /// throws PreconditionError if Scoins' tree count exceeds this.
+  std::uint64_t max_trees = 50'000'000;
+  /// Worker threads for the prefix-split search; 0 means "all hardware
+  /// threads". Results are bit-identical for every thread count.
+  unsigned threads = 1;
+  /// Branch-and-bound pruning (Obj2 upper bound + infeasible-subtree cuts).
+  /// With pruning off the search degenerates to the exhaustive enumeration
+  /// and trees_enumerated equals Scoins' count; the pruning-soundness tests
+  /// rely on this switch.
+  bool prune = true;
+};
 
 struct ExactSolution {
   GridAllocation alloc;
   double obj2 = 0.0;
+  /// The acceptable spanning tree realizing `alloc` (edges in ascending
+  /// row-major edge order).
+  std::vector<BipartiteEdge> tree;
+  /// Complete spanning trees actually evaluated (leaves the search reached;
+  /// equals Scoins' count only when pruning is off).
   std::uint64_t trees_enumerated = 0;
+  /// Evaluated trees whose propagated point satisfied every constraint.
   std::uint64_t trees_acceptable = 0;
+  /// Search nodes expanded (include/exclude decision points).
+  std::uint64_t nodes_visited = 0;
+  /// Subtrees cut by the Obj2 bound or by an intra-component violation.
+  std::uint64_t subtrees_pruned = 0;
 };
 
-/// Runs the spanning-tree enumeration. Throws PreconditionError if the
-/// number of spanning trees exceeds `max_trees` (guard against accidentally
-/// launching an infeasible search).
+/// Runs the branch-and-bound search. Throws PreconditionError if the number
+/// of spanning trees exceeds `opts.max_trees`.
+ExactSolution solve_exact(const CycleTimeGrid& grid,
+                          const ExactSolverOptions& opts);
+
+/// Serial single-threaded search with default options and the given cap.
 ExactSolution solve_exact(const CycleTimeGrid& grid,
                           std::uint64_t max_trees = 50'000'000);
 
-/// Number of spanning trees solve_exact would enumerate for a p x q grid.
+/// Propagates r_i t_ij c_j = 1 along `tree` starting from r[0] = 1 and
+/// writes the induced point into `out`. Uses explicit known-flags per
+/// variable (never a sentinel value, so a NaN cannot masquerade as
+/// "known"). Returns false if the edges leave a variable unset, i.e. they
+/// do not form a spanning tree of K_{p,q}.
+bool propagate_tree(const CycleTimeGrid& grid,
+                    const std::vector<BipartiteEdge>& tree,
+                    GridAllocation& out);
+
+/// Number of spanning trees solve_exact would search for a p x q grid.
 std::uint64_t exact_solver_cost(std::size_t p, std::size_t q);
 
 }  // namespace hetgrid

@@ -127,7 +127,16 @@ HeuristicResult refine_from(const CycleTimeGrid& start,
     }
     res.steps.push_back(make_step(std::move(next), opts.approximate_inverse));
   }
-  return res;  // hit the cap; converged stays false
+  // Hit the cap; converged stays false. The iteration is not monotone in
+  // Obj2, so the last step may be worse than an earlier one — repeat the
+  // best step at the end so final() is the best state seen, matching what
+  // the 2-cycle exit above guarantees.
+  std::size_t best_idx = 0;
+  for (std::size_t k = 1; k < res.steps.size(); ++k)
+    if (res.steps[k].obj2 > res.steps[best_idx].obj2) best_idx = k;
+  if (best_idx != res.steps.size() - 1)
+    res.steps.push_back(res.steps[best_idx]);
+  return res;
 }
 
 HeuristicResult solve_heuristic(std::size_t p, std::size_t q,

@@ -41,14 +41,18 @@ std::vector<std::size_t> largest_remainder(const std::vector<double>& shares,
   }
 
   if (assigned < total) {
-    // Hand out the remaining units by largest fractional remainder
-    // (ties: lower index).
+    // Hand out the remaining units by largest deficit exact[i] - counts[i]
+    // (ties: lower index). The deficit equals the fractional remainder for
+    // entries that took floor(exact[i]), but is smaller — possibly negative
+    // — for entries bumped up to min_each_positive; ranking by the raw
+    // fractional part would let a bumped entry (already over its exact
+    // share) grab another unit ahead of entries still short of theirs.
     std::vector<std::size_t> idx(n);
     std::iota(idx.begin(), idx.end(), std::size_t{0});
     std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a,
                                                  std::size_t b) {
-      const double ra = exact[a] - std::floor(exact[a]);
-      const double rb = exact[b] - std::floor(exact[b]);
+      const double ra = exact[a] - static_cast<double>(counts[a]);
+      const double rb = exact[b] - static_cast<double>(counts[b]);
       return ra > rb;
     });
     std::size_t k = 0;

@@ -11,12 +11,9 @@ UnionFind::UnionFind(std::size_t n)
   for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
 }
 
-std::size_t UnionFind::find(std::size_t x) {
+std::size_t UnionFind::find(std::size_t x) const {
   HG_DCHECK(x < parent_.size(), "find out of range");
-  while (parent_[x] != x) {
-    parent_[x] = parent_[parent_[x]];  // path halving
-    x = parent_[x];
-  }
+  while (parent_[x] != x) x = parent_[x];
   return x;
 }
 
@@ -25,52 +22,102 @@ bool UnionFind::unite(std::size_t x, std::size_t y) {
   if (rx == ry) return false;
   if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
   parent_[ry] = rx;
-  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  const bool bumped = rank_[rx] == rank_[ry];
+  if (bumped) ++rank_[rx];
   --components_;
+  log_.push_back({static_cast<std::uint32_t>(ry),
+                  static_cast<std::uint32_t>(rx),
+                  static_cast<std::uint8_t>(bumped)});
   return true;
+}
+
+void UnionFind::rollback(std::size_t mark) {
+  HG_DCHECK(mark <= log_.size(), "rollback past the log");
+  while (log_.size() > mark) {
+    const UndoRecord rec = log_.back();
+    log_.pop_back();
+    parent_[rec.child_root] = rec.child_root;
+    if (rec.rank_bumped) --rank_[rec.parent_root];
+    ++components_;
+  }
 }
 
 namespace {
 
+// Iterative include/exclude walk over the edges of K_{p,q} in row-major
+// order, sharing one undo-logged union-find. Frames mirror the recursion:
+// stage 0 = node just entered, stage 1 = include branch explored (its union
+// is pending rollback), stage 2 = exclude branch explored.
 struct Enumerator {
-  std::size_t p, q, n_vertices, needed;
+  std::size_t p, q, needed;
   std::vector<BipartiteEdge> edges;  // all p*q edges in fixed order
   std::vector<BipartiteEdge> chosen;
+  UnionFind uf;
   const std::function<bool(const std::vector<BipartiteEdge>&)>* visit;
   std::uint64_t count = 0;
-  bool stopped = false;
 
-  // Returns true if the vertices can still be fully connected using the
-  // current forest plus edges[idx..]; prunes dead branches early.
-  bool completable(const UnionFind& uf_now, std::size_t idx) const {
-    UnionFind uf = uf_now;  // small copy (p+q entries)
+  Enumerator(std::size_t p_, std::size_t q_)
+      : p(p_), q(q_), needed(p_ + q_ - 1), uf(p_ + q_) {}
+
+  // True if the vertices can still be fully connected using the current
+  // forest plus edges[idx..]; prunes dead branches early.
+  bool completable(std::size_t idx) {
+    const std::size_t mark = uf.checkpoint();
     for (std::size_t e = idx; e < edges.size(); ++e)
       uf.unite(edges[e].row, p + edges[e].col);
-    return uf.components() == 1;
+    const bool ok = uf.components() == 1;
+    uf.rollback(mark);
+    return ok;
   }
 
-  void recurse(std::size_t idx, UnionFind uf) {
-    if (stopped) return;
-    if (chosen.size() == needed) {
-      ++count;
-      if (!(*visit)(chosen)) stopped = true;
-      return;
-    }
-    if (idx == edges.size()) return;
-    if (chosen.size() + (edges.size() - idx) < needed) return;
-    if (!completable(uf, idx)) return;
+  struct Frame {
+    std::uint32_t idx;       // edge this node decides
+    std::uint8_t stage;      // 0 fresh, 1 include explored, 2 exclude explored
+    std::uint8_t included;   // include branch was actually taken
+    std::size_t uf_mark;     // checkpoint before the include union
+  };
 
-    // Branch 1: include edges[idx] if it joins two components.
-    {
-      UnionFind uf_in = uf;
-      if (uf_in.unite(edges[idx].row, p + edges[idx].col)) {
-        chosen.push_back(edges[idx]);
-        recurse(idx + 1, std::move(uf_in));
-        chosen.pop_back();
+  void run() {
+    std::vector<Frame> stack;
+    stack.reserve(edges.size() + 1);
+    stack.push_back({0, 0, 0, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.stage == 0) {
+        if (chosen.size() == needed) {
+          ++count;
+          if (!(*visit)(chosen)) return;
+          stack.pop_back();
+          continue;
+        }
+        if (f.idx == edges.size() ||
+            chosen.size() + (edges.size() - f.idx) < needed ||
+            !completable(f.idx)) {
+          stack.pop_back();
+          continue;
+        }
+        // Branch 1: include edges[idx] if it joins two components.
+        f.uf_mark = uf.checkpoint();
+        if (uf.unite(edges[f.idx].row, p + edges[f.idx].col)) {
+          f.stage = 1;
+          f.included = 1;
+          chosen.push_back(edges[f.idx]);
+        } else {
+          f.stage = 2;  // cycle edge: only the exclude branch exists
+        }
+        stack.push_back({f.idx + 1, 0, 0, 0});
+        continue;
       }
+      if (f.stage == 1) {
+        // Back from the include branch: undo it, then explore exclusion.
+        chosen.pop_back();
+        uf.rollback(f.uf_mark);
+        f.stage = 2;
+        stack.push_back({f.idx + 1, 0, 0, 0});
+        continue;
+      }
+      stack.pop_back();  // both branches done
     }
-    // Branch 2: exclude edges[idx].
-    recurse(idx + 1, std::move(uf));
   }
 };
 
@@ -80,17 +127,13 @@ std::uint64_t enumerate_spanning_trees(
     std::size_t p, std::size_t q,
     const std::function<bool(const std::vector<BipartiteEdge>&)>& visit) {
   HG_CHECK(p > 0 && q > 0, "grid dimensions must be positive");
-  Enumerator en;
-  en.p = p;
-  en.q = q;
-  en.n_vertices = p + q;
-  en.needed = p + q - 1;
+  Enumerator en(p, q);
   en.visit = &visit;
   en.edges.reserve(p * q);
   for (std::size_t i = 0; i < p; ++i)
     for (std::size_t j = 0; j < q; ++j) en.edges.push_back({i, j});
   en.chosen.reserve(en.needed);
-  en.recurse(0, UnionFind(en.n_vertices));
+  en.run();
   return en.count;
 }
 

@@ -4,7 +4,10 @@
 // complete bipartite graph K_{p,q}; the edge (r_i, c_j) carries the
 // constraint r_i * t_ij * c_j <= 1. The paper shows the optimum of Obj2 is
 // attained on a spanning tree whose edges are all tight (equalities), so the
-// exact solver enumerates every spanning tree of K_{p,q}.
+// exact solver searches over spanning trees of K_{p,q}. The search is an
+// iterative depth-first walk over include/exclude decisions on the edges in
+// a fixed (row-major) order, sharing ONE union-find whose mutations are
+// rolled back on backtrack instead of copying it per search node.
 #pragma once
 
 #include <cstdint>
@@ -22,21 +25,37 @@ struct BipartiteEdge {
   friend bool operator==(const BipartiteEdge&, const BipartiteEdge&) = default;
 };
 
-/// Union-find over p + q vertices (rows first, then columns), used both by
-/// the enumerator and exposed for callers that build trees incrementally.
+/// Union-find over p + q vertices (rows first, then columns) with an undo
+/// log: every successful unite() is recorded and can be rolled back to a
+/// checkpoint, so one instance serves an entire backtracking search with no
+/// per-node copies. find() deliberately does NOT compress paths — the
+/// parent forest must stay exactly restorable, and union-by-rank alone keeps
+/// chains O(log n) on the tiny vertex counts the solver uses.
 class UnionFind {
  public:
   explicit UnionFind(std::size_t n);
 
-  std::size_t find(std::size_t x);
-  /// Returns false (and does nothing) if x and y were already connected.
+  std::size_t find(std::size_t x) const;
+  /// Returns false (and logs nothing) if x and y were already connected.
   bool unite(std::size_t x, std::size_t y);
   std::size_t components() const { return components_; }
 
+  /// Marks the current state; pass the mark to rollback() to undo every
+  /// unite() performed since.
+  std::size_t checkpoint() const { return log_.size(); }
+  void rollback(std::size_t mark);
+
  private:
+  struct UndoRecord {
+    std::uint32_t child_root;   // root that was attached under parent_root
+    std::uint32_t parent_root;  // surviving root
+    std::uint8_t rank_bumped;   // whether parent_root's rank was incremented
+  };
+
   std::vector<std::size_t> parent_;
   std::vector<std::uint8_t> rank_;
   std::size_t components_;
+  std::vector<UndoRecord> log_;
 };
 
 /// Invokes `visit` once per spanning tree of K_{p,q}; each tree is a list of
@@ -45,7 +64,9 @@ class UnionFind {
 ///
 /// Complexity is proportional to the number of trees (p^{q-1} * q^{p-1},
 /// Scoins' formula) plus pruned branches; intended for the small grids where
-/// the paper's exact method is feasible.
+/// the paper's exact method is feasible. The branch-and-bound solver in
+/// core/exact_solver.cpp uses the same search order but prunes on a bound,
+/// so it visits far fewer trees than this exhaustive walk.
 std::uint64_t enumerate_spanning_trees(
     std::size_t p, std::size_t q,
     const std::function<bool(const std::vector<BipartiteEdge>&)>& visit);

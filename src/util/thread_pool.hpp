@@ -1,0 +1,56 @@
+// A small fixed-size worker pool for CPU-bound fan-out (the parallel exact
+// solver's prefix tasks). Tasks are plain std::function<void()>; submit() is
+// thread-safe, wait_idle() blocks until every submitted task has finished,
+// and the pool is reusable across wait_idle() rounds. Tasks must not throw:
+// an escaping exception terminates the process (there is nowhere sensible
+// to deliver it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetgrid {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (>= 1; pass resolve_threads(n) to map
+  /// 0 to the hardware concurrency).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains the queue (pending tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs on some worker, in no particular order relative
+  /// to other tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Maps a user-facing thread-count request to a worker count: 0 means
+  /// "all hardware threads" (at least 1), anything else is taken verbatim.
+  static unsigned resolve_threads(unsigned requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  // signalled on submit and shutdown
+  std::condition_variable cv_idle_;  // signalled when a task finishes
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hetgrid

@@ -1,0 +1,170 @@
+// Equivalence and soundness tests for the branch-and-bound exact solver:
+// the parallel prefix-split search must return bit-identical results for
+// every thread count, and pruning must never change the optimum it finds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/exact_solver.hpp"
+#include "graph/spanning_tree.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+ExactSolution solve_with(const CycleTimeGrid& g, unsigned threads,
+                         bool prune = true) {
+  ExactSolverOptions opts;
+  opts.threads = threads;
+  opts.prune = prune;
+  return solve_exact(g, opts);
+}
+
+// Bitwise equality of two solutions, counters included.
+void expect_identical(const ExactSolution& a, const ExactSolution& b,
+                      int trial) {
+  EXPECT_EQ(a.obj2, b.obj2) << "trial " << trial;
+  EXPECT_EQ(a.alloc.r, b.alloc.r) << "trial " << trial;
+  EXPECT_EQ(a.alloc.c, b.alloc.c) << "trial " << trial;
+  EXPECT_EQ(a.tree, b.tree) << "trial " << trial;
+  EXPECT_EQ(a.trees_enumerated, b.trees_enumerated) << "trial " << trial;
+  EXPECT_EQ(a.trees_acceptable, b.trees_acceptable) << "trial " << trial;
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited) << "trial " << trial;
+  EXPECT_EQ(a.subtrees_pruned, b.subtrees_pruned) << "trial " << trial;
+}
+
+TEST(ExactParallel, SerialAndParallelAreBitIdentical) {
+  // The issue's contract: the parallel search is a pure wall-clock
+  // optimization. Every field — allocation, winning tree, and all four
+  // counters — must match the serial run exactly, on a broad random sweep.
+  Rng rng(2251);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t p = 1 + rng.below(3), q = 1 + rng.below(4);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    const ExactSolution serial = solve_with(g, 1);
+    const ExactSolution parallel = solve_with(g, 4);
+    expect_identical(serial, parallel, trial);
+  }
+}
+
+TEST(ExactParallel, EveryThreadCountAgrees) {
+  Rng rng(2252);
+  const CycleTimeGrid g(3, 4, rng.cycle_times(12, 0.1));
+  const ExactSolution serial = solve_with(g, 1);
+  for (unsigned threads : {2u, 3u, 8u, 0u}) {  // 0 = all hardware threads
+    const ExactSolution other = solve_with(g, threads);
+    expect_identical(serial, other, static_cast<int>(threads));
+  }
+}
+
+TEST(ExactParallel, ParallelNoPruneAlsoBitIdentical) {
+  // The split must be sound independently of the bound, so check the
+  // exhaustive mode too.
+  Rng rng(2253);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 1 + rng.below(3), q = 1 + rng.below(3);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    expect_identical(solve_with(g, 1, /*prune=*/false),
+                     solve_with(g, 4, /*prune=*/false), trial);
+  }
+}
+
+TEST(ExactParallel, PruningKeepsTheOptimum) {
+  // Soundness: the bound is admissible and the infeasibility cut only
+  // removes subtrees with no acceptable tree, so pruning must return the
+  // same optimum as the exhaustive enumeration — while visiting no more
+  // nodes. Also pins the counter semantics: with pruning off, the leaves
+  // evaluated are exactly Scoins' tree count.
+  Rng rng(2254);
+  bool pruned_strictly_somewhere = false;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t p = 1 + rng.below(3), q = 1 + rng.below(4);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    const ExactSolution pruned = solve_with(g, 1, /*prune=*/true);
+    const ExactSolution full = solve_with(g, 1, /*prune=*/false);
+    EXPECT_NEAR(pruned.obj2, full.obj2, 1e-9 * full.obj2)
+        << "trial " << trial;
+    EXPECT_LE(pruned.nodes_visited, full.nodes_visited) << "trial " << trial;
+    EXPECT_LE(pruned.trees_enumerated, full.trees_enumerated)
+        << "trial " << trial;
+    EXPECT_EQ(full.trees_enumerated, spanning_tree_count(p, q))
+        << "trial " << trial;
+    EXPECT_EQ(full.subtrees_pruned, 0u) << "trial " << trial;
+    EXPECT_GE(pruned.trees_acceptable, 1u) << "trial " << trial;
+    if (pruned.nodes_visited < full.nodes_visited)
+      pruned_strictly_somewhere = true;
+  }
+  EXPECT_TRUE(pruned_strictly_somewhere)
+      << "the bound never pruned anything across 100 random grids";
+}
+
+TEST(ExactParallel, SolutionsAreFeasibleTightAndTreeConsistent) {
+  Rng rng(2255);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 2 + rng.below(2), q = 2 + rng.below(3);
+    const CycleTimeGrid g(p, q, rng.cycle_times(p * q, 0.05));
+    const ExactSolution sol = solve_with(g, 2);
+    EXPECT_TRUE(is_feasible(g, sol.alloc, 1e-8)) << "trial " << trial;
+    ASSERT_EQ(sol.tree.size(), p + q - 1) << "trial " << trial;
+    // The returned tree reproduces the returned allocation.
+    GridAllocation re;
+    ASSERT_TRUE(propagate_tree(g, sol.tree, re)) << "trial " << trial;
+    EXPECT_EQ(re.r, sol.alloc.r) << "trial " << trial;
+    EXPECT_EQ(re.c, sol.alloc.c) << "trial " << trial;
+    EXPECT_EQ(obj2_value(re), sol.obj2) << "trial " << trial;
+    // Every tree edge is tight at the returned point.
+    for (const BipartiteEdge& e : sol.tree)
+      EXPECT_NEAR(sol.alloc.r[e.row] * g(e.row, e.col) * sol.alloc.c[e.col],
+                  1.0, 1e-9)
+          << "trial " << trial;
+  }
+}
+
+TEST(ExactParallel, FourByFourSolvesUnderDefaultCap) {
+  // Acceptance check from the issue: a 4x4 grid (4096 spanning trees) is
+  // comfortably inside the default tree cap and solves quickly.
+  Rng rng(2256);
+  const CycleTimeGrid g(4, 4, rng.cycle_times(16, 0.3));
+  const ExactSolution serial = solve_with(g, 1);
+  const ExactSolution parallel = solve_with(g, 4);
+  expect_identical(serial, parallel, 0);
+  EXPECT_GE(serial.trees_acceptable, 1u);
+  const ExactSolution full = solve_with(g, 2, /*prune=*/false);
+  EXPECT_EQ(full.trees_enumerated, 4096u);
+  EXPECT_NEAR(serial.obj2, full.obj2, 1e-9 * full.obj2);
+}
+
+TEST(PropagateTree, RejectsNonSpanningEdgeSets) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  GridAllocation out;
+  // Too few edges: column 1 never gets a value.
+  EXPECT_FALSE(propagate_tree(g, {{0, 0}, {1, 0}}, out));
+  // Right count but contains a cycle, leaving row 1 disconnected.
+  EXPECT_FALSE(propagate_tree(g, {{0, 0}, {0, 1}, {0, 0}}, out));
+}
+
+TEST(PropagateTree, OrderIndependentOnShuffledEdges) {
+  // The sweep loop must converge no matter how the edges are ordered —
+  // including orders where an edge is unusable on the first pass.
+  const CycleTimeGrid g(3, 2, {1, 2, 3, 4, 5, 6});
+  const std::vector<BipartiteEdge> tree = {{0, 0}, {1, 0}, {2, 0}, {2, 1}};
+  GridAllocation a, b;
+  ASSERT_TRUE(propagate_tree(g, tree, a));
+  const std::vector<BipartiteEdge> shuffled = {{2, 1}, {2, 0}, {1, 0}, {0, 0}};
+  ASSERT_TRUE(propagate_tree(g, shuffled, b));
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.c, b.c);
+  EXPECT_DOUBLE_EQ(a.r[0], 1.0);
+  // Chain: c0 = 1/t00, r1 = 1/(c0 t10), r2 = 1/(c0 t20), c1 = 1/(r2 t21).
+  EXPECT_DOUBLE_EQ(a.c[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.r[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.r[2], 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(a.c[1], 1.0 / (a.r[2] * 6.0));
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -36,8 +36,17 @@ TEST(ExactSolver, Rank1GridAchievesCapacityBound) {
   const ExactSolution sol = solve_exact(g);
   EXPECT_NEAR(sol.obj2, obj2_upper_bound(g), 1e-12);
   EXPECT_TRUE(is_feasible(g, sol.alloc));
-  EXPECT_EQ(sol.trees_enumerated, 4u);
   EXPECT_GE(sol.trees_acceptable, 1u);
+  // With pruning off the search is the exhaustive enumeration: K_{2,2} has
+  // exactly 4 spanning trees, and on a rank-1 grid all of them are
+  // acceptable (every tree induces the same perfectly balanced point).
+  ExactSolverOptions exhaustive;
+  exhaustive.prune = false;
+  const ExactSolution full = solve_exact(g, exhaustive);
+  EXPECT_EQ(full.trees_enumerated, 4u);
+  EXPECT_EQ(full.trees_acceptable, 4u);
+  EXPECT_EQ(full.subtrees_pruned, 0u);
+  EXPECT_NEAR(full.obj2, sol.obj2, 1e-12);
 }
 
 TEST(ExactSolver, PaperCounterexampleCannotBePerfect) {
@@ -67,6 +76,21 @@ TEST(ExactSolver, SingleRowGridIsCapacity) {
   const ExactSolution sol = solve_exact(g);
   EXPECT_NEAR(sol.obj2, 1.0 + 0.5 + 0.25 + 0.125, 1e-12);
   EXPECT_EQ(sol.trees_enumerated, 1u);
+  EXPECT_EQ(sol.trees_acceptable, 1u);
+  // The only spanning tree of K_{1,4} is all 4 edges.
+  EXPECT_EQ(sol.tree.size(), 4u);
+}
+
+TEST(ExactSolver, ReportsTheWinningTree) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const ExactSolution sol = solve_exact(g);
+  ASSERT_EQ(sol.tree.size(), 3u);
+  // The reported tree regenerates the reported allocation exactly.
+  GridAllocation re;
+  ASSERT_TRUE(propagate_tree(g, sol.tree, re));
+  EXPECT_EQ(re.r, sol.alloc.r);
+  EXPECT_EQ(re.c, sol.alloc.c);
+  EXPECT_EQ(obj2_value(re), sol.obj2);
 }
 
 TEST(ExactSolver, DominatesHeuristicOnFixedArrangement) {

@@ -80,6 +80,40 @@ TEST(RoundingPositive, RebalanceTakesFromOverAllocated) {
   EXPECT_EQ(n[3], 3u);
 }
 
+TEST(RoundingPositive, BumpedEntryDoesNotDoubleDip) {
+  // Exact scaled shares: 0.885, 2.557, 2.557. Entry 0 is bumped to the
+  // minimum of 1 — already above its exact share — so the spare unit must
+  // go to an entry still short of its share. Ranking the handout by raw
+  // fractional part instead of deficit let entry 0 double-dip (counts
+  // {2,2,2}, more than one unit over its exact share of 0.885).
+  const auto n = round_to_sum_positive({0.45, 1.3, 1.3}, 6);
+  EXPECT_EQ(n, (std::vector<std::size_t>{1, 3, 2}));
+}
+
+TEST(RoundingPositive, NoEntryExceedsItsExactShareByMoreThanOne) {
+  // With the deficit-ordered handout, no entry ends more than one unit
+  // above its exact scaled share: spare units only go to entries still
+  // short of their share, and a minimum bump alone is at most one unit
+  // over. (The old fractional-part ranking let a bumped entry double-dip
+  // and land two units over. The other direction has no such bound: the
+  // forced minimums can push counts far below large entries' shares.)
+  Rng rng(34);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 1 + rng.below(6);
+    std::vector<double> shares(k);
+    for (auto& s : shares) s = rng.uniform(0.001, 2.0);
+    const std::size_t total = k + rng.below(100);
+    const auto n = round_to_sum_positive(shares, total);
+    double sum = 0.0;
+    for (double s : shares) sum += s;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double exact = static_cast<double>(total) * shares[i] / sum;
+      EXPECT_LT(static_cast<double>(n[i]) - exact, 1.0 + 1e-9)
+          << "trial " << trial << " index " << i;
+    }
+  }
+}
+
 TEST(RoundingPositive, InsufficientTotalThrows) {
   EXPECT_THROW(round_to_sum_positive({1.0, 1.0, 1.0}, 2), PreconditionError);
 }

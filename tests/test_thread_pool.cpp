@@ -1,0 +1,100 @@
+// Tests for the fixed-size worker pool behind the parallel exact solver.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hetgrid {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ResolveThreadsZeroMeansHardware) {
+  const unsigned n = ThreadPool::resolve_threads(0);
+  EXPECT_GE(n, 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  pool.wait_idle();
+  EXPECT_FALSE(ids.contains(main_id));
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, WaitIdleWithEmptyQueueReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ManyProducersOneSink) {
+  // Hammer submit() from several threads at once; every task must run
+  // exactly once. (This is the pattern TSan watches in CI.)
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int t = 0; t < 4; ++t)
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 250; ++i)
+        pool.submit(
+            [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  for (std::thread& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+}  // namespace
+}  // namespace hetgrid

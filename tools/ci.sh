@@ -1,13 +1,27 @@
 #!/usr/bin/env sh
 # Tier-1 verification: strict (-Werror) configure + build + full test run,
-# in an isolated build-ci/ tree so it never disturbs the dev build/.
+# in an isolated build-ci/ tree so it never disturbs the dev build/. Then a
+# ThreadSanitizer pass over the concurrent pieces (the exact solver's thread
+# pool and the message-passing runtime) in build-tsan/.
 # Usage: tools/ci.sh  (from the repository root; any CMake >= 3.16 works,
 # CMake >= 3.21 users can equivalently run `cmake --preset ci` etc.)
 set -eu
 
 cd "$(dirname "$0")/.."
 
+NPROC="$(nproc 2>/dev/null || echo 4)"
+
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS=-Werror
-cmake --build build-ci -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir build-ci --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+cmake --build build-ci -j "$NPROC"
+ctest --test-dir build-ci --output-on-failure -j "$NPROC"
+
+# TSan pass: only the tests that actually exercise threads (mirrors the
+# "tsan" preset in CMakePresets.json).
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "$NPROC" \
+      --target test_thread_pool test_exact_parallel test_mp
+ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
+      -R '^(test_thread_pool|test_exact_parallel|test_mp)$'
