@@ -6,8 +6,13 @@
 // plotting. Benchmarks are deterministic for a fixed --seed.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/heuristic.hpp"
 #include "util/cli.hpp"
@@ -32,6 +37,99 @@ inline void emit(const Table& table, const Cli& cli) {
   }
   std::cout << std::endl;
 }
+
+/// Machine-readable bench output: one JSON object carrying the bench name,
+/// the exact flag string it ran with, and a flat `results` array — enough
+/// for plotting scripts and CI trend tracking without a JSON dependency.
+/// Numbers are written with 17 significant digits so doubles round-trip.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const Cli& cli)
+      : bench_(std::move(bench)), flags_(cli.describe()) {}
+
+  class Record {
+   public:
+    Record& field(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, quote(value));
+      return *this;
+    }
+    Record& field(const std::string& key, const char* value) {
+      return field(key, std::string(value));
+    }
+    Record& field(const std::string& key, double value) {
+      std::ostringstream os;
+      os.precision(17);
+      os << value;
+      fields_.emplace_back(key, os.str());
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof buf, "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += "\"";
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Appends one result record; fill it with chained field() calls.
+  Record& add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\n  \"bench\": " << Record::quote(bench_)
+       << ",\n  \"flags\": " << Record::quote(flags_)
+       << ",\n  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    {";
+      const auto& fields = records_[i].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) os << ", ";
+        os << Record::quote(fields[f].first) << ": " << fields[f].second;
+      }
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+  /// Writes to `path` (no-op on empty path) and announces the file.
+  void write_file(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return;
+    }
+    write(os);
+    std::cout << "wrote " << records_.size() << " records to " << path
+              << "\n";
+  }
+
+ private:
+  std::string bench_;
+  std::string flags_;
+  std::vector<Record> records_;
+};
 
 /// Statistics of the heuristic over `trials` random n x n pools with
 /// cycle-times uniform in (0, 1] (the paper's Section 4.4.4 workload).

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   using namespace hetgrid;
   const Cli cli(argc, argv,
                 {{"max-size", "5"}, {"reps", "3"}, {"seed", "29"},
-                 {"threads", "1,2,4"}, {"csv", "0"}});
+                 {"threads", "1,2,4"}, {"csv", "0"},
+                 {"json", "BENCH_exact.json"}});
   bench::print_header("Exact solver scaling — exhaustive vs branch-and-bound",
                       cli);
 
@@ -56,6 +57,20 @@ int main(int argc, char** argv) {
   Table table;
   table.header({"grid", "trees", "mode", "threads", "ms", "nodes", "leaves",
                 "pruned", "speedup_vs_serial"});
+  bench::JsonReport json("bench_exact_scaling", cli);
+  const auto record = [&json](const std::string& shape, const char* mode,
+                              unsigned threads, double ms,
+                              const ExactSolution& sol, double speedup) {
+    json.add()
+        .field("grid", shape)
+        .field("mode", mode)
+        .field("threads", static_cast<double>(threads))
+        .field("ms", ms)
+        .field("nodes", static_cast<double>(sol.nodes_visited))
+        .field("leaves", static_cast<double>(sol.trees_enumerated))
+        .field("pruned", static_cast<double>(sol.subtrees_pruned))
+        .field("speedup_vs_serial", speedup);
+  };
   const std::vector<std::pair<std::size_t, std::size_t>> sizes = {
       {3, 3}, {3, 4}, {4, 4}, {4, 5}, {5, 5}, {5, 6}};
   for (const auto& [p, q] : sizes) {
@@ -80,12 +95,15 @@ int main(int argc, char** argv) {
                Table::num(static_cast<double>(full.nodes_visited), 0),
                Table::num(static_cast<double>(full.trees_enumerated), 0), "0",
                Table::num(serial_ms > 0.0 ? full_ms / serial_ms : 0.0, 2)});
+    record(shape, "exhaustive", 1, full_ms, full,
+           serial_ms > 0.0 ? full_ms / serial_ms : 0.0);
     table.row({shape, Table::num(trees, 0), "b&b", "1",
                Table::num(serial_ms, 2),
                Table::num(static_cast<double>(serial.nodes_visited), 0),
                Table::num(static_cast<double>(serial.trees_enumerated), 0),
                Table::num(static_cast<double>(serial.subtrees_pruned), 0),
                "1.00"});
+    record(shape, "b&b", 1, serial_ms, serial, 1.0);
 
     for (unsigned threads : thread_counts) {
       if (threads <= 1) continue;
@@ -107,8 +125,11 @@ int main(int argc, char** argv) {
                  Table::num(static_cast<double>(par.trees_enumerated), 0),
                  Table::num(static_cast<double>(par.subtrees_pruned), 0),
                  Table::num(par_ms > 0.0 ? serial_ms / par_ms : 0.0, 2)});
+      record(shape, "b&b", threads, par_ms, par,
+             par_ms > 0.0 ? serial_ms / par_ms : 0.0);
     }
   }
   bench::emit(table, cli);
+  json.write_file(cli.get_string("json"));
   return 0;
 }

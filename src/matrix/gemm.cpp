@@ -1,6 +1,9 @@
 #include "matrix/gemm.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "util/parallel_engine.hpp"
 
 namespace hetgrid {
 
@@ -17,6 +20,9 @@ double op_at(const ConstMatrixView& m, Trans t, std::size_t i, std::size_t j) {
   return t == Trans::No ? m(i, j) : m(j, i);
 }
 
+// Beta-scaling prologue. This is the one place a zero test earns its keep:
+// it runs once per output element per call, not inside the accumulation
+// loop, and beta == 0 must overwrite (not propagate) stale NaNs in C.
 void scale_c(double beta, MatrixView c) {
   if (beta == 1.0) return;
   for (std::size_t j = 0; j < c.cols(); ++j)
@@ -37,20 +43,93 @@ void check_shapes(Trans trans_a, Trans trans_b, const ConstMatrixView& a,
                                      << nb);
 }
 
-// Inner kernel for the no-transpose fast path: C(i,j) += sum_p A(i,p)*B(p,j)
-// over a tile, with B element hoisted so the inner loop is a saxpy down a
-// contiguous column of A and C.
+// Inner kernel for the no-transpose path: C(i,j) += sum_p A(i,p)*B(p,j)
+// over a tile, with the B element hoisted so the inner loop is a saxpy down
+// a contiguous column of A and C. The loop body is branch-free: zero B
+// elements flow through the multiply-add like any other value, so the
+// compiler can vectorize the i loop on dense inputs.
 void tile_nn(double alpha, const ConstMatrixView& a, const ConstMatrixView& b,
              MatrixView c, std::size_t i0, std::size_t i1, std::size_t p0,
              std::size_t p1, std::size_t j0, std::size_t j1) {
   for (std::size_t j = j0; j < j1; ++j) {
     for (std::size_t p = p0; p < p1; ++p) {
       const double bpj = alpha * b(p, j);
-      if (bpj == 0.0) continue;
       const double* acol = a.data() + i0 + p * a.ld();
       double* ccol = c.data() + i0 + j * c.ld();
       const std::size_t len = i1 - i0;
       for (std::size_t i = 0; i < len; ++i) ccol[i] += acol[i] * bpj;
+    }
+  }
+}
+
+// Copies A(i0:i1, p0:p1) into a contiguous column-major mlen x klen tile.
+void pack_a(const ConstMatrixView& a, std::size_t i0, std::size_t i1,
+            std::size_t p0, std::size_t p1, double* buf) {
+  const std::size_t mlen = i1 - i0;
+  for (std::size_t p = p0; p < p1; ++p) {
+    const double* src = a.data() + i0 + p * a.ld();
+    double* dst = buf + (p - p0) * mlen;
+    std::copy(src, src + mlen, dst);
+  }
+}
+
+// Copies alpha * B(p0:p1, j0:j1) into a contiguous column-major klen x jlen
+// tile; folding alpha into the pack keeps it out of the inner kernel.
+void pack_b(double alpha, const ConstMatrixView& b, std::size_t p0,
+            std::size_t p1, std::size_t j0, std::size_t j1, double* buf) {
+  const std::size_t klen = p1 - p0;
+  for (std::size_t j = j0; j < j1; ++j) {
+    const double* src = b.data() + p0 + j * b.ld();
+    double* dst = buf + (j - j0) * klen;
+    for (std::size_t p = 0; p < klen; ++p) dst[p] = alpha * src[p];
+  }
+}
+
+// Same saxpy kernel as tile_nn, reading the packed tiles. The p loop runs
+// in the same ascending order over the same values, so every C element sees
+// the identical floating-point operation sequence as the unpacked kernel —
+// packing is pure data movement.
+void tile_nn_packed(const double* apack, std::size_t mlen,
+                    const double* bpack, std::size_t klen, double* cbase,
+                    std::size_t ldc, std::size_t jlen) {
+  for (std::size_t j = 0; j < jlen; ++j) {
+    const double* bcol = bpack + j * klen;
+    double* ccol = cbase + j * ldc;
+    for (std::size_t p = 0; p < klen; ++p) {
+      const double bpj = bcol[p];
+      const double* acol = apack + p * mlen;
+      for (std::size_t i = 0; i < mlen; ++i) ccol[i] += acol[i] * bpj;
+    }
+  }
+}
+
+// Blocked no-transpose path. Small problems (one tile) skip the packing
+// entirely — the distributed runtimes call this once per owned block, and a
+// 16..64-wide block gains nothing from an extra copy. Large problems pack
+// each A/B tile once into contiguous, alpha-folded buffers and stream the
+// branch-free kernel over them.
+void gemm_nn_blocked(double alpha, const ConstMatrixView& a,
+                     const ConstMatrixView& b, MatrixView c) {
+  const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
+  if (m <= kMc && k <= kKc) {
+    tile_nn(alpha, a, b, c, 0, m, 0, k, 0, n);
+    return;
+  }
+  // Per-thread pack buffers: allocated once per worker, reused across
+  // calls, so the threaded stripes in gemm(..., engine) never share them.
+  thread_local std::vector<double> apack(kMc * kKc);
+  thread_local std::vector<double> bpack(kKc * kNc);
+  for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+    const std::size_t j1 = std::min(j0 + kNc, n);
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::size_t p1 = std::min(p0 + kKc, k);
+      pack_b(alpha, b, p0, p1, j0, j1, bpack.data());
+      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
+        const std::size_t i1 = std::min(i0 + kMc, m);
+        pack_a(a, i0, i1, p0, p1, apack.data());
+        tile_nn_packed(apack.data(), i1 - i0, bpack.data(), p1 - p0,
+                       c.data() + i0 + j0 * c.ld(), c.ld(), j1 - j0);
+      }
     }
   }
 }
@@ -67,16 +146,7 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
   const std::size_t k = trans_a == Trans::No ? a.cols() : a.rows();
 
   if (trans_a == Trans::No && trans_b == Trans::No) {
-    for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
-      const std::size_t j1 = std::min(j0 + kNc, n);
-      for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
-        const std::size_t p1 = std::min(p0 + kKc, k);
-        for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
-          const std::size_t i1 = std::min(i0 + kMc, m);
-          tile_nn(alpha, a, b, c, i0, i1, p0, p1, j0, j1);
-        }
-      }
-    }
+    gemm_nn_blocked(alpha, a, b, c);
     return;
   }
 
@@ -89,6 +159,34 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
         acc += op_at(a, trans_a, i, p) * op_at(b, trans_b, p, j);
       c(i, j) += alpha * acc;
     }
+}
+
+void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
+          const ConstMatrixView& b, double beta, MatrixView c,
+          ParallelEngine& engine) {
+  check_shapes(trans_a, trans_b, a, b, c);
+  const std::size_t n = c.cols();
+  // One stripe per worker, aligned to whole NC panels. Each column of C is
+  // produced by exactly one stripe with the same i/p loop structure as the
+  // serial path, so the result is bit-identical for any stripe count.
+  const std::size_t panels = (n + kNc - 1) / kNc;
+  const std::size_t stripes =
+      std::min<std::size_t>(engine.threads(), panels);
+  if (engine.serial() || stripes <= 1) {
+    gemm(trans_a, trans_b, alpha, a, b, beta, c);
+    return;
+  }
+  engine.run_indexed(stripes, [&](std::size_t s) {
+    const std::size_t j_lo = std::min(n, panels * s / stripes * kNc);
+    const std::size_t j_hi = std::min(n, panels * (s + 1) / stripes * kNc);
+    if (j_lo >= j_hi) return;
+    const std::size_t jlen = j_hi - j_lo;
+    const ConstMatrixView bsub =
+        trans_b == Trans::No ? b.block(0, j_lo, b.rows(), jlen)
+                             : b.block(j_lo, 0, jlen, b.cols());
+    gemm(trans_a, trans_b, alpha, a, bsub, beta,
+         c.block(0, j_lo, c.rows(), jlen));
+  });
 }
 
 void gemm_update(const ConstMatrixView& a, const ConstMatrixView& b,

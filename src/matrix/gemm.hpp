@@ -9,12 +9,28 @@
 
 namespace hetgrid {
 
+class ParallelEngine;
+
 enum class Trans { No, Yes };
 
 /// C := alpha * op(A) * op(B) + beta * C.
 /// Shapes: op(A) is m x k, op(B) is k x n, C is m x n.
+/// The no-transpose path is cache-blocked with a branch-free saxpy inner
+/// loop; problems larger than one tile additionally pack the A/B tiles
+/// into contiguous buffers (pure data movement — the floating-point
+/// operation sequence per C element is identical either way).
 void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
           const ConstMatrixView& b, double beta, MatrixView c);
+
+/// Multithreaded large-block variant: partitions C into column stripes
+/// (aligned to whole cache panels) and runs one serial gemm per stripe on
+/// `engine`. Every column of C is computed by exactly one stripe with the
+/// serial loop structure, so the result is bit-identical to the serial
+/// gemm for any thread count. Falls back to the serial path when the
+/// engine is serial or the problem is a single panel wide.
+void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
+          const ConstMatrixView& b, double beta, MatrixView c,
+          ParallelEngine& engine);
 
 /// Convenience: C += A * B (the rank-k update at the heart of the paper's
 /// kernels).

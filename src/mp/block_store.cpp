@@ -4,6 +4,15 @@
 
 namespace hetgrid {
 
+namespace {
+
+std::uint64_t shape_key(std::size_t rows, std::size_t cols) {
+  return (static_cast<std::uint64_t>(rows) << 32) ^
+         static_cast<std::uint64_t>(cols);
+}
+
+}  // namespace
+
 void BlockStore::put(BlockKey key, Matrix block) {
   blocks_[key] = std::move(block);
 }
@@ -22,6 +31,30 @@ ConstMatrixView BlockStore::at(BlockKey key) const {
   return it->second.view();
 }
 
-void BlockStore::erase(BlockKey key) { blocks_.erase(key); }
+void BlockStore::erase(BlockKey key) {
+  auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  Matrix& m = it->second;
+  if (!m.empty()) pool_[shape_key(m.rows(), m.cols())].push_back(std::move(m));
+  blocks_.erase(it);
+}
+
+Matrix BlockStore::acquire(std::size_t rows, std::size_t cols) {
+  auto it = pool_.find(shape_key(rows, cols));
+  if (it != pool_.end() && !it->second.empty()) {
+    Matrix m = std::move(it->second.back());
+    it->second.pop_back();
+    return m;
+  }
+  return Matrix(rows, cols);
+}
+
+void BlockStore::reserve(std::size_t blocks) { blocks_.reserve(blocks); }
+
+std::size_t BlockStore::pooled() const {
+  std::size_t n = 0;
+  for (const auto& [shape, buffers] : pool_) n += buffers.size();
+  return n;
+}
 
 }  // namespace hetgrid

@@ -10,6 +10,7 @@
 #include "mp/block_store.hpp"
 #include "mp/virtual_network.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel_engine.hpp"
 
 namespace hetgrid {
 
@@ -40,6 +41,15 @@ double vol_frac(std::size_t r, std::size_t c, std::size_t k,
 }
 
 // Shared state for one distributed execution.
+//
+// Parallel numerics: each step's real floating-point block updates are
+// collected into `batch` — one task lane per virtual processor — and
+// flushed through `engine` at every phase boundary (run_batch). A lane's
+// ops run in canonical submission order on one worker, and distinct lanes
+// only ever touch their own processor's BlockStore, so the arithmetic is
+// bit-identical to the serial path for any thread count. Clocks, busy
+// times, message counters, and trace spans are computed exclusively on
+// the host thread and never depend on the pool schedule.
 struct MpContext {
   const Machine& machine;
   const Distribution2D& dist;
@@ -51,12 +61,14 @@ struct MpContext {
   std::vector<double> busy;
   TraceSink* sink;
   std::size_t step = 0;
+  ParallelEngine engine;
+  TaskBatch batch;
 
   MpContext(const Machine& m, const Distribution2D& d, std::size_t blk,
-            TraceSink* s)
+            TraceSink* s, const RuntimeOptions& opts)
       : machine(m), dist(d), block(blk), p(d.grid_rows()), q(d.grid_cols()),
         net(p * q, m.net, s), store(p * q), clock(p * q, 0.0),
-        busy(p * q, 0.0), sink(s) {
+        busy(p * q, 0.0), sink(s), engine(opts.threads), batch(p * q) {
     m.net.validate();
     HG_CHECK(m.grid.rows() == p && m.grid.cols() == q,
              "machine grid does not match distribution");
@@ -68,6 +80,18 @@ struct MpContext {
     net.set_step(k);
   }
 
+  /// Queues one block-numerics op on processor `id`'s task lane. Views
+  /// must be resolved by the caller (on the host thread) so missing-block
+  /// errors still surface as clean PreconditionErrors.
+  void add_task(std::size_t id, std::function<void()> op) {
+    batch.add(id, std::move(op));
+  }
+
+  /// Runs all queued numerics and returns when they are done. Must be
+  /// called before any store put/erase or any read of a block a queued op
+  /// writes.
+  void run_batch() { batch.run(engine); }
+
   std::size_t pid(std::size_t gi, std::size_t gj) const {
     return gi * q + gj;
   }
@@ -77,6 +101,15 @@ struct MpContext {
   }
   double cycle_time(std::size_t id) const {
     return machine.grid(id / q, id % q);
+  }
+
+  /// Lands a copy of `key` (present at `from`) in `to`'s store, recycling
+  /// a pooled buffer when one matches the shape.
+  void copy_block(std::size_t from, std::size_t to, BlockKey key) {
+    const ConstMatrixView src = store[from].at(key);
+    Matrix copy = store[to].acquire(src.rows(), src.cols());
+    copy.view().copy_from(src);
+    store[to].put(key, std::move(copy));
   }
 
   /// Ring-broadcasts the listed blocks (all already present at grid
@@ -96,11 +129,7 @@ struct MpContext {
       const std::size_t to = pid(gi, (src_gj + hop) % q);
       const double arrival =
           net.transfer(from, to, keys.size(), upstream);
-      for (const BlockKey& k : keys) {
-        Matrix copy(store[src].at(k).rows(), store[src].at(k).cols());
-        copy.view().copy_from(store[src].at(k));
-        store[to].put(k, std::move(copy));
-      }
+      for (const BlockKey& k : keys) copy_block(from, to, k);
       ready[to] = std::max(ready[to], arrival);
       upstream = arrival;
     }
@@ -119,11 +148,7 @@ struct MpContext {
       const std::size_t to = pid((src_gi + hop) % p, gj);
       const double arrival =
           net.transfer(from, to, keys.size(), upstream);
-      for (const BlockKey& k : keys) {
-        Matrix copy(store[src].at(k).rows(), store[src].at(k).cols());
-        copy.view().copy_from(store[src].at(k));
-        store[to].put(k, std::move(copy));
-      }
+      for (const BlockKey& k : keys) copy_block(from, to, k);
       ready[to] = std::max(ready[to], arrival);
       upstream = arrival;
     }
@@ -136,9 +161,7 @@ struct MpContext {
                 double start) {
     if (from == to) return start;
     const double arrival = net.transfer(from, to, 1, start);
-    Matrix copy(store[from].at(key).rows(), store[from].at(key).cols());
-    copy.view().copy_from(store[from].at(key));
-    store[to].put(key, std::move(copy));
+    copy_block(from, to, key);
     return arrival;
   }
 
@@ -169,6 +192,10 @@ struct MpContext {
 // is assumed distributed from the start.
 void scatter(MpContext& ctx, const ConstMatrixView& m, std::size_t which,
              std::size_t nbr, std::size_t nbc) {
+  // Owned blocks plus one row and one column panel of transient copies.
+  const std::size_t procs = ctx.p * ctx.q;
+  for (std::size_t id = 0; id < procs; ++id)
+    ctx.store[id].reserve(nbr * nbc / procs + nbr + nbc + 8);
   for (std::size_t bi = 0; bi < nbr; ++bi) {
     const std::size_t ilo = block_lo(bi, ctx.block);
     const std::size_t ilen = block_len(bi, ctx.block, m.rows());
@@ -205,12 +232,13 @@ constexpr std::size_t kTagA = 0, kTagB = 1, kTagC = 2;
 MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                     const ConstMatrixView& a, const ConstMatrixView& b,
                     MatrixView c, std::size_t block,
-                    const KernelCosts& costs, TraceSink* sink) {
+                    const KernelCosts& costs, TraceSink* sink,
+                    const RuntimeOptions& opts) {
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
                c.rows() == n && c.cols() == n,
            "run_mp_mmm needs square same-size A, B, C");
-  MpContext ctx(machine, dist, block, sink);
+  MpContext ctx(machine, dist, block, sink, opts);
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
@@ -295,7 +323,9 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
       ctx.ring_broadcast_col(gj, b_src[gj], col_keys[gj], col_start[gj],
                              b_ready);
 
-    // Local updates: C_IJ += A_Ik * B_kJ on owned blocks.
+    // Local updates: C_IJ += A_Ik * B_kJ on owned blocks. Clocks are
+    // charged on the host in canonical order; the GEMMs fan out one task
+    // lane per processor (each lane reads and writes only its own store).
     const std::size_t klen = block_len(k, block, n);
     for (std::size_t id = 0; id < procs; ++id) {
       double work = 0.0;
@@ -305,15 +335,20 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
           if (ctx.owner_pid(bi, bj) != id) continue;
           const std::size_t ilen = block_len(bi, block, n);
           const std::size_t jlen = block_len(bj, block, n);
-          gemm_update(ctx.store[id].at(BlockKey{kTagA * nb + bi, k}),
-                      ctx.store[id].at(BlockKey{kTagB * nb + k, bj}),
-                      ctx.store[id].at(BlockKey{kTagC * nb + bi, bj}));
+          const ConstMatrixView av =
+              ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
+          const ConstMatrixView bv =
+              ctx.store[id].at(BlockKey{kTagB * nb + k, bj});
+          const MatrixView cv =
+              ctx.store[id].at(BlockKey{kTagC * nb + bi, bj});
+          ctx.add_task(id, [av, bv, cv] { gemm_update(av, bv, cv); });
           work += ctx.cycle_time(id) * costs.update *
                   vol_frac(ilen, jlen, klen, block);
         }
       }
       if (work > 0.0) ctx.compute(id, ready, work, "update");
     }
+    ctx.run_batch();
 
     // Drop transient panel copies (keep owned originals).
     for (std::size_t id = 0; id < procs; ++id) {
@@ -333,7 +368,7 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
 MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                    MatrixView a, std::size_t block,
                    const KernelCosts& costs, bool lookahead,
-                   TraceSink* sink) {
+                   TraceSink* sink, const RuntimeOptions& opts) {
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_mp_lu needs a square matrix");
   // LU's row/column panels must each live inside one grid row/column for
@@ -342,7 +377,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
   // LU-capable without extra redistribution messages.
   HG_CHECK(neighbor_census(dist).aligned,
            "run_mp_lu requires an aligned (grid-pattern) distribution");
-  MpContext ctx(machine, dist, block, sink);
+  MpContext ctx(machine, dist, block, sink, opts);
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
@@ -363,7 +398,8 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
     const BlockKey diag_key{kTagA * nb + k, k};
 
-    // --- Factor the diagonal block at its owner.
+    // --- Factor the diagonal block at its owner (host thread: its result
+    // gates everything below).
     if (!lu_factor_nopivot(ctx.store[diag_id].at(diag_key))) {
       early = ctx.report();
       early.factorized = false;
@@ -381,17 +417,20 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     ctx.ring_broadcast_col(diag.col, diag.row, {diag_key},
                            ctx.clock[diag_id], diag_ready);
 
-    // --- L21 solves: owners of blocks (I, k), I > k.
+    // --- L21 solves: owners of blocks (I, k), I > k. One task lane per
+    // owner; every lane reads its own diag copy and writes its own blocks.
     for (std::size_t bi = k + 1; bi < nb; ++bi) {
       const std::size_t id = ctx.owner_pid(bi, k);
       const std::size_t ilen = block_len(bi, block, n);
-      trsm_right_upper(ctx.store[id].at(diag_key),
-                       ctx.store[id].at(BlockKey{kTagA * nb + bi, k}));
+      const ConstMatrixView dv = ctx.store[id].at(diag_key);
+      const MatrixView lv = ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
+      ctx.add_task(id, [dv, lv] { trsm_right_upper(dv, lv); });
       ctx.compute(id, diag_ready[id],
                   ctx.cycle_time(id) * costs.panel_factor *
                       vol_frac(ilen, klen, klen, block),
                   "l-solve");
     }
+    ctx.run_batch();
 
     // --- Horizontal broadcast of the L panel (diag + L21) per grid row.
     std::fill(l_ready.begin(), l_ready.end(), 0.0);
@@ -408,13 +447,15 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     for (std::size_t bj = k + 1; bj < nb; ++bj) {
       const std::size_t id = ctx.owner_pid(k, bj);
       const std::size_t jlen = block_len(bj, block, n);
-      trsm_left_lower_unit(ctx.store[id].at(diag_key),
-                           ctx.store[id].at(BlockKey{kTagA * nb + k, bj}));
+      const ConstMatrixView dv = ctx.store[id].at(diag_key);
+      const MatrixView uv = ctx.store[id].at(BlockKey{kTagA * nb + k, bj});
+      ctx.add_task(id, [dv, uv] { trsm_left_lower_unit(dv, uv); });
       ctx.compute(id, l_ready[id],
                   ctx.cycle_time(id) * costs.trsm *
                       vol_frac(klen, jlen, klen, block),
                   "u-solve");
     }
+    ctx.run_batch();
 
     // --- Vertical broadcast of the U panel per grid column.
     std::fill(u_ready.begin(), u_ready.end(), 0.0);
@@ -441,7 +482,9 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     // --- Trailing updates A_IJ -= L_Ik * U_kJ on owned blocks. With
     // lookahead, the blocks the next panel needs (block column/row k+1)
     // are charged on the critical path now; the rest is deferred to after
-    // the next step's panel phase.
+    // the next step's panel phase. The deferral is pure virtual-time
+    // bookkeeping — the GEMM tasks always run in this step's batch, in
+    // canonical order per processor.
     for (std::size_t id = 0; id < procs; ++id) {
       double work_next = 0.0, work_rest = 0.0;
       const double ready = std::max(l_ready[id], u_ready[id]);
@@ -450,10 +493,15 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
           if (ctx.owner_pid(bi, bj) != id) continue;
           const std::size_t ilen = block_len(bi, block, n);
           const std::size_t jlen = block_len(bj, block, n);
-          gemm(Trans::No, Trans::No, -1.0,
-               ctx.store[id].at(BlockKey{kTagA * nb + bi, k}),
-               ctx.store[id].at(BlockKey{kTagA * nb + k, bj}), 1.0,
-               ctx.store[id].at(BlockKey{kTagA * nb + bi, bj}));
+          const ConstMatrixView lv =
+              ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
+          const ConstMatrixView uv =
+              ctx.store[id].at(BlockKey{kTagA * nb + k, bj});
+          const MatrixView tv =
+              ctx.store[id].at(BlockKey{kTagA * nb + bi, bj});
+          ctx.add_task(id, [lv, uv, tv] {
+            gemm(Trans::No, Trans::No, -1.0, lv, uv, 1.0, tv);
+          });
           const double cost = ctx.cycle_time(id) * costs.update *
                               vol_frac(ilen, jlen, klen, block);
           if (lookahead && bi != k + 1 && bj != k + 1)
@@ -468,6 +516,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
         deferred_ready[id] = std::max(deferred_ready[id], ready);
       }
     }
+    ctx.run_batch();
 
     // --- Drop transient copies of this step's panels.
     for (std::size_t id = 0; id < procs; ++id) {
@@ -486,12 +535,13 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
 
 MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                          MatrixView a, std::size_t block,
-                         const KernelCosts& costs, TraceSink* sink) {
+                         const KernelCosts& costs, TraceSink* sink,
+                         const RuntimeOptions& opts) {
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_mp_cholesky needs a square matrix");
   HG_CHECK(neighbor_census(dist).aligned,
            "run_mp_cholesky requires an aligned distribution");
-  MpContext ctx(machine, dist, block, sink);
+  MpContext ctx(machine, dist, block, sink, opts);
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
@@ -507,7 +557,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
     const BlockKey diag_key{kTagA * nb + k, k};
 
-    // --- Factor the diagonal block.
+    // --- Factor the diagonal block (host thread).
     if (!cholesky_factor_unblocked(ctx.store[diag_id].at(diag_key))) {
       MpReport rep = ctx.report();
       rep.factorized = false;
@@ -524,18 +574,19 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     ctx.ring_broadcast_col(diag.col, diag.row, {diag_key},
                            ctx.clock[diag_id], diag_ready);
 
-    // --- L21 solves: A_Ik := A_Ik * inv(L11)^T.
+    // --- L21 solves: A_Ik := A_Ik * inv(L11)^T, one task lane per owner.
     for (std::size_t bi = k + 1; bi < nb; ++bi) {
       const std::size_t id = ctx.owner_pid(bi, k);
       const std::size_t ilen = block_len(bi, block, n);
-      trsm_right_lower_transposed(
-          ctx.store[id].at(diag_key),
-          ctx.store[id].at(BlockKey{kTagA * nb + bi, k}));
+      const ConstMatrixView dv = ctx.store[id].at(diag_key);
+      const MatrixView lv = ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
+      ctx.add_task(id, [dv, lv] { trsm_right_lower_transposed(dv, lv); });
       ctx.compute(id, diag_ready[id],
                   ctx.cycle_time(id) * costs.chol_factor *
                       vol_frac(ilen, klen, klen, block),
                   "l-solve");
     }
+    ctx.run_batch();
 
     // --- Phase 1: L panel along each grid row.
     std::fill(l_ready.begin(), l_ready.end(), 0.0);
@@ -574,16 +625,22 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
           if (ctx.owner_pid(bi, bj) != id) continue;
           const std::size_t ilen = block_len(bi, block, n);
           const std::size_t jlen = block_len(bj, block, n);
-          gemm(Trans::No, Trans::Yes, -1.0,
-               ctx.store[id].at(BlockKey{kTagA * nb + bi, k}),
-               ctx.store[id].at(BlockKey{kTagA * nb + bj, k}), 1.0,
-               ctx.store[id].at(BlockKey{kTagA * nb + bi, bj}));
+          const ConstMatrixView li =
+              ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
+          const ConstMatrixView lj =
+              ctx.store[id].at(BlockKey{kTagA * nb + bj, k});
+          const MatrixView tv =
+              ctx.store[id].at(BlockKey{kTagA * nb + bi, bj});
+          ctx.add_task(id, [li, lj, tv] {
+            gemm(Trans::No, Trans::Yes, -1.0, li, lj, 1.0, tv);
+          });
           work += ctx.cycle_time(id) * costs.update *
                   vol_frac(ilen, jlen, klen, block);
         }
       }
       if (work > 0.0) ctx.compute(id, ready, work, "update");
     }
+    ctx.run_batch();
 
     // --- Drop transient copies of the panel.
     for (std::size_t id = 0; id < procs; ++id)

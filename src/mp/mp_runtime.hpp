@@ -41,11 +41,18 @@ struct MpReport {
 /// blocks of `block` elements. A and B are scattered to their owners, the
 /// per-step panels travel by ring broadcasts, and the owned C blocks are
 /// gathered into `c` at the end.
+///
+/// All run_mp_* entry points honor `opts.threads`: each step's independent
+/// per-processor block updates fan out across a worker pool while every
+/// clock, counter, and trace span is computed on the host thread — the
+/// MpReport, the trace, and the gathered matrix are bit-identical for any
+/// thread count (see doc/parallel_runtime.md).
 MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                     const ConstMatrixView& a, const ConstMatrixView& b,
                     MatrixView c, std::size_t block,
                     const KernelCosts& costs = {},
-                    TraceSink* sink = nullptr);
+                    TraceSink* sink = nullptr,
+                    const RuntimeOptions& opts = {});
 
 /// Distributed-memory right-looking LU without pivoting (diagonally
 /// dominant input required). `a` is scattered, factored, and the packed
@@ -60,7 +67,8 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
 MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                    MatrixView a, std::size_t block,
                    const KernelCosts& costs = {}, bool lookahead = false,
-                   TraceSink* sink = nullptr);
+                   TraceSink* sink = nullptr,
+                   const RuntimeOptions& opts = {});
 
 /// Distributed-memory right-looking Cholesky (lower variant) on an SPD
 /// matrix. The L21 panel is ring-broadcast along grid rows, then each
@@ -70,6 +78,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
 MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                          MatrixView a, std::size_t block,
                          const KernelCosts& costs = {},
-                         TraceSink* sink = nullptr);
+                         TraceSink* sink = nullptr,
+                         const RuntimeOptions& opts = {});
 
 }  // namespace hetgrid

@@ -8,6 +8,7 @@
 #include "matrix/qr.hpp"
 #include "matrix/trsm.hpp"
 #include "sim/trace_emit.hpp"
+#include "util/parallel_engine.hpp"
 
 namespace hetgrid {
 
@@ -108,6 +109,14 @@ class PhaseClock {
   double now_ = 0.0;
 };
 
+// Parallel numerics for the bulk-synchronous runtime: each phase's block
+// operations are queued into `batch` (one lane per grid processor — or,
+// for QR's shared-accumulator pass, one lane per trailing block column)
+// and flushed through `engine` at the phase boundary. Lanes run their ops
+// in submission order and touch disjoint memory, so results are
+// bit-identical to the serial path for any thread count; the PhaseClock
+// never leaves the host thread.
+
 }  // namespace
 
 VirtualReport run_distributed_mmm(const Machine& machine,
@@ -116,7 +125,8 @@ VirtualReport run_distributed_mmm(const Machine& machine,
                                   const ConstMatrixView& b, MatrixView c,
                                   std::size_t block,
                                   const KernelCosts& costs,
-                                  TraceSink* sink) {
+                                  TraceSink* sink,
+                                  const RuntimeOptions& opts) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
@@ -136,6 +146,8 @@ VirtualReport run_distributed_mmm(const Machine& machine,
   c.fill(0.0);
 
   PhaseClock clock(p, q, rep, sink);
+  ParallelEngine engine(opts.threads);
+  TaskBatch batch(p * q);
   std::vector<double> line_costs;
   std::vector<std::size_t> a_rows(p), b_cols(q);
 
@@ -166,14 +178,18 @@ VirtualReport run_distributed_mmm(const Machine& machine,
         const std::size_t jlo = block_lo(bj, block);
         const std::size_t jlen = block_len(bj, block, n);
         const ProcCoord o = dist.owner(bi, bj);
-        gemm_update(a.block(ilo, block_lo(k, block), ilen, klen),
-                    b.block(block_lo(k, block), jlo, klen, jlen),
-                    c.block(ilo, jlo, ilen, jlen));
+        const ConstMatrixView av =
+            a.block(ilo, block_lo(k, block), ilen, klen);
+        const ConstMatrixView bv =
+            b.block(block_lo(k, block), jlo, klen, jlen);
+        const MatrixView cv = c.block(ilo, jlo, ilen, jlen);
+        batch.add(o.row * q + o.col, [av, bv, cv] { gemm_update(av, bv, cv); });
         clock.charge(o.row * q + o.col,
                      grid(o.row, o.col) * costs.update *
                          vol_frac(ilen, jlen, klen, block));
       }
     }
+    batch.run(engine);
     clock.finish("update");
   }
   return rep;
@@ -183,7 +199,8 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
                                    const KernelCosts& costs,
-                                   TraceSink* sink) {
+                                   TraceSink* sink,
+                                   const RuntimeOptions& opts) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_distributed_lu needs a square matrix");
@@ -199,6 +216,8 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
   VirtualLuReport rep;
   rep.busy.assign(p * q, 0.0);
   PhaseClock clock(p, q, rep, sink);
+  ParallelEngine engine(opts.threads);
+  TaskBatch batch(p * q);
   std::vector<double> line_costs;
   std::vector<std::size_t> l_rows(p), u_cols(q);
 
@@ -224,11 +243,14 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
       const std::size_t ilo = block_lo(bi, block);
       const std::size_t ilen = block_len(bi, block, n);
       const ProcCoord o = dist.owner(bi, k);
-      trsm_right_upper(diag_block, a.block(ilo, klo, ilen, klen));
+      const MatrixView lv = a.block(ilo, klo, ilen, klen);
+      batch.add(o.row * q + o.col,
+                [diag_block, lv] { trsm_right_upper(diag_block, lv); });
       clock.charge(o.row * q + o.col,
                    grid(o.row, o.col) * costs.panel_factor *
                        vol_frac(ilen, klen, klen, block));
     }
+    batch.run(engine);
     clock.finish("panel");
 
     // --- Horizontal broadcast of the L panel.
@@ -244,11 +266,14 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
       const std::size_t jlo = block_lo(bj, block);
       const std::size_t jlen = block_len(bj, block, n);
       const ProcCoord o = dist.owner(k, bj);
-      trsm_left_lower_unit(diag_block, a.block(klo, jlo, klen, jlen));
+      const MatrixView uv = a.block(klo, jlo, klen, jlen);
+      batch.add(o.row * q + o.col,
+                [diag_block, uv] { trsm_left_lower_unit(diag_block, uv); });
       clock.charge(o.row * q + o.col,
                    grid(o.row, o.col) * costs.trsm *
                        vol_frac(klen, jlen, klen, block));
     }
+    batch.run(engine);
     clock.finish("row");
 
     // --- Vertical broadcast of the U panel.
@@ -268,14 +293,18 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
         const std::size_t jlo = block_lo(bj, block);
         const std::size_t jlen = block_len(bj, block, n);
         const ProcCoord o = dist.owner(bi, bj);
-        gemm(Trans::No, Trans::No, -1.0, a.block(ilo, klo, ilen, klen),
-             a.block(klo, jlo, klen, jlen), 1.0,
-             a.block(ilo, jlo, ilen, jlen));
+        const ConstMatrixView lv = a.block(ilo, klo, ilen, klen);
+        const ConstMatrixView uv = a.block(klo, jlo, klen, jlen);
+        const MatrixView tv = a.block(ilo, jlo, ilen, jlen);
+        batch.add(o.row * q + o.col, [lv, uv, tv] {
+          gemm(Trans::No, Trans::No, -1.0, lv, uv, 1.0, tv);
+        });
         clock.charge(o.row * q + o.col,
                      grid(o.row, o.col) * costs.update *
                          vol_frac(ilen, jlen, klen, block));
       }
     }
+    batch.run(engine);
     clock.finish("update");
   }
   return rep;
@@ -286,7 +315,8 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
                                                   MatrixView a,
                                                   std::size_t block,
                                                   const KernelCosts& costs,
-                                                  TraceSink* sink) {
+                                                  TraceSink* sink,
+                                                  const RuntimeOptions& opts) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_distributed_lu_pivoted needs a square matrix");
@@ -303,6 +333,8 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
   rep.busy.assign(p * q, 0.0);
   rep.piv.resize(n);
   PhaseClock clock(p, q, rep, sink);
+  ParallelEngine engine(opts.threads);
+  TaskBatch batch(p * q);
   std::vector<double> line_costs;
   std::vector<std::size_t> l_rows(p), u_cols(q);
 
@@ -361,11 +393,14 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
       const std::size_t jlo = block_lo(bj, block);
       const std::size_t jlen = block_len(bj, block, n);
       const ProcCoord o = dist.owner(k, bj);
-      trsm_left_lower_unit(l11, a.block(klo, jlo, b, jlen));
+      const MatrixView uv = a.block(klo, jlo, b, jlen);
+      batch.add(o.row * q + o.col,
+                [l11, uv] { trsm_left_lower_unit(l11, uv); });
       clock.charge(o.row * q + o.col,
                    grid(o.row, o.col) * costs.trsm *
                        vol_frac(b, jlen, b, block));
     }
+    batch.run(engine);
     clock.finish("row");
 
     // --- Broadcast the U panel down grid columns.
@@ -385,14 +420,18 @@ VirtualPivotedLuReport run_distributed_lu_pivoted(const Machine& machine,
         const std::size_t jlo = block_lo(bj, block);
         const std::size_t jlen = block_len(bj, block, n);
         const ProcCoord o = dist.owner(bi, bj);
-        gemm(Trans::No, Trans::No, -1.0, a.block(ilo, klo, ilen, b),
-             a.block(klo, jlo, b, jlen), 1.0,
-             a.block(ilo, jlo, ilen, jlen));
+        const ConstMatrixView lv = a.block(ilo, klo, ilen, b);
+        const ConstMatrixView uv = a.block(klo, jlo, b, jlen);
+        const MatrixView tv = a.block(ilo, jlo, ilen, jlen);
+        batch.add(o.row * q + o.col, [lv, uv, tv] {
+          gemm(Trans::No, Trans::No, -1.0, lv, uv, 1.0, tv);
+        });
         clock.charge(o.row * q + o.col,
                      grid(o.row, o.col) * costs.update *
                          vol_frac(ilen, jlen, b, block));
       }
     }
+    batch.run(engine);
     clock.finish("update");
   }
   return rep;
@@ -402,7 +441,8 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
                                    const KernelCosts& costs,
-                                   TraceSink* sink) {
+                                   TraceSink* sink,
+                                   const RuntimeOptions& opts) {
   machine.net.validate();
   const std::size_t rows = a.rows();
   const std::size_t cols = a.cols();
@@ -422,6 +462,11 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
   rep.busy.assign(p * q, 0.0);
   rep.tau.reserve(cols);
   PhaseClock clock(p, q, rep, sink);
+  ParallelEngine engine(opts.threads);
+  // QR's W-accumulation sums over block rows into one w block per trailing
+  // block column: group by block column (not owner) so each shared
+  // accumulator is written by exactly one lane, in ascending-bi order.
+  TaskBatch batch(std::max<std::size_t>(p * q, 1));
   std::vector<double> line_costs;
   std::vector<std::size_t> v_rows(p), w_cols(q);
 
@@ -484,15 +529,18 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
         const std::size_t jlo = block_lo(bj, block);
         const std::size_t jlen = block_len(bj, block, cols);
         const ProcCoord o = dist.owner(bi, bj);
-        gemm(Trans::Yes, Trans::No, 1.0,
-             v.view().block(ilo - klo, 0, ilen, b),
-             a.block(ilo, jlo, ilen, jlen), 1.0,
-             w.view().block(0, jlo - (klo + b), b, jlen));
+        const ConstMatrixView vv = v.view().block(ilo - klo, 0, ilen, b);
+        const ConstMatrixView cv = a.block(ilo, jlo, ilen, jlen);
+        const MatrixView wv = w.view().block(0, jlo - (klo + b), b, jlen);
+        batch.add((bj - (k + 1)) % batch.groups(), [vv, cv, wv] {
+          gemm(Trans::Yes, Trans::No, 1.0, vv, cv, 1.0, wv);
+        });
         clock.charge(o.row * q + o.col,
                      grid(o.row, o.col) * 0.5 * costs.qr_update *
                          vol_frac(ilen, jlen, b, block));
       }
     }
+    batch.run(engine);
     clock.finish("w-accumulate");
 
     // Y = T^T * W (small b x ntrail product; charged to the diagonal
@@ -515,15 +563,19 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
         const std::size_t jlo = block_lo(bj, block);
         const std::size_t jlen = block_len(bj, block, cols);
         const ProcCoord o = dist.owner(bi, bj);
-        gemm(Trans::No, Trans::No, -1.0,
-             v.view().block(ilo - klo, 0, ilen, b),
-             y.view().block(0, jlo - (klo + b), b, jlen), 1.0,
-             a.block(ilo, jlo, ilen, jlen));
+        const ConstMatrixView vv = v.view().block(ilo - klo, 0, ilen, b);
+        const ConstMatrixView yv =
+            y.view().block(0, jlo - (klo + b), b, jlen);
+        const MatrixView cv = a.block(ilo, jlo, ilen, jlen);
+        batch.add(o.row * q + o.col, [vv, yv, cv] {
+          gemm(Trans::No, Trans::No, -1.0, vv, yv, 1.0, cv);
+        });
         clock.charge(o.row * q + o.col,
                      grid(o.row, o.col) * 0.5 * costs.qr_update *
                          vol_frac(ilen, jlen, b, block));
       }
     }
+    batch.run(engine);
     clock.finish("update");
   }
   return rep;
@@ -534,7 +586,8 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
                                                MatrixView a,
                                                std::size_t block,
                                                const KernelCosts& costs,
-                                               TraceSink* sink) {
+                                               TraceSink* sink,
+                                               const RuntimeOptions& opts) {
   machine.net.validate();
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_distributed_cholesky needs a square matrix");
@@ -550,6 +603,8 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
   VirtualCholeskyReport rep;
   rep.busy.assign(p * q, 0.0);
   PhaseClock clock(p, q, rep, sink);
+  ParallelEngine engine(opts.threads);
+  TaskBatch batch(p * q);
   std::vector<double> line_costs;
   std::vector<std::size_t> l_rows(p), l_cols(q);
 
@@ -572,11 +627,14 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
       const std::size_t ilo = block_lo(bi, block);
       const std::size_t ilen = block_len(bi, block, n);
       const ProcCoord o = dist.owner(bi, k);
-      trsm_right_lower_transposed(a11, a.block(ilo, klo, ilen, b));
+      const MatrixView lv = a.block(ilo, klo, ilen, b);
+      batch.add(o.row * q + o.col,
+                [a11, lv] { trsm_right_lower_transposed(a11, lv); });
       clock.charge(o.row * q + o.col,
                    grid(o.row, o.col) * costs.chol_factor *
                        vol_frac(ilen, b, b, block));
     }
+    batch.run(engine);
     clock.finish("panel");
 
     // --- Broadcast L21 along grid rows and (transposed) along columns.
@@ -606,14 +664,18 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
         const std::size_t jlo = block_lo(bj, block);
         const std::size_t jlen = block_len(bj, block, n);
         const ProcCoord o = dist.owner(bi, bj);
-        gemm(Trans::No, Trans::Yes, -1.0, a.block(ilo, klo, ilen, b),
-             a.block(jlo, klo, jlen, b), 1.0,
-             a.block(ilo, jlo, ilen, jlen));
+        const ConstMatrixView li = a.block(ilo, klo, ilen, b);
+        const ConstMatrixView lj = a.block(jlo, klo, jlen, b);
+        const MatrixView tv = a.block(ilo, jlo, ilen, jlen);
+        batch.add(o.row * q + o.col, [li, lj, tv] {
+          gemm(Trans::No, Trans::Yes, -1.0, li, lj, 1.0, tv);
+        });
         clock.charge(o.row * q + o.col,
                      grid(o.row, o.col) * costs.update *
                          vol_frac(ilen, jlen, b, block));
       }
     }
+    batch.run(engine);
     clock.finish("update");
   }
   return rep;

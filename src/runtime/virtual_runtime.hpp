@@ -40,13 +40,20 @@ struct VirtualReport {
 /// Executes C = A * B (all n x n) by the outer-product algorithm with
 /// square blocks of `block` elements (ragged edge blocks allowed) under
 /// `dist` on `machine`. C is overwritten.
+///
+/// All run_distributed_* entry points honor `opts.threads`: each phase's
+/// independent block operations fan out across a worker pool while the
+/// PhaseClock accounting (charges, spans, makespan) runs entirely on the
+/// host thread — reports, traces, and numerics are bit-identical for any
+/// thread count (see doc/parallel_runtime.md).
 VirtualReport run_distributed_mmm(const Machine& machine,
                                   const Distribution2D& dist,
                                   const ConstMatrixView& a,
                                   const ConstMatrixView& b, MatrixView c,
                                   std::size_t block,
                                   const KernelCosts& costs = {},
-                                  TraceSink* sink = nullptr);
+                                  TraceSink* sink = nullptr,
+                                  const RuntimeOptions& opts = {});
 
 /// Executes the right-looking blocked LU *without pivoting* in place (the
 /// matrix must be safely factorizable without pivoting, e.g. diagonally
@@ -62,7 +69,8 @@ VirtualLuReport run_distributed_lu(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
                                    const KernelCosts& costs = {},
-                                   TraceSink* sink = nullptr);
+                                   TraceSink* sink = nullptr,
+                                   const RuntimeOptions& opts = {});
 
 /// Right-looking blocked LU *with partial pivoting*, ScaLAPACK-style: the
 /// pivot search scans the whole column (charged to the owner column's
@@ -78,7 +86,7 @@ struct VirtualPivotedLuReport : VirtualReport {
 VirtualPivotedLuReport run_distributed_lu_pivoted(
     const Machine& machine, const Distribution2D& dist, MatrixView a,
     std::size_t block, const KernelCosts& costs = {},
-    TraceSink* sink = nullptr);
+    TraceSink* sink = nullptr, const RuntimeOptions& opts = {});
 
 /// Executes the right-looking blocked Householder QR in place (compact-WY
 /// trailing updates: C -= V (T^T (V^T C))). Accepts rectangular matrices
@@ -94,7 +102,8 @@ VirtualQrReport run_distributed_qr(const Machine& machine,
                                    const Distribution2D& dist, MatrixView a,
                                    std::size_t block,
                                    const KernelCosts& costs = {},
-                                   TraceSink* sink = nullptr);
+                                   TraceSink* sink = nullptr,
+                                   const RuntimeOptions& opts = {});
 
 /// Executes the right-looking blocked Cholesky (lower variant) in place on
 /// a symmetric positive definite matrix. Only the lower triangle is
@@ -109,6 +118,7 @@ VirtualCholeskyReport run_distributed_cholesky(const Machine& machine,
                                                MatrixView a,
                                                std::size_t block,
                                                const KernelCosts& costs = {},
-                                               TraceSink* sink = nullptr);
+                                               TraceSink* sink = nullptr,
+                                               const RuntimeOptions& opts = {});
 
 }  // namespace hetgrid

@@ -71,6 +71,18 @@ struct KernelCosts {
                               // GEMM update, like the LU panel)
 };
 
+/// Host-execution options for the numerics-executing backends (the
+/// virtual-time runtime in src/runtime and the message-passing runtime in
+/// src/mp). `threads` fans each step's independent per-processor block
+/// updates across a util/thread_pool worker pool; 0 means all hardware
+/// threads, 1 (the default) runs serially inline. Virtual clocks, message
+/// counters, and trace spans are always computed on the host thread, and
+/// the floating-point results are bit-identical for every thread count
+/// (see doc/parallel_runtime.md for the contract).
+struct RuntimeOptions {
+  unsigned threads = 1;
+};
+
 /// Simulates C = A * B on nb x nb blocks (outer-product algorithm,
 /// Section 3.1): nb steps, each with one horizontal and one vertical
 /// broadcast followed by the full rank-r update sweep.

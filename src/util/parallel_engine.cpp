@@ -1,0 +1,39 @@
+#include "util/parallel_engine.hpp"
+
+namespace hetgrid {
+
+ParallelEngine::ParallelEngine(unsigned threads)
+    : threads_(ThreadPool::resolve_threads(threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+void ParallelEngine::run_groups(
+    std::vector<std::vector<std::function<void()>>>& groups) {
+  if (pool_ == nullptr) {
+    for (auto& group : groups)
+      for (auto& op : group) op();
+    return;
+  }
+  for (auto& group : groups) {
+    if (group.empty()) continue;
+    // The group vector outlives wait_idle() below, so capturing a
+    // reference is safe; submit()'s queue mutex publishes the ops.
+    pool_->submit([&group] {
+      for (auto& op : group) op();
+    });
+  }
+  pool_->wait_idle();
+}
+
+void ParallelEngine::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (pool_ == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    pool_->submit([&fn, i] { fn(i); });
+  pool_->wait_idle();
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,413 @@
+// Tests for the parallel numerics engine: the serial/parallel bit-identity
+// guarantee of the message-passing and virtual runtimes, the threaded and
+// packed GEMM paths, and the block-store hash/pool upgrades that ride
+// along with it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+
+#include "dist/kalinov_lastovetsky.hpp"
+#include "dist/panel_distribution.hpp"
+#include "matrix/cholesky.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/norms.hpp"
+#include "mp/block_store.hpp"
+#include "mp/mp_runtime.hpp"
+#include "obs/trace.hpp"
+#include "runtime/virtual_runtime.hpp"
+#include "util/parallel_engine.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+// ----------------------------------------------------- helpers
+
+bool same_bits(const ConstMatrixView& a, const ConstMatrixView& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double x = a(i, j), y = b(i, j);
+      if (std::memcmp(&x, &y, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+void expect_same_events(const std::vector<TraceEvent>& a,
+                        const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].proc, b[i].proc) << "event " << i;
+    EXPECT_EQ(a[i].start, b[i].start) << "event " << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << "event " << i;
+    EXPECT_EQ(a[i].step, b[i].step) << "event " << i;
+    EXPECT_EQ(a[i].blocks, b[i].blocks) << "event " << i;
+    EXPECT_EQ(a[i].peer, b[i].peer) << "event " << i;
+    EXPECT_EQ(a[i].name, b[i].name) << "event " << i;
+  }
+}
+
+void expect_same_report(const MpReport& a, const MpReport& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.blocks_moved, b.blocks_moved);
+  EXPECT_EQ(a.factorized, b.factorized);
+}
+
+// Random heterogeneous 2x3 machine (distinct cycle-times so owner clocks
+// differ and any accounting that leaked onto worker threads would show).
+Machine het_machine(std::uint64_t seed, std::size_t p, std::size_t q) {
+  Rng rng(seed);
+  return Machine{CycleTimeGrid::sorted_row_major(p, q,
+                                                 rng.cycle_times(p * q, 0.2)),
+                 NetworkModel{Topology::kSwitched, 1.0e-4, 2.0e-4, true}};
+}
+
+constexpr unsigned kThreadCounts[] = {2, 7};
+
+// ----------------------------------------------------- hash regression
+
+// The seed hash folded the column into the low bits of a row-only
+// product, so structured sweeps (a block diagonal, a fixed column, a
+// tagged panel) collided heavily. With the avalanche mix no sweep may
+// chain more than a handful of keys into one bucket.
+std::size_t longest_chain(const std::vector<BlockKey>& keys) {
+  std::unordered_map<BlockKey, int, BlockKeyHash> map;
+  map.reserve(keys.size());
+  for (const BlockKey& k : keys) map[k] = 1;
+  std::size_t worst = 0;
+  for (std::size_t bkt = 0; bkt < map.bucket_count(); ++bkt)
+    worst = std::max(worst, map.bucket_size(bkt));
+  return worst;
+}
+
+TEST(BlockKeyHash, SpreadsDiagonalSweep) {
+  std::vector<BlockKey> keys;
+  for (std::size_t i = 0; i < 1024; ++i) keys.push_back({i, i});
+  EXPECT_LE(longest_chain(keys), 6u);
+}
+
+TEST(BlockKeyHash, SpreadsColumnSweep) {
+  std::vector<BlockKey> keys;
+  for (std::size_t i = 0; i < 1024; ++i) keys.push_back({i, 7});
+  EXPECT_LE(longest_chain(keys), 6u);
+}
+
+TEST(BlockKeyHash, SpreadsTaggedPanelSweep) {
+  // The MP runtime keys A/B/C blocks as {tag * nb + bi, bj}: three
+  // interleaved panels per step.
+  std::vector<BlockKey> keys;
+  const std::size_t nb = 341;
+  for (std::size_t tag = 0; tag < 3; ++tag)
+    for (std::size_t bi = 0; bi < nb; ++bi)
+      keys.push_back({tag * nb + bi, 5});
+  EXPECT_LE(longest_chain(keys), 6u);
+}
+
+// ----------------------------------------------------- block-store pool
+
+TEST(BlockStore, AcquireRecyclesErasedPayload) {
+  BlockStore s;
+  Matrix m(4, 6, 1.5);
+  const double* payload = m.data();
+  s.put({3, 4}, std::move(m));
+  s.erase({3, 4});
+  EXPECT_EQ(s.pooled(), 1u);
+  Matrix back = s.acquire(4, 6);
+  EXPECT_EQ(back.data(), payload);  // same buffer, no allocation
+  EXPECT_EQ(s.pooled(), 0u);
+}
+
+TEST(BlockStore, AcquireAllocatesOnShapeMiss) {
+  BlockStore s;
+  s.put({0, 0}, Matrix(4, 6, 0.0));
+  s.erase({0, 0});
+  const Matrix other = s.acquire(6, 4);  // transposed shape: no match
+  EXPECT_EQ(other.rows(), 6u);
+  EXPECT_EQ(other.cols(), 4u);
+  EXPECT_EQ(s.pooled(), 1u);  // 4x6 buffer still pooled
+}
+
+TEST(BlockStore, ReservePreventsRehash) {
+  std::unordered_map<BlockKey, Matrix, BlockKeyHash> probe;
+  probe.reserve(256);
+  const std::size_t buckets = probe.bucket_count();
+  BlockStore s;
+  s.reserve(256);
+  for (std::size_t i = 0; i < 256; ++i) s.put({i, i}, Matrix(2, 2, 1.0));
+  EXPECT_EQ(s.size(), 256u);
+  // The probe map shows reserve() pre-sized the table: inserting up to the
+  // reserved count must not grow the bucket array.
+  for (std::size_t i = 0; i < 256; ++i) probe.emplace(BlockKey{i, i}, Matrix());
+  EXPECT_EQ(probe.bucket_count(), buckets);
+}
+
+// ----------------------------------------------------- MP bit-identity
+
+struct MpRun {
+  MpReport report;
+  Matrix out;
+  std::vector<TraceEvent> events;
+};
+
+MpRun run_mmm(const Machine& machine, const Distribution2D& dist,
+              std::size_t n, std::size_t block, unsigned threads) {
+  Rng rng(11);
+  Matrix a(n, n), b(n, n), c(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  MemoryTraceSink sink;
+  RuntimeOptions opts;
+  opts.threads = threads;
+  MpRun run;
+  run.report = run_mp_mmm(machine, dist, a.view(), b.view(), c.view(),
+                          block, {}, &sink, opts);
+  run.out = std::move(c);
+  run.events = sink.events();
+  return run;
+}
+
+MpRun run_lu(const Machine& machine, const Distribution2D& dist,
+             std::size_t n, std::size_t block, bool lookahead,
+             unsigned threads) {
+  Rng rng(13);
+  Matrix a(n, n);
+  fill_diagonally_dominant(a.view(), rng);
+  MemoryTraceSink sink;
+  RuntimeOptions opts;
+  opts.threads = threads;
+  MpRun run;
+  run.report =
+      run_mp_lu(machine, dist, a.view(), block, {}, lookahead, &sink, opts);
+  run.out = std::move(a);
+  run.events = sink.events();
+  return run;
+}
+
+MpRun run_chol(const Machine& machine, const Distribution2D& dist,
+               std::size_t n, std::size_t block, unsigned threads) {
+  Rng rng(17);
+  Matrix a(n, n);
+  fill_spd(a.view(), rng);
+  MemoryTraceSink sink;
+  RuntimeOptions opts;
+  opts.threads = threads;
+  MpRun run;
+  run.report =
+      run_mp_cholesky(machine, dist, a.view(), block, {}, &sink, opts);
+  run.out = std::move(a);
+  run.events = sink.events();
+  return run;
+}
+
+void expect_same_run(const MpRun& serial, const MpRun& parallel) {
+  expect_same_report(serial.report, parallel.report);
+  EXPECT_TRUE(same_bits(serial.out.view(), parallel.out.view()));
+  expect_same_events(serial.events, parallel.events);
+}
+
+TEST(MpParallel, MmmBitIdenticalAcrossThreadCounts) {
+  const Machine machine = het_machine(23, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  const MpRun serial = run_mmm(machine, dist, 28, 6, 1);  // ragged edge
+  for (unsigned t : kThreadCounts)
+    expect_same_run(serial, run_mmm(machine, dist, 28, 6, t));
+}
+
+TEST(MpParallel, MmmMisalignedDistributionBitIdentical) {
+  // Kalinov–Lastovetsky layouts exercise the feeder transfers (blocks
+  // shipped to foreign ring sources before the broadcast starts).
+  const Machine machine = het_machine(29, 2, 2);
+  const KalinovLastovetskyDistribution dist(machine.grid, 8, 8);
+  const MpRun serial = run_mmm(machine, dist, 24, 4, 1);
+  for (unsigned t : kThreadCounts)
+    expect_same_run(serial, run_mmm(machine, dist, 24, 4, t));
+}
+
+TEST(MpParallel, LuBitIdenticalAcrossThreadCounts) {
+  const Machine machine = het_machine(31, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  for (bool lookahead : {false, true}) {
+    const MpRun serial = run_lu(machine, dist, 28, 6, lookahead, 1);
+    for (unsigned t : kThreadCounts)
+      expect_same_run(serial, run_lu(machine, dist, 28, 6, lookahead, t));
+  }
+}
+
+TEST(MpParallel, CholeskyBitIdenticalAcrossThreadCounts) {
+  const Machine machine = het_machine(37, 3, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(3, 2);
+  const MpRun serial = run_chol(machine, dist, 28, 6, 1);
+  for (unsigned t : kThreadCounts)
+    expect_same_run(serial, run_chol(machine, dist, 28, 6, t));
+}
+
+TEST(MpParallel, ThreadsZeroMeansAllHardwareThreads) {
+  // threads = 0 resolves to hardware concurrency; still bit-identical.
+  const Machine machine = het_machine(41, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  expect_same_run(run_mmm(machine, dist, 16, 4, 1),
+                  run_mmm(machine, dist, 16, 4, 0));
+}
+
+// ----------------------------------------------------- virtual runtime
+
+TEST(VirtualParallel, MmmBitIdentical) {
+  const Machine machine = het_machine(43, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  Rng rng(19);
+  Matrix a(28, 28), b(28, 28);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  Matrix c1(28, 28), c4(28, 28);
+  const VirtualReport r1 =
+      run_distributed_mmm(machine, dist, a.view(), b.view(), c1.view(), 6);
+  RuntimeOptions opts;
+  opts.threads = 4;
+  const VirtualReport r4 = run_distributed_mmm(
+      machine, dist, a.view(), b.view(), c4.view(), 6, {}, nullptr, opts);
+  EXPECT_EQ(r1.makespan, r4.makespan);
+  EXPECT_EQ(r1.busy, r4.busy);
+  EXPECT_EQ(r1.block_ops, r4.block_ops);
+  EXPECT_TRUE(same_bits(c1.view(), c4.view()));
+}
+
+TEST(VirtualParallel, LuBitIdentical) {
+  const Machine machine = het_machine(47, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  Rng rng(23);
+  Matrix a1(28, 28);
+  fill_diagonally_dominant(a1.view(), rng);
+  Matrix a4 = a1;
+  const VirtualLuReport r1 = run_distributed_lu(machine, dist, a1.view(), 6);
+  RuntimeOptions opts;
+  opts.threads = 4;
+  const VirtualLuReport r4 =
+      run_distributed_lu(machine, dist, a4.view(), 6, {}, nullptr, opts);
+  EXPECT_EQ(r1.makespan, r4.makespan);
+  EXPECT_EQ(r1.busy, r4.busy);
+  EXPECT_TRUE(r4.factorized);
+  EXPECT_TRUE(same_bits(a1.view(), a4.view()));
+}
+
+TEST(VirtualParallel, PivotedLuBitIdentical) {
+  const Machine machine = het_machine(53, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  Rng rng(29);
+  Matrix a1(24, 24);
+  fill_random(a1.view(), rng);
+  Matrix a4 = a1;
+  const VirtualPivotedLuReport r1 =
+      run_distributed_lu_pivoted(machine, dist, a1.view(), 6);
+  RuntimeOptions opts;
+  opts.threads = 4;
+  const VirtualPivotedLuReport r4 = run_distributed_lu_pivoted(
+      machine, dist, a4.view(), 6, {}, nullptr, opts);
+  EXPECT_EQ(r1.makespan, r4.makespan);
+  EXPECT_EQ(r1.piv, r4.piv);
+  EXPECT_FALSE(r4.singular);
+  EXPECT_TRUE(same_bits(a1.view(), a4.view()));
+}
+
+TEST(VirtualParallel, QrBitIdentical) {
+  // QR is the sharp determinism case: pass 1 accumulates different block
+  // rows into one shared W block per trailing column, so the lanes must be
+  // keyed by block column for the sums to stay in canonical order.
+  const Machine machine = het_machine(59, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  Rng rng(31);
+  Matrix a1(32, 20);
+  fill_random(a1.view(), rng);
+  Matrix a4 = a1;
+  const VirtualQrReport r1 = run_distributed_qr(machine, dist, a1.view(), 5);
+  RuntimeOptions opts;
+  opts.threads = 4;
+  const VirtualQrReport r4 =
+      run_distributed_qr(machine, dist, a4.view(), 5, {}, nullptr, opts);
+  EXPECT_EQ(r1.makespan, r4.makespan);
+  EXPECT_EQ(r1.tau, r4.tau);
+  EXPECT_TRUE(same_bits(a1.view(), a4.view()));
+}
+
+TEST(VirtualParallel, CholeskyBitIdentical) {
+  const Machine machine = het_machine(61, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  Rng rng(37);
+  Matrix a1(30, 30);
+  fill_spd(a1.view(), rng);
+  Matrix a4 = a1;
+  const VirtualCholeskyReport r1 =
+      run_distributed_cholesky(machine, dist, a1.view(), 6);
+  RuntimeOptions opts;
+  opts.threads = 4;
+  const VirtualCholeskyReport r4 = run_distributed_cholesky(
+      machine, dist, a4.view(), 6, {}, nullptr, opts);
+  EXPECT_EQ(r1.makespan, r4.makespan);
+  EXPECT_EQ(r1.busy, r4.busy);
+  EXPECT_TRUE(r4.factorized);
+  EXPECT_TRUE(same_bits(a1.view(), a4.view()));
+}
+
+// ----------------------------------------------------- gemm paths
+
+TEST(GemmParallel, ThreadedOverloadBitIdenticalToSerial) {
+  Rng rng(67);
+  Matrix a(96, 80), b(80, 300), c0(96, 300), c1(96, 300);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c0.view(), rng);
+  c1.view().copy_from(c0.view());
+  gemm(Trans::No, Trans::No, 2.0, a.view(), b.view(), 0.5, c0.view());
+  ParallelEngine engine(3);
+  gemm(Trans::No, Trans::No, 2.0, a.view(), b.view(), 0.5, c1.view(),
+       engine);
+  EXPECT_TRUE(same_bits(c0.view(), c1.view()));
+}
+
+TEST(GemmParallel, ThreadedOverloadSerialEngineFallsBack) {
+  Rng rng(71);
+  Matrix a(20, 20), b(20, 20), c0(20, 20, 0.0), c1(20, 20, 0.0);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c0.view());
+  ParallelEngine engine(1);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c1.view(),
+       engine);
+  EXPECT_TRUE(same_bits(c0.view(), c1.view()));
+}
+
+TEST(GemmParallel, PackedLargePathMatchesReference) {
+  // 200 x 150 from an inner dimension of 170 exceeds the 64 x 64 tile, so
+  // the packed path runs; validate against the naive reference.
+  Rng rng(73);
+  Matrix a(200, 170), b(170, 150), c(200, 150), ref(200, 150);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c.view(), rng);
+  ref.view().copy_from(c.view());
+  gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), -0.5, c.view());
+  gemm_reference(Trans::No, Trans::No, 1.5, a.view(), b.view(), -0.5,
+                 ref.view());
+  EXPECT_LT(max_abs_diff(c.view(), ref.view()), 1e-9);
+}
+
+TEST(GemmParallel, ThreadedTransposedOperandsBitIdentical) {
+  Rng rng(79);
+  Matrix a(60, 90), b(280, 60), c0(90, 280, 1.0), c1(90, 280, 1.0);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  gemm(Trans::Yes, Trans::Yes, -1.0, a.view(), b.view(), 1.0, c0.view());
+  ParallelEngine engine(4);
+  gemm(Trans::Yes, Trans::Yes, -1.0, a.view(), b.view(), 1.0, c1.view(),
+       engine);
+  EXPECT_TRUE(same_bits(c0.view(), c1.view()));
+}
+
+}  // namespace
+}  // namespace hetgrid

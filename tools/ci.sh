@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 verification: strict (-Werror) configure + build + full test run,
 # in an isolated build-ci/ tree so it never disturbs the dev build/. Then a
+# smoke run of the runtime-scaling bench (crosses the parallel numerics
+# engine's serial/parallel seam and asserts bit-identity), and finally a
 # ThreadSanitizer pass over the concurrent pieces (the exact solver's thread
-# pool and the message-passing runtime) in build-tsan/.
+# pool, the message-passing runtime, and the parallel numerics engine) in
+# build-tsan/.
 # Usage: tools/ci.sh  (from the repository root; any CMake >= 3.16 works,
 # CMake >= 3.21 users can equivalently run `cmake --preset ci` etc.)
 set -eu
@@ -16,12 +19,17 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-ci -j "$NPROC"
 ctest --test-dir build-ci --output-on-failure -j "$NPROC"
 
+# Bench smoke: a CI-sized runtime-scaling run. The harness itself enforces
+# that every thread count reproduces the serial MpReport and matrices
+# bit-for-bit, so this doubles as an end-to-end determinism check.
+build-ci/bench/bench_runtime_scaling --smoke=1 --json=build-ci/BENCH_runtime_smoke.json
+
 # TSan pass: only the tests that actually exercise threads (mirrors the
 # "tsan" preset in CMakePresets.json).
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$NPROC" \
-      --target test_thread_pool test_exact_parallel test_mp
+      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel
 ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
-      -R '^(test_thread_pool|test_exact_parallel|test_mp)$'
+      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel)$'

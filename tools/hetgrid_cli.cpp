@@ -16,9 +16,12 @@
 //             [--network=free|switched|ethernet] [--strategy=...]
 //             simulate a kernel under a strategy and print the report.
 //   trace     --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=16
-//             [--backend=sim|mp] [--out=trace.json] [...]
+//             [--backend=sim|mp] [--out=trace.json] [--threads=1] [...]
 //             run a kernel with the trace recorder on, write a Chrome /
 //             Perfetto trace.json, and print per-processor utilization.
+//             --threads parallelizes the mp backend's real block math
+//             (0 = all hardware threads); trace and numerics are
+//             bit-identical for any thread count.
 //
 // Everything prints aligned tables; add --csv for machine-readable copies.
 #include <fstream>
@@ -289,7 +292,7 @@ int cmd_trace(int argc, const char* const* argv) {
                  {"kernel", "mmm"}, {"nb", "16"}, {"backend", "sim"},
                  {"network", "switched"}, {"strategy", "heuristic"},
                  {"scale", "8"}, {"block", "4"}, {"out", "trace.json"},
-                 {"csv", "0"}});
+                 {"csv", "0"}, {"threads", "1"}});
   const std::vector<double> pool = parse_times(cli.get_string("times"));
   const auto p = static_cast<std::size_t>(cli.get_int("p"));
   const auto q = static_cast<std::size_t>(cli.get_int("q"));
@@ -301,6 +304,10 @@ int cmd_trace(int argc, const char* const* argv) {
   const std::string backend = cli.get_string("backend");
   const std::string kernel = cli.get_string("kernel");
   const std::string out_path = cli.get_string("out");
+  const long long threads = cli.get_int("threads");
+  HG_CHECK(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  RuntimeOptions run_opts;
+  run_opts.threads = static_cast<unsigned>(threads);
 
   const NetworkModel net = parse_network_flag(cli.get_string("network"));
   StrategyChoice choice =
@@ -335,15 +342,17 @@ int cmd_trace(int argc, const char* const* argv) {
       fill_random(a.view(), rng);
       fill_random(b.view(), rng);
       rep = run_mp_mmm(machine, dist, a.view(), b.view(), c.view(), block,
-                       costs, &sink);
+                       costs, &sink, run_opts);
     } else if (kernel == "lu") {
       Matrix a(n, n);
       fill_diagonally_dominant(a.view(), rng);
-      rep = run_mp_lu(machine, dist, a.view(), block, costs, false, &sink);
+      rep = run_mp_lu(machine, dist, a.view(), block, costs, false, &sink,
+                      run_opts);
     } else if (kernel == "chol") {
       Matrix a(n, n);
       fill_spd(a.view(), rng);
-      rep = run_mp_cholesky(machine, dist, a.view(), block, costs, &sink);
+      rep = run_mp_cholesky(machine, dist, a.view(), block, costs, &sink,
+                            run_opts);
     } else {
       HG_CHECK(false, "mp backend supports --kernel=mmm|lu|chol, got "
                           << kernel);
@@ -395,7 +404,9 @@ int usage() {
       "           [--strategy=block-cyclic|kl|heuristic]\n"
       "  trace    --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=16\n"
       "           [--backend=sim|mp] [--out=trace.json] [--block=4]\n"
-      "           [--network=...] [--strategy=...]\n";
+      "           [--network=...] [--strategy=...] [--threads=1]\n"
+      "           (--threads parallelizes the mp backend's block math;\n"
+      "            0 = all hardware threads, output is bit-identical)\n";
   return 2;
 }
 
