@@ -1,0 +1,323 @@
+// bench_compare: regression gate over two JsonReport files (the BENCH_*.json
+// emitted by the bench harnesses via bench_common.hpp's JsonReport).
+//
+// Modes:
+//   bench_compare --base=old.json --new=new.json [--key=ms]
+//                 [--threshold=0.2] [--inject=1.0]
+//     Match records pairwise (same order, same string-valued fields) and
+//     fail (exit 1) if any new `--key` value exceeds its base value by more
+//     than `--threshold` (relative). `--inject` multiplies the new values
+//     first — CI uses it to prove the gate actually fires.
+//
+//   bench_compare --check-schema=run.json --schema=baseline.json
+//     Validate a bench output against a committed baseline schema
+//     ({"bench": "...", "required": ["field", ...]}): the bench name must
+//     match and every result record must carry every required field. This
+//     keeps the machine-readable format stable without pinning timings.
+//
+// The parser below reads exactly the restricted JSON that JsonReport
+// writes (objects, arrays, strings with the escapes quote() emits, and
+// plain numbers) — no external JSON dependency.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace hetgrid::bench {
+namespace {
+
+struct Value {
+  enum class Kind { kObject, kArray, kString, kNumber } kind;
+  // Object fields keep insertion order (record identity is ordered).
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+  std::string str;
+  double num = 0.0;
+
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    HG_CHECK(pos_ == text_.size(), "trailing bytes after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    HG_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    HG_CHECK(peek() == c, "expected '" << c << "' at byte " << pos_);
+    ++pos_;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      Value key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key.str), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value parse_string() {
+    Value v;
+    v.kind = Value::Kind::kString;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        HG_CHECK(pos_ < text_.size(), "dangling escape in JSON string");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            HG_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+            c = static_cast<char>(
+                std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default:
+            HG_CHECK(false, "unsupported escape \\" << e);
+        }
+      }
+      v.str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    HG_CHECK(pos_ > start, "expected a number at byte " << start);
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.str = text_.substr(start, pos_ - start);
+    v.num = std::strtod(v.str.c_str(), nullptr);
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+Value load(const std::string& path) {
+  std::ifstream is(path);
+  HG_CHECK(is.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return Parser(buf.str()).parse();
+}
+
+const Value& results_of(const Value& report, const std::string& path) {
+  HG_CHECK(report.kind == Value::Kind::kObject,
+           path << ": top level is not an object");
+  const Value* results = report.find("results");
+  HG_CHECK(results != nullptr && results->kind == Value::Kind::kArray,
+           path << ": no \"results\" array");
+  return *results;
+}
+
+int check_schema(const std::string& run_path, const std::string& schema_path) {
+  const Value schema = load(schema_path);
+  const Value run = load(run_path);
+  const Value* want_bench = schema.find("bench");
+  const Value* required = schema.find("required");
+  HG_CHECK(want_bench != nullptr && required != nullptr &&
+               required->kind == Value::Kind::kArray,
+           schema_path << ": schema needs \"bench\" and \"required\"");
+
+  const Value* got_bench = run.find("bench");
+  if (got_bench == nullptr || got_bench->str != want_bench->str) {
+    std::cerr << "schema mismatch: bench name is "
+              << (got_bench ? got_bench->str : "<missing>") << ", expected "
+              << want_bench->str << '\n';
+    return 1;
+  }
+  const Value& results = results_of(run, run_path);
+  if (results.array.empty()) {
+    std::cerr << "schema mismatch: " << run_path << " has no results\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < results.array.size(); ++i) {
+    for (const Value& field : required->array) {
+      if (results.array[i].find(field.str) == nullptr) {
+        std::cerr << "schema mismatch: record " << i << " lacks field \""
+                  << field.str << "\"\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "schema ok: " << results.array.size() << " records of "
+            << want_bench->str << " carry all " << required->array.size()
+            << " required fields\n";
+  return 0;
+}
+
+// Label for one record: its string-valued fields, which identify the
+// configuration (kernel, flags) independent of the measured numbers.
+std::string record_label(const Value& rec) {
+  std::string out;
+  for (const auto& [k, v] : rec.object)
+    if (v.kind == Value::Kind::kString) out += k + "=" + v.str + " ";
+  return out.empty() ? "<unlabeled>" : out;
+}
+
+int compare(const std::string& base_path, const std::string& new_path,
+            const std::string& key, double threshold, double inject) {
+  const Value base = load(base_path);
+  const Value fresh = load(new_path);
+  const Value& base_res = results_of(base, base_path);
+  const Value& new_res = results_of(fresh, new_path);
+  if (base_res.array.size() != new_res.array.size()) {
+    std::cerr << "record count mismatch: " << base_res.array.size() << " vs "
+              << new_res.array.size() << '\n';
+    return 1;
+  }
+
+  int regressions = 0;
+  for (std::size_t i = 0; i < base_res.array.size(); ++i) {
+    const Value& b = base_res.array[i];
+    const Value& n = new_res.array[i];
+    // Records must describe the same configuration.
+    for (const auto& [k, v] : b.object) {
+      if (v.kind != Value::Kind::kString) continue;
+      const Value* other = n.find(k);
+      if (other == nullptr || other->str != v.str) {
+        std::cerr << "record " << i << " mismatch on \"" << k << "\": "
+                  << record_label(b) << "vs " << record_label(n) << '\n';
+        return 1;
+      }
+    }
+    const Value* bv = b.find(key);
+    const Value* nv = n.find(key);
+    if (bv == nullptr || nv == nullptr) {
+      std::cerr << "record " << i << " lacks key \"" << key << "\"\n";
+      return 1;
+    }
+    const double base_val = bv->num;
+    const double new_val = nv->num * inject;
+    if (base_val > 0.0 && new_val > base_val * (1.0 + threshold)) {
+      std::cerr << "REGRESSION " << record_label(b) << key << " "
+                << base_val << " -> " << new_val << " (+"
+                << 100.0 * (new_val / base_val - 1.0) << "%, threshold +"
+                << 100.0 * threshold << "%)\n";
+      ++regressions;
+    }
+  }
+  if (regressions > 0) {
+    std::cerr << regressions << " regression(s) beyond +" << 100.0 * threshold
+              << "%\n";
+    return 1;
+  }
+  std::cout << "ok: " << base_res.array.size() << " records within +"
+            << 100.0 * threshold << "% on \"" << key << "\"\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace hetgrid::bench
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  try {
+    const Cli cli(argc, argv,
+                  {{"base", ""}, {"new", ""}, {"key", "ms"},
+                   {"threshold", "0.2"}, {"inject", "1"},
+                   {"check-schema", ""}, {"schema", ""}});
+    const std::string schema_target = cli.get_string("check-schema");
+    if (!schema_target.empty())
+      return bench::check_schema(schema_target, cli.get_string("schema"));
+    const std::string base = cli.get_string("base");
+    const std::string fresh = cli.get_string("new");
+    if (base.empty() || fresh.empty()) {
+      std::cerr << "usage: bench_compare --base=old.json --new=new.json "
+                   "[--key=ms] [--threshold=0.2] [--inject=1.0]\n"
+                   "       bench_compare --check-schema=run.json "
+                   "--schema=baseline.json\n";
+      return 2;
+    }
+    return bench::compare(base, fresh, cli.get_string("key"),
+                          cli.get_double("threshold"),
+                          cli.get_double("inject"));
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << '\n';
+    return 1;
+  }
+}

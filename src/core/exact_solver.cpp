@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hetgrid {
@@ -294,6 +296,7 @@ class Search {
 
 ExactSolution solve_exact(const CycleTimeGrid& grid,
                           const ExactSolverOptions& opts) {
+  ProfScope prof_span("exact.solve");
   const std::size_t p = grid.rows(), q = grid.cols();
   const std::uint64_t n_trees = spanning_tree_count(p, q);
   HG_CHECK(n_trees <= opts.max_trees,
@@ -323,6 +326,7 @@ ExactSolution solve_exact(const CycleTimeGrid& grid,
   };
   std::vector<TaskResult> results(tasks.size());
   auto run_task = [&](std::size_t k) {
+    ProfScope task_span("exact.task");
     Search s(grid, opts.prune);
     s.replay(tasks[k]);
     s.search(tasks[k].depth, n_edges + 1, nullptr, results[k].best,
@@ -366,6 +370,16 @@ ExactSolution solve_exact(const CycleTimeGrid& grid,
   const bool spanned = propagate_tree(grid, out.tree, out.alloc);
   HG_INTERNAL_CHECK(spanned, "winning edge set does not span the grid");
   out.obj2 = obj2_value(out.alloc);
+  // Surface the search counters to an installed metrics registry; the
+  // values are deterministic (independent of the thread count), so they
+  // never perturb a byte-stable snapshot.
+  if (MetricsRegistry* m = installed_metrics()) {
+    m->counter("exact.nodes_visited").add(out.nodes_visited);
+    m->counter("exact.subtrees_pruned").add(out.subtrees_pruned);
+    m->counter("exact.trees_enumerated").add(out.trees_enumerated);
+    m->counter("exact.trees_acceptable").add(out.trees_acceptable);
+    m->counter("exact.solves").add(1);
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/parallel_engine.hpp"
 
 namespace hetgrid {
@@ -112,9 +113,11 @@ void gemm_nn_blocked(double alpha, const ConstMatrixView& a,
                      const ConstMatrixView& b, MatrixView c) {
   const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
   if (m <= kMc && k <= kKc) {
+    metric_count("gemm.tile_calls");
     tile_nn(alpha, a, b, c, 0, m, 0, k, 0, n);
     return;
   }
+  metric_count("gemm.packed_calls");
   // Per-thread pack buffers: allocated once per worker, reused across
   // calls, so the threaded stripes in gemm(..., engine) never share them.
   thread_local std::vector<double> apack(kMc * kKc);
@@ -139,6 +142,9 @@ void gemm_nn_blocked(double alpha, const ConstMatrixView& a,
 void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
           const ConstMatrixView& b, double beta, MatrixView c) {
   check_shapes(trans_a, trans_b, a, b, c);
+  // Call counts depend only on the computation, never on the clock or the
+  // thread count, so recording them keeps metric snapshots byte-stable.
+  metric_count("gemm.calls");
   scale_c(beta, c);
   if (alpha == 0.0) return;
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace hetgrid {
 
 namespace {
@@ -42,10 +44,12 @@ void BlockStore::erase(BlockKey key) {
 Matrix BlockStore::acquire(std::size_t rows, std::size_t cols) {
   auto it = pool_.find(shape_key(rows, cols));
   if (it != pool_.end() && !it->second.empty()) {
+    metric_count("block_store.pool_hits");
     Matrix m = std::move(it->second.back());
     it->second.pop_back();
     return m;
   }
+  metric_count("block_store.pool_misses");
   return Matrix(rows, cols);
 }
 

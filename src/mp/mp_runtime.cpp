@@ -6,9 +6,11 @@
 #include "matrix/cholesky.hpp"
 #include "matrix/gemm.hpp"
 #include "matrix/lu.hpp"
+#include "matrix/qr.hpp"
 #include "matrix/trsm.hpp"
 #include "mp/block_store.hpp"
 #include "mp/virtual_network.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel_engine.hpp"
 
@@ -226,6 +228,17 @@ void gather(MpContext& ctx, MatrixView m, std::size_t which,
 }
 
 constexpr std::size_t kTagA = 0, kTagB = 1, kTagC = 2;
+// QR-only transients: the larft T factor, the unit-lower diagonal V block,
+// per-grid-row partial W accumulators, and the reduced Y = T^T W panels.
+constexpr std::size_t kTagT = 3, kTagV = 4, kTagW = 5, kTagY = 6;
+
+// Element-wise dst += src for the QR W-reduction (runs on the reduction
+// root's task lane, in ascending contributor order, so the summation order
+// is identical for any thread count).
+void add_in_place(const ConstMatrixView& src, MatrixView dst) {
+  for (std::size_t j = 0; j < dst.cols(); ++j)
+    for (std::size_t i = 0; i < dst.rows(); ++i) dst(i, j) += src(i, j);
+}
 
 }  // namespace
 
@@ -234,6 +247,7 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                     MatrixView c, std::size_t block,
                     const KernelCosts& costs, TraceSink* sink,
                     const RuntimeOptions& opts) {
+  ProfScope prof_span("mp.mmm");
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n && b.rows() == n && b.cols() == n &&
                c.rows() == n && c.cols() == n,
@@ -369,6 +383,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                    MatrixView a, std::size_t block,
                    const KernelCosts& costs, bool lookahead,
                    TraceSink* sink, const RuntimeOptions& opts) {
+  ProfScope prof_span("mp.lu");
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_mp_lu needs a square matrix");
   // LU's row/column panels must each live inside one grid row/column for
@@ -537,6 +552,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                          MatrixView a, std::size_t block,
                          const KernelCosts& costs, TraceSink* sink,
                          const RuntimeOptions& opts) {
+  ProfScope prof_span("mp.cholesky");
   const std::size_t n = a.rows();
   HG_CHECK(a.cols() == n, "run_mp_cholesky needs a square matrix");
   HG_CHECK(neighbor_census(dist).aligned,
@@ -651,6 +667,268 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
 
   gather(ctx, a, kTagA, nb, nb);
   return ctx.report();
+}
+
+MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
+                     MatrixView a, std::size_t block,
+                     const KernelCosts& costs, TraceSink* sink,
+                     const RuntimeOptions& opts) {
+  ProfScope prof_span("mp.qr");
+  const std::size_t rows = a.rows(), cols = a.cols();
+  HG_CHECK(rows >= cols, "run_mp_qr needs rows >= cols, got " << rows << "x"
+                                                              << cols);
+  HG_CHECK(neighbor_census(dist).aligned,
+           "run_mp_qr requires an aligned (grid-pattern) distribution");
+  MpContext ctx(machine, dist, block, sink, opts);
+  const std::size_t nbr = block_count(rows, block);
+  const std::size_t nbc = block_count(cols, block);
+  const std::size_t procs = ctx.p * ctx.q;
+
+  scatter(ctx, a, kTagA, nbr, nbc);
+  MpQrReport rep;
+  rep.tau.reserve(cols);
+
+  std::vector<double> col_ready(procs), v_ready(procs), y_ready(procs);
+  std::vector<double> work_acc(procs);
+  std::vector<std::vector<BlockKey>> row_keys(ctx.p), col_keys(ctx.q);
+  std::vector<char> contrib(ctx.p);
+
+  for (std::size_t k = 0; k < nbc; ++k) {
+    ctx.set_step(k);
+    const std::size_t klo = block_lo(k, block);
+    const std::size_t klen = block_len(k, block, cols);
+    const ProcCoord diag = ctx.dist.owner(k, k);
+    const std::size_t diag_id = ctx.pid(diag.row, diag.col);
+    const BlockKey diag_key{kTagA * nbr + k, k};
+    const BlockKey t_key{kTagT * nbr + k, k};
+    const BlockKey v0_key{kTagV * nbr + k, k};
+
+    // Grid rows holding any panel / trailing block row this step. With an
+    // aligned distribution owner(bi, .).row is bj-independent.
+    std::fill(contrib.begin(), contrib.end(), 0);
+    for (std::size_t bi = k; bi < nbr; ++bi)
+      contrib[ctx.dist.owner(bi, k).row] = 1;
+
+    // --- Gather the column panel to the diagonal owner (the panel lives in
+    // grid column diag.col; off-owner blocks take one feeder hop each).
+    double gather_ready = ctx.clock[diag_id];
+    for (std::size_t bi = k; bi < nbr; ++bi) {
+      const std::size_t from = ctx.owner_pid(bi, k);
+      const double arrival = ctx.feeder(from, diag_id,
+                                        BlockKey{kTagA * nbr + bi, k},
+                                        ctx.clock[from]);
+      gather_ready = std::max(gather_ready, arrival);
+    }
+
+    // --- Factor the assembled panel on the host and write the blocks back
+    // into the diagonal owner's copies. All panel arithmetic is serial
+    // host-side math, so the factors are bit-identical for any thread
+    // count.
+    Matrix panel(rows - klo, klen);
+    for (std::size_t bi = k; bi < nbr; ++bi) {
+      const std::size_t ilen = block_len(bi, block, rows);
+      panel.view()
+          .block(block_lo(bi, block) - klo, 0, ilen, klen)
+          .copy_from(ctx.store[diag_id].at(BlockKey{kTagA * nbr + bi, k}));
+    }
+    const QrResult pres = qr_factor(panel.view());
+    rep.tau.insert(rep.tau.end(), pres.tau.begin(), pres.tau.end());
+    double panel_work = 0.0;
+    for (std::size_t bi = k; bi < nbr; ++bi) {
+      const std::size_t ilen = block_len(bi, block, rows);
+      ctx.store[diag_id]
+          .at(BlockKey{kTagA * nbr + bi, k})
+          .copy_from(
+              panel.view().block(block_lo(bi, block) - klo, 0, ilen, klen));
+      panel_work += ctx.cycle_time(diag_id) * costs.qr_factor *
+                    vol_frac(ilen, klen, klen, block);
+    }
+    ctx.compute(diag_id, gather_ready, panel_work, "panel");
+
+    const bool has_trailing = k + 1 < nbc;
+    if (has_trailing) {
+      // larft T factor, kept at the diagonal owner and shipped along grid
+      // row diag.row with the V panel below.
+      Matrix t = qr_form_t(panel.view(), pres.tau);
+      ctx.store[diag_id].put(t_key, std::move(t));
+      ctx.compute(diag_id, 0.0,
+                  ctx.cycle_time(diag_id) * costs.qr_update *
+                      vol_frac(klen, klen, klen, block),
+                  "t-form");
+    }
+
+    // --- Send the factored panel back down the owner grid column (also
+    // restores the owners' blocks, so this runs even at the last step).
+    std::fill(col_ready.begin(), col_ready.end(), 0.0);
+    {
+      std::vector<BlockKey> panel_keys;
+      for (std::size_t bi = k; bi < nbr; ++bi)
+        panel_keys.push_back(BlockKey{kTagA * nbr + bi, k});
+      ctx.ring_broadcast_col(diag.col, diag.row, panel_keys,
+                             ctx.clock[diag_id], col_ready);
+    }
+
+    if (has_trailing) {
+      // --- V panel out along grid rows: each row carries its own blocks;
+      // row diag.row also carries T (needed by the reduction roots).
+      std::fill(v_ready.begin(), v_ready.end(), 0.0);
+      for (auto& v : row_keys) v.clear();
+      for (std::size_t bi = k; bi < nbr; ++bi)
+        row_keys[ctx.dist.owner(bi, k).row].push_back(
+            BlockKey{kTagA * nbr + bi, k});
+      row_keys[diag.row].push_back(t_key);
+      for (std::size_t gi = 0; gi < ctx.p; ++gi) {
+        if (row_keys[gi].empty()) continue;
+        const std::size_t src = ctx.pid(gi, diag.col);
+        ctx.ring_broadcast_row(gi, diag.col, row_keys[gi],
+                               std::max(col_ready[src], ctx.clock[src]),
+                               v_ready);
+      }
+
+      // --- Build the unit-lower diagonal V block at every processor of
+      // grid row diag.row (local postprocessing of the received diagonal
+      // block; off-diagonal panel blocks are already pure V).
+      for (std::size_t gj = 0; gj < ctx.q; ++gj) {
+        const std::size_t id = ctx.pid(diag.row, gj);
+        const ConstMatrixView dv = ctx.store[id].at(diag_key);
+        Matrix v0 = ctx.store[id].acquire(dv.rows(), klen);
+        for (std::size_t j = 0; j < klen; ++j)
+          for (std::size_t i = 0; i < dv.rows(); ++i)
+            v0(i, j) = i > j ? dv(i, j) : (i == j ? 1.0 : 0.0);
+        ctx.store[id].put(v0_key, std::move(v0));
+      }
+
+      // --- Pass 1: partial W = V^T * C per (processor, trailing column),
+      // ascending block row on each owner's lane.
+      std::fill(work_acc.begin(), work_acc.end(), 0.0);
+      for (std::size_t bj = k + 1; bj < nbc; ++bj) {
+        const std::size_t gj = ctx.dist.owner(k, bj).col;
+        const std::size_t jlen = block_len(bj, block, cols);
+        for (std::size_t gi = 0; gi < ctx.p; ++gi) {
+          if (!contrib[gi]) continue;
+          const std::size_t id = ctx.pid(gi, gj);
+          Matrix wbuf = ctx.store[id].acquire(klen, jlen);
+          wbuf.view().fill(0.0);
+          const BlockKey w_key{kTagW * nbr + bj, gi};
+          ctx.store[id].put(w_key, std::move(wbuf));
+          const MatrixView wv = ctx.store[id].at(w_key);
+          for (std::size_t bi = k; bi < nbr; ++bi) {
+            if (ctx.dist.owner(bi, k).row != gi) continue;
+            const std::size_t ilen = block_len(bi, block, rows);
+            const ConstMatrixView vv = ctx.store[id].at(
+                bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k});
+            const ConstMatrixView cv =
+                ctx.store[id].at(BlockKey{kTagA * nbr + bi, bj});
+            ctx.add_task(id, [vv, cv, wv] {
+              gemm(Trans::Yes, Trans::No, 1.0, vv, cv, 1.0, wv);
+            });
+            work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
+                            vol_frac(ilen, jlen, klen, block);
+          }
+        }
+      }
+      for (std::size_t id = 0; id < procs; ++id)
+        if (work_acc[id] > 0.0)
+          ctx.compute(id, v_ready[id], work_acc[id], "w-accumulate");
+      ctx.run_batch();
+
+      // --- Reduce the partials within each grid column to the diag.row
+      // processor and finish Y = T^T * W there. The adds run on the root's
+      // lane in ascending contributor order (fixed summation order).
+      for (std::size_t bj = k + 1; bj < nbc; ++bj) {
+        const std::size_t gj = ctx.dist.owner(k, bj).col;
+        const std::size_t jlen = block_len(bj, block, cols);
+        const std::size_t root = ctx.pid(diag.row, gj);
+        const BlockKey w_root_key{kTagW * nbr + bj, diag.row};
+        const MatrixView w_root = ctx.store[root].at(w_root_key);
+        double reduce_ready = 0.0;
+        for (std::size_t gi = 0; gi < ctx.p; ++gi) {
+          if (!contrib[gi] || gi == diag.row) continue;
+          const std::size_t src = ctx.pid(gi, gj);
+          const BlockKey w_key{kTagW * nbr + bj, gi};
+          const double arrival =
+              ctx.net.transfer(src, root, 1, ctx.clock[src]);
+          ctx.copy_block(src, root, w_key);
+          reduce_ready = std::max(reduce_ready, arrival);
+          const ConstMatrixView pv = ctx.store[root].at(w_key);
+          ctx.add_task(root,
+                       [pv, w_root] { add_in_place(pv, w_root); });
+        }
+        const BlockKey y_key{kTagY * nbr + bj, bj};
+        Matrix ybuf = ctx.store[root].acquire(klen, jlen);
+        ctx.store[root].put(y_key, std::move(ybuf));
+        const MatrixView yv = ctx.store[root].at(y_key);
+        const ConstMatrixView tv = ctx.store[root].at(t_key);
+        const ConstMatrixView wcv = ctx.store[root].at(w_root_key);
+        // beta = 0 overwrites whatever the recycled buffer held.
+        ctx.add_task(root, [tv, wcv, yv] {
+          gemm(Trans::Yes, Trans::No, 1.0, tv, wcv, 0.0, yv);
+        });
+        ctx.compute(root, reduce_ready,
+                    ctx.cycle_time(root) * costs.qr_update *
+                        vol_frac(klen, jlen, klen, block),
+                    "w-reduce");
+      }
+      ctx.run_batch();
+
+      // --- Y back out along each grid column that owns trailing columns.
+      std::fill(y_ready.begin(), y_ready.end(), 0.0);
+      for (auto& v : col_keys) v.clear();
+      for (std::size_t bj = k + 1; bj < nbc; ++bj)
+        col_keys[ctx.dist.owner(k, bj).col].push_back(
+            BlockKey{kTagY * nbr + bj, bj});
+      for (std::size_t gj = 0; gj < ctx.q; ++gj) {
+        if (col_keys[gj].empty()) continue;
+        ctx.ring_broadcast_col(gj, diag.row, col_keys[gj],
+                               ctx.clock[ctx.pid(diag.row, gj)], y_ready);
+      }
+
+      // --- Pass 2: C -= V * Y on every owned trailing block.
+      std::fill(work_acc.begin(), work_acc.end(), 0.0);
+      for (std::size_t id = 0; id < procs; ++id) {
+        for (std::size_t bi = k; bi < nbr; ++bi) {
+          for (std::size_t bj = k + 1; bj < nbc; ++bj) {
+            if (ctx.owner_pid(bi, bj) != id) continue;
+            const std::size_t ilen = block_len(bi, block, rows);
+            const std::size_t jlen = block_len(bj, block, cols);
+            const ConstMatrixView vv = ctx.store[id].at(
+                bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k});
+            const ConstMatrixView yv =
+                ctx.store[id].at(BlockKey{kTagY * nbr + bj, bj});
+            const MatrixView cv =
+                ctx.store[id].at(BlockKey{kTagA * nbr + bi, bj});
+            ctx.add_task(id, [vv, yv, cv] {
+              gemm(Trans::No, Trans::No, -1.0, vv, yv, 1.0, cv);
+            });
+            work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
+                            vol_frac(ilen, jlen, klen, block);
+          }
+        }
+        if (work_acc[id] > 0.0)
+          ctx.compute(id, std::max(v_ready[id], y_ready[id]), work_acc[id],
+                      "update");
+      }
+      ctx.run_batch();
+    }
+
+    // --- Drop this step's transients (erase is a no-op on absent keys).
+    for (std::size_t id = 0; id < procs; ++id) {
+      for (std::size_t bi = k; bi < nbr; ++bi)
+        if (ctx.owner_pid(bi, k) != id)
+          ctx.store[id].erase(BlockKey{kTagA * nbr + bi, k});
+      ctx.store[id].erase(t_key);
+      ctx.store[id].erase(v0_key);
+      for (std::size_t bj = k + 1; bj < nbc; ++bj) {
+        for (std::size_t gi = 0; gi < ctx.p; ++gi)
+          ctx.store[id].erase(BlockKey{kTagW * nbr + bj, gi});
+        ctx.store[id].erase(BlockKey{kTagY * nbr + bj, bj});
+      }
+    }
+  }
+
+  gather(ctx, a, kTagA, nbr, nbc);
+  static_cast<MpReport&>(rep) = ctx.report();
+  return rep;
 }
 
 }  // namespace hetgrid

@@ -37,6 +37,10 @@ struct MpReport {
   double average_utilization() const;
 };
 
+struct MpQrReport : MpReport {
+  std::vector<double> tau;  // reflector scales, panel-major like qr_factor
+};
+
 /// Distributed-memory C = A * B (outer-product algorithm) with square
 /// blocks of `block` elements. A and B are scattered to their owners, the
 /// per-step panels travel by ring broadcasts, and the owned C blocks are
@@ -80,5 +84,20 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
                          const KernelCosts& costs = {},
                          TraceSink* sink = nullptr,
                          const RuntimeOptions& opts = {});
+
+/// Distributed-memory compact-WY Householder QR (rows >= cols). Per panel:
+/// the column panel is gathered to the diagonal owner and factored there,
+/// the factored V panel (plus the larft T factor) travels back down the
+/// owner grid column and out along grid rows, each processor accumulates
+/// its partial W = V^T * C which is tree-reduced within the grid column to
+/// Y = T^T * W, and Y rides a column ring back out for the C -= V * Y
+/// update. On return `a` holds R in its upper triangle and the Householder
+/// vectors below, exactly like qr_factor; the tau vector is in the report.
+/// Requires an aligned distribution (same condition as LU / Cholesky).
+MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
+                     MatrixView a, std::size_t block,
+                     const KernelCosts& costs = {},
+                     TraceSink* sink = nullptr,
+                     const RuntimeOptions& opts = {});
 
 }  // namespace hetgrid

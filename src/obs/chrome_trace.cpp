@@ -29,22 +29,7 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-namespace {
-
-// Fixed-point microseconds with trailing zeros trimmed, so the output is
-// deterministic across platforms (no locale, no %g surprises).
-std::string format_us(double seconds) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", seconds * 1e6);
-  std::string s(buf);
-  const std::size_t dot = s.find('.');
-  std::size_t last = s.find_last_not_of('0');
-  if (last == dot) last -= 1;
-  s.erase(last + 1);
-  return s;
-}
-
-std::string format_num(double v) {
+std::string format_compact(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6f", v);
   std::string s(buf);
@@ -54,6 +39,13 @@ std::string format_num(double v) {
   s.erase(last + 1);
   return s;
 }
+
+namespace {
+
+// Microseconds, the Chrome trace format's native unit.
+std::string format_us(double seconds) { return format_compact(seconds * 1e6); }
+
+std::string format_num(double v) { return format_compact(v); }
 
 void write_metadata(std::ostream& os, std::size_t tid,
                     const std::string& name, bool first) {

@@ -34,4 +34,10 @@ void write_chrome_trace(std::ostream& os,
 /// exporter; exposed for tests.
 std::string json_escape(const std::string& s);
 
+/// Fixed-point "%.6f" with trailing zeros (and a bare trailing dot)
+/// trimmed: deterministic across platforms and locales. This is the
+/// byte-stable number format shared by the trace exporter and the metrics
+/// snapshot writer (obs/metrics).
+std::string format_compact(double v);
+
 }  // namespace hetgrid

@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "obs/chrome_trace.hpp"
+
+namespace hetgrid {
+
+namespace obs_detail {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+}  // namespace obs_detail
+
+namespace {
+
+// Atomic add / max for doubles via CAS (C++20 fetch_add on atomic<double>
+// is not universally lock-free yet).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Bucket index for value v: smallest e with v <= 2^e, clamped to the
+// histogram's range. frexp(v) = f * 2^e with f in [0.5, 1), so e is the
+// exponent of the enclosing power of two (exact powers land in their own
+// bucket because f == 0.5 yields e one higher than needed — corrected by
+// the f == 0.5 test).
+std::size_t bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // zeros and negatives land in bucket 0
+  int e = 0;
+  const double f = std::frexp(v, &e);
+  if (f == 0.5) e -= 1;  // exact power of two: v == 2^(e-1)
+  e = std::max(Histogram::kMinExp, std::min(Histogram::kMaxExp, e));
+  return static_cast<std::size_t>(e - Histogram::kMinExp);
+}
+
+double bucket_edge(std::size_t idx) {
+  return std::ldexp(1.0, static_cast<int>(idx) + Histogram::kMinExp);
+}
+
+}  // namespace
+
+void Gauge::set(double v) {
+  last_.store(v, std::memory_order_relaxed);
+  atomic_max(max_, v);
+}
+
+void Histogram::record(double v) {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double want = q * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) return bucket_edge(i);
+  }
+  return bucket_edge(kBuckets - 1);
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c > 0) out.emplace_back(bucket_edge(i), c);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"metrics\":[";
+  bool first = true;
+  // The three maps are each name-sorted; merge them into one name-sorted
+  // stream so the snapshot layout is independent of metric kinds.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  auto hi = histograms_.begin();
+  auto emit_sep = [&] {
+    os << (first ? "\n" : ",\n") << "  ";
+    first = false;
+  };
+  while (ci != counters_.end() || gi != gauges_.end() ||
+         hi != histograms_.end()) {
+    // Smallest pending name across the three maps.
+    const std::string* next = nullptr;
+    if (ci != counters_.end()) next = &ci->first;
+    if (gi != gauges_.end() && (next == nullptr || gi->first < *next))
+      next = &gi->first;
+    if (hi != histograms_.end() && (next == nullptr || hi->first < *next))
+      next = &hi->first;
+    if (ci != counters_.end() && ci->first == *next) {
+      emit_sep();
+      os << "{\"name\":\"" << json_escape(ci->first)
+         << "\",\"type\":\"counter\",\"value\":"
+         << std::to_string(ci->second->value()) << "}";
+      ++ci;
+    } else if (gi != gauges_.end() && gi->first == *next) {
+      emit_sep();
+      os << "{\"name\":\"" << json_escape(gi->first)
+         << "\",\"type\":\"gauge\",\"last\":"
+         << format_compact(gi->second->last())
+         << ",\"max\":" << format_compact(gi->second->max()) << "}";
+      ++gi;
+    } else {
+      emit_sep();
+      const Histogram& h = *hi->second;
+      os << "{\"name\":\"" << json_escape(hi->first)
+         << "\",\"type\":\"histogram\",\"count\":"
+         << std::to_string(h.count())
+         << ",\"sum\":" << format_compact(h.sum())
+         << ",\"p50\":" << format_compact(h.quantile(0.50))
+         << ",\"p95\":" << format_compact(h.quantile(0.95))
+         << ",\"p99\":" << format_compact(h.quantile(0.99))
+         << ",\"buckets\":[";
+      bool bfirst = true;
+      for (const auto& [edge, cnt] : h.buckets()) {
+        os << (bfirst ? "" : ",") << "{\"le\":" << format_compact(edge)
+           << ",\"count\":" << std::to_string(cnt) << "}";
+        bfirst = false;
+      }
+      os << "]}";
+      ++hi;
+    }
+  }
+  os << "\n]}\n";
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+MetricsRegistry* install_metrics(MetricsRegistry* m) {
+  return obs_detail::g_metrics.exchange(m, std::memory_order_acq_rel);
+}
+
+}  // namespace hetgrid

@@ -1,5 +1,10 @@
 #include "util/parallel_engine.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
 namespace hetgrid {
 
 ParallelEngine::ParallelEngine(unsigned threads)
@@ -9,20 +14,40 @@ ParallelEngine::ParallelEngine(unsigned threads)
 
 void ParallelEngine::run_groups(
     std::vector<std::vector<std::function<void()>>>& groups) {
+  // Batch sizes are properties of the computation (not of the clock), so
+  // they are recorded on the serial path too — a --threads=1 metrics
+  // snapshot stays byte-stable. Flush *durations* are wall clock and are
+  // recorded only when the pool actually runs.
+  MetricsRegistry* metrics = installed_metrics();
+  if (metrics != nullptr) {
+    std::size_t ops = 0;
+    for (const auto& group : groups) ops += group.size();
+    metrics->histogram("engine.batch_ops").record(static_cast<double>(ops));
+  }
   if (pool_ == nullptr) {
     for (auto& group : groups)
       for (auto& op : group) op();
     return;
   }
-  for (auto& group : groups) {
-    if (group.empty()) continue;
-    // The group vector outlives wait_idle() below, so capturing a
-    // reference is safe; submit()'s queue mutex publishes the ops.
-    pool_->submit([&group] {
-      for (auto& op : group) op();
-    });
+  std::chrono::steady_clock::time_point t0;
+  if (metrics != nullptr) t0 = std::chrono::steady_clock::now();
+  {
+    ProfScope span("engine.flush");
+    for (auto& group : groups) {
+      if (group.empty()) continue;
+      // The group vector outlives wait_idle() below, so capturing a
+      // reference is safe; submit()'s queue mutex publishes the ops.
+      pool_->submit([&group] {
+        for (auto& op : group) op();
+      });
+    }
+    pool_->wait_idle();
   }
-  pool_->wait_idle();
+  if (metrics != nullptr)
+    metrics->histogram("engine.flush_us")
+        .record(std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
 }
 
 void ParallelEngine::run_indexed(
@@ -31,6 +56,7 @@ void ParallelEngine::run_indexed(
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  ProfScope span("engine.flush");
   for (std::size_t i = 0; i < n; ++i)
     pool_->submit([&fn, i] { fn(i); });
   pool_->wait_idle();

@@ -1,16 +1,30 @@
 #include "util/thread_pool.hpp"
 
+#include <cstdio>
+#include <exception>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace hetgrid {
+
+namespace {
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   HG_CHECK(threads >= 1, "ThreadPool needs at least one worker");
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,12 +37,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  MetricsRegistry* metrics = installed_metrics();
+  Item item;
+  item.fn = std::move(task);
+  if (metrics != nullptr) {
+    item.enqueued = std::chrono::steady_clock::now();
+    item.timed = true;
+  }
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     HG_CHECK(!stop_, "submit on a stopping ThreadPool");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
+    depth = queue_.size() + in_flight_;
   }
   cv_work_.notify_one();
+  if (metrics != nullptr) {
+    metrics->counter("pool.tasks_submitted").add(1);
+    metrics->gauge("pool.queue_depth").set(static_cast<double>(depth));
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -42,18 +69,48 @@ unsigned ThreadPool::resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  prof_set_thread_name("worker-" + std::to_string(index));
   for (;;) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
-    task();  // noexcept by contract; an escaping exception terminates
+    MetricsRegistry* metrics = installed_metrics();
+    std::chrono::steady_clock::time_point run_start;
+    if (metrics != nullptr) {
+      run_start = std::chrono::steady_clock::now();
+      if (item.timed)
+        metrics->histogram("pool.task_wait_us")
+            .record(us_between(item.enqueued, run_start));
+    }
+    {
+      ProfScope span("pool.task");
+      // Non-throwing contract: deliver a named diagnostic instead of the
+      // anonymous terminate an escaping exception would otherwise cause.
+      try {
+        item.fn();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "hetgrid: fatal: ThreadPool task threw an exception "
+                     "(tasks are noexcept by contract): %s\n",
+                     e.what());
+        std::terminate();
+      } catch (...) {
+        std::fprintf(stderr,
+                     "hetgrid: fatal: ThreadPool task threw a non-standard "
+                     "exception (tasks are noexcept by contract)\n");
+        std::terminate();
+      }
+    }
+    if (metrics != nullptr)
+      metrics->histogram("pool.task_run_us")
+          .record(us_between(run_start, std::chrono::steady_clock::now()));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

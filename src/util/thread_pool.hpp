@@ -1,11 +1,23 @@
 // A small fixed-size worker pool for CPU-bound fan-out (the parallel exact
-// solver's prefix tasks). Tasks are plain std::function<void()>; submit() is
-// thread-safe, wait_idle() blocks until every submitted task has finished,
-// and the pool is reusable across wait_idle() rounds. Tasks must not throw:
-// an escaping exception terminates the process (there is nowhere sensible
-// to deliver it).
+// solver's prefix tasks, the parallel numerics engine). Tasks are plain
+// std::function<void()>; submit() is thread-safe, wait_idle() blocks until
+// every submitted task has finished, and the pool is reusable across
+// wait_idle() rounds.
+//
+// Non-throwing contract: tasks must not throw. A task that lets an
+// exception escape terminates the process, after printing a named
+// "hetgrid: fatal: ThreadPool task threw ..." diagnostic to stderr —
+// there is nowhere sensible to deliver the exception (the submitter may
+// be gone, and half-finished sibling tasks cannot be unwound).
+//
+// Observability: when a metrics registry is installed (obs/metrics), the
+// pool records a queue-depth gauge, task wait/run latency histograms, and
+// a submitted-task counter; when a profiler is running (obs/profiler),
+// each task executes inside a "pool.task" span on a "worker-<i>" lane.
+// With nothing installed the instrumentation is a pointer test.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -42,12 +54,18 @@ class ThreadPool {
   static unsigned resolve_threads(unsigned requested);
 
  private:
-  void worker_loop();
+  struct Item {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;  // enqueued stamp taken (metrics were installed)
+  };
+
+  void worker_loop(unsigned index);
 
   std::mutex mu_;
   std::condition_variable cv_work_;  // signalled on submit and shutdown
   std::condition_variable cv_idle_;  // signalled when a task finishes
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   std::size_t in_flight_ = 0;  // tasks popped but not yet finished
   bool stop_ = false;
   std::vector<std::thread> workers_;

@@ -9,6 +9,7 @@
 #include "matrix/gemm.hpp"
 #include "matrix/lu.hpp"
 #include "matrix/norms.hpp"
+#include "matrix/qr.hpp"
 #include "mp/block_store.hpp"
 #include "mp/mp_runtime.hpp"
 #include "mp/virtual_network.hpp"
@@ -311,6 +312,114 @@ TEST(MpCholesky, MovesFewerBlocksThanLu) {
   const MpReport lu = run_mp_lu(m, d, a_lu.view(), block);
   const MpReport ch = run_mp_cholesky(m, d, a_ch.view(), block);
   EXPECT_LT(ch.blocks_moved, lu.blocks_moved);
+}
+
+// ----------------------------------------------------- MP QR
+
+// Rebuilds Q * R from the packed factored form + tau and compares it to
+// the original matrix.
+double qr_reconstruction_error(const Matrix& orig, const Matrix& factored,
+                               const std::vector<double>& tau) {
+  const std::size_t rows = orig.rows(), cols = orig.cols();
+  const Matrix qmat = qr_form_q(factored.view(), tau);
+  Matrix r(cols, cols, 0.0);
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i <= j; ++i) r(i, j) = factored.view()(i, j);
+  Matrix prod(rows, cols, 0.0);
+  gemm_reference(Trans::No, Trans::No, 1.0, qmat.view(), r.view(), 0.0,
+                 prod.view());
+  return max_abs_diff(prod.view(), orig.view()) / norm_max(orig.view());
+}
+
+TEST(MpQr, ReconstructsOriginalSquareMatrix) {
+  const std::size_t n = 24, block = 4;
+  Rng rng(61);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kSwitched, 1e-4, 2e-4, true}};
+  const MpQrReport rep = run_mp_qr(m, d, a.view(), block);
+  ASSERT_EQ(rep.tau.size(), n);
+  EXPECT_LT(qr_reconstruction_error(orig, a, rep.tau), 1e-11);
+  EXPECT_GT(rep.messages, 0u);
+  EXPECT_GT(rep.makespan, 0.0);
+}
+
+TEST(MpQr, ReconstructsTallMatrix) {
+  const std::size_t rows = 32, cols = 16, block = 4;
+  Rng rng(62);
+  Matrix orig(rows, cols);
+  fill_random(orig.view(), rng);
+  Matrix a(rows, cols);
+  a.view().copy_from(orig.view());
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, NetworkModel::free()};
+  const MpQrReport rep = run_mp_qr(m, d, a.view(), block);
+  ASSERT_EQ(rep.tau.size(), cols);
+  EXPECT_LT(qr_reconstruction_error(orig, a, rep.tau), 1e-11);
+}
+
+TEST(MpQr, HeterogeneousPanelDistribution) {
+  const std::size_t n = 48, block = 6;
+  Rng rng(63);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);
+  Matrix a(n, n);
+  a.view().copy_from(orig.view());
+
+  const HeuristicResult h = solve_heuristic(2, 2, {1, 2, 3, 5});
+  const PanelDistribution d = PanelDistribution::from_allocation(
+      h.final().grid, h.final().alloc, 8, 8, PanelOrder::kContiguous,
+      PanelOrder::kInterleaved, "het-qr");
+  const Machine m{h.final().grid, NetworkModel::free()};
+  const MpQrReport rep = run_mp_qr(m, d, a.view(), block);
+  EXPECT_LT(qr_reconstruction_error(orig, a, rep.tau), 1e-11);
+}
+
+TEST(MpQr, BitIdenticalAcrossThreadCounts) {
+  const std::size_t n = 24, block = 4;
+  Rng rng(64);
+  Matrix orig(n, n);
+  fill_random(orig.view(), rng);
+  Matrix a1(n, n), a2(n, n);
+  a1.view().copy_from(orig.view());
+  a2.view().copy_from(orig.view());
+
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 6});
+  const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+  const Machine m{g, {Topology::kSwitched, 1e-4, 2e-4, true}};
+  RuntimeOptions serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 3;
+  const MpQrReport r1 =
+      run_mp_qr(m, d, a1.view(), block, KernelCosts{}, nullptr, serial);
+  const MpQrReport r2 =
+      run_mp_qr(m, d, a2.view(), block, KernelCosts{}, nullptr, pooled);
+  EXPECT_EQ(r1.tau, r2.tau);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(max_abs_diff(a1.view(), a2.view()), 0.0);
+}
+
+TEST(MpQr, RejectsMisalignedDistribution) {
+  const CycleTimeGrid g(2, 2, {1, 2, 3, 5});
+  const KalinovLastovetskyDistribution kl(g, {4, 7}, 61);
+  Matrix a(8, 8, 1.0);
+  const Machine m{g, NetworkModel::free()};
+  EXPECT_THROW(run_mp_qr(m, kl, a.view(), 2), PreconditionError);
+}
+
+TEST(MpQr, RejectsWideMatrix) {
+  const CycleTimeGrid g(1, 1, {1.0});
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  Matrix a(4, 8, 1.0);
+  const Machine m{g, NetworkModel::free()};
+  EXPECT_THROW(run_mp_qr(m, d, a.view(), 2), PreconditionError);
 }
 
 // ----------------------------------------------------- pipelining

@@ -4,6 +4,7 @@
 // bulk-synchronous simulator and the message-passing runtime.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "dist/panel_distribution.hpp"
@@ -175,6 +176,43 @@ TEST(ChromeTrace, GoldenOutputForATinyTrace) {
       "\"blocks\":3,\"peer\":1}}\n"
       "]}\n";
   EXPECT_EQ(os.str(), expected);
+}
+
+// The exporter's byte format is a contract: downstream tooling (and the
+// bench_compare regression gate's JSON parser) depend on it never drifting.
+// The event list below exercises every kind — compute, send, recv,
+// broadcast, idle, a machine-lane phase — plus name escaping and the
+// compact number format; the expected bytes are checked in under
+// tests/golden/. Regenerate the golden file only for a deliberate format
+// change, never to silence this test.
+std::vector<TraceEvent> golden_trace_events() {
+  std::vector<TraceEvent> ev;
+  ev.push_back({TraceEventKind::kComputeBlock, 0, 0.0, 1.5, 0, 0.0,
+                kNoPeer, "panel"});
+  ev.push_back({TraceEventKind::kSend, 0, 1.5, 0.25, 0, 2.5, 1, "send"});
+  ev.push_back({TraceEventKind::kRecv, 1, 1.5, 0.25, 0, 2.5, 0, "recv"});
+  ev.push_back({TraceEventKind::kBroadcast, 1, 1.75, 0.5, 1, 1.0,
+                kNoPeer, "l-bcast"});
+  ev.push_back({TraceEventKind::kComputeBlock, 1, 2.25, 1.0, 1, 0.0,
+                kNoPeer, "update \"trailing\""});
+  ev.push_back({TraceEventKind::kPhase, kMachineLane, 0.0, 3.25, 1, 0.0,
+                kNoPeer, "step 1"});
+  ev.push_back({TraceEventKind::kIdle, 1, 0.0, 1.5, 0, 0.0, kNoPeer, "idle"});
+  return ev;
+}
+
+TEST(ChromeTrace, GoldenFileBytesAreStable) {
+  std::ostringstream os;
+  const double cycle_times[2] = {1.0, 2.5};
+  write_chrome_trace(os, golden_trace_events(), 2,
+                     proc_lane_labels(1, 2, cycle_times));
+  std::ifstream is(
+      std::string(HETGRID_TEST_DIR) + "/golden/chrome_trace_small.json",
+      std::ios::binary);
+  ASSERT_TRUE(is.good()) << "golden file missing";
+  std::ostringstream want;
+  want << is.rdbuf();
+  EXPECT_EQ(os.str(), want.str());
 }
 
 TEST(ChromeTrace, EscapesControlAndQuoteCharacters) {

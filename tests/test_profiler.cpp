@@ -1,0 +1,245 @@
+// Tests for the wall-clock observability layer (src/obs/profiler,
+// src/obs/metrics): registry semantics, the byte-stable JSON snapshot,
+// profiler lane merging, and the two contracts the CLI's --profile mode
+// depends on — attaching the instrumentation changes no computed result,
+// and a --threads=1 metrics snapshot is identical across repeated runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/exact_solver.hpp"
+#include "dist/panel_distribution.hpp"
+#include "matrix/lu.hpp"
+#include "matrix/matrix.hpp"
+#include "mp/mp_runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hetgrid {
+namespace {
+
+// Bit-exact double comparison: EXPECT_EQ on doubles would also pass for
+// -0.0 vs 0.0 and fail to distinguish NaN payloads.
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+// Installs a registry for the enclosing scope and uninstalls it on exit,
+// even when an EXPECT fails out of the test body.
+struct ScopedMetrics {
+  MetricsRegistry registry;
+  ScopedMetrics() { install_metrics(&registry); }
+  ~ScopedMetrics() { install_metrics(nullptr); }
+};
+
+// ----------------------------------------------------- metrics registry
+
+TEST(Metrics, CountersGaugesAndHistogramsAccumulate) {
+  MetricsRegistry m;
+  m.counter("c").add();
+  m.counter("c").add(4);
+  EXPECT_EQ(m.counter("c").value(), 5u);
+
+  m.gauge("g").set(2.0);
+  m.gauge("g").set(0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("g").last(), 0.5);
+  EXPECT_DOUBLE_EQ(m.gauge("g").max(), 2.0);
+
+  Histogram& h = m.histogram("h");
+  h.record(1.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.0);
+}
+
+TEST(Metrics, QuantilesReportBucketUpperEdges) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(1.0);  // bucket edge 2^0 = 1
+  for (int i = 0; i < 50; ++i) h.record(3.0);  // bucket edge 2^2 = 4
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);   // rank clamps to 1
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Histogram().quantile(0.5), 0.0);  // empty
+}
+
+TEST(Metrics, SnapshotJsonBytesAreDeterministic) {
+  MetricsRegistry m;
+  m.counter("a.count").add(3);
+  m.gauge("b.depth").set(2.0);
+  m.gauge("b.depth").set(1.5);
+  m.histogram("c.lat").record(1.0);
+  m.histogram("c.lat").record(3.0);
+  const std::string expected =
+      "{\"metrics\":[\n"
+      "  {\"name\":\"a.count\",\"type\":\"counter\",\"value\":3},\n"
+      "  {\"name\":\"b.depth\",\"type\":\"gauge\",\"last\":1.5,\"max\":2},\n"
+      "  {\"name\":\"c.lat\",\"type\":\"histogram\",\"count\":2,\"sum\":4,"
+      "\"p50\":1,\"p95\":4,\"p99\":4,\"buckets\":"
+      "[{\"le\":1,\"count\":1},{\"le\":4,\"count\":1}]}\n"
+      "]}\n";
+  EXPECT_EQ(m.snapshot_json(), expected);
+  EXPECT_EQ(m.snapshot_json(), m.snapshot_json());
+}
+
+TEST(Metrics, HelpersAreNoOpsWithNothingInstalled) {
+  ASSERT_EQ(installed_metrics(), nullptr);
+  metric_count("nobody.listens");
+  metric_gauge("nobody.listens", 1.0);
+  metric_record("nobody.listens", 1.0);
+  SUCCEED();
+}
+
+TEST(Metrics, ConcurrentUpdatesThroughTheHelpersAreLossless) {
+  ScopedMetrics scoped;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 400; ++i)
+      pool.submit([] {
+        metric_count("t.count");
+        metric_record("t.hist", 2.0);
+      });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(scoped.registry.counter("t.count").value(), 400u);
+  EXPECT_EQ(scoped.registry.histogram("t.hist").count(), 400u);
+  EXPECT_DOUBLE_EQ(scoped.registry.histogram("t.hist").sum(), 800.0);
+  // The pool itself reports under a registry too.
+  EXPECT_GE(scoped.registry.counter("pool.tasks_submitted").value(), 400u);
+}
+
+// ----------------------------------------------------- profiler
+
+TEST(ProfilerTest, ScopesWithoutARunningProfilerAreSafe) {
+  ASSERT_EQ(installed_profiler(), nullptr);
+  { ProfScope scope("orphan"); }
+  prof_set_thread_name("still-no-profiler");
+  SUCCEED();
+}
+
+TEST(ProfilerTest, MergesMainAndWorkerLanesAndRanksHotspots) {
+  Profiler prof;
+  prof.start();
+  EXPECT_EQ(installed_profiler(), &prof);
+  { ProfScope scope("unit.main"); }
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i)
+      pool.submit([] { ProfScope scope("unit.work"); });
+    pool.wait_idle();
+  }
+  prof.stop();
+  EXPECT_EQ(installed_profiler(), nullptr);
+
+  ASSERT_GE(prof.lanes(), 2u);
+  EXPECT_EQ(prof.lane_names()[0], "main");
+  bool has_worker = false;
+  for (const std::string& lane : prof.lane_names())
+    has_worker = has_worker || lane.rfind("worker-", 0) == 0;
+  EXPECT_TRUE(has_worker);
+
+  EXPECT_GT(prof.total_seconds(), 0.0);
+  EXPECT_GT(prof.span_seconds("unit.main"), 0.0);
+  EXPECT_GT(prof.span_seconds("unit.work"), 0.0);
+  // The pool wraps every task in its own span.
+  EXPECT_GT(prof.span_seconds("pool.task"), 0.0);
+
+  std::ostringstream table;
+  prof.hotspot_table(3).print(table);
+  EXPECT_NE(table.str().find("hotspots"), std::string::npos);
+  EXPECT_NE(table.str().find("pool.task"), std::string::npos);
+
+  std::ostringstream chrome;
+  prof.write_chrome(chrome);
+  EXPECT_NE(chrome.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.str().find("unit.work"), std::string::npos);
+  EXPECT_EQ(chrome.str().substr(chrome.str().size() - 3), "]}\n");
+}
+
+TEST(ProfilerTest, RestartsCleanlyAfterStop) {
+  Profiler prof;
+  prof.start();
+  { ProfScope scope("round.one"); }
+  prof.stop();
+  const std::size_t first_lanes = prof.lanes();
+  prof.start();
+  { ProfScope scope("round.two"); }
+  prof.stop();
+  EXPECT_GE(prof.lanes(), 1u);
+  EXPECT_LE(prof.lanes(), first_lanes);
+  EXPECT_GT(prof.span_seconds("round.two"), 0.0);
+  EXPECT_DOUBLE_EQ(prof.span_seconds("round.one"), 0.0);  // not carried over
+}
+
+// ------------------------------------- observation changes no result
+
+TEST(ProfilerTest, AttachingInstrumentationDoesNotChangeTheExactSolver) {
+  Rng rng(21);
+  const CycleTimeGrid grid(3, 3, rng.cycle_times(9, 0.25));
+  ExactSolverOptions opts;
+  opts.threads = 2;
+  const ExactSolution plain = solve_exact(grid, opts);
+
+  Profiler prof;
+  prof.start();
+  ScopedMetrics scoped;
+  const ExactSolution observed = solve_exact(grid, opts);
+  install_metrics(nullptr);
+  prof.stop();
+
+  EXPECT_EQ(bits(plain.obj2), bits(observed.obj2));
+  ASSERT_EQ(plain.alloc.r.size(), observed.alloc.r.size());
+  for (std::size_t i = 0; i < plain.alloc.r.size(); ++i)
+    EXPECT_EQ(bits(plain.alloc.r[i]), bits(observed.alloc.r[i]));
+  for (std::size_t j = 0; j < plain.alloc.c.size(); ++j)
+    EXPECT_EQ(bits(plain.alloc.c[j]), bits(observed.alloc.c[j]));
+  EXPECT_EQ(plain.nodes_visited, observed.nodes_visited);
+  EXPECT_EQ(plain.trees_enumerated, observed.trees_enumerated);
+
+  // ... and the run showed up in both sinks.
+  EXPECT_GT(prof.span_seconds("exact.solve"), 0.0);
+  EXPECT_EQ(scoped.registry.counter("exact.solves").value(), 1u);
+  EXPECT_EQ(scoped.registry.counter("exact.nodes_visited").value(),
+            observed.nodes_visited);
+}
+
+TEST(ProfilerTest, SerialMetricsSnapshotIsByteStableAcrossRuns) {
+  // The determinism contract from doc/observability.md: with --threads=1
+  // every recorded metric derives from the computation, never from wall
+  // time, so two identical runs must produce identical snapshot bytes.
+  const auto run_once = [] {
+    Rng rng(31);
+    const CycleTimeGrid g(2, 2, rng.cycle_times(4, 0.1));
+    const PanelDistribution d = PanelDistribution::block_cyclic(2, 2);
+    const NetworkModel net{Topology::kSwitched, 1e-3, 1e-3, true};
+    const std::size_t block = 4, nb = 6, n = block * nb;
+    Matrix a(n, n);
+    fill_diagonally_dominant(a.view(), rng);
+    ScopedMetrics scoped;
+    const MpReport rep = run_mp_lu(Machine{g, net}, d, a.view(), block,
+                                   KernelCosts{}, false, nullptr,
+                                   RuntimeOptions{1});
+    HG_CHECK(rep.factorized, "LU failed in metrics stability test");
+    return scoped.registry.snapshot_json();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"gemm.calls\""), std::string::npos);
+  EXPECT_NE(first.find("\"block_store.pool_hits\""), std::string::npos);
+  // Wall-clock metrics must be absent on the serial path.
+  EXPECT_EQ(first.find("task_run_us"), std::string::npos);
+  EXPECT_EQ(first.find("flush_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetgrid

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -76,6 +77,20 @@ TEST(ThreadPool, WaitIdleWithEmptyQueueReturnsImmediately) {
   ThreadPool pool(1);
   pool.wait_idle();  // must not deadlock
   SUCCEED();
+}
+
+TEST(ThreadPoolDeathTest, TaskThatThrowsTerminatesWithANamedMessage) {
+  // The pool's contract is that tasks are noexcept; a task that throws
+  // must terminate the process with a diagnostic naming the pool, not
+  // die in std::thread's anonymous std::terminate.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.submit([] { throw std::runtime_error("task boom"); });
+        pool.wait_idle();
+      },
+      "ThreadPool task threw");
 }
 
 TEST(ThreadPool, ManyProducersOneSink) {

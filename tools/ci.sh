@@ -24,12 +24,36 @@ ctest --test-dir build-ci --output-on-failure -j "$NPROC"
 # bit-for-bit, so this doubles as an end-to-end determinism check.
 build-ci/bench/bench_runtime_scaling --smoke=1 --json=build-ci/BENCH_runtime_smoke.json
 
+# Regression gate: the bench output must match the committed schema, a
+# self-compare must pass, and an injected +50% slowdown must make the gate
+# fail — proving it would actually catch a regression.
+build-ci/bench/bench_compare --check-schema=build-ci/BENCH_runtime_smoke.json \
+      --schema=bench/baselines/bench_runtime_schema.json
+build-ci/bench/bench_compare --base=build-ci/BENCH_runtime_smoke.json \
+      --new=build-ci/BENCH_runtime_smoke.json
+if build-ci/bench/bench_compare --base=build-ci/BENCH_runtime_smoke.json \
+      --new=build-ci/BENCH_runtime_smoke.json --inject=1.5 --threshold=0.2 \
+      2>/dev/null; then
+  echo "bench_compare failed to flag an injected regression" >&2
+  exit 1
+fi
+
+# Profiler smoke: instrumented reruns of the exact solver and the MP LU
+# runtime must be bit-identical to plain runs, metrics snapshots must be
+# byte-stable, and worker lanes must appear in the profile.
+build-ci/tools/hetgrid profile --smoke=1 --out=build-ci/profile_smoke.json
+
+# MP QR trace smoke: the distributed QR path produces a non-empty trace.
+build-ci/tools/hetgrid trace --times=1,2,3,6 --p=2 --q=2 --kernel=qr \
+      --backend=mp --nb=4 --block=4 \
+      --out=build-ci/trace_qr_smoke.json >/dev/null
+
 # TSan pass: only the tests that actually exercise threads (mirrors the
 # "tsan" preset in CMakePresets.json).
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$NPROC" \
-      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel
+      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler
 ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
-      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel)$'
+      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler)$'

@@ -22,6 +22,15 @@
 //             --threads parallelizes the mp backend's real block math
 //             (0 = all hardware threads); trace and numerics are
 //             bit-identical for any thread count.
+//   profile   --times=... --p=2 --q=2 [--out=profile.json]
+//             [--metrics=metrics.json] [--threads=1] [--smoke=0]
+//             run a representative workload (exact solve + mp LU) under
+//             the wall-clock profiler and metrics registry; --smoke runs
+//             the determinism self-checks instead (bit-identical results
+//             with the profiler attached, byte-stable metrics snapshots).
+//
+// solve and trace also take [--profile=prof.json] [--metrics=metrics.json]
+// to attach the wall-clock profiler / metrics registry to that run.
 //
 // Everything prints aligned tables; add --csv for machine-readable copies.
 #include <fstream>
@@ -61,11 +70,43 @@ void print_allocation(const CycleTimeGrid& grid, const GridAllocation& alloc,
      << Table::num(average_workload(grid, alloc), 4) << '\n';
 }
 
-int cmd_solve(int argc, const char* const* argv) {
-  const Cli cli(argc, argv,
-                {{"times", ""}, {"p", "0"}, {"q", "0"},
-                 {"solver", "auto"}, {"csv", "0"},
-                 {"threads", "1"}, {"max-trees", "50000000"}});
+// Attaches the wall-clock profiler and/or a metrics registry to the scope
+// between begin() and end(); either path may be empty (that side is then a
+// no-op and the run is indistinguishable from an uninstrumented one).
+struct ProfileSession {
+  std::string profile_path, metrics_path;
+  Profiler profiler;
+  MetricsRegistry metrics;
+
+  ProfileSession(std::string profile, std::string metric_out)
+      : profile_path(std::move(profile)), metrics_path(std::move(metric_out)) {}
+
+  void begin() {
+    if (!metrics_path.empty()) install_metrics(&metrics);
+    if (!profile_path.empty()) profiler.start();
+  }
+
+  void end(std::ostream& os) {
+    if (!profile_path.empty()) {
+      profiler.stop();
+      std::ofstream f(profile_path);
+      HG_CHECK(f.good(), "cannot open --profile file: " << profile_path);
+      profiler.write_chrome(f);
+      profiler.hotspot_table().print(os);
+      os << "wrote " << profiler.lanes() << "-lane profile to "
+         << profile_path << '\n';
+    }
+    if (!metrics_path.empty()) {
+      install_metrics(nullptr);
+      std::ofstream f(metrics_path);
+      HG_CHECK(f.good(), "cannot open --metrics file: " << metrics_path);
+      metrics.write_json(f);
+      os << "wrote metrics to " << metrics_path << '\n';
+    }
+  }
+};
+
+int run_solve(const Cli& cli) {
   const std::vector<double> pool = parse_times(cli.get_string("times"));
   const auto p = static_cast<std::size_t>(cli.get_int("p"));
   const auto q = static_cast<std::size_t>(cli.get_int("q"));
@@ -110,6 +151,19 @@ int cmd_solve(int argc, const char* const* argv) {
             << res.iterations() << " steps)\n";
   print_allocation(res.final().grid, res.final().alloc, std::cout);
   return 0;
+}
+
+int cmd_solve(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"},
+                 {"solver", "auto"}, {"csv", "0"},
+                 {"threads", "1"}, {"max-trees", "50000000"},
+                 {"profile", ""}, {"metrics", ""}});
+  ProfileSession session(cli.get_string("profile"), cli.get_string("metrics"));
+  session.begin();
+  const int rc = run_solve(cli);
+  session.end(std::cout);
+  return rc;
 }
 
 int cmd_design(int argc, const char* const* argv) {
@@ -286,13 +340,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   return 0;
 }
 
-int cmd_trace(int argc, const char* const* argv) {
-  const Cli cli(argc, argv,
-                {{"times", ""}, {"p", "0"}, {"q", "0"},
-                 {"kernel", "mmm"}, {"nb", "16"}, {"backend", "sim"},
-                 {"network", "switched"}, {"strategy", "heuristic"},
-                 {"scale", "8"}, {"block", "4"}, {"out", "trace.json"},
-                 {"csv", "0"}, {"threads", "1"}});
+int run_trace(const Cli& cli) {
   const std::vector<double> pool = parse_times(cli.get_string("times"));
   const auto p = static_cast<std::size_t>(cli.get_int("p"));
   const auto q = static_cast<std::size_t>(cli.get_int("q"));
@@ -353,8 +401,13 @@ int cmd_trace(int argc, const char* const* argv) {
       fill_spd(a.view(), rng);
       rep = run_mp_cholesky(machine, dist, a.view(), block, costs, &sink,
                             run_opts);
+    } else if (kernel == "qr") {
+      Matrix a(n, n);
+      fill_random(a.view(), rng);
+      rep = run_mp_qr(machine, dist, a.view(), block, costs, &sink,
+                      run_opts);
     } else {
-      HG_CHECK(false, "mp backend supports --kernel=mmm|lu|chol, got "
+      HG_CHECK(false, "mp backend supports --kernel=mmm|lu|chol|qr, got "
                           << kernel);
     }
     makespan = rep.makespan;
@@ -390,9 +443,129 @@ int cmd_trace(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_trace(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"},
+                 {"kernel", "mmm"}, {"nb", "16"}, {"backend", "sim"},
+                 {"network", "switched"}, {"strategy", "heuristic"},
+                 {"scale", "8"}, {"block", "4"}, {"out", "trace.json"},
+                 {"csv", "0"}, {"threads", "1"},
+                 {"profile", ""}, {"metrics", ""}});
+  ProfileSession session(cli.get_string("profile"), cli.get_string("metrics"));
+  session.begin();
+  const int rc = run_trace(cli);
+  session.end(std::cout);
+  return rc;
+}
+
+// The representative workload behind `hetgrid profile`: a parallel exact
+// solve (branch-and-bound fan-out) followed by a real message-passing LU
+// (block math + pooled numerics). Returns enough state to compare two runs
+// bit for bit.
+struct ProfileWorkloadResult {
+  double obj2 = 0.0;
+  Matrix lu;
+};
+
+ProfileWorkloadResult run_profile_workload(const std::vector<double>& pool,
+                                           std::size_t p, std::size_t q,
+                                           unsigned threads, std::size_t nb,
+                                           std::size_t block) {
+  ExactSolverOptions eo;
+  eo.threads = threads;
+  const OptimalArrangement opt = solve_optimal_arrangement(p, q, pool, eo);
+
+  const CycleTimeGrid grid = CycleTimeGrid::sorted_row_major(p, q, pool);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(p, q);
+  const Machine machine{grid, parse_network_flag("switched")};
+  RuntimeOptions ro;
+  ro.threads = threads;
+  Rng rng(7);
+  ProfileWorkloadResult out;
+  out.obj2 = opt.solution.obj2;
+  out.lu = Matrix(nb * block, nb * block);
+  fill_diagonally_dominant(out.lu.view(), rng);
+  run_mp_lu(machine, dist, out.lu.view(), block, KernelCosts{}, false,
+            nullptr, ro);
+  return out;
+}
+
+bool same_bits(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      if (a.view()(i, j) != b.view()(i, j)) return false;
+  return true;
+}
+
+int cmd_profile(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", "1,2,3,4,5,6"}, {"p", "2"}, {"q", "3"},
+                 {"nb", "6"}, {"block", "8"}, {"threads", "1"},
+                 {"out", "profile.json"}, {"metrics", ""}, {"smoke", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+  const auto nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const auto block = static_cast<std::size_t>(cli.get_int("block"));
+  const long long threads = cli.get_int("threads");
+  HG_CHECK(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+
+  if (cli.get_bool("smoke")) {
+    // Determinism self-checks, all at --threads=1 (the byte-stability
+    // contract of obs/metrics holds only on the serial path).
+    const ProfileWorkloadResult plain =
+        run_profile_workload(pool, p, q, 1, nb, block);
+
+    MetricsRegistry m1;
+    Profiler prof1;
+    install_metrics(&m1);
+    prof1.start();
+    const ProfileWorkloadResult instr =
+        run_profile_workload(pool, p, q, 1, nb, block);
+    prof1.stop();
+    install_metrics(nullptr);
+    HG_CHECK(instr.obj2 == plain.obj2 && same_bits(instr.lu, plain.lu),
+             "profiled run changed a computed result");
+
+    MetricsRegistry m2;
+    install_metrics(&m2);
+    const ProfileWorkloadResult again =
+        run_profile_workload(pool, p, q, 1, nb, block);
+    install_metrics(nullptr);
+    HG_CHECK(same_bits(again.lu, plain.lu), "repeat run diverged");
+    HG_CHECK(m1.snapshot_json() == m2.snapshot_json(),
+             "metrics snapshot is not byte-stable across identical runs");
+
+    Profiler prof2;
+    prof2.start();
+    run_profile_workload(pool, p, q, 2, nb, block);
+    prof2.stop();
+    bool saw_worker = false;
+    for (const std::string& lane : prof2.lane_names())
+      if (lane.rfind("worker-", 0) == 0) saw_worker = true;
+    HG_CHECK(saw_worker, "threaded profile run produced no worker lane");
+    std::cout << "profile smoke: results bit-identical, metrics snapshot "
+                 "byte-stable, "
+              << prof2.lanes() << " lanes (worker lanes present)\n";
+    return 0;
+  }
+
+  ProfileSession session(cli.get_string("out"), cli.get_string("metrics"));
+  session.begin();
+  const ProfileWorkloadResult res = run_profile_workload(
+      pool, p, q, static_cast<unsigned>(threads), nb, block);
+  session.end(std::cout);
+  std::cout << "workload: exact solve (obj2 = " << Table::num(res.obj2, 4)
+            << ") + mp LU on " << nb * block << "x" << nb * block << '\n';
+  return 0;
+}
+
 int usage() {
   std::cerr <<
-      "usage: hetgrid <solve|design|panel|simulate|trace> [--flags]\n"
+      "usage: hetgrid <solve|design|panel|simulate|trace|profile> [--flags]\n"
       "  solve    --times=1,2,3,6 --p=2 --q=2 [--solver=heuristic|exact|auto]\n"
       "           [--threads=1] [--max-trees=50000000]\n"
       "           (--threads=0 uses all hardware threads; the exact result\n"
@@ -406,7 +579,12 @@ int usage() {
       "           [--backend=sim|mp] [--out=trace.json] [--block=4]\n"
       "           [--network=...] [--strategy=...] [--threads=1]\n"
       "           (--threads parallelizes the mp backend's block math;\n"
-      "            0 = all hardware threads, output is bit-identical)\n";
+      "            0 = all hardware threads, output is bit-identical)\n"
+      "  profile  --times=1,2,3,4,5,6 --p=2 --q=3 [--out=profile.json]\n"
+      "           [--metrics=metrics.json] [--threads=1] [--smoke=0]\n"
+      "           (--smoke runs the determinism self-checks instead)\n"
+      "  solve and trace also accept --profile=prof.json and\n"
+      "  --metrics=metrics.json to instrument that run\n";
   return 2;
 }
 
@@ -423,6 +601,7 @@ int main(int argc, char** argv) {
     if (cmd == "panel") return cli::cmd_panel(argc - 1, argv + 1);
     if (cmd == "simulate") return cli::cmd_simulate(argc - 1, argv + 1);
     if (cmd == "trace") return cli::cmd_trace(argc - 1, argv + 1);
+    if (cmd == "profile") return cli::cmd_profile(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
