@@ -1,13 +1,20 @@
-// Scaling harness for the parallel numerics engine (EXPERIMENTS.md table):
-// runs the message-passing runtime's MMM / LU / Cholesky at several thread
-// counts on a heterogeneous grid and reports wall-clock speedup. The engine
-// promises bit-identical results for any thread count, and the run enforces
-// it: every MpReport field (makespan, per-processor clocks and busy times,
-// message and block counters) and every gathered matrix entry must match
-// the serial run exactly — only the ms column may move with --threads.
+// Scaling harness for the parallel numerics engine and the task-graph
+// scheduler (EXPERIMENTS.md table): runs the message-passing runtime's
+// MMM / LU / Cholesky / QR under both schedulers (per-phase barriers vs
+// dependency-driven dag) at several thread counts on a heterogeneous grid
+// and reports wall-clock speedup plus the host-synchronization count. The
+// runtime promises bit-identical results for any thread count and either
+// scheduler, and the run enforces it: every MpReport field (makespan,
+// per-processor clocks and busy times, message and block counters), the QR
+// tau vector, and every gathered matrix entry must match the serial
+// barrier run exactly — only the ms column may move. The dag scheduler
+// must also strictly reduce the number of host synchronization points
+// ("mp.barriers": one per TaskBatch flush in barrier mode, one per
+// host_sync/finish in dag mode).
 //
 // --smoke shrinks the problem to a CI-sized instance (seconds, not
-// minutes) while still crossing the serial/parallel seam.
+// minutes) while still crossing the serial/parallel seam and both
+// schedulers at threads {1, 2, 7}.
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -19,11 +26,14 @@
 #include "matrix/gemm.hpp"
 #include "matrix/lu.hpp"
 #include "mp/mp_runtime.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace {
 
 using namespace hetgrid;
+
+using Scheduler = RuntimeOptions::Scheduler;
 
 bool same_bits(const ConstMatrixView& a, const ConstMatrixView& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
@@ -45,63 +55,94 @@ bool same_report(const MpReport& x, const MpReport& y) {
 struct RunResult {
   MpReport report;
   Matrix out;
+  std::vector<double> tau;  // QR only
   double ms = 0.0;
+  double barriers = 0.0;  // host synchronization points ("mp.barriers")
 };
 
-// One timed kernel execution at a given thread count: fresh inputs each
-// time (LU/Cholesky factor in place), best-of-`reps` wall clock.
+bool same_run(const RunResult& x, const RunResult& y) {
+  return same_report(x.report, y.report) && x.tau == y.tau &&
+         same_bits(x.out.view(), y.out.view());
+}
+
+// One timed kernel execution at a given thread count and scheduler: fresh
+// inputs each time (the factorizations run in place), best-of-`reps` wall
+// clock. The timed reps run with no metrics registry installed (metric
+// sites are per-task in dag mode, and by-name registry lookups there would
+// tax the schedulers unevenly); one extra untimed, instrumented rep then
+// captures the "mp.barriers" host-synchronization count and must
+// reproduce the timed result exactly (it is computed on the host thread).
 RunResult run_kernel(const std::string& kernel, const Machine& machine,
                      const Distribution2D& dist, std::size_t n,
-                     std::size_t block, unsigned threads, int reps,
-                     std::uint64_t seed) {
+                     std::size_t block, Scheduler sched, unsigned threads,
+                     int reps, std::uint64_t seed) {
   RuntimeOptions opts;
   opts.threads = threads;
+  opts.scheduler = sched;
   RunResult res;
-  for (int r = 0; r < reps; ++r) {
+  for (int r = 0; r <= reps; ++r) {
+    const bool instrument = r == reps;  // final rep: counters, not timing
     Rng rng(seed);
-    MpReport rep;
-    Matrix out;
-    double ms = 0.0;
+    MetricsRegistry metrics;
+    MetricsRegistry* prev = instrument ? install_metrics(&metrics) : nullptr;
+    RunResult rep;
     if (kernel == "mmm") {
       Matrix a(n, n), b(n, n), c(n, n);
       fill_random(a.view(), rng);
       fill_random(b.view(), rng);
       const auto t0 = std::chrono::steady_clock::now();
-      rep = run_mp_mmm(machine, dist, a.view(), b.view(), c.view(), block,
-                       {}, nullptr, opts);
+      rep.report = run_mp_mmm(machine, dist, a.view(), b.view(), c.view(),
+                              block, {}, nullptr, opts);
       const auto t1 = std::chrono::steady_clock::now();
-      ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-      out = std::move(c);
+      rep.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rep.out = std::move(c);
     } else if (kernel == "lu") {
       Matrix a(n, n);
       fill_diagonally_dominant(a.view(), rng);
       const auto t0 = std::chrono::steady_clock::now();
-      rep = run_mp_lu(machine, dist, a.view(), block, {}, false, nullptr,
-                      opts);
+      rep.report = run_mp_lu(machine, dist, a.view(), block, {}, false,
+                             nullptr, opts);
       const auto t1 = std::chrono::steady_clock::now();
-      ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-      out = std::move(a);
+      rep.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rep.out = std::move(a);
     } else if (kernel == "chol") {
       Matrix a(n, n);
       fill_spd(a.view(), rng);
       const auto t0 = std::chrono::steady_clock::now();
-      rep = run_mp_cholesky(machine, dist, a.view(), block, {}, nullptr,
-                            opts);
+      rep.report = run_mp_cholesky(machine, dist, a.view(), block, {},
+                                   nullptr, opts);
       const auto t1 = std::chrono::steady_clock::now();
-      ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-      out = std::move(a);
+      rep.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rep.out = std::move(a);
+    } else if (kernel == "qr") {
+      Matrix a(n, n);
+      fill_random(a.view(), rng);
+      const auto t0 = std::chrono::steady_clock::now();
+      const MpQrReport qr =
+          run_mp_qr(machine, dist, a.view(), block, {}, nullptr, opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      rep.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      rep.report = qr;
+      rep.tau = qr.tau;
+      rep.out = std::move(a);
     } else {
-      HG_CHECK(false, "unknown kernel: " << kernel << " (mmm|lu|chol)");
+      if (instrument) install_metrics(prev);
+      HG_CHECK(false, "unknown kernel: " << kernel << " (mmm|lu|chol|qr)");
+    }
+    if (instrument) {
+      install_metrics(prev);
+      rep.barriers =
+          static_cast<double>(metrics.counter("mp.barriers").value());
     }
     if (r == 0) {
-      res.report = rep;
-      res.out = std::move(out);
-      res.ms = ms;
+      res = std::move(rep);
     } else {
-      HG_INTERNAL_CHECK(same_report(rep, res.report) &&
-                            same_bits(out.view(), res.out.view()),
+      HG_INTERNAL_CHECK(same_run(rep, res),
                         kernel << " run is not deterministic across reps");
-      res.ms = std::min(res.ms, ms);
+      if (instrument)
+        res.barriers = rep.barriers;
+      else
+        res.ms = std::min(res.ms, rep.ms);
     }
   }
   return res;
@@ -113,8 +154,8 @@ int main(int argc, char** argv) {
   using namespace hetgrid;
   Cli cli(argc, argv,
           {{"p", "4"}, {"q", "4"}, {"nb", "16"}, {"block", "32"},
-           {"kernels", "mmm,lu,chol"}, {"threads", "1,2,4"}, {"reps", "3"},
-           {"seed", "17"}, {"smoke", "0"}, {"csv", "0"},
+           {"kernels", "mmm,lu,chol,qr"}, {"threads", "1,2,4"},
+           {"reps", "3"}, {"seed", "17"}, {"smoke", "0"}, {"csv", "0"},
            {"json", "BENCH_runtime.json"}});
   bench::print_header("Runtime scaling — parallel numerics engine", cli);
 
@@ -130,8 +171,13 @@ int main(int argc, char** argv) {
   const std::size_t n = nb * block;
 
   std::vector<unsigned> thread_counts;
-  for (double v : parse_positive_list(cli.get_string("threads")))
-    thread_counts.push_back(static_cast<unsigned>(v));
+  if (smoke) {
+    // The acceptance matrix: both schedulers at threads {1, 2, 7}.
+    thread_counts = {1, 2, 7};
+  } else {
+    for (double v : parse_positive_list(cli.get_string("threads")))
+      thread_counts.push_back(static_cast<unsigned>(v));
+  }
 
   std::vector<std::string> kernels;
   {
@@ -146,8 +192,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Heterogeneous pool, block-cyclic layout: aligned (so LU and Cholesky
-  // run) and every processor owns work in every step.
+  // Heterogeneous pool, block-cyclic layout: aligned (so LU, Cholesky and
+  // QR run) and every processor owns work in every step.
   Rng pool_rng(seed);
   const CycleTimeGrid grid =
       CycleTimeGrid::sorted_row_major(p, q, pool_rng.cycle_times(p * q, 0.25));
@@ -158,42 +204,56 @@ int main(int argc, char** argv) {
             << ", block = " << block << ")\n\n";
 
   Table table;
-  table.header({"kernel", "threads", "ms", "speedup", "identical"});
+  table.header(
+      {"kernel", "sched", "threads", "ms", "speedup", "barriers",
+       "identical"});
   bench::JsonReport json("bench_runtime_scaling", cli);
 
   for (const std::string& kernel : kernels) {
-    const RunResult serial =
-        run_kernel(kernel, machine, dist, n, block, 1, reps, seed);
-    table.row({kernel, "1", Table::num(serial.ms, 2), "1.00", "yes"});
-    json.add()
-        .field("kernel", kernel)
-        .field("threads", 1.0)
-        .field("n", static_cast<double>(n))
-        .field("block", static_cast<double>(block))
-        .field("ms", serial.ms)
-        .field("speedup", 1.0)
-        .field("identical", "yes");
-    for (unsigned threads : thread_counts) {
-      if (threads <= 1) continue;
-      const RunResult par =
-          run_kernel(kernel, machine, dist, n, block, threads, reps, seed);
-      const bool identical =
-          same_report(par.report, serial.report) &&
-          same_bits(par.out.view(), serial.out.view());
-      HG_INTERNAL_CHECK(identical,
-                        kernel << " at " << threads
-                               << " threads diverged from the serial run");
-      const double speedup = par.ms > 0.0 ? serial.ms / par.ms : 0.0;
-      table.row({kernel, std::to_string(threads), Table::num(par.ms, 2),
-                 Table::num(speedup, 2), identical ? "yes" : "NO"});
-      json.add()
-          .field("kernel", kernel)
-          .field("threads", static_cast<double>(threads))
-          .field("n", static_cast<double>(n))
-          .field("block", static_cast<double>(block))
-          .field("ms", par.ms)
-          .field("speedup", speedup)
-          .field("identical", identical ? "yes" : "no");
+    // Reference: serial barrier run. Every other configuration must
+    // reproduce it bit for bit.
+    const RunResult serial = run_kernel(kernel, machine, dist, n, block,
+                                        Scheduler::kBarrier, 1, reps, seed);
+    for (const Scheduler sched : {Scheduler::kBarrier, Scheduler::kDag}) {
+      const std::string sched_name =
+          sched == Scheduler::kBarrier ? "barrier" : "dag";
+      for (const unsigned threads : thread_counts) {
+        RunResult fresh;
+        const RunResult* run = &serial;  // (barrier, 1) is the reference
+        if (sched != Scheduler::kBarrier || threads != 1) {
+          fresh = run_kernel(kernel, machine, dist, n, block, sched,
+                             threads, reps, seed);
+          run = &fresh;
+        }
+        const RunResult& res = *run;
+        const bool identical = same_run(res, serial);
+        HG_INTERNAL_CHECK(identical, kernel << " (" << sched_name << ", "
+                                            << threads
+                                            << " threads) diverged from the "
+                                               "serial barrier run");
+        if (sched == Scheduler::kDag) {
+          // The point of the dag scheduler: strictly fewer host
+          // synchronization points than one barrier per phase.
+          HG_INTERNAL_CHECK(
+              res.barriers < serial.barriers,
+              kernel << " dag run did not reduce the barrier count ("
+                     << res.barriers << " vs " << serial.barriers << ")");
+        }
+        const double speedup = res.ms > 0.0 ? serial.ms / res.ms : 0.0;
+        table.row({kernel, sched_name, std::to_string(threads),
+                   Table::num(res.ms, 2), Table::num(speedup, 2),
+                   Table::num(res.barriers, 0), identical ? "yes" : "NO"});
+        json.add()
+            .field("kernel", kernel)
+            .field("sched", sched_name)
+            .field("threads", static_cast<double>(threads))
+            .field("n", static_cast<double>(n))
+            .field("block", static_cast<double>(block))
+            .field("ms", res.ms)
+            .field("speedup", speedup)
+            .field("barriers", res.barriers)
+            .field("identical", identical ? "yes" : "no");
+      }
     }
   }
 

@@ -1,7 +1,9 @@
 #include "mp/mp_runtime.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <memory>
 
 #include "matrix/cholesky.hpp"
 #include "matrix/gemm.hpp"
@@ -10,9 +12,11 @@
 #include "matrix/trsm.hpp"
 #include "mp/block_store.hpp"
 #include "mp/virtual_network.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel_engine.hpp"
+#include "util/task_graph.hpp"
 
 namespace hetgrid {
 
@@ -42,16 +46,35 @@ double vol_frac(std::size_t r, std::size_t c, std::size_t k,
          static_cast<double>(k) / full;
 }
 
+// Task priorities for the dag scheduler: communication copies first (they
+// unblock whole dependency subtrees), then panel-gating work, then solves,
+// then bulk trailing updates. Priorities only steer the ready queue — they
+// can never reorder dependent work, so results are priority-independent.
+constexpr int kPrioComm = 3, kPrioPanel = 2, kPrioSolve = 1, kPrioUpdate = 0;
+
 // Shared state for one distributed execution.
 //
-// Parallel numerics: each step's real floating-point block updates are
-// collected into `batch` — one task lane per virtual processor — and
-// flushed through `engine` at every phase boundary (run_batch). A lane's
-// ops run in canonical submission order on one worker, and distinct lanes
-// only ever touch their own processor's BlockStore, so the arithmetic is
-// bit-identical to the serial path for any thread count. Clocks, busy
-// times, message counters, and trace spans are computed exclusively on
-// the host thread and never depend on the pool schedule.
+// Parallel numerics, barrier scheduler: each step's real floating-point
+// block updates are collected into `batch` — one task lane per virtual
+// processor — and flushed through `engine` at every phase boundary
+// (run_batch). A lane's ops run in canonical submission order on one
+// worker, and distinct lanes only ever touch their own processor's
+// BlockStore, so the arithmetic is bit-identical to the serial path for
+// any thread count.
+//
+// Dag scheduler: the same ops are emitted, in the same host order, into a
+// util/task_graph keyed by (processor, block) — run_batch becomes a no-op
+// and the block-versioned read/write dependencies alone order the work, so
+// step k+1's panel chain overlaps step k's trailing updates. Every
+// read-modify-write chain on one block serializes in emission order (WAW),
+// which is exactly the barrier scheduler's lane order — hence bit-identical
+// results. The host synchronizes only where it does inline math
+// (host_sync) and at finish().
+//
+// Both ways, clocks, busy times, message counters, and trace spans are
+// computed exclusively on the host thread, in one shared code path, and
+// never depend on the execution schedule — the MpReport and the trace
+// stream are bitwise equal across schedulers and thread counts.
 struct MpContext {
   const Machine& machine;
   const Distribution2D& dist;
@@ -63,14 +86,29 @@ struct MpContext {
   std::vector<double> busy;
   TraceSink* sink;
   std::size_t step = 0;
+  bool dag;
   ParallelEngine engine;
   TaskBatch batch;
+  // Erases whose block still has in-flight readers/writers; applied once
+  // those tasks drain (poll_erases / finish).
+  struct PendingErase {
+    std::size_t id;
+    BlockKey key;
+    std::vector<TaskGraph::TaskId> waits;
+  };
+  std::vector<PendingErase> pending_erases;
+  // Declared last: its destructor waits for in-flight tasks, so on unwind
+  // it runs before the stores those tasks' closures reference.
+  std::unique_ptr<TaskGraph> graph;
 
   MpContext(const Machine& m, const Distribution2D& d, std::size_t blk,
             TraceSink* s, const RuntimeOptions& opts)
       : machine(m), dist(d), block(blk), p(d.grid_rows()), q(d.grid_cols()),
         net(p * q, m.net, s), store(p * q), clock(p * q, 0.0),
-        busy(p * q, 0.0), sink(s), engine(opts.threads), batch(p * q) {
+        busy(p * q, 0.0), sink(s),
+        dag(opts.scheduler == RuntimeOptions::Scheduler::kDag),
+        engine(dag ? 1 : opts.threads), batch(p * q),
+        graph(dag ? std::make_unique<TaskGraph>(opts.threads) : nullptr) {
     m.net.validate();
     HG_CHECK(m.grid.rows() == p && m.grid.cols() == q,
              "machine grid does not match distribution");
@@ -80,19 +118,185 @@ struct MpContext {
   void set_step(std::size_t k) {
     step = k;
     net.set_step(k);
+    poll_erases();
   }
 
-  /// Queues one block-numerics op on processor `id`'s task lane. Views
-  /// must be resolved by the caller (on the host thread) so missing-block
-  /// errors still surface as clean PreconditionErrors.
-  void add_task(std::size_t id, std::function<void()> op) {
-    batch.add(id, std::move(op));
+  /// Packs (processor, block) into a task-graph resource key.
+  TaskGraph::Key key_of(std::size_t id, BlockKey k) const {
+    HG_DCHECK(k.row < (std::uint64_t{1} << 26) &&
+                  k.col < (std::uint64_t{1} << 26),
+              "block coordinates exceed the task-graph key encoding");
+    return (static_cast<std::uint64_t>(id) << 52) |
+           (static_cast<std::uint64_t>(k.row) << 26) |
+           static_cast<std::uint64_t>(k.col);
   }
 
-  /// Runs all queued numerics and returns when they are done. Must be
-  /// called before any store put/erase or any read of a block a queued op
-  /// writes.
-  void run_batch() { batch.run(engine); }
+  // Emission-order op fusion (dag mode): consecutive ops in the same
+  // group — one processor's ops at one priority, or one ring hop's block
+  // copies — merge into a single task whose read/write sets are the union
+  // of the ops'. The fused ops run in emission order inside one task, and
+  // groups register with the scoreboard in emission order (staging holds
+  // at most one open group; a new group flushes the previous), so every
+  // per-key operation chain is ordered exactly as without fusion and the
+  // results stay bit-identical. What changes is granularity: a trailing
+  // update is one task per processor instead of one per block, which
+  // keeps a worker inside one store's blocks (cache locality) and pays
+  // the scheduler's lock once per processor-step instead of once per
+  // block. Any host-side dependency query must flush first — host_sync,
+  // finish, and erase_block do.
+  static constexpr std::uint64_t kGroupProc = std::uint64_t{1} << 62;
+  static constexpr std::uint64_t kGroupCopy = std::uint64_t{1} << 61;
+  struct FusedOps {
+    bool active = false;
+    std::uint64_t group = 0;
+    const char* name = "";
+    int priority = 0;
+    std::vector<TaskGraph::Key> reads, writes;
+    std::vector<std::function<void()>> ops;
+  };
+  FusedOps fused;
+
+  void flush_fused() {
+    if (!fused.active) return;
+    auto dedup = [](std::vector<TaskGraph::Key>& keys) {
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    };
+    dedup(fused.reads);
+    dedup(fused.writes);
+    std::function<void()> body;
+    if (fused.ops.size() == 1) {
+      body = std::move(fused.ops.front());
+    } else {
+      body = [ops = std::move(fused.ops)] {
+        for (const std::function<void()>& f : ops) f();
+      };
+    }
+    graph->add(fused.name, std::move(fused.reads), std::move(fused.writes),
+               std::move(body), fused.priority);
+    fused = FusedOps{};
+  }
+
+  void stage_op(std::uint64_t group, const char* name, int priority,
+                std::vector<TaskGraph::Key> reads,
+                std::vector<TaskGraph::Key> writes, std::function<void()> op) {
+    if (fused.active && (fused.group != group || fused.priority != priority))
+      flush_fused();
+    fused.active = true;
+    fused.group = group;
+    fused.name = name;
+    fused.priority = priority;
+    fused.reads.insert(fused.reads.end(), reads.begin(), reads.end());
+    fused.writes.insert(fused.writes.end(), writes.begin(), writes.end());
+    fused.ops.push_back(std::move(op));
+  }
+
+  /// Queues one block-numerics op on processor `id`, declaring the blocks
+  /// it reads and writes (a block that is read-modify-written belongs in
+  /// `writes` — the write dependency already serializes it against both
+  /// the prior writer and prior readers). Views must be resolved by the
+  /// caller (on the host thread) so missing-block errors still surface as
+  /// clean PreconditionErrors. Under the barrier scheduler the sets are
+  /// ignored and the op joins `id`'s lane; under dag it joins the
+  /// processor's open fusion group.
+  void add_op(std::size_t id, const char* name, int priority,
+              std::initializer_list<BlockKey> reads,
+              std::initializer_list<BlockKey> writes,
+              std::function<void()> op) {
+    if (!dag) {
+      batch.add(id, std::move(op));
+      return;
+    }
+    std::vector<TaskGraph::Key> r, w;
+    r.reserve(reads.size());
+    w.reserve(writes.size());
+    for (const BlockKey& k : reads) r.push_back(key_of(id, k));
+    for (const BlockKey& k : writes) w.push_back(key_of(id, k));
+    stage_op(kGroupProc | id, name, priority, std::move(r), std::move(w),
+             std::move(op));
+  }
+
+  /// Barrier scheduler: runs all queued numerics and returns when they are
+  /// done (must precede any store put/erase or host read of a block a
+  /// queued op writes). Dag scheduler: a no-op — dependencies alone order
+  /// the work. The "mp.barriers" counter counts actual host
+  /// synchronization points (run_batch here, host_sync/finish for dag), on
+  /// the host thread, so it is deterministic for any thread count.
+  void run_batch() {
+    if (dag) return;
+    metric_count("mp.barriers", 1);
+    batch.run(engine);
+  }
+
+  /// Dag scheduler: blocks the host until every queued op touching `keys`
+  /// on processor `id` has finished, and takes synchronous ownership of
+  /// them — the partial sync guarding inline host math (panel
+  /// factorizations). Unrelated tasks keep running: this is what lets the
+  /// panel of step k+1 overlap step k's trailing updates. Barrier
+  /// scheduler: a no-op (run_batch already synchronized).
+  void host_sync(std::size_t id, const std::vector<BlockKey>& keys) {
+    if (!dag) return;
+    flush_fused();
+    metric_count("mp.barriers", 1);
+    std::vector<TaskGraph::Key> w;
+    w.reserve(keys.size());
+    for (const BlockKey& k : keys) w.push_back(key_of(id, k));
+    graph->host_acquire({}, w);
+  }
+
+  /// Final synchronization: every queued op completes and all deferred
+  /// transient erases are applied. Must precede gather(). (Barrier mode:
+  /// nothing is pending by construction.)
+  void finish() {
+    if (!dag) return;
+    flush_fused();
+    metric_count("mp.barriers", 1);
+    graph->wait_all();
+    for (const PendingErase& pe : pending_erases)
+      store[pe.id].erase(pe.key);
+    pending_erases.clear();
+  }
+
+  /// Drops a transient block copy. Dag mode defers the erase while any
+  /// queued op still reads or writes the block, so its buffer cannot be
+  /// recycled under a running task; step keys are never reused (transient
+  /// keys are step-unique), so a deferred erase can never race a re-put.
+  void erase_block(std::size_t id, BlockKey key) {
+    if (dag) {
+      flush_fused();  // pending_on must see every queued op
+      std::vector<TaskGraph::TaskId> waits =
+          graph->pending_on(key_of(id, key));
+      if (!waits.empty()) {
+        pending_erases.push_back(PendingErase{id, key, std::move(waits)});
+        return;
+      }
+    }
+    store[id].erase(key);
+  }
+
+  void poll_erases() {
+    if (!dag || pending_erases.empty()) return;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_erases.size(); ++i) {
+      PendingErase& pe = pending_erases[i];
+      bool drained = true;
+      for (const TaskGraph::TaskId t : pe.waits)
+        if (!graph->done(t)) {
+          drained = false;
+          break;
+        }
+      if (drained) {
+        store[pe.id].erase(pe.key);
+      } else {
+        // Guard against self-move: moving an element onto itself would
+        // empty its waits vector, and an empty waits list reads as
+        // "drained" on the next poll — freeing a buffer under live tasks.
+        if (kept != i) pending_erases[kept] = std::move(pe);
+        ++kept;
+      }
+    }
+    pending_erases.resize(kept);
+  }
 
   std::size_t pid(std::size_t gi, std::size_t gj) const {
     return gi * q + gj;
@@ -106,12 +310,29 @@ struct MpContext {
   }
 
   /// Lands a copy of `key` (present at `from`) in `to`'s store, recycling
-  /// a pooled buffer when one matches the shape.
+  /// a pooled buffer when one matches the shape. Barrier mode copies
+  /// synchronously on the host; dag mode queues the copy as a task reading
+  /// (from, key) and writing (to, key). When the destination already holds
+  /// the block (a broadcast restoring an owner's blocks), the existing
+  /// buffer is written in place — a put would free a buffer that pending
+  /// readers may still be using, and the write dependency already orders
+  /// the copy after them.
   void copy_block(std::size_t from, std::size_t to, BlockKey key) {
     const ConstMatrixView src = store[from].at(key);
-    Matrix copy = store[to].acquire(src.rows(), src.cols());
-    copy.view().copy_from(src);
-    store[to].put(key, std::move(copy));
+    if (!dag) {
+      Matrix copy = store[to].acquire(src.rows(), src.cols());
+      copy.view().copy_from(src);
+      store[to].put(key, std::move(copy));
+      return;
+    }
+    if (!store[to].contains(key))
+      store[to].put(key, store[to].acquire(src.rows(), src.cols()));
+    const MatrixView dst = store[to].at(key);
+    HG_INTERNAL_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols(),
+                      "copy_block into a block of different shape");
+    stage_op(kGroupCopy | (static_cast<std::uint64_t>(from) << 24) | to,
+             "mp.copy", kPrioComm, {key_of(from, key)}, {key_of(to, key)},
+             [src, dst] { dst.copy_from(src); });
   }
 
   /// Ring-broadcasts the listed blocks (all already present at grid
@@ -198,6 +419,8 @@ void scatter(MpContext& ctx, const ConstMatrixView& m, std::size_t which,
   const std::size_t procs = ctx.p * ctx.q;
   for (std::size_t id = 0; id < procs; ++id)
     ctx.store[id].reserve(nbr * nbc / procs + nbr + nbc + 8);
+  // Barrier lanes see at most one op per owned block and step.
+  ctx.batch.hint(nbr * nbc / procs + 4);
   for (std::size_t bi = 0; bi < nbr; ++bi) {
     const std::size_t ilo = block_lo(bi, ctx.block);
     const std::size_t ilen = block_len(bi, ctx.block, m.rows());
@@ -349,13 +572,14 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
           if (ctx.owner_pid(bi, bj) != id) continue;
           const std::size_t ilen = block_len(bi, block, n);
           const std::size_t jlen = block_len(bj, block, n);
-          const ConstMatrixView av =
-              ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
-          const ConstMatrixView bv =
-              ctx.store[id].at(BlockKey{kTagB * nb + k, bj});
-          const MatrixView cv =
-              ctx.store[id].at(BlockKey{kTagC * nb + bi, bj});
-          ctx.add_task(id, [av, bv, cv] { gemm_update(av, bv, cv); });
+          const BlockKey a_key{kTagA * nb + bi, k};
+          const BlockKey b_key{kTagB * nb + k, bj};
+          const BlockKey c_key{kTagC * nb + bi, bj};
+          const ConstMatrixView av = ctx.store[id].at(a_key);
+          const ConstMatrixView bv = ctx.store[id].at(b_key);
+          const MatrixView cv = ctx.store[id].at(c_key);
+          ctx.add_op(id, "mp.gemm", kPrioUpdate, {a_key, b_key}, {c_key},
+                     [av, bv, cv] { gemm_update(av, bv, cv); });
           work += ctx.cycle_time(id) * costs.update *
                   vol_frac(ilen, jlen, klen, block);
         }
@@ -368,13 +592,14 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
     for (std::size_t id = 0; id < procs; ++id) {
       for (std::size_t bi = 0; bi < nb; ++bi)
         if (ctx.owner_pid(bi, k) != id)
-          ctx.store[id].erase(BlockKey{kTagA * nb + bi, k});
+          ctx.erase_block(id, BlockKey{kTagA * nb + bi, k});
       for (std::size_t bj = 0; bj < nb; ++bj)
         if (ctx.owner_pid(k, bj) != id)
-          ctx.store[id].erase(BlockKey{kTagB * nb + k, bj});
+          ctx.erase_block(id, BlockKey{kTagB * nb + k, bj});
     }
   }
 
+  ctx.finish();
   gather(ctx, c, kTagC, nb, nb);
   return ctx.report();
 }
@@ -414,8 +639,13 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     const BlockKey diag_key{kTagA * nb + k, k};
 
     // --- Factor the diagonal block at its owner (host thread: its result
-    // gates everything below).
+    // gates everything below). Dag mode waits only for the ops touching
+    // this one block — the previous step's other trailing updates keep
+    // running underneath the factorization, which is the lookahead overlap
+    // the barrier scheduler can only model in virtual time.
+    ctx.host_sync(diag_id, {diag_key});
     if (!lu_factor_nopivot(ctx.store[diag_id].at(diag_key))) {
+      ctx.finish();
       early = ctx.report();
       early.factorized = false;
       gather(ctx, a, kTagA, nb, nb);
@@ -437,9 +667,11 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     for (std::size_t bi = k + 1; bi < nb; ++bi) {
       const std::size_t id = ctx.owner_pid(bi, k);
       const std::size_t ilen = block_len(bi, block, n);
+      const BlockKey l_key{kTagA * nb + bi, k};
       const ConstMatrixView dv = ctx.store[id].at(diag_key);
-      const MatrixView lv = ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
-      ctx.add_task(id, [dv, lv] { trsm_right_upper(dv, lv); });
+      const MatrixView lv = ctx.store[id].at(l_key);
+      ctx.add_op(id, "mp.trsm", kPrioSolve, {diag_key}, {l_key},
+                 [dv, lv] { trsm_right_upper(dv, lv); });
       ctx.compute(id, diag_ready[id],
                   ctx.cycle_time(id) * costs.panel_factor *
                       vol_frac(ilen, klen, klen, block),
@@ -462,9 +694,11 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     for (std::size_t bj = k + 1; bj < nb; ++bj) {
       const std::size_t id = ctx.owner_pid(k, bj);
       const std::size_t jlen = block_len(bj, block, n);
+      const BlockKey u_key{kTagA * nb + k, bj};
       const ConstMatrixView dv = ctx.store[id].at(diag_key);
-      const MatrixView uv = ctx.store[id].at(BlockKey{kTagA * nb + k, bj});
-      ctx.add_task(id, [dv, uv] { trsm_left_lower_unit(dv, uv); });
+      const MatrixView uv = ctx.store[id].at(u_key);
+      ctx.add_op(id, "mp.trsm", kPrioSolve, {diag_key}, {u_key},
+                 [dv, uv] { trsm_left_lower_unit(dv, uv); });
       ctx.compute(id, l_ready[id],
                   ctx.cycle_time(id) * costs.trsm *
                       vol_frac(klen, jlen, klen, block),
@@ -508,15 +742,21 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
           if (ctx.owner_pid(bi, bj) != id) continue;
           const std::size_t ilen = block_len(bi, block, n);
           const std::size_t jlen = block_len(bj, block, n);
-          const ConstMatrixView lv =
-              ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
-          const ConstMatrixView uv =
-              ctx.store[id].at(BlockKey{kTagA * nb + k, bj});
-          const MatrixView tv =
-              ctx.store[id].at(BlockKey{kTagA * nb + bi, bj});
-          ctx.add_task(id, [lv, uv, tv] {
-            gemm(Trans::No, Trans::No, -1.0, lv, uv, 1.0, tv);
-          });
+          const BlockKey l_key{kTagA * nb + bi, k};
+          const BlockKey u_key{kTagA * nb + k, bj};
+          const BlockKey t_key{kTagA * nb + bi, bj};
+          const ConstMatrixView lv = ctx.store[id].at(l_key);
+          const ConstMatrixView uv = ctx.store[id].at(u_key);
+          const MatrixView tv = ctx.store[id].at(t_key);
+          // Next-panel blocks (column / row k + 1) run at panel priority
+          // so the dag releases step k + 1's critical chain first — the
+          // wall-clock counterpart of the virtual-time lookahead below.
+          const int prio = (bi == k + 1 || bj == k + 1) ? kPrioPanel
+                                                        : kPrioUpdate;
+          ctx.add_op(id, "mp.gemm", prio, {l_key, u_key}, {t_key},
+                     [lv, uv, tv] {
+                       gemm(Trans::No, Trans::No, -1.0, lv, uv, 1.0, tv);
+                     });
           const double cost = ctx.cycle_time(id) * costs.update *
                               vol_frac(ilen, jlen, klen, block);
           if (lookahead && bi != k + 1 && bj != k + 1)
@@ -537,13 +777,14 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     for (std::size_t id = 0; id < procs; ++id) {
       for (std::size_t bi = k; bi < nb; ++bi)
         if (ctx.owner_pid(bi, k) != id)
-          ctx.store[id].erase(BlockKey{kTagA * nb + bi, k});
+          ctx.erase_block(id, BlockKey{kTagA * nb + bi, k});
       for (std::size_t bj = k + 1; bj < nb; ++bj)
         if (ctx.owner_pid(k, bj) != id)
-          ctx.store[id].erase(BlockKey{kTagA * nb + k, bj});
+          ctx.erase_block(id, BlockKey{kTagA * nb + k, bj});
     }
   }
 
+  ctx.finish();
   gather(ctx, a, kTagA, nb, nb);
   return ctx.report();
 }
@@ -573,8 +814,12 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
     const BlockKey diag_key{kTagA * nb + k, k};
 
-    // --- Factor the diagonal block (host thread).
+    // --- Factor the diagonal block (host thread; dag mode waits only for
+    // the ops touching this block, overlapping the rest of the previous
+    // step's trailing update).
+    ctx.host_sync(diag_id, {diag_key});
     if (!cholesky_factor_unblocked(ctx.store[diag_id].at(diag_key))) {
+      ctx.finish();
       MpReport rep = ctx.report();
       rep.factorized = false;
       gather(ctx, a, kTagA, nb, nb);
@@ -594,9 +839,11 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     for (std::size_t bi = k + 1; bi < nb; ++bi) {
       const std::size_t id = ctx.owner_pid(bi, k);
       const std::size_t ilen = block_len(bi, block, n);
+      const BlockKey l_key{kTagA * nb + bi, k};
       const ConstMatrixView dv = ctx.store[id].at(diag_key);
-      const MatrixView lv = ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
-      ctx.add_task(id, [dv, lv] { trsm_right_lower_transposed(dv, lv); });
+      const MatrixView lv = ctx.store[id].at(l_key);
+      ctx.add_op(id, "mp.trsm", kPrioSolve, {diag_key}, {l_key},
+                 [dv, lv] { trsm_right_lower_transposed(dv, lv); });
       ctx.compute(id, diag_ready[id],
                   ctx.cycle_time(id) * costs.chol_factor *
                       vol_frac(ilen, klen, klen, block),
@@ -641,15 +888,17 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
           if (ctx.owner_pid(bi, bj) != id) continue;
           const std::size_t ilen = block_len(bi, block, n);
           const std::size_t jlen = block_len(bj, block, n);
-          const ConstMatrixView li =
-              ctx.store[id].at(BlockKey{kTagA * nb + bi, k});
-          const ConstMatrixView lj =
-              ctx.store[id].at(BlockKey{kTagA * nb + bj, k});
-          const MatrixView tv =
-              ctx.store[id].at(BlockKey{kTagA * nb + bi, bj});
-          ctx.add_task(id, [li, lj, tv] {
-            gemm(Trans::No, Trans::Yes, -1.0, li, lj, 1.0, tv);
-          });
+          const BlockKey li_key{kTagA * nb + bi, k};
+          const BlockKey lj_key{kTagA * nb + bj, k};
+          const BlockKey t_key{kTagA * nb + bi, bj};
+          const ConstMatrixView li = ctx.store[id].at(li_key);
+          const ConstMatrixView lj = ctx.store[id].at(lj_key);
+          const MatrixView tv = ctx.store[id].at(t_key);
+          const int prio = bj == k + 1 ? kPrioPanel : kPrioUpdate;
+          ctx.add_op(id, "mp.gemm", prio, {li_key, lj_key}, {t_key},
+                     [li, lj, tv] {
+                       gemm(Trans::No, Trans::Yes, -1.0, li, lj, 1.0, tv);
+                     });
           work += ctx.cycle_time(id) * costs.update *
                   vol_frac(ilen, jlen, klen, block);
         }
@@ -662,9 +911,10 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     for (std::size_t id = 0; id < procs; ++id)
       for (std::size_t bi = k; bi < nb; ++bi)
         if (ctx.owner_pid(bi, k) != id)
-          ctx.store[id].erase(BlockKey{kTagA * nb + bi, k});
+          ctx.erase_block(id, BlockKey{kTagA * nb + bi, k});
   }
 
+  ctx.finish();
   gather(ctx, a, kTagA, nb, nb);
   return ctx.report();
 }
@@ -712,18 +962,23 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
     // --- Gather the column panel to the diagonal owner (the panel lives in
     // grid column diag.col; off-owner blocks take one feeder hop each).
     double gather_ready = ctx.clock[diag_id];
+    std::vector<BlockKey> panel_keys;
     for (std::size_t bi = k; bi < nbr; ++bi) {
       const std::size_t from = ctx.owner_pid(bi, k);
       const double arrival = ctx.feeder(from, diag_id,
                                         BlockKey{kTagA * nbr + bi, k},
                                         ctx.clock[from]);
       gather_ready = std::max(gather_ready, arrival);
+      panel_keys.push_back(BlockKey{kTagA * nbr + bi, k});
     }
 
     // --- Factor the assembled panel on the host and write the blocks back
     // into the diagonal owner's copies. All panel arithmetic is serial
     // host-side math, so the factors are bit-identical for any thread
-    // count.
+    // count. Dag mode waits only for the ops touching the panel blocks at
+    // the diagonal owner (the feeder copies and the owner's own previous
+    // trailing updates); everything else keeps running.
+    ctx.host_sync(diag_id, panel_keys);
     Matrix panel(rows - klo, klen);
     for (std::size_t bi = k; bi < nbr; ++bi) {
       const std::size_t ilen = block_len(bi, block, rows);
@@ -760,13 +1015,8 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
     // --- Send the factored panel back down the owner grid column (also
     // restores the owners' blocks, so this runs even at the last step).
     std::fill(col_ready.begin(), col_ready.end(), 0.0);
-    {
-      std::vector<BlockKey> panel_keys;
-      for (std::size_t bi = k; bi < nbr; ++bi)
-        panel_keys.push_back(BlockKey{kTagA * nbr + bi, k});
-      ctx.ring_broadcast_col(diag.col, diag.row, panel_keys,
-                             ctx.clock[diag_id], col_ready);
-    }
+    ctx.ring_broadcast_col(diag.col, diag.row, panel_keys,
+                           ctx.clock[diag_id], col_ready);
 
     if (has_trailing) {
       // --- V panel out along grid rows: each row carries its own blocks;
@@ -787,19 +1037,28 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
 
       // --- Build the unit-lower diagonal V block at every processor of
       // grid row diag.row (local postprocessing of the received diagonal
-      // block; off-diagonal panel blocks are already pure V).
+      // block; off-diagonal panel blocks are already pure V). Queued as an
+      // op on the owner's lane so the dag can order it after the diagonal
+      // copy lands; under the barrier scheduler it simply runs first on
+      // the same lane as its pass-1 readers.
       for (std::size_t gj = 0; gj < ctx.q; ++gj) {
         const std::size_t id = ctx.pid(diag.row, gj);
         const ConstMatrixView dv = ctx.store[id].at(diag_key);
-        Matrix v0 = ctx.store[id].acquire(dv.rows(), klen);
-        for (std::size_t j = 0; j < klen; ++j)
-          for (std::size_t i = 0; i < dv.rows(); ++i)
-            v0(i, j) = i > j ? dv(i, j) : (i == j ? 1.0 : 0.0);
-        ctx.store[id].put(v0_key, std::move(v0));
+        ctx.store[id].put(v0_key, ctx.store[id].acquire(dv.rows(), klen));
+        const MatrixView v0v = ctx.store[id].at(v0_key);
+        ctx.add_op(id, "mp.v0", kPrioSolve, {diag_key}, {v0_key},
+                   [dv, v0v] {
+                     for (std::size_t j = 0; j < v0v.cols(); ++j)
+                       for (std::size_t i = 0; i < v0v.rows(); ++i)
+                         v0v(i, j) =
+                             i > j ? dv(i, j) : (i == j ? 1.0 : 0.0);
+                   });
       }
 
       // --- Pass 1: partial W = V^T * C per (processor, trailing column),
-      // ascending block row on each owner's lane.
+      // ascending block row on each owner's lane. W keys carry the step in
+      // their column so a deferred erase of step k's partials can never
+      // collide with step k + 1 re-creating them.
       std::fill(work_acc.begin(), work_acc.end(), 0.0);
       for (std::size_t bj = k + 1; bj < nbc; ++bj) {
         const std::size_t gj = ctx.dist.owner(k, bj).col;
@@ -809,19 +1068,21 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
           const std::size_t id = ctx.pid(gi, gj);
           Matrix wbuf = ctx.store[id].acquire(klen, jlen);
           wbuf.view().fill(0.0);
-          const BlockKey w_key{kTagW * nbr + bj, gi};
+          const BlockKey w_key{kTagW * nbr + bj, k * ctx.p + gi};
           ctx.store[id].put(w_key, std::move(wbuf));
           const MatrixView wv = ctx.store[id].at(w_key);
           for (std::size_t bi = k; bi < nbr; ++bi) {
             if (ctx.dist.owner(bi, k).row != gi) continue;
             const std::size_t ilen = block_len(bi, block, rows);
-            const ConstMatrixView vv = ctx.store[id].at(
-                bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k});
-            const ConstMatrixView cv =
-                ctx.store[id].at(BlockKey{kTagA * nbr + bi, bj});
-            ctx.add_task(id, [vv, cv, wv] {
-              gemm(Trans::Yes, Trans::No, 1.0, vv, cv, 1.0, wv);
-            });
+            const BlockKey v_key =
+                bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k};
+            const BlockKey c_key{kTagA * nbr + bi, bj};
+            const ConstMatrixView vv = ctx.store[id].at(v_key);
+            const ConstMatrixView cv = ctx.store[id].at(c_key);
+            ctx.add_op(id, "mp.gemm", kPrioUpdate, {v_key, c_key}, {w_key},
+                       [vv, cv, wv] {
+                         gemm(Trans::Yes, Trans::No, 1.0, vv, cv, 1.0, wv);
+                       });
             work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
                             vol_frac(ilen, jlen, klen, block);
           }
@@ -839,31 +1100,34 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
         const std::size_t gj = ctx.dist.owner(k, bj).col;
         const std::size_t jlen = block_len(bj, block, cols);
         const std::size_t root = ctx.pid(diag.row, gj);
-        const BlockKey w_root_key{kTagW * nbr + bj, diag.row};
+        const BlockKey w_root_key{kTagW * nbr + bj, k * ctx.p + diag.row};
         const MatrixView w_root = ctx.store[root].at(w_root_key);
         double reduce_ready = 0.0;
         for (std::size_t gi = 0; gi < ctx.p; ++gi) {
           if (!contrib[gi] || gi == diag.row) continue;
           const std::size_t src = ctx.pid(gi, gj);
-          const BlockKey w_key{kTagW * nbr + bj, gi};
+          const BlockKey w_key{kTagW * nbr + bj, k * ctx.p + gi};
           const double arrival =
               ctx.net.transfer(src, root, 1, ctx.clock[src]);
           ctx.copy_block(src, root, w_key);
           reduce_ready = std::max(reduce_ready, arrival);
           const ConstMatrixView pv = ctx.store[root].at(w_key);
-          ctx.add_task(root,
-                       [pv, w_root] { add_in_place(pv, w_root); });
+          ctx.add_op(root, "mp.add", kPrioSolve, {w_key}, {w_root_key},
+                     [pv, w_root] { add_in_place(pv, w_root); });
         }
-        const BlockKey y_key{kTagY * nbr + bj, bj};
+        // Y keys carry the step in their column for the same
+        // erase-vs-reuse reason as the W partials.
+        const BlockKey y_key{kTagY * nbr + bj, k};
         Matrix ybuf = ctx.store[root].acquire(klen, jlen);
         ctx.store[root].put(y_key, std::move(ybuf));
         const MatrixView yv = ctx.store[root].at(y_key);
         const ConstMatrixView tv = ctx.store[root].at(t_key);
         const ConstMatrixView wcv = ctx.store[root].at(w_root_key);
         // beta = 0 overwrites whatever the recycled buffer held.
-        ctx.add_task(root, [tv, wcv, yv] {
-          gemm(Trans::Yes, Trans::No, 1.0, tv, wcv, 0.0, yv);
-        });
+        ctx.add_op(root, "mp.gemm", kPrioSolve, {t_key, w_root_key},
+                   {y_key}, [tv, wcv, yv] {
+                     gemm(Trans::Yes, Trans::No, 1.0, tv, wcv, 0.0, yv);
+                   });
         ctx.compute(root, reduce_ready,
                     ctx.cycle_time(root) * costs.qr_update *
                         vol_frac(klen, jlen, klen, block),
@@ -876,7 +1140,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       for (auto& v : col_keys) v.clear();
       for (std::size_t bj = k + 1; bj < nbc; ++bj)
         col_keys[ctx.dist.owner(k, bj).col].push_back(
-            BlockKey{kTagY * nbr + bj, bj});
+            BlockKey{kTagY * nbr + bj, k});
       for (std::size_t gj = 0; gj < ctx.q; ++gj) {
         if (col_keys[gj].empty()) continue;
         ctx.ring_broadcast_col(gj, diag.row, col_keys[gj],
@@ -891,15 +1155,17 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
             if (ctx.owner_pid(bi, bj) != id) continue;
             const std::size_t ilen = block_len(bi, block, rows);
             const std::size_t jlen = block_len(bj, block, cols);
-            const ConstMatrixView vv = ctx.store[id].at(
-                bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k});
-            const ConstMatrixView yv =
-                ctx.store[id].at(BlockKey{kTagY * nbr + bj, bj});
-            const MatrixView cv =
-                ctx.store[id].at(BlockKey{kTagA * nbr + bi, bj});
-            ctx.add_task(id, [vv, yv, cv] {
-              gemm(Trans::No, Trans::No, -1.0, vv, yv, 1.0, cv);
-            });
+            const BlockKey v_key =
+                bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k};
+            const BlockKey y_key{kTagY * nbr + bj, k};
+            const BlockKey c_key{kTagA * nbr + bi, bj};
+            const ConstMatrixView vv = ctx.store[id].at(v_key);
+            const ConstMatrixView yv = ctx.store[id].at(y_key);
+            const MatrixView cv = ctx.store[id].at(c_key);
+            ctx.add_op(id, "mp.gemm", kPrioUpdate, {v_key, y_key}, {c_key},
+                       [vv, yv, cv] {
+                         gemm(Trans::No, Trans::No, -1.0, vv, yv, 1.0, cv);
+                       });
             work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
                             vol_frac(ilen, jlen, klen, block);
           }
@@ -915,17 +1181,18 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
     for (std::size_t id = 0; id < procs; ++id) {
       for (std::size_t bi = k; bi < nbr; ++bi)
         if (ctx.owner_pid(bi, k) != id)
-          ctx.store[id].erase(BlockKey{kTagA * nbr + bi, k});
-      ctx.store[id].erase(t_key);
-      ctx.store[id].erase(v0_key);
+          ctx.erase_block(id, BlockKey{kTagA * nbr + bi, k});
+      ctx.erase_block(id, t_key);
+      ctx.erase_block(id, v0_key);
       for (std::size_t bj = k + 1; bj < nbc; ++bj) {
         for (std::size_t gi = 0; gi < ctx.p; ++gi)
-          ctx.store[id].erase(BlockKey{kTagW * nbr + bj, gi});
-        ctx.store[id].erase(BlockKey{kTagY * nbr + bj, bj});
+          ctx.erase_block(id, BlockKey{kTagW * nbr + bj, k * ctx.p + gi});
+        ctx.erase_block(id, BlockKey{kTagY * nbr + bj, k});
       }
     }
   }
 
+  ctx.finish();
   gather(ctx, a, kTagA, nbr, nbc);
   static_cast<MpReport&>(rep) = ctx.report();
   return rep;

@@ -51,6 +51,11 @@ struct MpQrReport : MpReport {
 /// clock, counter, and trace span is computed on the host thread — the
 /// MpReport, the trace, and the gathered matrix are bit-identical for any
 /// thread count (see doc/parallel_runtime.md).
+///
+/// They also honor `opts.scheduler`: kBarrier (default) flushes the batch
+/// at every phase boundary, kDag emits the same ops into a dependency
+/// graph keyed by (processor, block) so phases of successive steps overlap
+/// — with identical results, reports, and traces either way (same doc).
 MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
                     const ConstMatrixView& a, const ConstMatrixView& b,
                     MatrixView c, std::size_t block,
@@ -67,7 +72,11 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
 /// trailing update until after the next step's panel and triangular
 /// solves — the classic lookahead optimization that takes the panel
 /// factorization off the critical path. Numerical results are identical;
-/// only the virtual schedule changes.
+/// only the virtual schedule changes. Under `opts.scheduler = kDag` the
+/// same overlap also happens for real on the wall clock (next-panel
+/// updates run at elevated priority and the host only waits on the
+/// diagonal block's dependency chain); the flag keeps controlling the
+/// virtual-time model independently, in either scheduler.
 MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
                    MatrixView a, std::size_t block,
                    const KernelCosts& costs = {}, bool lookahead = false,

@@ -79,8 +79,18 @@ struct KernelCosts {
 /// counters, and trace spans are always computed on the host thread, and
 /// the floating-point results are bit-identical for every thread count
 /// (see doc/parallel_runtime.md for the contract).
+///
+/// `scheduler` selects how the MP runtime orders its real block math:
+/// kBarrier flushes a TaskBatch at every phase boundary (bulk-synchronous,
+/// the fallback), kDag emits a util/task_graph whose block-versioned
+/// read/write dependencies alone order the work, so step k+1's panel chain
+/// overlaps step k's trailing updates. Both schedulers produce bit-identical
+/// reports, traces, and matrices at every thread count.
 struct RuntimeOptions {
+  enum class Scheduler { kBarrier, kDag };
+
   unsigned threads = 1;
+  Scheduler scheduler = Scheduler::kBarrier;
 };
 
 /// Simulates C = A * B on nb x nb blocks (outer-product algorithm,

@@ -33,14 +33,19 @@ void ParallelEngine::run_groups(
   if (metrics != nullptr) t0 = std::chrono::steady_clock::now();
   {
     ProfScope span("engine.flush");
+    // One batched submit: a single queue lock and at most one wakeup per
+    // parked worker instead of a lock + notify per group. The group
+    // vectors outlive wait_idle() below, so capturing references is safe;
+    // the queue mutex publishes the ops.
+    std::vector<std::function<void()>> units;
+    units.reserve(groups.size());
     for (auto& group : groups) {
       if (group.empty()) continue;
-      // The group vector outlives wait_idle() below, so capturing a
-      // reference is safe; submit()'s queue mutex publishes the ops.
-      pool_->submit([&group] {
+      units.emplace_back([&group] {
         for (auto& op : group) op();
       });
     }
+    pool_->submit_batch(std::move(units));
     pool_->wait_idle();
   }
   if (metrics != nullptr)

@@ -59,22 +59,38 @@ class ParallelEngine {
 /// the engine at the phase boundary. Reusable across rounds.
 class TaskBatch {
  public:
-  explicit TaskBatch(std::size_t groups) : lanes_(groups) {}
+  explicit TaskBatch(std::size_t groups) : lanes_(groups), prev_ops_(groups) {}
 
   void add(std::size_t group, std::function<void()> op) {
     lanes_[group].push_back(std::move(op));
   }
 
-  /// Runs all pending ops (blocking) and clears the lanes for reuse.
+  /// Pre-sizes every lane for roughly `ops` pending ops, so the first
+  /// round does not grow its std::function vectors geometrically. Later
+  /// rounds re-reserve from their own previous counts (see run()).
+  void hint(std::size_t ops) {
+    for (auto& lane : lanes_) lane.reserve(std::max(lane.capacity(), ops));
+  }
+
+  /// Runs all pending ops (blocking) and clears the lanes for reuse. Each
+  /// lane is re-reserved to its previous round's count: successive rounds
+  /// of one kernel queue similar op counts per processor, so the steady
+  /// state performs no std::function vector reallocation.
   void run(ParallelEngine& engine) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i)
+      prev_ops_[i] = lanes_[i].size();
     engine.run_groups(lanes_);
-    for (auto& lane : lanes_) lane.clear();
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      lanes_[i].clear();
+      lanes_[i].reserve(prev_ops_[i]);
+    }
   }
 
   std::size_t groups() const { return lanes_.size(); }
 
  private:
   std::vector<std::vector<std::function<void()>>> lanes_;
+  std::vector<std::size_t> prev_ops_;  // per-lane op count of the last run
 };
 
 }  // namespace hetgrid

@@ -45,15 +45,50 @@ void ThreadPool::submit(std::function<void()> task) {
     item.timed = true;
   }
   std::size_t depth = 0;
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     HG_CHECK(!stop_, "submit on a stopping ThreadPool");
     queue_.push_back(std::move(item));
     depth = queue_.size() + in_flight_;
+    // Only wake a worker that is actually parked. A worker that has not
+    // reached cv_work_.wait yet re-checks the queue under mu_ before
+    // sleeping, so skipping the notify here can never strand the task.
+    wake = waiting_ > 0;
   }
-  cv_work_.notify_one();
+  if (wake) cv_work_.notify_one();
   if (metrics != nullptr) {
     metrics->counter("pool.tasks_submitted").add(1);
+    metrics->gauge("pool.queue_depth").set(static_cast<double>(depth));
+  }
+}
+
+void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  MetricsRegistry* metrics = installed_metrics();
+  std::chrono::steady_clock::time_point now;
+  if (metrics != nullptr) now = std::chrono::steady_clock::now();
+  std::size_t depth = 0;
+  std::size_t wake = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HG_CHECK(!stop_, "submit_batch on a stopping ThreadPool");
+    for (std::function<void()>& task : tasks) {
+      Item item;
+      item.fn = std::move(task);
+      if (metrics != nullptr) {
+        item.enqueued = now;
+        item.timed = true;
+      }
+      queue_.push_back(std::move(item));
+    }
+    depth = queue_.size() + in_flight_;
+    wake = std::min(waiting_, tasks.size());
+  }
+  for (std::size_t i = 0; i < wake; ++i) cv_work_.notify_one();
+  if (metrics != nullptr) {
+    metrics->counter("pool.tasks_submitted")
+        .add(static_cast<double>(tasks.size()));
     metrics->gauge("pool.queue_depth").set(static_cast<double>(depth));
   }
 }
@@ -75,7 +110,9 @@ void ThreadPool::worker_loop(unsigned index) {
     Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++waiting_;
       cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      --waiting_;
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -111,11 +148,15 @@ void ThreadPool::worker_loop(unsigned index) {
     if (metrics != nullptr)
       metrics->histogram("pool.task_run_us")
           .record(us_between(run_start, std::chrono::steady_clock::now()));
+    bool idle = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
+      idle = queue_.empty() && in_flight_ == 0;
     }
-    cv_idle_.notify_all();
+    // wait_idle's predicate can only turn true at this transition, so a
+    // per-task notify_all was pure wakeup churn for the host thread.
+    if (idle) cv_idle_.notify_all();
   }
 }
 

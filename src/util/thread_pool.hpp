@@ -41,8 +41,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; runs on some worker, in no particular order relative
-  /// to other tasks.
+  /// to other tasks. Wakes at most one worker, and only when one is
+  /// actually parked — busy workers re-check the queue before sleeping, so
+  /// no wakeup is ever missed and none is wasted.
   void submit(std::function<void()> task);
+
+  /// Enqueues all tasks under a single queue lock and wakes at most
+  /// min(tasks, parked workers) workers — the batched form of submit() for
+  /// fan-out callers (TaskGraph releasing several ready tasks at once).
+  void submit_batch(std::vector<std::function<void()>> tasks);
 
   /// Blocks until the queue is empty and no task is executing.
   void wait_idle();
@@ -64,9 +71,10 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_work_;  // signalled on submit and shutdown
-  std::condition_variable cv_idle_;  // signalled when a task finishes
+  std::condition_variable cv_idle_;  // signalled when the pool goes idle
   std::deque<Item> queue_;
   std::size_t in_flight_ = 0;  // tasks popped but not yet finished
+  std::size_t waiting_ = 0;    // workers parked in cv_work_.wait
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,355 @@
+// Tests for the dependency-driven task-graph scheduler: the scoreboard
+// dependency rules (RAW / WAR / WAW), the cycle check, deterministic
+// execution across thread counts, and the dag-vs-barrier bit-identity of
+// all four MP kernels — including the regression that LU's dag mode
+// reproduces the barrier lookahead results exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "dist/panel_distribution.hpp"
+#include "matrix/cholesky.hpp"
+#include "matrix/matrix.hpp"
+#include "mp/mp_runtime.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/task_graph.hpp"
+
+namespace hetgrid {
+namespace {
+
+using Scheduler = RuntimeOptions::Scheduler;
+
+// ----------------------------------------------------- graph unit tests
+
+TEST(TaskGraph, SerialRunsInlineInSubmissionOrder) {
+  TaskGraph g(1);
+  std::vector<int> order;
+  g.add("a", {}, {1}, [&] { order.push_back(0); });
+  g.add("b", {1}, {2}, [&] { order.push_back(1); });
+  g.add("c", {2}, {}, [&] { order.push_back(2); });
+  g.wait_all();
+  EXPECT_TRUE(g.serial());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.stats().tasks, 3u);
+  EXPECT_EQ(g.stats().edges, 2u);        // a->b (RAW), b->c (RAW)
+  EXPECT_EQ(g.stats().critical_path, 3u);
+}
+
+TEST(TaskGraph, WarAndWawEdgesSerializeWriters) {
+  // reader of key 1, then a writer of key 1: the writer must wait (WAR).
+  // A second writer then chains on the first (WAW).
+  TaskGraph g(1);
+  g.add("w0", {}, {1}, [] {});
+  const auto r = g.add("r", {1}, {}, [] {});
+  const auto w1 = g.add("w1", {}, {1}, [] {});
+  const auto w2 = g.add("w2", {}, {1}, [] {});
+  g.wait_all();
+  EXPECT_TRUE(g.done(r) && g.done(w1) && g.done(w2));
+  // Edges: w0->r (RAW), w0->w1 (WAW) + r->w1 (WAR), w1->w2 (WAW).
+  EXPECT_EQ(g.stats().edges, 4u);
+  EXPECT_EQ(g.stats().critical_path, 4u);  // w0 -> r -> w1 -> w2
+}
+
+TEST(TaskGraph, ReductionOrderBitIdenticalAcrossThreads) {
+  // Sum floating-point values in a canonical order through a WAW chain on
+  // one accumulator key. Any reordering would change the rounding; bitwise
+  // equality across thread counts proves the chain serializes.
+  const auto reduce = [](unsigned threads) {
+    Rng rng(97);
+    std::vector<double> vals(64);
+    for (double& v : vals) v = rng.uniform() - 0.5;
+    double acc = 0.0;
+    TaskGraph g(threads);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const double v = vals[i];
+      g.add("acc", {}, {7}, [&acc, v] { acc += v; });
+    }
+    g.wait_all();
+    return acc;
+  };
+  const double serial = reduce(1);
+  for (unsigned t : {2u, 7u}) {
+    const double par = reduce(t);
+    EXPECT_EQ(std::memcmp(&serial, &par, sizeof(double)), 0)
+        << "threads=" << t;
+  }
+}
+
+TEST(TaskGraph, IndependentTasksRunConcurrently) {
+  // Two tasks with disjoint keys must be in flight simultaneously at some
+  // point with 2 workers: each waits for the other to have started.
+  TaskGraph g(2);
+  std::atomic<int> started{0};
+  for (int i = 0; i < 2; ++i)
+    g.add("spin", {}, {static_cast<TaskGraph::Key>(i)}, [&started] {
+      started.fetch_add(1);
+      while (started.load() < 2) {
+      }
+    });
+  g.wait_all();
+  EXPECT_EQ(started.load(), 2);
+}
+
+TEST(TaskGraph, ExplicitAfterEdgesAreHonored) {
+  TaskGraph g(3);
+  std::atomic<int> stage{0};
+  const auto first = g.add("first", {}, {}, [&] { stage.store(1); });
+  g.add("second", {}, {}, [&] { EXPECT_EQ(stage.load(), 1); }, 0, {first});
+  g.wait_all();
+}
+
+TEST(TaskGraph, ForwardOrSelfAfterReferenceThrows) {
+  // Dependencies must point strictly backwards — a forward or self `after`
+  // edge is the only way to express a cycle, and it is rejected.
+  TaskGraph g(1);
+  g.add("a", {}, {}, [] {});
+  EXPECT_THROW(g.add("self", {}, {}, [] {}, 0, {1}), PreconditionError);
+  EXPECT_THROW(g.add("fwd", {}, {}, [] {}, 0, {42}), PreconditionError);
+}
+
+TEST(TaskGraph, PendingOnTracksUnfinishedTasks) {
+  TaskGraph g(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  g.add("w", {}, {5}, [&] {
+    while (!release.load()) {
+    }
+    ran.store(true);
+  });
+  EXPECT_EQ(g.pending_on(5).size(), 1u);
+  EXPECT_TRUE(g.pending_on(6).empty());
+  release.store(true);
+  g.wait_all();
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(g.pending_on(5).empty());
+}
+
+TEST(TaskGraph, HostAcquireWaitsForWritersAndReaders) {
+  TaskGraph g(2);
+  std::atomic<bool> release{false};
+  int value = 0;
+  g.add("w", {}, {9}, [&] {
+    while (!release.load()) {
+    }
+    value = 42;
+  });
+  release.store(true);
+  g.host_acquire({}, {9});  // write ownership: waits for the writer
+  EXPECT_EQ(value, 42);
+  // After host_acquire the host owns the key: a new reader needs no edge.
+  const std::size_t edges = g.stats().edges;
+  g.add("r", {9}, {}, [] {});
+  g.wait_all();
+  EXPECT_EQ(g.stats().edges, edges);
+}
+
+TEST(TaskGraph, StatsDeterministicAcrossThreadCounts) {
+  const auto build = [](unsigned threads) {
+    TaskGraph g(threads);
+    for (int i = 0; i < 8; ++i)
+      g.add("w", {}, {static_cast<TaskGraph::Key>(i % 3)}, [] {});
+    g.wait_all();
+    return g.stats();
+  };
+  const TaskGraph::Stats serial = build(1);
+  for (unsigned t : {2u, 7u}) {
+    const TaskGraph::Stats par = build(t);
+    EXPECT_EQ(serial.tasks, par.tasks);
+    EXPECT_EQ(serial.edges, par.edges);
+    EXPECT_EQ(serial.critical_path, par.critical_path);
+  }
+}
+
+// ----------------------------------------------------- MP dag-vs-barrier
+
+bool same_bits(const ConstMatrixView& a, const ConstMatrixView& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double x = a(i, j), y = b(i, j);
+      if (std::memcmp(&x, &y, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+void expect_same_events(const std::vector<TraceEvent>& a,
+                        const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].proc, b[i].proc) << "event " << i;
+    EXPECT_EQ(a[i].start, b[i].start) << "event " << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << "event " << i;
+    EXPECT_EQ(a[i].step, b[i].step) << "event " << i;
+    EXPECT_EQ(a[i].blocks, b[i].blocks) << "event " << i;
+    EXPECT_EQ(a[i].peer, b[i].peer) << "event " << i;
+    EXPECT_EQ(a[i].name, b[i].name) << "event " << i;
+  }
+}
+
+void expect_same_report(const MpReport& a, const MpReport& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.blocks_moved, b.blocks_moved);
+  EXPECT_EQ(a.factorized, b.factorized);
+}
+
+Machine het_machine(std::uint64_t seed, std::size_t p, std::size_t q) {
+  Rng rng(seed);
+  return Machine{CycleTimeGrid::sorted_row_major(p, q,
+                                                 rng.cycle_times(p * q, 0.2)),
+                 NetworkModel{Topology::kSwitched, 1.0e-4, 2.0e-4, true}};
+}
+
+constexpr unsigned kThreadCounts[] = {1, 2, 7};
+
+struct MpRun {
+  MpReport report;
+  Matrix out;
+  std::vector<double> tau;  // QR only
+  std::vector<TraceEvent> events;
+};
+
+RuntimeOptions make_opts(Scheduler sched, unsigned threads) {
+  RuntimeOptions opts;
+  opts.threads = threads;
+  opts.scheduler = sched;
+  return opts;
+}
+
+MpRun run_mmm(const Machine& machine, const Distribution2D& dist,
+              Scheduler sched, unsigned threads) {
+  Rng rng(11);
+  Matrix a(28, 28), b(28, 28), c(28, 28);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  MemoryTraceSink sink;
+  MpRun run;
+  run.report = run_mp_mmm(machine, dist, a.view(), b.view(), c.view(), 6,
+                          {}, &sink, make_opts(sched, threads));
+  run.out = std::move(c);
+  run.events = sink.events();
+  return run;
+}
+
+MpRun run_lu(const Machine& machine, const Distribution2D& dist,
+             bool lookahead, Scheduler sched, unsigned threads) {
+  Rng rng(13);
+  Matrix a(28, 28);
+  fill_diagonally_dominant(a.view(), rng);
+  MemoryTraceSink sink;
+  MpRun run;
+  run.report = run_mp_lu(machine, dist, a.view(), 6, {}, lookahead, &sink,
+                         make_opts(sched, threads));
+  run.out = std::move(a);
+  run.events = sink.events();
+  return run;
+}
+
+MpRun run_chol(const Machine& machine, const Distribution2D& dist,
+               Scheduler sched, unsigned threads) {
+  Rng rng(17);
+  Matrix a(28, 28);
+  fill_spd(a.view(), rng);
+  MemoryTraceSink sink;
+  MpRun run;
+  run.report = run_mp_cholesky(machine, dist, a.view(), 6, {}, &sink,
+                               make_opts(sched, threads));
+  run.out = std::move(a);
+  run.events = sink.events();
+  return run;
+}
+
+MpRun run_qr(const Machine& machine, const Distribution2D& dist,
+             Scheduler sched, unsigned threads) {
+  Rng rng(19);
+  Matrix a(32, 20);
+  fill_random(a.view(), rng);
+  MemoryTraceSink sink;
+  MpRun run;
+  const MpQrReport rep = run_mp_qr(machine, dist, a.view(), 5, {}, &sink,
+                                   make_opts(sched, threads));
+  run.report = rep;
+  run.tau = rep.tau;
+  run.out = std::move(a);
+  run.events = sink.events();
+  return run;
+}
+
+void expect_same_run(const MpRun& ref, const MpRun& got) {
+  expect_same_report(ref.report, got.report);
+  EXPECT_EQ(ref.tau, got.tau);
+  EXPECT_TRUE(same_bits(ref.out.view(), got.out.view()));
+  expect_same_events(ref.events, got.events);
+}
+
+TEST(MpDag, MmmBitIdenticalToBarrier) {
+  const Machine machine = het_machine(23, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  const MpRun barrier = run_mmm(machine, dist, Scheduler::kBarrier, 1);
+  for (unsigned t : kThreadCounts) {
+    SCOPED_TRACE(testing::Message() << "threads=" << t);
+    expect_same_run(barrier, run_mmm(machine, dist, Scheduler::kDag, t));
+  }
+}
+
+TEST(MpDag, LuBitIdenticalToBarrier) {
+  const Machine machine = het_machine(31, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  const MpRun barrier = run_lu(machine, dist, false, Scheduler::kBarrier, 1);
+  for (unsigned t : kThreadCounts)
+    expect_same_run(barrier,
+                    run_lu(machine, dist, false, Scheduler::kDag, t));
+}
+
+TEST(MpDag, LuDagReproducesBarrierLookaheadResults) {
+  // Regression for the lookahead subsumption: the dag scheduler runs the
+  // overlap for real, but the `lookahead` flag still selects the same
+  // virtual-time model — dag + lookahead must reproduce the barrier
+  // scheduler's lookahead=true reports, traces, and factors bitwise.
+  const Machine machine = het_machine(31, 2, 3);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 3);
+  const MpRun barrier = run_lu(machine, dist, true, Scheduler::kBarrier, 1);
+  for (unsigned t : kThreadCounts)
+    expect_same_run(barrier,
+                    run_lu(machine, dist, true, Scheduler::kDag, t));
+}
+
+TEST(MpDag, CholeskyBitIdenticalToBarrier) {
+  const Machine machine = het_machine(37, 3, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(3, 2);
+  const MpRun barrier = run_chol(machine, dist, Scheduler::kBarrier, 1);
+  for (unsigned t : kThreadCounts)
+    expect_same_run(barrier, run_chol(machine, dist, Scheduler::kDag, t));
+}
+
+TEST(MpDag, QrBitIdenticalToBarrier) {
+  // The sharp case: QR's W reduction must keep its canonical summation
+  // order through the dag's WAW chains, and its W/Y transients exercise
+  // the deferred-erase path.
+  const Machine machine = het_machine(59, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const MpRun barrier = run_qr(machine, dist, Scheduler::kBarrier, 1);
+  for (unsigned t : kThreadCounts)
+    expect_same_run(barrier, run_qr(machine, dist, Scheduler::kDag, t));
+}
+
+TEST(MpDag, BarrierSchedulerUnaffectedByThreads) {
+  // Sanity: the barrier reference itself stays bit-identical across thread
+  // counts (the PR 3 contract still holds with the shared op-emission
+  // path).
+  const Machine machine = het_machine(41, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const MpRun serial = run_qr(machine, dist, Scheduler::kBarrier, 1);
+  expect_same_run(serial, run_qr(machine, dist, Scheduler::kBarrier, 3));
+}
+
+}  // namespace
+}  // namespace hetgrid

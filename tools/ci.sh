@@ -31,6 +31,15 @@ build-ci/bench/bench_compare --check-schema=build-ci/BENCH_runtime_smoke.json \
       --schema=bench/baselines/bench_runtime_schema.json
 build-ci/bench/bench_compare --base=build-ci/BENCH_runtime_smoke.json \
       --new=build-ci/BENCH_runtime_smoke.json
+
+# Gate against the committed numbers baseline: the dag scheduler's host
+# synchronization count must never grow (exact), and wall clock must stay
+# within a generous envelope (CI machines are noisy; this catches
+# catastrophic slowdowns, the bit-identity asserts above catch the rest).
+build-ci/bench/bench_compare --base=bench/baselines/bench_runtime_baseline.json \
+      --new=build-ci/BENCH_runtime_smoke.json --key=barriers --threshold=0
+build-ci/bench/bench_compare --base=bench/baselines/bench_runtime_baseline.json \
+      --new=build-ci/BENCH_runtime_smoke.json --key=ms --threshold=4.0
 if build-ci/bench/bench_compare --base=build-ci/BENCH_runtime_smoke.json \
       --new=build-ci/BENCH_runtime_smoke.json --inject=1.5 --threshold=0.2 \
       2>/dev/null; then
@@ -48,12 +57,21 @@ build-ci/tools/hetgrid trace --times=1,2,3,6 --p=2 --q=2 --kernel=qr \
       --backend=mp --nb=4 --block=4 \
       --out=build-ci/trace_qr_smoke.json >/dev/null
 
+# Dag-scheduler trace smoke: each MP kernel runs end to end under the
+# dependency-driven scheduler (threaded, so the dataflow path is real).
+for kernel in mmm lu chol qr; do
+  build-ci/tools/hetgrid trace --times=1,2,3,6 --p=2 --q=2 \
+        --kernel="$kernel" --backend=mp --nb=4 --block=4 \
+        --scheduler=dag --threads=2 \
+        --out="build-ci/trace_${kernel}_dag_smoke.json" >/dev/null
+done
+
 # TSan pass: only the tests that actually exercise threads (mirrors the
 # "tsan" preset in CMakePresets.json).
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$NPROC" \
-      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler
+      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph
 ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
-      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler)$'
+      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph)$'

@@ -356,6 +356,14 @@ int run_trace(const Cli& cli) {
   HG_CHECK(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
   RuntimeOptions run_opts;
   run_opts.threads = static_cast<unsigned>(threads);
+  const std::string scheduler = cli.get_string("scheduler");
+  if (scheduler == "dag")
+    run_opts.scheduler = RuntimeOptions::Scheduler::kDag;
+  else
+    HG_CHECK(scheduler == "barrier",
+             "--scheduler must be barrier or dag, got " << scheduler);
+  HG_CHECK(backend == "mp" || scheduler == "barrier",
+           "--scheduler only applies to --backend=mp");
 
   const NetworkModel net = parse_network_flag(cli.get_string("network"));
   StrategyChoice choice =
@@ -449,7 +457,7 @@ int cmd_trace(int argc, const char* const* argv) {
                  {"kernel", "mmm"}, {"nb", "16"}, {"backend", "sim"},
                  {"network", "switched"}, {"strategy", "heuristic"},
                  {"scale", "8"}, {"block", "4"}, {"out", "trace.json"},
-                 {"csv", "0"}, {"threads", "1"},
+                 {"csv", "0"}, {"threads", "1"}, {"scheduler", "barrier"},
                  {"profile", ""}, {"metrics", ""}});
   ProfileSession session(cli.get_string("profile"), cli.get_string("metrics"));
   session.begin();
@@ -578,8 +586,11 @@ int usage() {
       "  trace    --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=16\n"
       "           [--backend=sim|mp] [--out=trace.json] [--block=4]\n"
       "           [--network=...] [--strategy=...] [--threads=1]\n"
+      "           [--scheduler=barrier|dag]\n"
       "           (--threads parallelizes the mp backend's block math;\n"
-      "            0 = all hardware threads, output is bit-identical)\n"
+      "            0 = all hardware threads, output is bit-identical;\n"
+      "            --scheduler=dag replaces the mp backend's per-phase\n"
+      "            barriers with dataflow dependencies — same output)\n"
       "  profile  --times=1,2,3,4,5,6 --p=2 --q=3 [--out=profile.json]\n"
       "           [--metrics=metrics.json] [--threads=1] [--smoke=0]\n"
       "           (--smoke runs the determinism self-checks instead)\n"
