@@ -45,6 +45,10 @@
 #include "obs/trace.hpp"              // IWYU pragma: export
 #include "obs/utilization.hpp"        // IWYU pragma: export
 #include "runtime/virtual_runtime.hpp"   // IWYU pragma: export
+#include "serve/client.hpp"           // IWYU pragma: export
+#include "serve/protocol.hpp"         // IWYU pragma: export
+#include "serve/server.hpp"           // IWYU pragma: export
+#include "serve/solution_cache.hpp"   // IWYU pragma: export
 #include "sim/network.hpp"            // IWYU pragma: export
 #include "sim/simulator.hpp"          // IWYU pragma: export
 #include "svd/svd.hpp"                // IWYU pragma: export

@@ -1,0 +1,70 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace hetgrid::serve {
+
+int connect_endpoint(const Endpoint& ep) {
+  if (!ep.unix_path.empty()) {
+    sockaddr_un addr{};
+    HG_CHECK(ep.unix_path.size() < sizeof addr.sun_path,
+             "unix socket path too long: " << ep.unix_path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    HG_CHECK(fd >= 0, "socket() failed: " << std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(fd);
+      HG_CHECK(false, "cannot connect to " << ep.unix_path << ": "
+                                           << std::strerror(err));
+    }
+    return fd;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  HG_CHECK(::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) == 1,
+           "not an IPv4 address: " << ep.host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HG_CHECK(fd >= 0, "socket() failed: " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    HG_CHECK(false, "cannot connect to " << ep.host << ":" << ep.port << ": "
+                                         << std::strerror(err));
+  }
+  return fd;
+}
+
+Decoded query_fd(int fd, const PlacementRequest& req) {
+  write_frame(fd, encode_request(req));
+  std::vector<std::uint8_t> payload;
+  HG_CHECK(read_frame(fd, payload), "server closed before replying");
+  return decode_payload(payload);
+}
+
+Decoded query_server(const Endpoint& ep, const PlacementRequest& req) {
+  const int fd = connect_endpoint(ep);
+  try {
+    Decoded out = query_fd(fd, req);
+    ::close(fd);
+    return out;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+}  // namespace hetgrid::serve

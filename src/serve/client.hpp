@@ -1,0 +1,35 @@
+// Minimal blocking client for the placement service: connect, send one
+// length-prefixed request frame, read one response frame, decode. Used by
+// `hetgrid query` and the socket round-trip tests; everything heavier
+// (loopback, batching) talks to PlacementServer directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace hetgrid::serve {
+
+/// Where a server listens. Exactly one of `unix_path` (non-empty) or
+/// host:port is used.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string unix_path;  // non-empty selects the unix-domain transport
+};
+
+/// Connects to `ep`. Returns the connected fd; throws PreconditionError on
+/// failure. Caller closes.
+int connect_endpoint(const Endpoint& ep);
+
+/// One request/response round trip over a fresh connection. Returns the
+/// decoded reply (a kResponse or a server-sent kError); throws
+/// PreconditionError on connect/transport failures.
+Decoded query_server(const Endpoint& ep, const PlacementRequest& req);
+
+/// Round trip on an already-connected fd (for clients reusing a
+/// connection across requests).
+Decoded query_fd(int fd, const PlacementRequest& req);
+
+}  // namespace hetgrid::serve

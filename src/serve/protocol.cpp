@@ -1,0 +1,309 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace hetgrid::serve {
+
+namespace {
+
+// Little-endian byte writers/readers. The wire format is defined as LE
+// regardless of host order; on the LE hosts we target these compile to
+// plain loads/stores.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int s = 0; s < 32; s += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int s = 0; s < 64; s += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> s));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Cursor over a payload; every get_ checks bounds and flags underrun.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t len;
+  std::size_t pos = 0;
+  bool underrun = false;
+
+  bool need(std::size_t n) {
+    if (len - pos < n) {
+      underrun = true;
+      pos = len;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint16_t get_u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data[pos]) |
+                      static_cast<std::uint16_t>(data[pos + 1]) << 8;
+    pos += 2;
+    return v;
+  }
+  std::uint32_t get_u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t get_u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+};
+
+void put_header(std::vector<std::uint8_t>& out, MsgType type) {
+  put_u32(out, kMagic);
+  put_u16(out, kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // reserved
+}
+
+Decoded parse_failure(WireError code) {
+  Decoded d;
+  d.parse_error = code;
+  return d;
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError e) {
+  switch (e) {
+    case WireError::kOk: return "ok";
+    case WireError::kBadMagic: return "bad-magic";
+    case WireError::kBadVersion: return "bad-version";
+    case WireError::kBadFrame: return "bad-frame";
+    case WireError::kBadType: return "bad-type";
+    case WireError::kBadDimensions: return "bad-dimensions";
+    case WireError::kBadCycleTime: return "bad-cycle-time";
+    case WireError::kBadMode: return "bad-mode";
+    case WireError::kDeadlineExceeded: return "deadline-exceeded";
+    case WireError::kShutdown: return "shutdown";
+    case WireError::kTooCostly: return "too-costly";
+    case WireError::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_request(const PlacementRequest& req) {
+  HG_CHECK(req.times.size() ==
+               static_cast<std::size_t>(req.p) * static_cast<std::size_t>(req.q),
+           "request times size " << req.times.size() << " != p*q");
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + 8 * req.times.size());
+  put_header(out, MsgType::kRequest);
+  put_u16(out, req.p);
+  put_u16(out, req.q);
+  out.push_back(static_cast<std::uint8_t>(req.mode));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  out.push_back(0);
+  put_u64(out, req.deadline_us);
+  for (double t : req.times) put_f64(out, t);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const PlacementResponse& rsp) {
+  const std::size_t n =
+      static_cast<std::size_t>(rsp.p) * static_cast<std::size_t>(rsp.q);
+  HG_CHECK(rsp.r.size() == rsp.p && rsp.c.size() == rsp.q &&
+               rsp.perm.size() == n,
+           "response shares/perm sizes do not match p x q");
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + 8 * (rsp.r.size() + rsp.c.size()) + 4 * n);
+  put_header(out, MsgType::kResponse);
+  put_u16(out, rsp.p);
+  put_u16(out, rsp.q);
+  out.push_back(static_cast<std::uint8_t>(rsp.solver));
+  out.push_back(static_cast<std::uint8_t>(rsp.cache_state));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  put_f64(out, rsp.objective);
+  for (double v : rsp.r) put_f64(out, v);
+  for (double v : rsp.c) put_f64(out, v);
+  for (std::uint32_t v : rsp.perm) put_u32(out, v);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_error(WireError code,
+                                       const std::string& detail) {
+  HG_CHECK(detail.size() <= 0xFFFF, "error detail too long");
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + detail.size());
+  put_header(out, MsgType::kError);
+  put_u16(out, static_cast<std::uint16_t>(code));
+  put_u16(out, static_cast<std::uint16_t>(detail.size()));
+  out.insert(out.end(), detail.begin(), detail.end());
+  return out;
+}
+
+Decoded decode_payload(const std::uint8_t* data, std::size_t len) {
+  Reader r{data, len};
+  if (len < 8) return parse_failure(WireError::kBadFrame);
+  if (r.get_u32() != kMagic) return parse_failure(WireError::kBadMagic);
+  const std::uint16_t version = r.get_u16();
+  if (version == 0 || version > kProtocolVersion)
+    return parse_failure(WireError::kBadVersion);
+  const std::uint8_t type = r.get_u8();
+  r.get_u8();  // reserved
+
+  Decoded d;
+  switch (type) {
+    case static_cast<std::uint8_t>(MsgType::kRequest): {
+      d.type = MsgType::kRequest;
+      PlacementRequest& req = d.request;
+      req.p = r.get_u16();
+      req.q = r.get_u16();
+      const std::uint8_t mode = r.get_u8();
+      r.get_u8();
+      r.get_u16();  // reserved
+      if (mode > static_cast<std::uint8_t>(Mode::kHeuristic))
+        return parse_failure(WireError::kBadMode);
+      req.mode = static_cast<Mode>(mode);
+      req.deadline_us = r.get_u64();
+      if (req.p == 0 || req.q == 0 || req.p > kMaxGridSide ||
+          req.q > kMaxGridSide)
+        return parse_failure(WireError::kBadDimensions);
+      const std::size_t n =
+          static_cast<std::size_t>(req.p) * static_cast<std::size_t>(req.q);
+      req.times.resize(n);
+      for (std::size_t i = 0; i < n; ++i) req.times[i] = r.get_f64();
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kResponse): {
+      d.type = MsgType::kResponse;
+      PlacementResponse& rsp = d.response;
+      rsp.p = r.get_u16();
+      rsp.q = r.get_u16();
+      const std::uint8_t solver = r.get_u8();
+      const std::uint8_t state = r.get_u8();
+      r.get_u16();  // reserved
+      if (solver != static_cast<std::uint8_t>(SolverKind::kExact) &&
+          solver != static_cast<std::uint8_t>(SolverKind::kHeuristic))
+        return parse_failure(WireError::kBadFrame);
+      if (state > static_cast<std::uint8_t>(CacheState::kHitUpgraded))
+        return parse_failure(WireError::kBadFrame);
+      rsp.solver = static_cast<SolverKind>(solver);
+      rsp.cache_state = static_cast<CacheState>(state);
+      if (rsp.p == 0 || rsp.q == 0 || rsp.p > kMaxGridSide ||
+          rsp.q > kMaxGridSide)
+        return parse_failure(WireError::kBadDimensions);
+      rsp.objective = r.get_f64();
+      rsp.r.resize(rsp.p);
+      for (double& v : rsp.r) v = r.get_f64();
+      rsp.c.resize(rsp.q);
+      for (double& v : rsp.c) v = r.get_f64();
+      const std::size_t n =
+          static_cast<std::size_t>(rsp.p) * static_cast<std::size_t>(rsp.q);
+      rsp.perm.resize(n);
+      for (std::uint32_t& v : rsp.perm) v = r.get_u32();
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kError): {
+      d.type = MsgType::kError;
+      d.error.code = static_cast<WireError>(r.get_u16());
+      const std::uint16_t detail_len = r.get_u16();
+      if (!r.need(detail_len)) break;
+      d.error.detail.assign(reinterpret_cast<const char*>(data + r.pos),
+                            detail_len);
+      r.pos += detail_len;
+      break;
+    }
+    default:
+      return parse_failure(WireError::kBadType);
+  }
+  if (r.underrun || r.pos != len) return parse_failure(WireError::kBadFrame);
+  return d;
+}
+
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
+  HG_CHECK(payload.size() <= kMaxPayload, "payload exceeds kMaxPayload");
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+namespace {
+
+// Reads exactly n bytes; returns false on EOF at offset 0, throws on
+// mid-read EOF or error (a peer that dies mid-frame is a broken stream,
+// not a clean close).
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::read(fd, buf + got, n - got);
+    if (k == 0) {
+      HG_CHECK(got == 0, "connection closed mid-frame");
+      return false;
+    }
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      HG_CHECK(false, "read failed: " << std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t len_bytes[4];
+  if (!read_exact(fd, len_bytes, 4)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
+  HG_CHECK(len <= kMaxPayload, "frame length " << len << " exceeds limit");
+  payload.resize(len);
+  if (len > 0)
+    HG_CHECK(read_exact(fd, payload.data(), len),
+             "connection closed mid-frame");
+  return true;
+}
+
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> bytes = frame(payload);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t k = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      HG_CHECK(false, "write failed: " << std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(k);
+  }
+}
+
+}  // namespace hetgrid::serve

@@ -1,0 +1,150 @@
+// Wire protocol of the placement service (doc/server.md).
+//
+// Every message travels as a length-prefixed binary frame:
+//
+//   [u32 payload_len][payload bytes]          (all integers little-endian)
+//
+// and every payload starts with the same 8-byte header — magic "HGPL",
+// a protocol version, and a message type — followed by a typed body
+// (request / response / error). The format is versioned: a server answers
+// an unsupported version with a kBadVersion error frame that names the
+// version it speaks, so a newer client can downgrade (version
+// negotiation, doc/server.md).
+//
+// Encoding and decoding are pure byte-vector transforms with no socket
+// dependency: the serial loopback mode (PlacementServer::handle_payload)
+// and the tests drive them directly, the socket paths just add the
+// 4-byte length prefix on the wire. Decode never throws on malformed
+// input — it returns a typed WireError instead, which the server echoes
+// back as an error frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetgrid::serve {
+
+/// Protocol constants. kMagic reads "HGPL" in the byte stream.
+inline constexpr std::uint32_t kMagic = 0x4C504748u;  // 'H' 'G' 'P' 'L'
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Hard caps the server enforces before touching a solver: grid sides and
+/// the implied maximum payload (header + request fixed fields + t_ij).
+inline constexpr std::size_t kMaxGridSide = 128;
+inline constexpr std::size_t kMaxPayload =
+    24 + kMaxGridSide * kMaxGridSide * 8;
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+/// Client-requested solver policy.
+enum class Mode : std::uint8_t {
+  kAuto = 0,       // exact when affordable and the deadline allows, else
+                   // heuristic with async exact refinement
+  kExact = 1,      // exact or a kTooCostly error
+  kHeuristic = 2,  // SVD heuristic, never the exact solver inline
+};
+
+enum class SolverKind : std::uint8_t {
+  kExact = 1,
+  kHeuristic = 2,
+};
+
+enum class CacheState : std::uint8_t {
+  kMiss = 0,         // solved inline for this request
+  kHit = 1,          // served from the canonicalizing cache
+  kHitUpgraded = 2,  // served from an entry async refinement upgraded
+};
+
+/// Typed error codes carried by kError frames (and returned by decode on
+/// malformed input). Values are wire-stable; append only.
+enum class WireError : std::uint16_t {
+  kOk = 0,
+  kBadMagic = 1,         // payload does not start with "HGPL"
+  kBadVersion = 2,       // unsupported protocol version
+  kBadFrame = 3,         // truncated payload or trailing bytes
+  kBadType = 4,          // unknown MsgType, or a non-request sent to serve
+  kBadDimensions = 5,    // p or q zero, above kMaxGridSide, or p*q mismatch
+  kBadCycleTime = 6,     // a t_ij that is non-positive, NaN, or infinite
+  kBadMode = 7,          // unknown Mode byte
+  kDeadlineExceeded = 8, // request expired before a solver ran
+  kShutdown = 9,         // server is draining; retry elsewhere
+  kTooCostly = 10,       // Mode::kExact on a grid over the exact budget
+  kInternal = 11,        // solver threw; detail carries the what() string
+};
+
+/// Human-readable name of a WireError ("bad-magic", ...), for logs and the
+/// CLI; never sent on the wire.
+const char* wire_error_name(WireError e);
+
+/// Request body: solve the placement problem for a p x q grid of
+/// cycle-times. `times` is the row-major t_ij grid (equivalently the
+/// processor pool — the solvers re-arrange it per Theorem 1, and the
+/// response's `perm` says where each entry landed).
+struct PlacementRequest {
+  std::uint16_t p = 0;
+  std::uint16_t q = 0;
+  Mode mode = Mode::kAuto;
+  std::uint64_t deadline_us = 0;  // 0 = no deadline
+  std::vector<double> times;      // p*q entries, all positive and finite
+};
+
+/// Response body. `r`/`c` are the row and column shares for the returned
+/// arrangement; `perm[i*q + j]` is the index into the *request's* times
+/// vector of the processor placed at grid slot (i, j).
+struct PlacementResponse {
+  std::uint16_t p = 0;
+  std::uint16_t q = 0;
+  SolverKind solver = SolverKind::kHeuristic;
+  CacheState cache_state = CacheState::kMiss;
+  double objective = 0.0;  // Obj2 = (sum r)(sum c) for the request's times
+  std::vector<double> r;   // p entries
+  std::vector<double> c;   // q entries
+  std::vector<std::uint32_t> perm;  // p*q entries
+};
+
+struct ErrorMessage {
+  WireError code = WireError::kOk;
+  std::string detail;  // short ASCII diagnostic, may be empty
+};
+
+/// One decoded payload. `parse_error != kOk` means the bytes were not a
+/// well-formed frame and nothing else is valid; otherwise exactly the
+/// member matching `type` is populated. A decoded kError frame is a
+/// *well-formed* message whose content is `error`.
+struct Decoded {
+  WireError parse_error = WireError::kOk;
+  MsgType type = MsgType::kError;
+  PlacementRequest request;
+  PlacementResponse response;
+  ErrorMessage error;
+
+  bool ok() const { return parse_error == WireError::kOk; }
+};
+
+/// Payload encoders (no length prefix — see frame()).
+std::vector<std::uint8_t> encode_request(const PlacementRequest& req);
+std::vector<std::uint8_t> encode_response(const PlacementResponse& rsp);
+std::vector<std::uint8_t> encode_error(WireError code,
+                                       const std::string& detail);
+
+/// Decodes one payload (no length prefix). Never throws on bad bytes.
+Decoded decode_payload(const std::uint8_t* data, std::size_t len);
+inline Decoded decode_payload(const std::vector<std::uint8_t>& payload) {
+  return decode_payload(payload.data(), payload.size());
+}
+
+/// Prepends the u32 length prefix: the bytes a socket peer transmits.
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
+
+/// Blocking framed I/O on a connected POSIX fd. read_frame returns false
+/// on clean EOF before any byte of a frame; it throws PreconditionError on
+/// mid-frame EOF, oversized frames (> kMaxPayload), or I/O errors.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+}  // namespace hetgrid::serve

@@ -1,0 +1,534 @@
+// Tests for the placement service (doc/server.md): wire protocol
+// round-trips and typed decode errors, Theorem-1 canonicalization
+// properties (permutation and power-of-two scale equivalence), the
+// monotone cache-upgrade guarantee, deadline fallback with async exact
+// refinement, batch admission, concurrent loopback bit-identity, and the
+// TCP / unix-domain socket round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/arrangement.hpp"
+#include "core/heuristic.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/solution_cache.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid::serve {
+namespace {
+
+PlacementRequest make_request(std::size_t p, std::size_t q,
+                              std::vector<double> times,
+                              Mode mode = Mode::kAuto,
+                              std::uint64_t deadline_us = 0) {
+  PlacementRequest req;
+  req.p = static_cast<std::uint16_t>(p);
+  req.q = static_cast<std::uint16_t>(q);
+  req.mode = mode;
+  req.deadline_us = deadline_us;
+  req.times = std::move(times);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(Protocol, RequestRoundTrip) {
+  const PlacementRequest req =
+      make_request(2, 3, {1, 2, 3, 4.5, 5, 6}, Mode::kExact, 12345);
+  const Decoded d = decode_payload(encode_request(req));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kRequest);
+  EXPECT_EQ(d.request.p, 2);
+  EXPECT_EQ(d.request.q, 3);
+  EXPECT_EQ(d.request.mode, Mode::kExact);
+  EXPECT_EQ(d.request.deadline_us, 12345u);
+  EXPECT_EQ(d.request.times, req.times);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  PlacementResponse rsp;
+  rsp.p = 2;
+  rsp.q = 2;
+  rsp.solver = SolverKind::kExact;
+  rsp.cache_state = CacheState::kHitUpgraded;
+  rsp.objective = 2.75;
+  rsp.r = {1.0, 0.5};
+  rsp.c = {0.25, 0.125};
+  rsp.perm = {3, 1, 0, 2};
+  const Decoded d = decode_payload(encode_response(rsp));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kResponse);
+  EXPECT_EQ(d.response.solver, SolverKind::kExact);
+  EXPECT_EQ(d.response.cache_state, CacheState::kHitUpgraded);
+  EXPECT_EQ(d.response.objective, 2.75);
+  EXPECT_EQ(d.response.r, rsp.r);
+  EXPECT_EQ(d.response.c, rsp.c);
+  EXPECT_EQ(d.response.perm, rsp.perm);
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  const Decoded d =
+      decode_payload(encode_error(WireError::kTooCostly, "budget"));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kError);
+  EXPECT_EQ(d.error.code, WireError::kTooCostly);
+  EXPECT_EQ(d.error.detail, "budget");
+  const Decoded empty = decode_payload(encode_error(WireError::kShutdown, ""));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.error.detail, "");
+}
+
+TEST(Protocol, MalformedFramesYieldTypedErrors) {
+  const std::vector<std::uint8_t> good =
+      encode_request(make_request(2, 2, {1, 2, 3, 6}));
+  ASSERT_TRUE(decode_payload(good).ok());
+
+  // Too short to hold the header.
+  EXPECT_EQ(decode_payload(good.data(), 7).parse_error, WireError::kBadFrame);
+
+  // Payload byte layout (protocol.cpp): magic[0..3] version[4..5] type[6]
+  // reserved[7] p[8..9] q[10..11] mode[12] ...
+  auto corrupt = [&](std::size_t at, std::uint8_t value) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes[at] = value;
+    return decode_payload(bytes).parse_error;
+  };
+  EXPECT_EQ(corrupt(0, 0x00), WireError::kBadMagic);
+  EXPECT_EQ(corrupt(4, 0x00), WireError::kBadVersion);  // version 0
+  EXPECT_EQ(corrupt(4, 99), WireError::kBadVersion);    // future version
+  EXPECT_EQ(corrupt(6, 42), WireError::kBadType);
+  EXPECT_EQ(corrupt(12, 9), WireError::kBadMode);
+  EXPECT_EQ(corrupt(8, 0), WireError::kBadDimensions);  // p = 0
+
+  // Truncated times and trailing garbage are both framing errors.
+  EXPECT_EQ(decode_payload(good.data(), good.size() - 3).parse_error,
+            WireError::kBadFrame);
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_EQ(decode_payload(trailing).parse_error, WireError::kBadFrame);
+}
+
+TEST(Protocol, FramePrependsLittleEndianLength) {
+  const std::vector<std::uint8_t> payload =
+      encode_error(WireError::kOk, "abc");
+  const std::vector<std::uint8_t> framed = frame(payload);
+  ASSERT_EQ(framed.size(), payload.size() + 4);
+  const std::size_t len = framed[0] | framed[1] << 8 | framed[2] << 16 |
+                          static_cast<std::size_t>(framed[3]) << 24;
+  EXPECT_EQ(len, payload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization (Theorem 1: the solvers see only the sorted pool).
+
+TEST(Cache, PermutationsShareOneKey) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 2 + trial % 3, q = 2 + trial % 2;
+    std::vector<double> times = rng.cycle_times(p * q);
+    const CanonicalPlacement base = canonicalize_placement(p, q, times);
+    std::vector<double> shuffled = times;
+    rng.shuffle(shuffled);
+    const CanonicalPlacement perm = canonicalize_placement(p, q, shuffled);
+    EXPECT_EQ(base.hash, perm.hash);
+    EXPECT_EQ(base.unit, perm.unit);
+    EXPECT_EQ(base.scale, perm.scale);
+    EXPECT_EQ(base.sorted, perm.sorted);
+    // The back-map must reproduce the request layout it was built from.
+    for (std::size_t k = 0; k < p * q; ++k)
+      EXPECT_EQ(shuffled[perm.sorted_to_request[k]], perm.sorted[k]);
+  }
+}
+
+TEST(Cache, Pow2ScalingsShareOneKey) {
+  Rng rng(12);
+  const double scales[] = {2.0, 0.5, 4.0, 0.25, 1024.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t p = 2, q = 2 + trial % 3;
+    std::vector<double> times = rng.cycle_times(p * q);
+    const CanonicalPlacement base = canonicalize_placement(p, q, times);
+    const double alpha = scales[trial % 5];
+    std::vector<double> scaled = times;
+    for (double& t : scaled) t *= alpha;
+    rng.shuffle(scaled);
+    const CanonicalPlacement key = canonicalize_placement(p, q, scaled);
+    EXPECT_EQ(base.hash, key.hash);
+    EXPECT_EQ(base.unit, key.unit);
+    EXPECT_EQ(key.scale, base.scale * alpha);
+  }
+}
+
+TEST(Cache, DistinctPoolsGetDistinctKeys) {
+  const CanonicalPlacement a = canonicalize_placement(2, 2, {1, 2, 3, 6});
+  CanonicalPlacement b = canonicalize_placement(2, 2, {1, 2, 3, 6.000001});
+  EXPECT_NE(a.hash, b.hash);
+  // Same pool, different shape: also distinct.
+  const CanonicalPlacement c = canonicalize_placement(4, 1, {1, 2, 3, 6});
+  EXPECT_NE(a.hash, c.hash);
+}
+
+CachedSolution fake_entry(const CanonicalPlacement& canon, bool exact,
+                          double obj2) {
+  CachedSolution s;
+  s.p = canon.p;
+  s.q = canon.q;
+  s.unit = canon.unit;
+  s.scale = canon.scale;
+  s.exact = exact;
+  s.obj2 = obj2;
+  s.r.assign(canon.p, 1.0);
+  s.c.assign(canon.q, 1.0);
+  s.arrangement.resize(canon.p * canon.q);
+  for (std::size_t k = 0; k < s.arrangement.size(); ++k)
+    s.arrangement[k] = static_cast<std::uint32_t>(k);
+  return s;
+}
+
+TEST(Cache, UpgradeNeverServesAWorseObjective) {
+  SolutionCache cache(4);
+  const CanonicalPlacement key = canonicalize_placement(2, 2, {1, 2, 3, 6});
+
+  ASSERT_TRUE(cache.insert_or_upgrade(fake_entry(key, false, 1.0)));
+  ASSERT_EQ(cache.size(), 1u);
+
+  // An exact result that is *worse* must not displace the heuristic entry:
+  // clients that already saw objective 1.0 would regress.
+  EXPECT_FALSE(cache.insert_or_upgrade(fake_entry(key, true, 0.5)));
+  ASSERT_TRUE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.lookup(key)->obj2, 1.0);
+  EXPECT_FALSE(cache.lookup(key)->exact);
+
+  // Equal-objective exact upgrade is allowed (kind improves, value holds).
+  EXPECT_TRUE(cache.insert_or_upgrade(fake_entry(key, true, 1.0)));
+  EXPECT_TRUE(cache.lookup(key)->exact);
+  EXPECT_TRUE(cache.lookup(key)->upgraded);
+
+  // A strictly better objective replaces anything; a worse one never does.
+  EXPECT_TRUE(cache.insert_or_upgrade(fake_entry(key, true, 1.5)));
+  EXPECT_FALSE(cache.insert_or_upgrade(fake_entry(key, true, 1.25)));
+  EXPECT_FALSE(cache.insert_or_upgrade(fake_entry(key, false, 2.0 - 1.0)));
+  EXPECT_EQ(cache.lookup(key)->obj2, 1.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SolutionCache(1).shard_count(), 1u);
+  EXPECT_EQ(SolutionCache(3).shard_count(), 4u);
+  EXPECT_EQ(SolutionCache(16).shard_count(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Server semantics.
+
+TEST(Server, ValidationErrorsAreTyped) {
+  PlacementServer server;
+  EXPECT_EQ(server.place(make_request(0, 2, {})).error.code,
+            WireError::kBadDimensions);
+  EXPECT_EQ(server.place(make_request(2, 2, {1, 2, 3})).error.code,
+            WireError::kBadDimensions);
+  EXPECT_EQ(server.place(make_request(2, 2, {1, 2, 3, -6})).error.code,
+            WireError::kBadCycleTime);
+  EXPECT_EQ(server
+                .place(make_request(
+                    2, 2, {1, 2, 3, std::numeric_limits<double>::quiet_NaN()}))
+                .error.code,
+            WireError::kBadCycleTime);
+  // 4x4 = 16 processors exceeds the exact pool budget of 10.
+  Rng rng(3);
+  EXPECT_EQ(server
+                .place(make_request(4, 4, rng.cycle_times(16), Mode::kExact))
+                .error.code,
+            WireError::kTooCostly);
+}
+
+TEST(Server, UnsupportedVersionAnswersBadVersion) {
+  PlacementServer server;
+  std::vector<std::uint8_t> payload =
+      encode_request(make_request(2, 2, {1, 2, 3, 6}));
+  payload[4] = 99;  // future protocol version
+  const Decoded d = decode_payload(server.handle_payload(payload));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kError);
+  EXPECT_EQ(d.error.code, WireError::kBadVersion);
+}
+
+TEST(Server, ShutdownAnswersShutdown) {
+  PlacementServer server;
+  server.shutdown();
+  const PlaceOutcome out = server.place(make_request(2, 2, {1, 2, 3, 6}));
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.error.code, WireError::kShutdown);
+}
+
+TEST(Server, ColdResponseBitIdenticalToDirectSolve) {
+  Rng rng(21);
+  const std::vector<double> pool = rng.cycle_times(6);
+  const OptimalArrangement direct = solve_optimal_arrangement(2, 3, pool);
+
+  PlacementServer server;
+  const PlaceOutcome out = server.place(make_request(2, 3, pool));
+  ASSERT_TRUE(out.ok);
+  const PlacementResponse& rsp = out.response;
+  EXPECT_EQ(rsp.solver, SolverKind::kExact);
+  EXPECT_EQ(rsp.cache_state, CacheState::kMiss);
+  EXPECT_EQ(rsp.objective, direct.solution.obj2);
+  EXPECT_EQ(rsp.r, direct.solution.alloc.r);
+  EXPECT_EQ(rsp.c, direct.solution.alloc.c);
+  // perm lays the request's times out as the solver's arrangement.
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(pool[rsp.perm[i * 3 + j]], direct.grid(i, j));
+}
+
+TEST(Server, PermutedRequestsAreBitIdenticalCacheHits) {
+  Rng rng(22);
+  const std::vector<double> pool = rng.cycle_times(6);
+  PlacementServer server;
+  const PlaceOutcome base = server.place(make_request(3, 2, pool));
+  ASSERT_TRUE(base.ok);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> shuffled = pool;
+    rng.shuffle(shuffled);
+    const PlaceOutcome out = server.place(make_request(3, 2, shuffled));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.response.cache_state, CacheState::kHit);
+    // Identical shares and objective, bit for bit: the canonical entry is
+    // served at scale ratio exactly 1.0.
+    EXPECT_EQ(out.response.r, base.response.r);
+    EXPECT_EQ(out.response.c, base.response.c);
+    EXPECT_EQ(out.response.objective, base.response.objective);
+    // The perm re-targets the shuffled layout: slot (i,j) must carry the
+    // same cycle-time as the base response's slot (i,j).
+    for (std::size_t k = 0; k < shuffled.size(); ++k)
+      EXPECT_EQ(shuffled[out.response.perm[k]], pool[base.response.perm[k]]);
+  }
+}
+
+TEST(Server, Pow2ScaledRequestsHitAndRescaleExactly) {
+  Rng rng(23);
+  const std::vector<double> pool = rng.cycle_times(4);
+  PlacementServer server;
+  const PlaceOutcome base = server.place(make_request(2, 2, pool));
+  ASSERT_TRUE(base.ok);
+
+  const double scales[] = {2.0, 0.5, 8.0, 0.0625};
+  for (double alpha : scales) {
+    std::vector<double> scaled = pool;
+    for (double& t : scaled) t *= alpha;
+    rng.shuffle(scaled);
+    const PlaceOutcome out = server.place(make_request(2, 2, scaled));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.response.cache_state, CacheState::kHit);
+    // Scale covariance, exact under powers of two: t -> alpha t maps the
+    // optimum (r, c) to (r/alpha, c) and the objective to obj/alpha.
+    EXPECT_EQ(out.response.objective * alpha, base.response.objective);
+    for (std::size_t i = 0; i < 2; ++i)
+      EXPECT_EQ(out.response.r[i] * alpha, base.response.r[i]);
+    EXPECT_EQ(out.response.c, base.response.c);
+  }
+}
+
+TEST(Server, DeadlineBelowFloorFallsBackThenRefines) {
+  Rng rng(24);
+  const std::vector<double> pool = rng.cycle_times(6);
+  const HeuristicResult heur = solve_heuristic(2, 3, pool);
+  const OptimalArrangement exact = solve_optimal_arrangement(2, 3, pool);
+
+  PlacementServer server;
+  // deadline 1ms < the 20ms exact floor: auto mode degrades to the
+  // heuristic even though the exact solver is affordable...
+  const PlaceOutcome first =
+      server.place(make_request(2, 3, pool, Mode::kAuto, 1000));
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.response.solver, SolverKind::kHeuristic);
+  EXPECT_EQ(first.response.cache_state, CacheState::kMiss);
+  EXPECT_EQ(first.response.objective, heur.final().obj2);
+
+  // ...and queues an async exact refinement. After drain() the entry is
+  // upgraded, and the served objective never got worse (Obj2 is maximized:
+  // the exact optimum dominates the feasible heuristic point).
+  server.drain();
+  const PlaceOutcome second = server.place(make_request(2, 3, pool));
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(second.response.cache_state, CacheState::kHitUpgraded);
+  EXPECT_EQ(second.response.solver, SolverKind::kExact);
+  EXPECT_EQ(second.response.objective, exact.solution.obj2);
+  EXPECT_GE(second.response.objective, first.response.objective);
+}
+
+TEST(Server, HeuristicModeNeverRunsExactInline) {
+  Rng rng(25);
+  const std::vector<double> pool = rng.cycle_times(4);
+  ServerOptions opts;
+  opts.async_refine = false;
+  PlacementServer server(opts);
+  const PlaceOutcome out =
+      server.place(make_request(2, 2, pool, Mode::kHeuristic));
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.response.solver, SolverKind::kHeuristic);
+  // With refinement off the entry stays heuristic.
+  server.drain();
+  const PlaceOutcome again = server.place(make_request(2, 2, pool));
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.response.cache_state, CacheState::kHit);
+  EXPECT_EQ(again.response.solver, SolverKind::kHeuristic);
+}
+
+TEST(Server, BatchAnswersInRequestOrderWithTypedErrors) {
+  Rng rng(26);
+  const std::vector<double> a = rng.cycle_times(4);
+  const std::vector<double> b = rng.cycle_times(6);
+  const OptimalArrangement direct_a = solve_optimal_arrangement(2, 2, a);
+  const OptimalArrangement direct_b = solve_optimal_arrangement(2, 3, b);
+
+  ServerOptions opts;
+  opts.threads = 2;
+  PlacementServer server(opts);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.push_back(encode_request(make_request(2, 2, a)));
+  payloads.push_back({0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0});  // bad magic
+  payloads.push_back(encode_request(make_request(2, 3, b)));
+
+  const std::vector<std::vector<std::uint8_t>> replies =
+      server.handle_batch(payloads);
+  ASSERT_EQ(replies.size(), 3u);
+
+  const Decoded d0 = decode_payload(replies[0]);
+  ASSERT_TRUE(d0.ok());
+  ASSERT_EQ(d0.type, MsgType::kResponse);
+  EXPECT_EQ(d0.response.r, direct_a.solution.alloc.r);
+  EXPECT_EQ(d0.response.objective, direct_a.solution.obj2);
+
+  const Decoded d1 = decode_payload(replies[1]);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_EQ(d1.type, MsgType::kError);
+  EXPECT_EQ(d1.error.code, WireError::kBadMagic);
+
+  const Decoded d2 = decode_payload(replies[2]);
+  ASSERT_TRUE(d2.ok());
+  ASSERT_EQ(d2.type, MsgType::kResponse);
+  EXPECT_EQ(d2.response.c, direct_b.solution.alloc.c);
+  EXPECT_EQ(d2.response.objective, direct_b.solution.obj2);
+}
+
+TEST(Server, ConcurrentLoopbackIsBitIdenticalAndHitsTheCache) {
+  Rng seed_rng(27);
+  const std::vector<double> pools[2] = {seed_rng.cycle_times(4),
+                                        seed_rng.cycle_times(6)};
+  const OptimalArrangement direct[2] = {
+      solve_optimal_arrangement(2, 2, pools[0]),
+      solve_optimal_arrangement(2, 3, pools[1])};
+  const std::size_t shapes[2][2] = {{2, 2}, {2, 3}};
+
+  MetricsRegistry metrics;
+  MetricsRegistry* prev = install_metrics(&metrics);
+  {
+    PlacementServer server;
+    constexpr unsigned kClients = 4, kRequests = 16;
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] {
+        Rng rng(100 + t);
+        for (unsigned i = 0; i < kRequests && errors[t].empty(); ++i) {
+          const std::size_t which = (t + i) % 2;
+          std::vector<double> times = pools[which];
+          if (i % 2 == 1) rng.shuffle(times);
+          const Decoded d = decode_payload(server.handle_payload(
+              encode_request(make_request(shapes[which][0], shapes[which][1],
+                                          times))));
+          if (!d.ok() || d.type != MsgType::kResponse) {
+            errors[t] = "reply is not a response";
+            return;
+          }
+          if (d.response.r != direct[which].solution.alloc.r ||
+              d.response.c != direct[which].solution.alloc.c ||
+              d.response.objective != direct[which].solution.obj2)
+            errors[t] = "response differs from the direct solve";
+        }
+      });
+    }
+    for (std::thread& th : clients) th.join();
+    server.drain();
+    for (const std::string& err : errors) EXPECT_EQ(err, "");
+  }
+  install_metrics(prev);
+  // Upper bound on misses: once a thread's own miss-insert completes it can
+  // never miss that key again, so each of the 4 threads misses each of the
+  // 2 pools at most once (concurrent first encounters may each miss — the
+  // lookup/solve/insert sequence is not one atomic step).
+  EXPECT_GT(metrics.counter("serve.cache.hits").value(), 0u);
+  EXPECT_GE(metrics.counter("serve.cache.misses").value(), 2u);
+  EXPECT_LE(metrics.counter("serve.cache.misses").value(), 4u * 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Socket round trips.
+
+TEST(Server, TcpRoundTripMatchesLoopback) {
+  Rng rng(28);
+  const std::vector<double> pool = rng.cycle_times(4);
+
+  ServerOptions opts;
+  opts.threads = 2;
+  PlacementServer server(opts);
+  std::uint16_t port = 0;
+  const int listen_fd = listen_tcp(0, &port);
+  ASSERT_GT(port, 0);
+  std::thread acceptor([&] { server.serve_fd(listen_fd); });
+
+  Endpoint ep;
+  ep.port = port;
+  const PlacementRequest req = make_request(2, 2, pool);
+  const Decoded first = query_server(ep, req);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.type, MsgType::kResponse);
+  const OptimalArrangement direct = solve_optimal_arrangement(2, 2, pool);
+  EXPECT_EQ(first.response.r, direct.solution.alloc.r);
+  EXPECT_EQ(first.response.objective, direct.solution.obj2);
+  EXPECT_EQ(first.response.cache_state, CacheState::kMiss);
+
+  // Several requests on one reused connection; the repeat hits the cache.
+  const int fd = connect_endpoint(ep);
+  const Decoded second = query_fd(fd, req);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.type, MsgType::kResponse);
+  EXPECT_EQ(second.response.cache_state, CacheState::kHit);
+  EXPECT_EQ(second.response.r, first.response.r);
+  const Decoded third = query_fd(fd, make_request(2, 2, {1, 2, 3, 5}));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.type, MsgType::kResponse);
+  ::close(fd);
+
+  server.shutdown();
+  acceptor.join();
+}
+
+TEST(Server, UnixSocketRoundTrip) {
+  const std::string path = "test_serve_unix.sock";
+  PlacementServer server;
+  const int listen_fd = listen_unix(path);
+  std::thread acceptor([&] { server.serve_fd(listen_fd); });
+
+  Endpoint ep;
+  ep.unix_path = path;
+  const Decoded d = query_server(ep, make_request(2, 2, {1, 2, 3, 6}));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kResponse);
+  EXPECT_EQ(d.response.solver, SolverKind::kExact);
+
+  server.shutdown();
+  acceptor.join();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hetgrid::serve

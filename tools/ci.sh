@@ -2,10 +2,12 @@
 # Tier-1 verification: strict (-Werror) configure + build + full test run,
 # in an isolated build-ci/ tree so it never disturbs the dev build/. Then a
 # smoke run of the runtime-scaling bench (crosses the parallel numerics
-# engine's serial/parallel seam and asserts bit-identity), and finally a
-# ThreadSanitizer pass over the concurrent pieces (the exact solver's thread
-# pool, the message-passing runtime, and the parallel numerics engine) in
-# build-tsan/.
+# engine's serial/parallel seam and asserts bit-identity), the placement
+# server's concurrent-loopback and throughput smokes with their regression
+# gates, a documentation link check, and finally a ThreadSanitizer pass
+# over the concurrent pieces (the exact solver's thread pool, the
+# message-passing runtime, the parallel numerics engine, and the placement
+# server) in build-tsan/.
 # Usage: tools/ci.sh  (from the repository root; any CMake >= 3.16 works,
 # CMake >= 3.21 users can equivalently run `cmake --preset ci` etc.)
 set -eu
@@ -47,6 +49,58 @@ if build-ci/bench/bench_compare --base=build-ci/BENCH_runtime_smoke.json \
   exit 1
 fi
 
+# Placement-server smoke: concurrent loopback clients hammer the server;
+# every response (miss or hit, any interleaving) must be bit-identical to a
+# direct solver call and the warm mix must hit the canonicalizing cache
+# (doc/server.md).
+build-ci/tools/hetgrid serve --smoke=1 --clients=4 --requests=32
+
+# Server throughput bench + gate: the output must match the committed
+# schema, the cache counters must reproduce the committed baseline exactly
+# (a cold mix is all misses, a warm mix all hits — deterministic for any
+# client interleaving), tail latency must stay within a generous envelope,
+# and the injected-regression check proves this gate would fire.
+build-ci/bench/bench_server_throughput --smoke=1 --json=build-ci/BENCH_server_smoke.json
+build-ci/bench/bench_compare --check-schema=build-ci/BENCH_server_smoke.json \
+      --schema=bench/baselines/bench_server_schema.json
+build-ci/bench/bench_compare --base=bench/baselines/bench_server_baseline.json \
+      --new=build-ci/BENCH_server_smoke.json --key=misses --threshold=0
+build-ci/bench/bench_compare --base=bench/baselines/bench_server_baseline.json \
+      --new=build-ci/BENCH_server_smoke.json --key=hits --threshold=0
+build-ci/bench/bench_compare --base=bench/baselines/bench_server_baseline.json \
+      --new=build-ci/BENCH_server_smoke.json --key=p95_us --threshold=9.0
+if build-ci/bench/bench_compare --base=build-ci/BENCH_server_smoke.json \
+      --new=build-ci/BENCH_server_smoke.json --inject=1.5 --threshold=0.2 \
+      2>/dev/null; then
+  echo "bench_compare failed to flag an injected server regression" >&2
+  exit 1
+fi
+
+# Documentation link check: every doc page must be indexed in the
+# architecture map, and every relative markdown link in the user-facing
+# docs must resolve to a file.
+for f in doc/*.md; do
+  base="$(basename "$f")"
+  if [ "$base" != "architecture.md" ] && \
+     ! grep -q "$base" doc/architecture.md; then
+    echo "doc/architecture.md does not index $base" >&2
+    exit 1
+  fi
+done
+for src in README.md EXPERIMENTS.md doc/*.md; do
+  dir="$(dirname "$src")"
+  for link in $(grep -oE '\]\([^)]+\.md[^)]*\)' "$src" \
+                | sed -e 's/^](//' -e 's/)$//' -e 's/#.*//'); do
+    case "$link" in
+      http://*|https://*) continue ;;
+    esac
+    if [ ! -f "$dir/$link" ]; then
+      echo "$src links to missing file $link" >&2
+      exit 1
+    fi
+  done
+done
+
 # Profiler smoke: instrumented reruns of the exact solver and the MP LU
 # runtime must be bit-identical to plain runs, metrics snapshots must be
 # byte-stable, and worker lanes must appear in the profile.
@@ -72,6 +126,6 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$NPROC" \
-      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph
+      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph test_serve
 ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
-      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph)$'
+      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph|test_serve)$'

@@ -28,16 +28,32 @@
 //             the wall-clock profiler and metrics registry; --smoke runs
 //             the determinism self-checks instead (bit-identical results
 //             with the profiler attached, byte-stable metrics snapshots).
+//   serve     [--port=0 | --unix=path] [--threads=2] [--no-refine]
+//             run the placement server (doc/server.md): length-prefixed
+//             binary requests over TCP or a unix socket, answered through
+//             the canonicalizing solution cache. --smoke=1 instead runs
+//             the concurrent loopback self-check (--clients client threads
+//             hammer the in-process server; every response must be
+//             bit-identical to a direct solver call and the warm phase
+//             must hit the cache).
+//   query     --times=1,2,3,6 --p=2 --q=2 [--port=7070 | --unix=path]
+//             [--mode=auto|exact|heuristic] [--deadline-us=0]
+//             send one placement request to a running server and print
+//             the arrangement, shares, and cache/solver provenance.
 //
 // solve and trace also take [--profile=prof.json] [--metrics=metrics.json]
 // to attach the wall-clock profiler / metrics registry to that run.
 //
 // Everything prints aligned tables; add --csv for machine-readable copies.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "hetgrid.hpp"
 #include "util/cli.hpp"
@@ -571,9 +587,305 @@ int cmd_profile(int argc, const char* const* argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve / query: the placement service (doc/server.md).
+
+// One distinct workload of the serve smoke: a grid shape, a pool of
+// cycle-times, and the direct solver answer every server response is
+// compared against.
+struct SmokeCase {
+  std::size_t p;
+  std::size_t q;
+  std::vector<double> pool;
+  OptimalArrangement direct;
+};
+
+// Builds a request for `sc` with the pool optionally shuffled and scaled.
+// Scales are powers of two so the FP bit-identity claims below are exact
+// (doc/server.md "Canonicalization").
+serve::PlacementRequest smoke_request(const SmokeCase& sc, Rng& rng,
+                                      double scale, bool shuffle) {
+  std::vector<std::size_t> order(sc.pool.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  if (shuffle) rng.shuffle(order);
+  serve::PlacementRequest req;
+  req.p = static_cast<std::uint16_t>(sc.p);
+  req.q = static_cast<std::uint16_t>(sc.q);
+  req.mode = serve::Mode::kAuto;
+  req.times.resize(sc.pool.size());
+  for (std::size_t k = 0; k < order.size(); ++k)
+    req.times[k] = sc.pool[order[k]] * scale;
+  return req;
+}
+
+// Checks one smoke response against the direct solver call. With
+// `bit_identity` (the unscaled phase) the response must match the direct
+// solve bit for bit: same r, c, objective, and a perm that reproduces the
+// canonical arrangement. Scaled requests share a cache entry whose scale
+// convention depends on which request populated it, so the scaled phase
+// asserts the scale-free bitwise invariants instead: objective ==
+// direct/scale and every workload product r_i * t_ij * c_j identical to
+// the direct solve's (exact under power-of-two scalings). Returns "" on
+// success, a diagnostic otherwise (the client threads must not throw).
+std::string check_smoke_response(const SmokeCase& sc,
+                                 const serve::PlacementRequest& req,
+                                 double scale, bool bit_identity,
+                                 const std::vector<std::uint8_t>& reply) {
+  const serve::Decoded d = serve::decode_payload(reply);
+  if (!d.ok()) return std::string("reply failed to decode: ") +
+                      serve::wire_error_name(d.parse_error);
+  if (d.type == serve::MsgType::kError)
+    return std::string("server error: ") +
+           serve::wire_error_name(d.error.code) + " " + d.error.detail;
+  if (d.type != serve::MsgType::kResponse) return "reply is not a response";
+  const serve::PlacementResponse& rsp = d.response;
+  if (rsp.p != sc.p || rsp.q != sc.q) return "response shape mismatch";
+  if (rsp.r.size() != sc.p || rsp.c.size() != sc.q ||
+      rsp.perm.size() != sc.p * sc.q)
+    return "response vector sizes mismatch";
+
+  // perm must be a permutation of the request slots that lays out the
+  // canonical (sorted) arrangement the solvers used.
+  std::vector<bool> used(req.times.size(), false);
+  for (std::size_t i = 0; i < sc.p; ++i)
+    for (std::size_t j = 0; j < sc.q; ++j) {
+      const std::uint32_t idx = rsp.perm[i * sc.q + j];
+      if (idx >= req.times.size() || used[idx]) return "perm is not a permutation";
+      used[idx] = true;
+      if (req.times[idx] != sc.direct.grid(i, j) * scale)
+        return "perm does not reproduce the canonical arrangement";
+    }
+
+  if (bit_identity) {
+    if (rsp.solver != serve::SolverKind::kExact)
+      return "expected the exact solver on this shape";
+    if (rsp.objective != sc.direct.solution.obj2)
+      return "objective differs from the direct solve";
+    for (std::size_t i = 0; i < sc.p; ++i)
+      if (rsp.r[i] != sc.direct.solution.alloc.r[i])
+        return "row shares differ from the direct solve";
+    for (std::size_t j = 0; j < sc.q; ++j)
+      if (rsp.c[j] != sc.direct.solution.alloc.c[j])
+        return "column shares differ from the direct solve";
+    return "";
+  }
+
+  if (rsp.cache_state == serve::CacheState::kMiss)
+    return "warm-phase request missed the cache";
+  if (rsp.objective != sc.direct.solution.obj2 / scale)
+    return "scaled objective is not direct/scale";
+  for (std::size_t i = 0; i < sc.p; ++i)
+    for (std::size_t j = 0; j < sc.q; ++j) {
+      const double got = rsp.r[i] * (sc.direct.grid(i, j) * scale) * rsp.c[j];
+      const double want = sc.direct.solution.alloc.r[i] *
+                          sc.direct.grid(i, j) *
+                          sc.direct.solution.alloc.c[j];
+      if (got != want) return "workload products differ from the direct solve";
+    }
+  return "";
+}
+
+// The concurrent loopback self-check behind `hetgrid serve --smoke`
+// (doc/server.md, tools/ci.sh). Phase A: client threads send an unscaled
+// mix (in-order and shuffled pools); every response — miss or hit, any
+// interleaving — must be bit-identical to a direct solve_optimal_arrangement
+// call, and the repeats must raise the cache hit counter. Phase B: the
+// same pools return shuffled and scaled by powers of two; responses must
+// all hit the cache and preserve the scale-free bitwise invariants.
+int serve_smoke(unsigned clients, unsigned requests, std::uint64_t seed,
+                const serve::ServerOptions& opts) {
+  std::vector<SmokeCase> cases;
+  const std::size_t shapes[][2] = {{2, 2}, {2, 3}, {3, 2}, {3, 3}};
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::size_t p = shapes[s][0], q = shapes[s][1];
+    Rng rng(seed + s);
+    std::vector<double> pool = rng.cycle_times(p * q);
+    OptimalArrangement direct = solve_optimal_arrangement(p, q, pool);
+    cases.push_back(SmokeCase{p, q, std::move(pool), std::move(direct)});
+  }
+  HG_CHECK(clients >= 1 && requests >= 1, "--clients/--requests must be >= 1");
+  HG_CHECK(static_cast<std::size_t>(clients) * requests > 2 * cases.size(),
+           "--clients * --requests too small to warm the cache");
+
+  MetricsRegistry metrics;
+  MetricsRegistry* prev = install_metrics(&metrics);
+  serve::PlacementServer server(opts);
+
+  // One error slot per client; threads write only their own slot.
+  std::vector<std::string> errors(clients);
+  auto run_phase = [&](bool bit_identity) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(seed * 977 + t + (bit_identity ? 0 : 100000));
+        for (unsigned i = 0; i < requests && errors[t].empty(); ++i) {
+          const SmokeCase& sc = cases[(t + i) % cases.size()];
+          const bool shuffle = !bit_identity || i % 2 == 1;
+          const double scale =
+              bit_identity ? 1.0 : (i % 3 == 0 ? 1.0 : i % 3 == 1 ? 2.0 : 0.25);
+          const serve::PlacementRequest req =
+              smoke_request(sc, rng, scale, shuffle);
+          const std::vector<std::uint8_t> reply =
+              server.handle_payload(serve::encode_request(req));
+          const std::string err =
+              check_smoke_response(sc, req, scale, bit_identity, reply);
+          if (!err.empty())
+            errors[t] = err + " (client " + std::to_string(t) + ", request " +
+                        std::to_string(i) + ")";
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  };
+
+  run_phase(/*bit_identity=*/true);
+  const std::uint64_t cold_hits = metrics.counter("serve.cache.hits").value();
+  run_phase(/*bit_identity=*/false);
+  server.drain();
+  install_metrics(prev);
+
+  for (const std::string& err : errors)
+    HG_CHECK(err.empty(), "serve smoke failed: " << err);
+  const std::uint64_t hits = metrics.counter("serve.cache.hits").value();
+  const std::uint64_t misses = metrics.counter("serve.cache.misses").value();
+  HG_CHECK(cold_hits > 0, "unscaled phase never hit the cache");
+  // Each client misses a workload at most once (its own insert completes
+  // before it revisits the key), but first encounters racing on one key may
+  // each miss — lookup/solve/insert is not one atomic step.
+  HG_CHECK(misses >= cases.size() && misses <= clients * cases.size(),
+           "cache miss count " << misses << " outside [" << cases.size()
+                               << ", " << clients * cases.size() << "]");
+  std::cout << "serve smoke: " << clients << " client(s) x " << 2 * requests
+            << " requests over " << cases.size()
+            << " workloads: all responses bit-identical to direct solver "
+               "calls; cache hits "
+            << hits << ", misses " << misses << '\n';
+  return 0;
+}
+
+namespace {
+std::atomic<bool> g_interrupted{false};
+void on_signal(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+}  // namespace
+
+int cmd_serve(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"port", "0"}, {"unix", ""}, {"threads", "2"},
+                 {"shards", "16"}, {"no-refine", "0"}, {"smoke", "0"},
+                 {"clients", "4"}, {"requests", "32"}, {"seed", "42"},
+                 {"csv", "0"}});
+  serve::ServerOptions opts;
+  const long long threads = cli.get_int("threads");
+  HG_CHECK(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  opts.threads = static_cast<unsigned>(threads);
+  const long long shards = cli.get_int("shards");
+  HG_CHECK(shards >= 1, "--shards must be >= 1");
+  opts.cache_shards = static_cast<std::size_t>(shards);
+  opts.async_refine = !cli.get_bool("no-refine");
+
+  if (cli.get_bool("smoke"))
+    return serve_smoke(static_cast<unsigned>(cli.get_int("clients")),
+                       static_cast<unsigned>(cli.get_int("requests")),
+                       static_cast<std::uint64_t>(cli.get_int("seed")), opts);
+
+  const std::string unix_path = cli.get_string("unix");
+  std::uint16_t bound = 0;
+  int fd = -1;
+  if (!unix_path.empty()) {
+    fd = serve::listen_unix(unix_path);
+    std::cout << "listening on unix socket " << unix_path << '\n';
+  } else {
+    fd = serve::listen_tcp(static_cast<std::uint16_t>(cli.get_int("port")),
+                           &bound);
+    std::cout << "listening on 127.0.0.1:" << bound << '\n';
+  }
+  std::cout << "placement server up (" << (threads == 0 ? "all" :
+            std::to_string(threads)) << " worker thread(s)); Ctrl-C stops\n"
+            << std::flush;
+
+  serve::PlacementServer server(opts);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::thread acceptor([&server, fd] { server.serve_fd(fd); });
+  while (!g_interrupted.load(std::memory_order_relaxed) && !server.stopping())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.shutdown();
+  acceptor.join();
+  std::cout << "drained; " << server.cache().size()
+            << " cached solution(s)\n";
+  return 0;
+}
+
+int cmd_query(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"}, {"port", "0"},
+                 {"unix", ""}, {"mode", "auto"}, {"deadline-us", "0"},
+                 {"csv", "0"}});
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+
+  serve::PlacementRequest req;
+  req.p = static_cast<std::uint16_t>(p);
+  req.q = static_cast<std::uint16_t>(q);
+  req.times = pool;
+  const std::string mode = cli.get_string("mode");
+  if (mode == "auto")
+    req.mode = serve::Mode::kAuto;
+  else if (mode == "exact")
+    req.mode = serve::Mode::kExact;
+  else if (mode == "heuristic")
+    req.mode = serve::Mode::kHeuristic;
+  else
+    HG_CHECK(false, "--mode must be auto, exact, or heuristic");
+  const long long deadline = cli.get_int("deadline-us");
+  HG_CHECK(deadline >= 0, "--deadline-us must be >= 0 (0 = none)");
+  req.deadline_us = static_cast<std::uint64_t>(deadline);
+
+  serve::Endpoint ep;
+  ep.unix_path = cli.get_string("unix");
+  ep.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  HG_CHECK(!ep.unix_path.empty() || ep.port != 0,
+           "pass --port=N or --unix=path of a running `hetgrid serve`");
+
+  const serve::Decoded d = serve::query_server(ep, req);
+  HG_CHECK(d.ok(), "malformed reply: " << serve::wire_error_name(d.parse_error));
+  if (d.type == serve::MsgType::kError) {
+    std::cerr << "server error: " << serve::wire_error_name(d.error.code)
+              << (d.error.detail.empty() ? "" : ": " + d.error.detail) << '\n';
+    return 1;
+  }
+  HG_CHECK(d.type == serve::MsgType::kResponse, "reply is not a response");
+  const serve::PlacementResponse& rsp = d.response;
+
+  std::cout << "solver: "
+            << (rsp.solver == serve::SolverKind::kExact ? "exact" : "heuristic")
+            << ", cache: "
+            << (rsp.cache_state == serve::CacheState::kMiss ? "miss"
+                : rsp.cache_state == serve::CacheState::kHit
+                    ? "hit"
+                    : "hit (refined to exact)")
+            << '\n';
+  // Re-assemble the served arrangement from the request's times and print
+  // it through the same lens as `hetgrid solve`.
+  std::vector<double> arranged(rsp.perm.size());
+  for (std::size_t k = 0; k < rsp.perm.size(); ++k)
+    arranged[k] = req.times[rsp.perm[k]];
+  const CycleTimeGrid grid(p, q, arranged);
+  GridAllocation alloc;
+  alloc.r = rsp.r;
+  alloc.c = rsp.c;
+  print_allocation(grid, alloc, std::cout);
+  return 0;
+}
+
 int usage() {
   std::cerr <<
-      "usage: hetgrid <solve|design|panel|simulate|trace|profile> [--flags]\n"
+      "usage: hetgrid <solve|design|panel|simulate|trace|profile|serve|query>"
+      " [--flags]\n"
       "  solve    --times=1,2,3,6 --p=2 --q=2 [--solver=heuristic|exact|auto]\n"
       "           [--threads=1] [--max-trees=50000000]\n"
       "           (--threads=0 uses all hardware threads; the exact result\n"
@@ -594,6 +906,14 @@ int usage() {
       "  profile  --times=1,2,3,4,5,6 --p=2 --q=3 [--out=profile.json]\n"
       "           [--metrics=metrics.json] [--threads=1] [--smoke=0]\n"
       "           (--smoke runs the determinism self-checks instead)\n"
+      "  serve    [--port=0 | --unix=path] [--threads=2] [--shards=16]\n"
+      "           [--no-refine] [--smoke=0 --clients=4 --requests=32\n"
+      "           --seed=42]\n"
+      "           (--smoke runs the concurrent loopback self-check:\n"
+      "            every response bit-identical to a direct solver call\n"
+      "            and the warm mix must hit the cache; see doc/server.md)\n"
+      "  query    --times=1,2,3,6 --p=2 --q=2 (--port=N | --unix=path)\n"
+      "           [--mode=auto|exact|heuristic] [--deadline-us=0]\n"
       "  solve and trace also accept --profile=prof.json and\n"
       "  --metrics=metrics.json to instrument that run\n";
   return 2;
@@ -613,6 +933,8 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cli::cmd_simulate(argc - 1, argv + 1);
     if (cmd == "trace") return cli::cmd_trace(argc - 1, argv + 1);
     if (cmd == "profile") return cli::cmd_profile(argc - 1, argv + 1);
+    if (cmd == "serve") return cli::cmd_serve(argc - 1, argv + 1);
+    if (cmd == "query") return cli::cmd_query(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
