@@ -1,0 +1,139 @@
+// GFLOP/s harness for the local gemm microkernels (EXPERIMENTS.md §13):
+// times C += A*B at sizes where the memory hierarchy actually bites
+// (default n = 2048, well past every cache level) for each available
+// microkernel (scalar, avx2) and a threaded configuration, and reports
+// achieved GFLOP/s (2*n^3 flops over the best-of-reps wall clock).
+//
+// The dispatch contract is enforced, not just reported: every
+// configuration's output matrix must match the serial scalar-kernel run
+// bit for bit (the SIMD kernel uses separate mul+add vectors — never FMA —
+// precisely so kernel choice can never change a computed bit, and the
+// threaded overload assigns every output column to exactly one stripe).
+//
+// --smoke keeps n at the full 2048 (a smaller n would measure cache
+// residency, not the kernel) but drops to one rep and the {scalar@1,
+// avx2@1, avx2@2} configurations for CI.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/norms.hpp"
+#include "util/check.hpp"
+#include "util/parallel_engine.hpp"
+
+namespace {
+
+using namespace hetgrid;
+
+bool same_bits(const ConstMatrixView& a, const ConstMatrixView& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double x = a(i, j), y = b(i, j);
+      if (std::memcmp(&x, &y, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+struct Config {
+  std::string kernel;  // "scalar" or "avx2"
+  unsigned threads;    // 1 = serial overload, >1 = ParallelEngine stripes
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetgrid;
+  Cli cli(argc, argv,
+          {{"n", "2048"}, {"reps", "3"}, {"threads", "1,2,4"},
+           {"seed", "29"}, {"smoke", "0"}, {"csv", "0"},
+           {"json", "BENCH_gemm.json"}});
+  bench::print_header("Gemm microkernel throughput", cli);
+
+  const bool smoke = cli.get_bool("smoke");
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const int reps = smoke ? 1 : static_cast<int>(cli.get_int("reps"));
+  HG_CHECK(n >= 1, "--n must be positive");
+
+  const bool have_avx2 = gemm_force_kernel("avx2");
+  gemm_force_kernel("auto");
+  std::cout << "n = " << n << ", detected kernel: " << gemm_kernel_name()
+            << (have_avx2 ? "" : " (avx2 unavailable — scalar rows only)")
+            << "\n\n";
+
+  // The serial scalar run is the bit-identity reference, so it always runs
+  // first. Additional configurations: the SIMD kernel serial, then the
+  // auto-dispatched kernel through the threaded-stripe overload.
+  std::vector<Config> configs{{"scalar", 1}};
+  if (have_avx2) configs.push_back({"avx2", 1});
+  if (smoke) {
+    if (have_avx2) configs.push_back({"avx2", 2});
+  } else {
+    for (double v : parse_positive_list(cli.get_string("threads"))) {
+      const auto t = static_cast<unsigned>(v);
+      if (t > 1) configs.push_back({have_avx2 ? "avx2" : "scalar", t});
+    }
+  }
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  Matrix a(n, n), b(n, n), c0(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c0.view(), rng);
+
+  const double flops = 2.0 * static_cast<double>(n) *
+                       static_cast<double>(n) * static_cast<double>(n);
+
+  Table table;
+  table.header({"kernel", "threads", "ms", "gflops", "identical"});
+  bench::JsonReport json("bench_gemm_kernel", cli);
+
+  Matrix ref(n, n);
+  Matrix c(n, n);
+  for (std::size_t idx = 0; idx < configs.size(); ++idx) {
+    const Config& cfg = configs[idx];
+    HG_CHECK(gemm_force_kernel(cfg.kernel),
+             "kernel unavailable: " << cfg.kernel);
+    double best_ms = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      c.view().copy_from(c0.view());
+      const auto t0 = std::chrono::steady_clock::now();
+      if (cfg.threads == 1) {
+        gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 1.0, c.view());
+      } else {
+        ParallelEngine engine(cfg.threads);
+        gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 1.0, c.view(),
+             engine);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (idx == 0) ref.view().copy_from(c.view());
+    const bool identical = same_bits(c.view(), ref.view());
+    HG_INTERNAL_CHECK(identical, cfg.kernel << " @ " << cfg.threads
+                                            << " threads diverged from the "
+                                               "serial scalar kernel");
+    const double gflops = best_ms > 0.0 ? flops / (best_ms * 1e6) : 0.0;
+    table.row({cfg.kernel, std::to_string(cfg.threads),
+               Table::num(best_ms, 2), Table::num(gflops, 2),
+               identical ? "yes" : "NO"});
+    json.add()
+        .field("kernel", cfg.kernel)
+        .field("threads", static_cast<double>(cfg.threads))
+        .field("n", static_cast<double>(n))
+        .field("ms", best_ms)
+        .field("gflops", gflops)
+        .field("identical", identical ? "yes" : "no");
+  }
+  gemm_force_kernel("auto");
+
+  bench::emit(table, cli);
+  json.write_file(cli.get_string("json"));
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "matrix/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
+#include "matrix/gemm_kernel.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel_engine.hpp"
 
@@ -10,12 +12,22 @@ namespace hetgrid {
 
 namespace {
 
-// Cache-blocking tile sizes: a KC x NC panel of B is streamed against
-// MC x KC panels of A; tuned for "fits comfortably in L1/L2" rather than for
-// a specific machine.
-constexpr std::size_t kMc = 64;
-constexpr std::size_t kKc = 64;
-constexpr std::size_t kNc = 128;
+using detail::GemmKernel;
+
+// Small-path classification bounds. These are fixed constants — NOT the
+// dispatched kernel's blocking — so whether a call counts as a tile call or
+// a packed call (gemm.tile_calls / gemm.packed_calls) is a property of the
+// call's shape alone, identical on every host and for every kernel choice.
+// They double as the scalar kernel's cache blocking, tuned for "fits
+// comfortably in L1/L2" rather than for a specific machine.
+constexpr std::size_t kSmallM = 64;
+constexpr std::size_t kSmallK = 64;
+constexpr std::size_t kSmallN = 128;
+
+// Column-stripe alignment for the threaded overload. Also a fixed constant
+// (not the kernel's nc) so the stripe geometry — and with it the engine/pool
+// task structure — never depends on the SIMD dispatch.
+constexpr std::size_t kStripePanel = 128;
 
 double op_at(const ConstMatrixView& m, Trans t, std::size_t i, std::size_t j) {
   return t == Trans::No ? m(i, j) : m(j, i);
@@ -42,6 +54,25 @@ void check_shapes(Trans trans_a, Trans trans_b, const ConstMatrixView& a,
            "gemm shape mismatch: C " << m << "x" << n << ", op(A) " << ma
                                      << "x" << ka << ", op(B) " << kb << "x"
                                      << nb);
+}
+
+bool is_small_nn(std::size_t m, std::size_t n, std::size_t k) {
+  return m <= kSmallM && k <= kSmallK && n <= kSmallN;
+}
+
+// Counts one *logical* gemm call. Classification uses only the call's
+// transpose flags, alpha, and full output shape — never the stripe split,
+// the thread count, or the dispatched kernel — so metric snapshots are
+// byte-stable across all of those. Both public overloads call this exactly
+// once and then run the uncounted gemm_core (per stripe, for the threaded
+// overload).
+void count_gemm_call(Trans trans_a, Trans trans_b, double alpha,
+                     std::size_t m, std::size_t n, std::size_t k) {
+  metric_count("gemm.calls");
+  if (alpha == 0.0) return;  // no kernel runs: scale-only call
+  if (trans_a != Trans::No || trans_b != Trans::No) return;
+  metric_count(is_small_nn(m, n, k) ? "gemm.tile_calls"
+                                    : "gemm.packed_calls");
 }
 
 // Inner kernel for the no-transpose path: C(i,j) += sum_p A(i,p)*B(p,j)
@@ -89,7 +120,9 @@ void pack_b(double alpha, const ConstMatrixView& b, std::size_t p0,
 // Same saxpy kernel as tile_nn, reading the packed tiles. The p loop runs
 // in the same ascending order over the same values, so every C element sees
 // the identical floating-point operation sequence as the unpacked kernel —
-// packing is pure data movement.
+// packing is pure data movement. This is the portable fallback microkernel;
+// the AVX2 kernel (gemm_kernel_avx2.cpp) reproduces the same per-element
+// sequence with explicit mul+add vectors.
 void tile_nn_packed(const double* apack, std::size_t mlen,
                     const double* bpack, std::size_t klen, double* cbase,
                     std::size_t ldc, std::size_t jlen) {
@@ -104,47 +137,71 @@ void tile_nn_packed(const double* apack, std::size_t mlen,
   }
 }
 
-// Blocked no-transpose path. Small problems (one tile) skip the packing
-// entirely — the distributed runtimes call this once per owned block, and a
-// 16..64-wide block gains nothing from an extra copy. Large problems pack
-// each A/B tile once into contiguous, alpha-folded buffers and stream the
-// branch-free kernel over them.
+constexpr GemmKernel kScalarKernel{"scalar", kSmallM, kSmallK, kSmallN,
+                                   tile_nn_packed};
+
+// Test hook: when non-null, overrides the auto-detected kernel.
+std::atomic<const GemmKernel*> g_forced_kernel{nullptr};
+
+const GemmKernel& active_kernel() {
+  const GemmKernel* forced = g_forced_kernel.load(std::memory_order_relaxed);
+  if (forced != nullptr) return *forced;
+  // Detected once; the probe is a cpuid-backed builtin, not a config file,
+  // so "auto" is a pure function of the host.
+  static const GemmKernel* const detected = [] {
+    const GemmKernel* simd = detail::gemm_kernel_avx2();
+    return simd != nullptr ? simd : &kScalarKernel;
+  }();
+  return *detected;
+}
+
+// Blocked no-transpose path. Small problems (one scalar-sized tile in every
+// dimension) skip the packing entirely — the distributed runtimes call this
+// once per owned block, and a 16..64-wide block gains nothing from an extra
+// copy. Large problems pack each A/B tile once into contiguous, alpha-folded
+// buffers sized for the dispatched kernel's blocking and stream its
+// microkernel over them: the kc x nc B pack is the outer (L3-resident)
+// level, the mc x kc A pack the L2-resident level below it.
 void gemm_nn_blocked(double alpha, const ConstMatrixView& a,
                      const ConstMatrixView& b, MatrixView c) {
   const std::size_t m = c.rows(), n = c.cols(), k = a.cols();
-  if (m <= kMc && k <= kKc) {
-    metric_count("gemm.tile_calls");
+  if (is_small_nn(m, n, k)) {
+    // Bounded by n as well as m/k: a 64 x 64 x N call with huge N would
+    // otherwise stream strided B columns with no reuse. Taking the packed
+    // path instead is bit-safe — the kernels are FP-identical per element.
     tile_nn(alpha, a, b, c, 0, m, 0, k, 0, n);
     return;
   }
-  metric_count("gemm.packed_calls");
-  // Per-thread pack buffers: allocated once per worker, reused across
-  // calls, so the threaded stripes in gemm(..., engine) never share them.
-  thread_local std::vector<double> apack(kMc * kKc);
-  thread_local std::vector<double> bpack(kKc * kNc);
-  for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
-    const std::size_t j1 = std::min(j0 + kNc, n);
-    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
-      const std::size_t p1 = std::min(p0 + kKc, k);
+  const GemmKernel& kern = active_kernel();
+  // Per-thread pack buffers: reused across calls (resize only grows the
+  // allocation), so the threaded stripes in gemm(..., engine) never share
+  // them and a kernel switch mid-process just re-sizes on next use.
+  thread_local std::vector<double> apack;
+  thread_local std::vector<double> bpack;
+  apack.resize(kern.mc * kern.kc);
+  bpack.resize(kern.kc * kern.nc);
+  for (std::size_t j0 = 0; j0 < n; j0 += kern.nc) {
+    const std::size_t j1 = std::min(j0 + kern.nc, n);
+    for (std::size_t p0 = 0; p0 < k; p0 += kern.kc) {
+      const std::size_t p1 = std::min(p0 + kern.kc, k);
       pack_b(alpha, b, p0, p1, j0, j1, bpack.data());
-      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
-        const std::size_t i1 = std::min(i0 + kMc, m);
+      for (std::size_t i0 = 0; i0 < m; i0 += kern.mc) {
+        const std::size_t i1 = std::min(i0 + kern.mc, m);
         pack_a(a, i0, i1, p0, p1, apack.data());
-        tile_nn_packed(apack.data(), i1 - i0, bpack.data(), p1 - p0,
-                       c.data() + i0 + j0 * c.ld(), c.ld(), j1 - j0);
+        kern.tile(apack.data(), i1 - i0, bpack.data(), p1 - p0,
+                  c.data() + i0 + j0 * c.ld(), c.ld(), j1 - j0);
       }
     }
   }
 }
 
-}  // namespace
-
-void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
-          const ConstMatrixView& b, double beta, MatrixView c) {
-  check_shapes(trans_a, trans_b, a, b, c);
-  // Call counts depend only on the computation, never on the clock or the
-  // thread count, so recording them keeps metric snapshots byte-stable.
-  metric_count("gemm.calls");
+// The computation behind both public overloads, with no metric counting —
+// the caller has already counted the logical call (count_gemm_call), so the
+// threaded overload can run this once per stripe without inflating the
+// counters.
+void gemm_core(Trans trans_a, Trans trans_b, double alpha,
+               const ConstMatrixView& a, const ConstMatrixView& b, double beta,
+               MatrixView c) {
   scale_c(beta, c);
   if (alpha == 0.0) return;
 
@@ -167,31 +224,66 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
     }
 }
 
+}  // namespace
+
+const char* gemm_kernel_name() { return active_kernel().name; }
+
+bool gemm_force_kernel(std::string_view name) {
+  if (name == "auto") {
+    g_forced_kernel.store(nullptr, std::memory_order_relaxed);
+    return true;
+  }
+  if (name == "scalar") {
+    g_forced_kernel.store(&kScalarKernel, std::memory_order_relaxed);
+    return true;
+  }
+  if (name == "avx2") {
+    const GemmKernel* simd = detail::gemm_kernel_avx2();
+    if (simd == nullptr) return false;
+    g_forced_kernel.store(simd, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
+          const ConstMatrixView& b, double beta, MatrixView c) {
+  check_shapes(trans_a, trans_b, a, b, c);
+  const std::size_t k = trans_a == Trans::No ? a.cols() : a.rows();
+  count_gemm_call(trans_a, trans_b, alpha, c.rows(), c.cols(), k);
+  gemm_core(trans_a, trans_b, alpha, a, b, beta, c);
+}
+
 void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
           const ConstMatrixView& b, double beta, MatrixView c,
           ParallelEngine& engine) {
   check_shapes(trans_a, trans_b, a, b, c);
   const std::size_t n = c.cols();
-  // One stripe per worker, aligned to whole NC panels. Each column of C is
-  // produced by exactly one stripe with the same i/p loop structure as the
-  // serial path, so the result is bit-identical for any stripe count.
-  const std::size_t panels = (n + kNc - 1) / kNc;
+  const std::size_t k = trans_a == Trans::No ? a.cols() : a.rows();
+  // Counted once for the logical call, before any stripe split — the
+  // counters cannot depend on the thread count.
+  count_gemm_call(trans_a, trans_b, alpha, c.rows(), n, k);
+  // One stripe per worker, aligned to whole column panels. Each column of C
+  // is produced by exactly one stripe with the same i/p loop structure as
+  // the serial path, so the result is bit-identical for any stripe count.
+  const std::size_t panels = (n + kStripePanel - 1) / kStripePanel;
   const std::size_t stripes =
       std::min<std::size_t>(engine.threads(), panels);
   if (engine.serial() || stripes <= 1) {
-    gemm(trans_a, trans_b, alpha, a, b, beta, c);
+    gemm_core(trans_a, trans_b, alpha, a, b, beta, c);
     return;
   }
   engine.run_indexed(stripes, [&](std::size_t s) {
-    const std::size_t j_lo = std::min(n, panels * s / stripes * kNc);
-    const std::size_t j_hi = std::min(n, panels * (s + 1) / stripes * kNc);
+    const std::size_t j_lo = std::min(n, panels * s / stripes * kStripePanel);
+    const std::size_t j_hi =
+        std::min(n, panels * (s + 1) / stripes * kStripePanel);
     if (j_lo >= j_hi) return;
     const std::size_t jlen = j_hi - j_lo;
     const ConstMatrixView bsub =
         trans_b == Trans::No ? b.block(0, j_lo, b.rows(), jlen)
                              : b.block(j_lo, 0, jlen, b.cols());
-    gemm(trans_a, trans_b, alpha, a, bsub, beta,
-         c.block(0, j_lo, c.rows(), jlen));
+    gemm_core(trans_a, trans_b, alpha, a, bsub, beta,
+              c.block(0, j_lo, c.rows(), jlen));
   });
 }
 

@@ -5,6 +5,8 @@
 // the distributed outer-product algorithm calls on each local block update.
 #pragma once
 
+#include <string_view>
+
 #include "matrix/matrix.hpp"
 
 namespace hetgrid {
@@ -31,6 +33,20 @@ void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
 void gemm(Trans trans_a, Trans trans_b, double alpha, const ConstMatrixView& a,
           const ConstMatrixView& b, double beta, MatrixView c,
           ParallelEngine& engine);
+
+/// Name of the packed-tile microkernel gemm would dispatch to right now:
+/// "avx2" on an x86-64 host with AVX2 (explicit mul+add vectors — never FMA,
+/// whose single rounding would break bit-identity with the scalar kernel),
+/// "scalar" otherwise. Every kernel produces bit-identical results; the
+/// name only tells you which one is doing it.
+const char* gemm_kernel_name();
+
+/// Test hook: force the microkernel dispatch. Accepts "scalar", "avx2", or
+/// "auto" (restore runtime detection). Returns false — leaving the current
+/// choice untouched — when the named kernel is unknown or unavailable on
+/// this host. Takes effect on the next gemm call; not meant to be raced
+/// against in-flight gemms.
+bool gemm_force_kernel(std::string_view name);
 
 /// Convenience: C += A * B (the rank-k update at the heart of the paper's
 /// kernels).

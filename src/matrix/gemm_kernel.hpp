@@ -1,0 +1,41 @@
+// Internal gemm microkernel dispatch table.
+//
+// A GemmKernel bundles a packed-tile inner kernel with the cache-blocking
+// geometry it was tuned for. gemm.cpp owns the scalar fallback and picks the
+// best kernel the host supports at first use; gemm_kernel_avx2.cpp (the only
+// TU compiled with -mavx2) contributes the vectorized kernel when the build
+// targets x86-64 and the CPU reports AVX2 at runtime.
+//
+// Bit-identity contract: every kernel must produce, for every C element, the
+// exact floating-point operation sequence of the scalar kernel — an ascending-
+// p chain of individually rounded multiply-then-add steps (no FMA, which
+// rounds once where mul+add rounds twice). Vectorizing across i (rows) keeps
+// each element's chain untouched, so scalar and SIMD kernels agree to the bit
+// and the dispatch choice can never change a computed result.
+#pragma once
+
+#include <cstddef>
+
+namespace hetgrid::detail {
+
+/// Packed-tile kernel: C(0:mlen, 0:jlen) += Apack * Bpack, where Apack is a
+/// contiguous column-major mlen x klen tile, Bpack a contiguous column-major
+/// klen x jlen tile (alpha already folded in by the pack), and C a column-
+/// major view with leading dimension ldc.
+using GemmTileFn = void (*)(const double* apack, std::size_t mlen,
+                            const double* bpack, std::size_t klen,
+                            double* cbase, std::size_t ldc, std::size_t jlen);
+
+struct GemmKernel {
+  const char* name;  // "scalar", "avx2", ... — surfaced by gemm_kernel_name()
+  std::size_t mc;    // A-panel rows   (mc x kc pack, L1/L2 resident)
+  std::size_t kc;    // shared depth   (kc x nc B pack, L2/L3 resident)
+  std::size_t nc;    // B-panel cols
+  GemmTileFn tile;
+};
+
+/// The AVX2 kernel, or nullptr when the build target or the running CPU
+/// lacks AVX2. Defined in gemm_kernel_avx2.cpp.
+const GemmKernel* gemm_kernel_avx2();
+
+}  // namespace hetgrid::detail

@@ -62,8 +62,15 @@ void ParallelEngine::run_indexed(
     return;
   }
   ProfScope span("engine.flush");
+  // One batched submit: the pool spreads the units round-robin across the
+  // worker deques, so an uneven-cost fan-out starts balanced and the slow
+  // items get stolen instead of queueing behind one another. `fn` outlives
+  // wait_idle() below, so capturing a reference is safe.
+  std::vector<std::function<void()>> units;
+  units.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    pool_->submit([&fn, i] { fn(i); });
+    units.emplace_back([&fn, i] { fn(i); });
+  pool_->submit_batch(std::move(units));
   pool_->wait_idle();
 }
 

@@ -143,13 +143,16 @@ TaskGraph::TaskId TaskGraph::add(const char* name, std::vector<Key> reads,
 void TaskGraph::pump() {
   // Greedy drain: one pump closure is submitted per task pushed ready, but
   // a running pump keeps popping work itself instead of round-tripping
-  // every task through the pool queue (a pump that finds the queue empty
+  // every task through the pool (a pump that finds the ready queue empty
   // because another worker drained it simply returns). Completing one task
   // and claiming the next share a single critical section, and when a
   // completion readies several tasks this worker keeps one and offers only
   // the rest to the pool — per-task scheduling cost is one lock
   // acquisition in the steady state, with no wakeup syscalls unless the
-  // host is blocked on the completing task.
+  // host is blocked on the completing task. The extra pumps land on the
+  // completing worker's own deque (LIFO local push), where idle siblings
+  // steal them from the FIFO end — a fused task of uneven cost keeps this
+  // worker busy while the stolen pumps drain the rest of the wavefront.
   Task* t = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);

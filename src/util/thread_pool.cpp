@@ -18,10 +18,19 @@ double us_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
+// Identifies the current thread as worker `tls_index` of `tls_pool`, so
+// submit() can route a worker-produced task onto that worker's own deque
+// (the LIFO local push). Any other thread sees tls_pool == nullptr.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_index = 0;
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   HG_CHECK(threads >= 1, "ThreadPool needs at least one worker");
+  deques_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    deques_.emplace_back(std::make_unique<Deque>());
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -29,14 +38,39 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_.store(true, std::memory_order_relaxed);
   }
   cv_work_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::push_item(Item&& item, std::size_t target) {
+  {
+    std::lock_guard<std::mutex> lock(deques_[target]->mu);
+    deques_[target]->items.push_back(std::move(item));
+  }
+  // pending_ rises only after the item is visible in its deque, so a
+  // worker woken by the pending count can always find the work by
+  // rescanning (at worst it loops once while the push completes).
+  pending_.fetch_add(1);
+}
+
+void ThreadPool::maybe_wake(std::size_t count) {
+  std::size_t wake = 0;
+  {
+    // Only wake workers that are actually parked. A worker that failed its
+    // scan re-checks pending_ under sleep_mu_ before sleeping, so skipping
+    // the notify here can never strand a task.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    wake = std::min(waiting_, count);
+  }
+  for (std::size_t i = 0; i < wake; ++i) cv_work_.notify_one();
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  HG_CHECK(!stop_.load(std::memory_order_relaxed),
+           "submit on a stopping ThreadPool");
   MetricsRegistry* metrics = installed_metrics();
   Item item;
   item.fn = std::move(task);
@@ -44,58 +78,54 @@ void ThreadPool::submit(std::function<void()> task) {
     item.enqueued = std::chrono::steady_clock::now();
     item.timed = true;
   }
-  std::size_t depth = 0;
-  bool wake = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    HG_CHECK(!stop_, "submit on a stopping ThreadPool");
-    queue_.push_back(std::move(item));
-    depth = queue_.size() + in_flight_;
-    // Only wake a worker that is actually parked. A worker that has not
-    // reached cv_work_.wait yet re-checks the queue under mu_ before
-    // sleeping, so skipping the notify here can never strand the task.
-    wake = waiting_ > 0;
-  }
-  if (wake) cv_work_.notify_one();
+  outstanding_.fetch_add(1);
+  // A worker submits to itself (LIFO locality: the freshest task reuses
+  // the producer's hot data, and siblings steal from the cold FIFO end);
+  // everyone else spreads round-robin.
+  const std::size_t target = tls_pool == this
+                                 ? tls_index
+                                 : next_.fetch_add(1) % deques_.size();
+  push_item(std::move(item), target);
+  maybe_wake(1);
   if (metrics != nullptr) {
     metrics->counter("pool.tasks_submitted").add(1);
-    metrics->gauge("pool.queue_depth").set(static_cast<double>(depth));
+    metrics->gauge("pool.queue_depth")
+        .set(static_cast<double>(outstanding_.load()));
   }
 }
 
 void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  HG_CHECK(!stop_.load(std::memory_order_relaxed),
+           "submit_batch on a stopping ThreadPool");
   MetricsRegistry* metrics = installed_metrics();
   std::chrono::steady_clock::time_point now;
   if (metrics != nullptr) now = std::chrono::steady_clock::now();
-  std::size_t depth = 0;
-  std::size_t wake = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    HG_CHECK(!stop_, "submit_batch on a stopping ThreadPool");
-    for (std::function<void()>& task : tasks) {
-      Item item;
-      item.fn = std::move(task);
-      if (metrics != nullptr) {
-        item.enqueued = now;
-        item.timed = true;
-      }
-      queue_.push_back(std::move(item));
+  outstanding_.fetch_add(tasks.size());
+  const bool local = tls_pool == this;
+  for (std::function<void()>& task : tasks) {
+    Item item;
+    item.fn = std::move(task);
+    if (metrics != nullptr) {
+      item.enqueued = now;
+      item.timed = true;
     }
-    depth = queue_.size() + in_flight_;
-    wake = std::min(waiting_, tasks.size());
+    const std::size_t target =
+        local ? tls_index : next_.fetch_add(1) % deques_.size();
+    push_item(std::move(item), target);
   }
-  for (std::size_t i = 0; i < wake; ++i) cv_work_.notify_one();
+  maybe_wake(tasks.size());
   if (metrics != nullptr) {
     metrics->counter("pool.tasks_submitted")
         .add(static_cast<double>(tasks.size()));
-    metrics->gauge("pool.queue_depth").set(static_cast<double>(depth));
+    metrics->gauge("pool.queue_depth")
+        .set(static_cast<double>(outstanding_.load()));
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  cv_idle_.wait(lock, [this] { return outstanding_.load() == 0; });
 }
 
 unsigned ThreadPool::resolve_threads(unsigned requested) {
@@ -104,59 +134,93 @@ unsigned ThreadPool::resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+bool ThreadPool::try_pop_local(unsigned self, Item& out) {
+  Deque& d = *deques_[self];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.items.empty()) return false;
+  out = std::move(d.items.back());  // LIFO end
+  d.items.pop_back();
+  // Decremented under the deque mutex, so "every deque scanned empty"
+  // implies pending_ has already dropped for every claimed item — the
+  // shutdown drain cannot spin on a phantom count.
+  pending_.fetch_sub(1);
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned self, Item& out) {
+  const std::size_t n = deques_.size();
+  for (std::size_t hop = 1; hop < n; ++hop) {
+    Deque& d = *deques_[(self + hop) % n];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.items.empty()) continue;
+    out = std::move(d.items.front());  // FIFO end: the oldest task migrates
+    d.items.pop_front();
+    pending_.fetch_sub(1);
+    metric_count("pool.steals");
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_item(Item& item) {
+  MetricsRegistry* metrics = installed_metrics();
+  std::chrono::steady_clock::time_point run_start;
+  if (metrics != nullptr) {
+    run_start = std::chrono::steady_clock::now();
+    if (item.timed)
+      metrics->histogram("pool.task_wait_us")
+          .record(us_between(item.enqueued, run_start));
+  }
+  {
+    ProfScope span("pool.task");
+    // Non-throwing contract: deliver a named diagnostic instead of the
+    // anonymous terminate an escaping exception would otherwise cause.
+    try {
+      item.fn();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "hetgrid: fatal: ThreadPool task threw an exception "
+                   "(tasks are noexcept by contract): %s\n",
+                   e.what());
+      std::terminate();
+    } catch (...) {
+      std::fprintf(stderr,
+                   "hetgrid: fatal: ThreadPool task threw a non-standard "
+                   "exception (tasks are noexcept by contract)\n");
+      std::terminate();
+    }
+  }
+  if (metrics != nullptr)
+    metrics->histogram("pool.task_run_us")
+        .record(us_between(run_start, std::chrono::steady_clock::now()));
+}
+
 void ThreadPool::worker_loop(unsigned index) {
   prof_set_thread_name("worker-" + std::to_string(index));
+  tls_pool = this;
+  tls_index = index;
   for (;;) {
     Item item;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      ++waiting_;
-      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      --waiting_;
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
-    }
-    MetricsRegistry* metrics = installed_metrics();
-    std::chrono::steady_clock::time_point run_start;
-    if (metrics != nullptr) {
-      run_start = std::chrono::steady_clock::now();
-      if (item.timed)
-        metrics->histogram("pool.task_wait_us")
-            .record(us_between(item.enqueued, run_start));
-    }
-    {
-      ProfScope span("pool.task");
-      // Non-throwing contract: deliver a named diagnostic instead of the
-      // anonymous terminate an escaping exception would otherwise cause.
-      try {
-        item.fn();
-      } catch (const std::exception& e) {
-        std::fprintf(stderr,
-                     "hetgrid: fatal: ThreadPool task threw an exception "
-                     "(tasks are noexcept by contract): %s\n",
-                     e.what());
-        std::terminate();
-      } catch (...) {
-        std::fprintf(stderr,
-                     "hetgrid: fatal: ThreadPool task threw a non-standard "
-                     "exception (tasks are noexcept by contract)\n");
-        std::terminate();
+    if (try_pop_local(index, item) || try_steal(index, item)) {
+      run_item(item);
+      item.fn = nullptr;  // release captures before the idle signal
+      if (outstanding_.fetch_sub(1) == 1) {
+        // wait_idle's predicate can only turn true at this transition;
+        // taking sleep_mu_ orders the notify after the host's predicate
+        // check, so the host can never sleep through it.
+        std::lock_guard<std::mutex> lock(sleep_mu_);
+        cv_idle_.notify_all();
       }
+      continue;
     }
-    if (metrics != nullptr)
-      metrics->histogram("pool.task_run_us")
-          .record(us_between(run_start, std::chrono::steady_clock::now()));
-    bool idle = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      idle = queue_.empty() && in_flight_ == 0;
-    }
-    // wait_idle's predicate can only turn true at this transition, so a
-    // per-task notify_all was pure wakeup churn for the host thread.
-    if (idle) cv_idle_.notify_all();
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    ++waiting_;
+    cv_work_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) || pending_.load() > 0;
+    });
+    --waiting_;
+    if (stop_.load(std::memory_order_relaxed) && pending_.load() == 0)
+      return;  // stop requested and every deque drained
   }
 }
 

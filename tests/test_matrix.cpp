@@ -171,6 +171,29 @@ TEST(Gemm, TransposedVariantsMatchReference) {
   }
 }
 
+TEST(Gemm, TransposedVariantsMatchReferenceAcrossBlockBoundaries) {
+  // Same four (trans_a, trans_b) combinations at sizes past the blocked
+  // path's tile bounds, with beta == 0 so the accumulate prologue differs
+  // from the small-shape test above.
+  Rng rng(21);
+  const int m = 150, n = 170, k = 130;
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      Matrix a(ta == Trans::No ? m : k, ta == Trans::No ? k : m);
+      Matrix b(tb == Trans::No ? k : n, tb == Trans::No ? n : k);
+      Matrix c(m, n), c_ref(m, n);
+      fill_random(a.view(), rng);
+      fill_random(b.view(), rng);
+      c.view().fill(std::numeric_limits<double>::quiet_NaN());
+      c_ref.view().fill(0.0);
+      gemm(ta, tb, -1.25, a.view(), b.view(), 0.0, c.view());
+      gemm_reference(ta, tb, -1.25, a.view(), b.view(), 0.0, c_ref.view());
+      EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11 * k)
+          << "ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes);
+    }
+  }
+}
+
 TEST(Gemm, ShapeMismatchThrows) {
   Matrix a(2, 3), b(4, 2), c(2, 2);
   EXPECT_THROW(

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "dist/kalinov_lastovetsky.hpp"
@@ -15,6 +17,7 @@
 #include "matrix/norms.hpp"
 #include "mp/block_store.hpp"
 #include "mp/mp_runtime.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/virtual_runtime.hpp"
 #include "util/parallel_engine.hpp"
@@ -407,6 +410,170 @@ TEST(GemmParallel, ThreadedTransposedOperandsBitIdentical) {
   gemm(Trans::Yes, Trans::Yes, -1.0, a.view(), b.view(), 1.0, c1.view(),
        engine);
   EXPECT_TRUE(same_bits(c0.view(), c1.view()));
+}
+
+TEST(GemmParallel, ThreadedAllTransposeCombosMatchReference) {
+  // Every (trans_a, trans_b) combination through the threaded-stripe
+  // overload, wide enough (n = 300) that the engine actually splits
+  // stripes: must match the naive reference numerically and the serial
+  // overload bit-for-bit.
+  Rng rng(83);
+  const std::size_t m = 70, n = 300, k = 90;
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      Matrix a(ta == Trans::No ? m : k, ta == Trans::No ? k : m);
+      Matrix b(tb == Trans::No ? k : n, tb == Trans::No ? n : k);
+      Matrix c(m, n), c_serial(m, n), c_ref(m, n);
+      fill_random(a.view(), rng);
+      fill_random(b.view(), rng);
+      fill_random(c.view(), rng);
+      c_serial.view().copy_from(c.view());
+      c_ref.view().copy_from(c.view());
+      ParallelEngine engine(3);
+      gemm(ta, tb, 1.5, a.view(), b.view(), -0.5, c.view(), engine);
+      gemm(ta, tb, 1.5, a.view(), b.view(), -0.5, c_serial.view());
+      gemm_reference(ta, tb, 1.5, a.view(), b.view(), -0.5, c_ref.view());
+      EXPECT_TRUE(same_bits(c.view(), c_serial.view()))
+          << "ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes);
+      EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), 1e-11 * k)
+          << "ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes);
+    }
+  }
+}
+
+// ----------------------------------------------------- kernel dispatch
+
+// Restores runtime kernel detection no matter how a test exits.
+struct KernelGuard {
+  ~KernelGuard() { gemm_force_kernel("auto"); }
+};
+
+TEST(GemmKernel, DispatchReportsAKnownKernel) {
+  KernelGuard guard;
+  const std::string name = gemm_kernel_name();
+  EXPECT_TRUE(name == "scalar" || name == "avx2") << name;
+  EXPECT_FALSE(gemm_force_kernel("avx512-dreams"));
+  EXPECT_TRUE(gemm_force_kernel("scalar"));
+  EXPECT_STREQ(gemm_kernel_name(), "scalar");
+  EXPECT_TRUE(gemm_force_kernel("auto"));
+  EXPECT_EQ(gemm_kernel_name(), name);
+}
+
+TEST(GemmKernel, ScalarAndAvx2BitIdentical) {
+  // The dispatch contract: kernel choice can never change a computed bit.
+  // The AVX2 kernel vectorizes across rows with separate mul+add (no FMA),
+  // so each C element keeps the scalar kernel's rounding sequence exactly.
+  KernelGuard guard;
+  if (!gemm_force_kernel("avx2")) GTEST_SKIP() << "host lacks AVX2";
+  Rng rng(89);
+  // Ragged shapes exercise the 8x4 register core plus its row tail (137 =
+  // 17*8 + 1), column tail (211 = 52*4 + 3), and partial packs.
+  const std::size_t m = 137, n = 211, k = 93;
+  Matrix a(m, k), b(k, n), c_simd(m, n), c_scalar(m, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c_simd.view(), rng);
+  c_scalar.view().copy_from(c_simd.view());
+  gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), -0.5, c_simd.view());
+  ASSERT_TRUE(gemm_force_kernel("scalar"));
+  gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), -0.5,
+       c_scalar.view());
+  EXPECT_TRUE(same_bits(c_simd.view(), c_scalar.view()));
+}
+
+TEST(GemmKernel, MpRunsBitIdenticalAcrossDispatch) {
+  // End-to-end: a distributed MMM and LU with 70-wide blocks (large enough
+  // that every local update takes the packed microkernel path) must produce
+  // byte-identical reports, matrices, and traces under either kernel.
+  KernelGuard guard;
+  if (!gemm_force_kernel("avx2")) GTEST_SKIP() << "host lacks AVX2";
+  const Machine machine = het_machine(47, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const MpRun mmm_simd = run_mmm(machine, dist, 140, 70, 2);
+  const MpRun lu_simd = run_lu(machine, dist, 140, 70, false, 2);
+  ASSERT_TRUE(gemm_force_kernel("scalar"));
+  expect_same_run(run_mmm(machine, dist, 140, 70, 2), mmm_simd);
+  expect_same_run(run_lu(machine, dist, 140, 70, false, 2), lu_simd);
+}
+
+TEST(GemmKernel, SmallPathNBoundBitSafe) {
+  // Regression for the small-path bound: a 64 x 64 x 400 call now takes
+  // the packed path (the old m/k-only test streamed strided B columns with
+  // no reuse). Packed and unpacked kernels are FP-identical per element,
+  // so the result must match, bit for bit, the same product computed in
+  // column slices narrow enough to stay on the unpacked tile path.
+  Rng rng(97);
+  const std::size_t m = 64, k = 64, n = 400, slice = 100;
+  Matrix a(m, k), b(k, n), c_full(m, n), c_sliced(m, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c_full.view(), rng);
+  c_sliced.view().copy_from(c_full.view());
+  gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), 0.5, c_full.view());
+  for (std::size_t j0 = 0; j0 < n; j0 += slice) {
+    const std::size_t jlen = std::min(slice, n - j0);
+    gemm(Trans::No, Trans::No, 1.5, a.view(), b.block(0, j0, k, jlen), 0.5,
+         c_sliced.block(0, j0, m, jlen));
+  }
+  EXPECT_TRUE(same_bits(c_full.view(), c_sliced.view()));
+}
+
+// ----------------------------------------------------- metric stability
+
+// Canonical rendering of the gemm call counters — the part of a metrics
+// snapshot the determinism contract pins across thread counts. (The full
+// snapshot also holds pool/engine wall-clock histograms, which exist only
+// when a pool runs; those are documented as wall-clock-valued and excluded
+// from the byte-stability guarantee.)
+std::string gemm_counter_fingerprint(MetricsRegistry& m) {
+  std::ostringstream os;
+  os << "gemm.calls=" << m.counter("gemm.calls").value()
+     << " gemm.tile_calls=" << m.counter("gemm.tile_calls").value()
+     << " gemm.packed_calls=" << m.counter("gemm.packed_calls").value();
+  return os.str();
+}
+
+std::string counted_gemm_workload(unsigned threads) {
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  {
+    Rng rng(101);
+    ParallelEngine engine(threads);
+    // One packed logical call, wide enough to split into several stripes.
+    Matrix a(96, 80), b(80, 512), c(96, 512);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    fill_random(c.view(), rng);
+    gemm(Trans::No, Trans::No, 1.5, a.view(), b.view(), 0.5, c.view(),
+         engine);
+    // One tile-sized call, one transposed call, one alpha == 0 call.
+    Matrix sa(32, 16), sb(16, 40), sc(32, 40, 0.0);
+    fill_random(sa.view(), rng);
+    fill_random(sb.view(), rng);
+    gemm(Trans::No, Trans::No, 1.0, sa.view(), sb.view(), 0.0, sc.view(),
+         engine);
+    Matrix ta(16, 32), tc(32, 40, 0.0);
+    fill_random(ta.view(), rng);
+    gemm(Trans::Yes, Trans::No, 1.0, ta.view(), sb.view(), 0.0, tc.view(),
+         engine);
+    gemm(Trans::No, Trans::No, 0.0, sa.view(), sb.view(), 1.0, sc.view(),
+         engine);
+  }
+  install_metrics(nullptr);
+  return gemm_counter_fingerprint(reg);
+}
+
+TEST(GemmMetrics, CallCountersIdenticalAcrossThreadCounts) {
+  // Regression for the per-stripe counting bug: the ParallelEngine overload
+  // used to recurse into the counted serial gemm once per column stripe, so
+  // gemm.calls / gemm.packed_calls grew with the thread count. Counting the
+  // logical call once restores the "call counts never depend on the thread
+  // count" invariant (src/matrix/gemm.cpp) — the counter fingerprint must
+  // be byte-identical for threads 1, 2, and 7.
+  const std::string serial = counted_gemm_workload(1);
+  EXPECT_EQ(serial,
+            "gemm.calls=4 gemm.tile_calls=1 gemm.packed_calls=1");
+  for (unsigned t : {2u, 7u}) EXPECT_EQ(serial, counted_gemm_workload(t));
 }
 
 }  // namespace

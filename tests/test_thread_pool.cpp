@@ -150,6 +150,73 @@ TEST(ThreadPool, RecordsWaitLatencyHistogram) {
   EXPECT_EQ(metrics.histogram("pool.task_run_us").count(), 16u);
 }
 
+TEST(ThreadPool, WorkerLocalSubmitRunsNewestFirst) {
+  // A task submitted from a pool worker lands on that worker's own deque
+  // and is popped LIFO. With a single worker there is nobody to steal, so
+  // three subtasks enqueued by a running task must execute newest-first —
+  // the locality property the work-stealing design trades FIFO order for.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::vector<int> order;
+  pool.submit([&] {
+    for (int i = 0; i < 3; ++i)
+      pool.submit([&, i] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(i);
+      });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBusySibling) {
+  // Force a steal deterministically: a task running on one worker submits
+  // a subtask (which lands on its own deque) and then refuses to finish
+  // until the subtask has started — which only the other worker can make
+  // happen, by stealing it. The steal must land on a different thread and
+  // be recorded in the pool.steals counter.
+  MetricsRegistry metrics;
+  install_metrics(&metrics);
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> stolen_started{false};
+    std::thread::id owner_id, thief_id;
+    pool.submit([&] {
+      owner_id = std::this_thread::get_id();
+      pool.submit([&] {
+        thief_id = std::this_thread::get_id();
+        stolen_started.store(true);
+      });
+      while (!stolen_started.load()) std::this_thread::yield();
+    });
+    pool.wait_idle();
+    EXPECT_NE(owner_id, thief_id);
+  }
+  install_metrics(nullptr);
+  EXPECT_GE(metrics.counter("pool.steals").value(), 1u);
+}
+
+TEST(ThreadPool, UnevenBatchRebalancesAcrossWorkers) {
+  // One long task and many short ones submitted as a single batch: the
+  // round-robin spread plus stealing must let the short tasks finish on
+  // the unblocked worker instead of serializing behind the long one.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> short_done{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 64; ++i)
+    tasks.emplace_back([&short_done] { short_done.fetch_add(1); });
+  pool.submit_batch(std::move(tasks));
+  // All short tasks complete while the long task still spins.
+  while (short_done.load() < 64) std::this_thread::yield();
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(short_done.load(), 64);
+}
+
 TEST(ThreadPool, ManyProducersOneSink) {
   // Hammer submit() from several threads at once; every task must run
   // exactly once. (This is the pattern TSan watches in CI.)

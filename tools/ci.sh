@@ -49,6 +49,24 @@ if build-ci/bench/bench_compare --base=build-ci/BENCH_runtime_smoke.json \
   exit 1
 fi
 
+# Gemm microkernel bench + gate: n = 2048 GFLOP/s per kernel (the harness
+# itself asserts that the scalar, avx2, and threaded configurations agree
+# bit for bit). The output must match the committed schema, the "identical"
+# column must reproduce the committed baseline exactly (string fields are
+# compared pairwise), wall clock stays within a generous envelope, and the
+# injected-regression check proves this gate would fire.
+build-ci/bench/bench_gemm_kernel --smoke=1 --json=build-ci/BENCH_gemm_smoke.json
+build-ci/bench/bench_compare --check-schema=build-ci/BENCH_gemm_smoke.json \
+      --schema=bench/baselines/bench_gemm_schema.json
+build-ci/bench/bench_compare --base=bench/baselines/bench_gemm_baseline.json \
+      --new=build-ci/BENCH_gemm_smoke.json --key=ms --threshold=4.0
+if build-ci/bench/bench_compare --base=bench/baselines/bench_gemm_baseline.json \
+      --new=build-ci/BENCH_gemm_smoke.json --key=ms --inject=8.0 \
+      --threshold=4.0 2>/dev/null; then
+  echo "bench_compare failed to flag an injected gemm regression" >&2
+  exit 1
+fi
+
 # Placement-server smoke: concurrent loopback clients hammer the server;
 # every response (miss or hit, any interleaving) must be bit-identical to a
 # direct solver call and the warm mix must hit the canonicalizing cache
