@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "matrix/gemm.hpp"
+#include "matrix/trsm.hpp"
 #include "util/rng.hpp"
 
 namespace hetgrid {
@@ -23,22 +24,6 @@ bool cholesky_factor_unblocked(MatrixView a) {
     }
   }
   return true;
-}
-
-void trsm_right_lower_transposed(const ConstMatrixView& l, MatrixView b) {
-  const std::size_t n = l.rows();
-  HG_CHECK(l.cols() == n, "L must be square");
-  HG_CHECK(b.cols() == n, "rhs cols " << b.cols() << " != " << n);
-  // Solve X * L^T = B, i.e. for each row of B: x_j = (b_j - sum_{p<j}
-  // x_p * L(j,p)) / L(j,j), sweeping columns left to right.
-  for (std::size_t j = 0; j < n; ++j) {
-    HG_CHECK(l(j, j) != 0.0, "singular L at diagonal " << j);
-    for (std::size_t i = 0; i < b.rows(); ++i) {
-      double x = b(i, j);
-      for (std::size_t p = 0; p < j; ++p) x -= b(i, p) * l(j, p);
-      b(i, j) = x / l(j, j);
-    }
-  }
 }
 
 bool cholesky_factor_blocked(MatrixView a, std::size_t block) {

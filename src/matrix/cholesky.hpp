@@ -4,6 +4,7 @@
 #pragma once
 
 #include "matrix/matrix.hpp"
+#include "matrix/trsm.hpp"  // trsm_right_lower_transposed (the panel solve)
 
 namespace hetgrid {
 
@@ -17,10 +18,6 @@ bool cholesky_factor_unblocked(MatrixView a);
 /// sub-diagonal panel (L21 := A21 * inv(L11)^T), symmetric rank-b update
 /// of the trailing matrix. Returns false on a non-positive pivot.
 bool cholesky_factor_blocked(MatrixView a, std::size_t block);
-
-/// B := B * inv(L)^T with L lower triangular, non-unit diagonal — the
-/// panel solve of the blocked Cholesky.
-void trsm_right_lower_transposed(const ConstMatrixView& l, MatrixView b);
 
 /// Solves A x = b given the Cholesky factor (forward then transposed-back
 /// substitution). `b` is overwritten with the solution.

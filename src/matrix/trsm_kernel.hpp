@@ -1,0 +1,36 @@
+// Internal trsm microkernel dispatch table.
+//
+// The blocked triangular solves (matrix/trsm.cpp) spend their in-block time
+// in two column primitives: a subtract-scaled-column saxpy and an
+// elementwise column divide. A TrsmKernel bundles vectorizable
+// implementations of both; trsm.cpp owns the scalar fallback and follows the
+// gemm dispatch choice (gemm_kernel_name()), so gemm_force_kernel /
+// HETGRID_GEMM_KERNEL is the single toggle for the whole microkernel family.
+// trsm_kernel_avx2.cpp (compiled with -mavx2 like its gemm sibling)
+// contributes the vectorized kernel on capable hosts.
+//
+// Bit-identity contract, same as gemm_kernel.hpp: both primitives are
+// elementwise — each y[i] sees one individually rounded multiply-then-
+// subtract (never FMA, whose single rounding differs) or one IEEE divide,
+// and vector lanes round exactly like scalar ops — so the dispatch choice
+// can never change a computed bit.
+#pragma once
+
+#include <cstddef>
+
+namespace hetgrid::detail {
+
+struct TrsmKernel {
+  const char* name;  // "scalar", "avx2" — follows gemm_kernel_name()
+  // y[i] -= x[i] * a for i in [0, n): the column update of a right-looking
+  // solve step (x is a triangle column or a solved rhs column).
+  void (*axpy_sub)(double* y, const double* x, double a, std::size_t n);
+  // y[i] /= d for i in [0, n): the diagonal divide of a non-unit solve.
+  void (*col_div)(double* y, double d, std::size_t n);
+};
+
+/// The AVX2 kernel, or nullptr when the build target or the running CPU
+/// lacks AVX2. Defined in trsm_kernel_avx2.cpp.
+const TrsmKernel* trsm_kernel_avx2();
+
+}  // namespace hetgrid::detail

@@ -1,0 +1,60 @@
+// AVX2 trsm column microkernels.
+//
+// Compiled with -mavx2 -ffp-contract=off like gemm_kernel_avx2.cpp (the
+// compiler must not contract the scalar tails into FMAs). Both primitives
+// vectorize across i only, with one individually rounded multiply and
+// subtract (or one IEEE divide) per element — _mm256_mul_pd/_mm256_sub_pd/
+// _mm256_div_pd, never _mm256_fmadd_pd — so every lane computes exactly
+// what the scalar kernel computes and the dispatch choice cannot change a
+// bit of the solve.
+#include "matrix/trsm_kernel.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace hetgrid::detail {
+namespace {
+
+void axpy_sub_avx2(double* y, const double* x, double a, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_sub_pd(vy, _mm256_mul_pd(vx, va)));
+  }
+  for (; i < n; ++i) y[i] -= x[i] * a;
+}
+
+void col_div_avx2(double* y, double d, std::size_t n) {
+  // Elementwise IEEE divide: div_pd rounds each lane exactly like the
+  // scalar divide, so no reciprocal-multiply trickery is allowed here.
+  const __m256d vd = _mm256_set1_pd(d);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_div_pd(vy, vd));
+  }
+  for (; i < n; ++i) y[i] /= d;
+}
+
+constexpr TrsmKernel kAvx2TrsmKernel{"avx2", axpy_sub_avx2, col_div_avx2};
+
+}  // namespace
+
+const TrsmKernel* trsm_kernel_avx2() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2TrsmKernel : nullptr;
+}
+
+}  // namespace hetgrid::detail
+
+#else  // non-x86-64 target or AVX2 not enabled for this TU
+
+namespace hetgrid::detail {
+
+const TrsmKernel* trsm_kernel_avx2() { return nullptr; }
+
+}  // namespace hetgrid::detail
+
+#endif

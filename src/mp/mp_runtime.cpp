@@ -203,6 +203,10 @@ struct MpContext {
               std::initializer_list<BlockKey> reads,
               std::initializer_list<BlockKey> writes,
               std::function<void()> op) {
+    // Every write key gets a fresh version at emission time: any packed
+    // panel of the block's previous bytes becomes unreachable in the pack
+    // cache the moment its overwriter is queued (see tag()).
+    for (const BlockKey& k : writes) store[id].bump_version(k);
     if (!dag) {
       batch.add(id, std::move(op));
       return;
@@ -298,6 +302,16 @@ struct MpContext {
     pending_erases.resize(kept);
   }
 
+  /// Pack-cache tag for reading `key` on processor `id` at its current
+  /// write version — captured on the host at emission time. Safe under the
+  /// dag scheduler's reordering: the task-graph dependencies guarantee the
+  /// block's bytes match this version when the tagged gemm actually runs,
+  /// and any queued overwriter has already bumped past it (add_op above),
+  /// so a stale pack is never looked up, let alone returned.
+  PackTag tag(std::size_t id, BlockKey key) const {
+    return PackTag{BlockStore::pack_id(key), store[id].version(key), true};
+  }
+
   std::size_t pid(std::size_t gi, std::size_t gj) const {
     return gi * q + gj;
   }
@@ -330,6 +344,7 @@ struct MpContext {
     const MatrixView dst = store[to].at(key);
     HG_INTERNAL_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols(),
                       "copy_block into a block of different shape");
+    store[to].bump_version(key);  // in-place write: put() did not bump
     stage_op(kGroupCopy | (static_cast<std::uint64_t>(from) << 24) | to,
              "mp.copy", kPrioComm, {key_of(from, key)}, {key_of(to, key)},
              [src, dst] { dst.copy_from(src); });
@@ -578,8 +593,16 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
           const ConstMatrixView av = ctx.store[id].at(a_key);
           const ConstMatrixView bv = ctx.store[id].at(b_key);
           const MatrixView cv = ctx.store[id].at(c_key);
+          // Both operands are panel blocks reused across this step's
+          // updates on this processor: pack each once per (block, version).
+          PackedPanelCache* const cache = &ctx.store[id].pack_cache();
+          const PackTag at = ctx.tag(id, a_key);
+          const PackTag bt = ctx.tag(id, b_key);
           ctx.add_op(id, "mp.gemm", kPrioUpdate, {a_key, b_key}, {c_key},
-                     [av, bv, cv] { gemm_update(av, bv, cv); });
+                     [av, at, bv, bt, cv, cache] {
+                       gemm_cached(Trans::No, Trans::No, 1.0, av, at, bv, bt,
+                                   1.0, cv, cache);
+                     });
           work += ctx.cycle_time(id) * costs.update *
                   vol_frac(ilen, jlen, klen, block);
         }
@@ -644,6 +667,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     // running underneath the factorization, which is the lookahead overlap
     // the barrier scheduler can only model in virtual time.
     ctx.host_sync(diag_id, {diag_key});
+    ctx.store[diag_id].bump_version(diag_key);  // in-place host write
     if (!lu_factor_nopivot(ctx.store[diag_id].at(diag_key))) {
       ctx.finish();
       early = ctx.report();
@@ -748,14 +772,20 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
           const ConstMatrixView lv = ctx.store[id].at(l_key);
           const ConstMatrixView uv = ctx.store[id].at(u_key);
           const MatrixView tv = ctx.store[id].at(t_key);
+          // The L block is reused across this block row's updates, the U
+          // block across the block column's: pack each once per step.
+          PackedPanelCache* const cache = &ctx.store[id].pack_cache();
+          const PackTag lt = ctx.tag(id, l_key);
+          const PackTag ut = ctx.tag(id, u_key);
           // Next-panel blocks (column / row k + 1) run at panel priority
           // so the dag releases step k + 1's critical chain first — the
           // wall-clock counterpart of the virtual-time lookahead below.
           const int prio = (bi == k + 1 || bj == k + 1) ? kPrioPanel
                                                         : kPrioUpdate;
           ctx.add_op(id, "mp.gemm", prio, {l_key, u_key}, {t_key},
-                     [lv, uv, tv] {
-                       gemm(Trans::No, Trans::No, -1.0, lv, uv, 1.0, tv);
+                     [lv, lt, uv, ut, tv, cache] {
+                       gemm_cached(Trans::No, Trans::No, -1.0, lv, lt, uv,
+                                   ut, 1.0, tv, cache);
                      });
           const double cost = ctx.cycle_time(id) * costs.update *
                               vol_frac(ilen, jlen, klen, block);
@@ -818,6 +848,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     // the ops touching this block, overlapping the rest of the previous
     // step's trailing update).
     ctx.host_sync(diag_id, {diag_key});
+    ctx.store[diag_id].bump_version(diag_key);  // in-place host write
     if (!cholesky_factor_unblocked(ctx.store[diag_id].at(diag_key))) {
       ctx.finish();
       MpReport rep = ctx.report();
@@ -894,10 +925,17 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
           const ConstMatrixView li = ctx.store[id].at(li_key);
           const ConstMatrixView lj = ctx.store[id].at(lj_key);
           const MatrixView tv = ctx.store[id].at(t_key);
+          // Both L panel blocks are reused across the symmetric update
+          // (li across the block row, lj — transposed — across the block
+          // column); the transposed pack is cached like any other.
+          PackedPanelCache* const cache = &ctx.store[id].pack_cache();
+          const PackTag li_t = ctx.tag(id, li_key);
+          const PackTag lj_t = ctx.tag(id, lj_key);
           const int prio = bj == k + 1 ? kPrioPanel : kPrioUpdate;
           ctx.add_op(id, "mp.gemm", prio, {li_key, lj_key}, {t_key},
-                     [li, lj, tv] {
-                       gemm(Trans::No, Trans::Yes, -1.0, li, lj, 1.0, tv);
+                     [li, li_t, lj, lj_t, tv, cache] {
+                       gemm_cached(Trans::No, Trans::Yes, -1.0, li, li_t,
+                                   lj, lj_t, 1.0, tv, cache);
                      });
           work += ctx.cycle_time(id) * costs.update *
                   vol_frac(ilen, jlen, klen, block);
@@ -991,6 +1029,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
     double panel_work = 0.0;
     for (std::size_t bi = k; bi < nbr; ++bi) {
       const std::size_t ilen = block_len(bi, block, rows);
+      ctx.store[diag_id].bump_version(BlockKey{kTagA * nbr + bi, k});
       ctx.store[diag_id]
           .at(BlockKey{kTagA * nbr + bi, k})
           .copy_from(
@@ -1079,9 +1118,15 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
             const BlockKey c_key{kTagA * nbr + bi, bj};
             const ConstMatrixView vv = ctx.store[id].at(v_key);
             const ConstMatrixView cv = ctx.store[id].at(c_key);
+            // The V block is reused for every trailing column this
+            // processor owns; its transposed pack is cached. C is read
+            // once per step — no tag.
+            PackedPanelCache* const cache = &ctx.store[id].pack_cache();
+            const PackTag vt = ctx.tag(id, v_key);
             ctx.add_op(id, "mp.gemm", kPrioUpdate, {v_key, c_key}, {w_key},
-                       [vv, cv, wv] {
-                         gemm(Trans::Yes, Trans::No, 1.0, vv, cv, 1.0, wv);
+                       [vv, vt, cv, wv, cache] {
+                         gemm_cached(Trans::Yes, Trans::No, 1.0, vv, vt, cv,
+                                     PackTag{}, 1.0, wv, cache);
                        });
             work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
                             vol_frac(ilen, jlen, klen, block);
@@ -1123,10 +1168,15 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
         const MatrixView yv = ctx.store[root].at(y_key);
         const ConstMatrixView tv = ctx.store[root].at(t_key);
         const ConstMatrixView wcv = ctx.store[root].at(w_root_key);
-        // beta = 0 overwrites whatever the recycled buffer held.
+        // T is reused for every trailing column at this root: cache its
+        // transposed pack. beta = 0 overwrites whatever the recycled
+        // buffer held.
+        PackedPanelCache* const cache = &ctx.store[root].pack_cache();
+        const PackTag tt = ctx.tag(root, t_key);
         ctx.add_op(root, "mp.gemm", kPrioSolve, {t_key, w_root_key},
-                   {y_key}, [tv, wcv, yv] {
-                     gemm(Trans::Yes, Trans::No, 1.0, tv, wcv, 0.0, yv);
+                   {y_key}, [tv, tt, wcv, yv, cache] {
+                     gemm_cached(Trans::Yes, Trans::No, 1.0, tv, tt, wcv,
+                                 PackTag{}, 0.0, yv, cache);
                    });
         ctx.compute(root, reduce_ready,
                     ctx.cycle_time(root) * costs.qr_update *
@@ -1162,9 +1212,15 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
             const ConstMatrixView vv = ctx.store[id].at(v_key);
             const ConstMatrixView yv = ctx.store[id].at(y_key);
             const MatrixView cv = ctx.store[id].at(c_key);
+            // V is reused across the trailing columns, Y across the block
+            // rows: pack each once per step on this processor.
+            PackedPanelCache* const cache = &ctx.store[id].pack_cache();
+            const PackTag vt = ctx.tag(id, v_key);
+            const PackTag yt = ctx.tag(id, y_key);
             ctx.add_op(id, "mp.gemm", kPrioUpdate, {v_key, y_key}, {c_key},
-                       [vv, yv, cv] {
-                         gemm(Trans::No, Trans::No, -1.0, vv, yv, 1.0, cv);
+                       [vv, vt, yv, yt, cv, cache] {
+                         gemm_cached(Trans::No, Trans::No, -1.0, vv, vt, yv,
+                                     yt, 1.0, cv, cache);
                        });
             work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
                             vol_frac(ilen, jlen, klen, block);

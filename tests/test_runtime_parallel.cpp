@@ -151,6 +151,32 @@ TEST(BlockStore, ReservePreventsRehash) {
   EXPECT_EQ(probe.bucket_count(), buckets);
 }
 
+TEST(BlockStore, PoolBoundedPerShapeWithEvictionCounter) {
+  // The shape pool is capacity-bounded: once a shape's shelf is full,
+  // erase() frees the payload instead of pooling it and counts
+  // block_store.pool_evictions — long runs cannot accumulate every
+  // transient shape they ever saw.
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  {
+    BlockStore s;
+    EXPECT_EQ(s.pool_capacity(), BlockStore::kDefaultPoolCapPerShape);
+    s.set_pool_capacity(2);
+    EXPECT_EQ(s.pool_capacity(), 2u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      s.put({i, 0}, Matrix(4, 6, 1.0));
+      s.erase({i, 0});
+    }
+    EXPECT_EQ(s.pooled(), 2u);  // shelf capped, not 5
+    // A different shape gets its own shelf under the same cap.
+    s.put({9, 0}, Matrix(6, 4, 1.0));
+    s.erase({9, 0});
+    EXPECT_EQ(s.pooled(), 3u);
+  }
+  install_metrics(nullptr);
+  EXPECT_EQ(reg.counter("block_store.pool_evictions").value(), 3u);
+}
+
 // ----------------------------------------------------- MP bit-identity
 
 struct MpRun {
@@ -574,6 +600,207 @@ TEST(GemmMetrics, CallCountersIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial,
             "gemm.calls=4 gemm.tile_calls=1 gemm.packed_calls=1");
   for (unsigned t : {2u, 7u}) EXPECT_EQ(serial, counted_gemm_workload(t));
+}
+
+// ----------------------------------------------------- packed-panel cache
+
+using Scheduler = RuntimeOptions::Scheduler;
+
+// Restores the pack-cache consumption toggle no matter how a test exits.
+struct PackCacheGuard {
+  explicit PackCacheGuard(bool on) : prev_(gemm_set_pack_cache(on)) {}
+  ~PackCacheGuard() { gemm_set_pack_cache(prev_); }
+
+ private:
+  bool prev_;
+};
+
+struct KernelResults {
+  Matrix mmm, lu, chol, qr;
+  std::vector<double> tau;
+};
+
+// One run of all four MP kernels at n = 140 with 70-wide blocks: every
+// local trailing update is big enough for the packed microkernel path, so
+// the pack cache (when enabled) is genuinely on the line.
+KernelResults run_all_kernels(const Machine& machine,
+                              const Distribution2D& dist, Scheduler sched,
+                              unsigned threads) {
+  const std::size_t n = 140, block = 70;
+  RuntimeOptions opts;
+  opts.threads = threads;
+  opts.scheduler = sched;
+  KernelResults r;
+  {
+    Rng rng(111);
+    Matrix a(n, n), b(n, n);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    r.mmm = Matrix(n, n);
+    run_mp_mmm(machine, dist, a.view(), b.view(), r.mmm.view(), block, {},
+               nullptr, opts);
+  }
+  {
+    Rng rng(113);
+    r.lu = Matrix(n, n);
+    fill_diagonally_dominant(r.lu.view(), rng);
+    run_mp_lu(machine, dist, r.lu.view(), block, {}, false, nullptr, opts);
+  }
+  {
+    Rng rng(117);
+    r.chol = Matrix(n, n);
+    fill_spd(r.chol.view(), rng);
+    run_mp_cholesky(machine, dist, r.chol.view(), block, {}, nullptr, opts);
+  }
+  {
+    Rng rng(119);
+    r.qr = Matrix(n, n);
+    fill_random(r.qr.view(), rng);
+    r.tau =
+        run_mp_qr(machine, dist, r.qr.view(), block, {}, nullptr, opts).tau;
+  }
+  return r;
+}
+
+TEST(PackCache, MpKernelsBitIdenticalAcrossKernelCacheThreadsScheduler) {
+  // The acceptance matrix of the packed-panel cache: MMM, LU, Cholesky and
+  // QR must produce byte-identical outputs across {scalar, avx2} x {cache
+  // on, off} x threads {1, 2, 7} x {barrier, dag}. The cache only skips
+  // redundant packing — pure data movement — so no cell of this product may
+  // move a single bit.
+  KernelGuard guard;
+  const Machine machine = het_machine(47, 2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  ASSERT_TRUE(gemm_force_kernel("scalar"));
+  const KernelResults base = [&] {
+    PackCacheGuard cache_guard(true);
+    return run_all_kernels(machine, dist, Scheduler::kBarrier, 1);
+  }();
+  const bool have_avx2 = gemm_force_kernel("avx2");
+  for (const std::string_view kern : {"scalar", "avx2"}) {
+    if (kern == "avx2" && !have_avx2) continue;
+    ASSERT_TRUE(gemm_force_kernel(kern));
+    for (bool cache_on : {true, false}) {
+      PackCacheGuard cache_guard(cache_on);
+      for (unsigned threads : {1u, 2u, 7u}) {
+        for (Scheduler sched : {Scheduler::kBarrier, Scheduler::kDag}) {
+          SCOPED_TRACE(testing::Message()
+                       << kern << " cache=" << cache_on
+                       << " threads=" << threads << " dag="
+                       << (sched == Scheduler::kDag));
+          const KernelResults got =
+              run_all_kernels(machine, dist, sched, threads);
+          EXPECT_TRUE(same_bits(base.mmm.view(), got.mmm.view()));
+          EXPECT_TRUE(same_bits(base.lu.view(), got.lu.view()));
+          EXPECT_TRUE(same_bits(base.chol.view(), got.chol.view()));
+          EXPECT_TRUE(same_bits(base.qr.view(), got.qr.view()));
+          EXPECT_EQ(base.tau, got.tau);
+        }
+      }
+    }
+  }
+}
+
+TEST(PackCache, LuPacksEachPanelBlockOncePerStep) {
+  // The point of the cache, counted: a 320 / 80 LU (nb = 4) on a 1x1 grid
+  // packs each trailing L/U panel block exactly once per step and serves
+  // every other trailing-update gemm from the cache. Step k has
+  // t = nb - 1 - k panel blocks per side and t^2 tagged gemms, so misses =
+  // sum_k 2t = 12 and hits = sum_k 2(t^2 - t) = 16. Exact counts are only
+  // pinned under the barrier scheduler with one thread: under dag
+  // concurrency two workers can both miss the same key before the first
+  // insert lands (the pack is then built twice, used once — still correct,
+  // just counted twice).
+  KernelGuard guard;
+  PackCacheGuard cache_guard(true);
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  {
+    const Machine machine = het_machine(67, 1, 1);
+    const PanelDistribution dist = PanelDistribution::block_cyclic(1, 1);
+    Rng rng(131);
+    Matrix a(320, 320);
+    fill_diagonally_dominant(a.view(), rng);
+    run_mp_lu(machine, dist, a.view(), 80);
+  }
+  install_metrics(nullptr);
+  EXPECT_EQ(reg.counter("gemm.pack_misses").value(), 12u);
+  EXPECT_EQ(reg.counter("gemm.pack_hits").value(), 16u);
+  EXPECT_EQ(reg.counter("gemm.pack_evictions").value(), 0u);
+}
+
+TEST(PackCache, VersionBumpInvalidatesStalePack) {
+  // The invalidation protocol: overwriting a block bumps its write version
+  // (BlockStore::put), so the next tagged gemm looks up a key that has
+  // never been cached — the stale pack is simply never asked for again.
+  KernelGuard guard;
+  PackCacheGuard cache_guard(true);
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  {
+    BlockStore store;
+    const BlockKey key{3, 5};
+    PackedPanelCache* cache = &store.pack_cache();
+    Rng rng(137);
+    Matrix a1(80, 80), a2(80, 80), b(80, 80);
+    fill_random(a1.view(), rng);
+    fill_random(a2.view(), rng);
+    fill_random(b.view(), rng);
+    store.put(key, a1);
+    const BlockStore& cstore = store;
+    const auto tag = [&] {
+      return PackTag{BlockStore::pack_id(key), store.version(key), true};
+    };
+    Matrix c1(80, 80, 0.0), c2(80, 80, 0.0), c3(80, 80, 0.0);
+    gemm_cached(Trans::No, Trans::No, 1.0, cstore.at(key), tag(), b.view(),
+                PackTag{}, 0.0, c1.view(), cache);  // miss: packs a1
+    gemm_cached(Trans::No, Trans::No, 1.0, cstore.at(key), tag(), b.view(),
+                PackTag{}, 0.0, c2.view(), cache);  // hit: reuses the pack
+    EXPECT_TRUE(same_bits(c1.view(), c2.view()));
+    store.put(key, a2);  // overwrite: version bump makes the pack stale
+    gemm_cached(Trans::No, Trans::No, 1.0, cstore.at(key), tag(), b.view(),
+                PackTag{}, 0.0, c3.view(), cache);  // miss: packs a2
+    // The post-overwrite result must be the fresh a2 * b product, bit for
+    // bit — not a replay of the stale a1 pack.
+    Matrix ref(80, 80, 0.0);
+    gemm(Trans::No, Trans::No, 1.0, a2.view(), b.view(), 0.0, ref.view());
+    EXPECT_TRUE(same_bits(c3.view(), ref.view()));
+    EXPECT_FALSE(same_bits(c3.view(), c1.view()));
+  }
+  install_metrics(nullptr);
+  EXPECT_EQ(reg.counter("gemm.pack_misses").value(), 2u);
+  EXPECT_EQ(reg.counter("gemm.pack_hits").value(), 1u);
+}
+
+TEST(PackCache, CapacityBoundEvictsLeastRecentlyUsed) {
+  // A tiny capacity forces evictions: three distinct 80 x 80 packs (6400
+  // doubles each) through a 10000-double cache leave at most one resident
+  // (eviction never removes the sole entry), and re-touching an evicted key
+  // misses again.
+  KernelGuard guard;
+  PackCacheGuard cache_guard(true);
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  {
+    PackedPanelCache cache;
+    cache.set_capacity(10000);
+    Rng rng(139);
+    Matrix a(80, 80), b(80, 80), c(80, 80, 0.0);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    for (std::uint64_t id : {1u, 2u, 3u, 1u}) {
+      gemm_cached(Trans::No, Trans::No, 1.0, a.view(), PackTag{id, 1, true},
+                  b.view(), PackTag{}, 0.0, c.view(), &cache);
+    }
+    EXPECT_LE(cache.held_doubles(), cache.capacity());
+    EXPECT_EQ(cache.size(), 1u);
+  }
+  install_metrics(nullptr);
+  // All four calls miss: ids 1, 2, 3 are first touches and the second id 1
+  // was evicted by 2 and 3 before it came back around.
+  EXPECT_EQ(reg.counter("gemm.pack_misses").value(), 4u);
+  EXPECT_EQ(reg.counter("gemm.pack_hits").value(), 0u);
+  EXPECT_GE(reg.counter("gemm.pack_evictions").value(), 2u);
 }
 
 }  // namespace

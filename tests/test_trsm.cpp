@@ -1,0 +1,231 @@
+// Tests for the blocked triangular solves (matrix/trsm.cpp): every variant
+// against its historical unblocked reference — bitwise for the three solves
+// whose blocked form preserves the per-element floating-point sequence,
+// tolerance for trsm_left_upper whose blocked form sums in a different
+// (deterministic) order — plus the scalar-vs-AVX2 dispatch contract shared
+// with the gemm microkernel.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "matrix/gemm.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+#include "matrix/trsm.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+bool same_bits(const ConstMatrixView& a, const ConstMatrixView& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double x = a(i, j), y = b(i, j);
+      if (std::memcmp(&x, &y, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+// Random well-conditioned triangular factors. The off-diagonal magnitudes
+// stay in [-1, 1] while the diagonal sits near 4, so solves of the sizes
+// below neither overflow nor lose all their bits.
+Matrix lower_triangular(std::size_t n, bool unit_diag, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix l(n, n, 0.0);
+  fill_random(l.view(), rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) l(i, j) = 0.0;  // keep lower only
+    l(j, j) = unit_diag ? 1.0 : 4.0 + l(j, j);
+  }
+  return l;
+}
+
+Matrix upper_triangular(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix u(n, n, 0.0);
+  fill_random(u.view(), rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j + 1; i < n; ++i) u(i, j) = 0.0;
+    u(j, j) = 4.0 + u(j, j);
+  }
+  return u;
+}
+
+Matrix random_rhs(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix b(rows, cols);
+  fill_random(b.view(), rng);
+  return b;
+}
+
+// Sizes straddling the 64-wide diagonal slice of the blocked solves: below,
+// exactly one block, one-past, two blocks, two-plus-ragged-edge.
+const std::size_t kSizes[] = {1, 5, 63, 64, 65, 128, 130};
+
+// Right-hand-side width deliberately different from n (non-square B) and
+// prime-ish so gemm tail shapes hit partial tiles.
+std::size_t rhs_width(std::size_t n) { return n == 1 ? 3 : n - 1 + 7; }
+
+struct KernelGuard {
+  ~KernelGuard() { gemm_force_kernel("auto"); }
+};
+
+// ------------------------------------------------ blocked vs reference
+
+TEST(Trsm, LeftLowerUnitBitIdenticalToReference) {
+  for (std::size_t n : kSizes) {
+    const Matrix l = lower_triangular(n, /*unit_diag=*/true, 100 + n);
+    Matrix b = random_rhs(n, rhs_width(n), 200 + n);
+    Matrix ref = b;
+    trsm_left_lower_unit(l.view(), b.view());
+    trsm_left_lower_unit_reference(l.view(), ref.view());
+    EXPECT_TRUE(same_bits(b.view(), ref.view())) << "n=" << n;
+  }
+}
+
+TEST(Trsm, LeftLowerUnitIgnoresDiagonalValues) {
+  // The unit-diagonal solve must never read the stored diagonal: poisoning
+  // it with zeros (which would throw or produce NaN if divided by) changes
+  // nothing.
+  const std::size_t n = 65;
+  Matrix l = lower_triangular(n, /*unit_diag=*/true, 300);
+  Matrix b = random_rhs(n, 9, 301);
+  Matrix b_poisoned = b;
+  Matrix l_poisoned = l;
+  for (std::size_t j = 0; j < n; ++j) l_poisoned(j, j) = 0.0;
+  trsm_left_lower_unit(l.view(), b.view());
+  trsm_left_lower_unit(l_poisoned.view(), b_poisoned.view());
+  EXPECT_TRUE(same_bits(b.view(), b_poisoned.view()));
+}
+
+TEST(Trsm, RightUpperBitIdenticalToReference) {
+  for (std::size_t n : kSizes) {
+    const Matrix u = upper_triangular(n, 400 + n);
+    Matrix b = random_rhs(rhs_width(n), n, 500 + n);
+    Matrix ref = b;
+    trsm_right_upper(u.view(), b.view());
+    trsm_right_upper_reference(u.view(), ref.view());
+    EXPECT_TRUE(same_bits(b.view(), ref.view())) << "n=" << n;
+  }
+}
+
+TEST(Trsm, RightLowerTransposedBitIdenticalToReference) {
+  for (std::size_t n : kSizes) {
+    const Matrix l = lower_triangular(n, /*unit_diag=*/false, 600 + n);
+    Matrix b = random_rhs(rhs_width(n), n, 700 + n);
+    Matrix ref = b;
+    trsm_right_lower_transposed(l.view(), b.view());
+    trsm_right_lower_transposed_reference(l.view(), ref.view());
+    EXPECT_TRUE(same_bits(b.view(), ref.view())) << "n=" << n;
+  }
+}
+
+TEST(Trsm, LeftUpperMatchesReferenceToRoundoff) {
+  // The blocked back substitution sums in a different deterministic order
+  // than the reference's ascending-p sweep, so this one compares with a
+  // tolerance scaled by the solve depth.
+  for (std::size_t n : kSizes) {
+    const Matrix u = upper_triangular(n, 800 + n);
+    Matrix b = random_rhs(n, rhs_width(n), 900 + n);
+    Matrix ref = b;
+    trsm_left_upper(u.view(), b.view());
+    trsm_left_upper_reference(u.view(), ref.view());
+    EXPECT_LT(max_abs_diff(b.view(), ref.view()), 1e-12 * double(n + 1))
+        << "n=" << n;
+  }
+}
+
+TEST(Trsm, LeftUpperResidualSmall) {
+  // Independent correctness anchor for the one variant without a bitwise
+  // reference tie: U * X must reproduce the original right-hand side.
+  const std::size_t n = 130, w = 17;
+  const Matrix u = upper_triangular(n, 1000);
+  const Matrix b0 = random_rhs(n, w, 1001);
+  Matrix x = b0;
+  trsm_left_upper(u.view(), x.view());
+  Matrix residual(n, w, 0.0);
+  gemm_reference(Trans::No, Trans::No, 1.0, u.view(), x.view(), 0.0,
+                 residual.view());
+  EXPECT_LT(max_abs_diff(residual.view(), b0.view()), 1e-10);
+}
+
+// ------------------------------------------------ kernel dispatch
+
+TEST(Trsm, KernelNameFollowsGemmDispatch) {
+  KernelGuard guard;
+  ASSERT_TRUE(gemm_force_kernel("scalar"));
+  EXPECT_STREQ(trsm_kernel_name(), "scalar");
+  if (gemm_force_kernel("avx2")) {
+    EXPECT_STREQ(trsm_kernel_name(), "avx2");
+  }
+  gemm_force_kernel("auto");
+  const std::string name = trsm_kernel_name();
+  EXPECT_TRUE(name == "scalar" || name == "avx2") << name;
+}
+
+TEST(Trsm, AllVariantsBitIdenticalAcrossKernels) {
+  // The dispatch contract: switching scalar <-> AVX2 (column primitives and
+  // the gemm tails together) may never change a computed bit, for any
+  // variant — including trsm_left_upper, whose order differs from the
+  // *reference* but not across kernels.
+  KernelGuard guard;
+  if (!gemm_force_kernel("avx2")) GTEST_SKIP() << "host lacks AVX2";
+  for (std::size_t n : {std::size_t{65}, std::size_t{130}}) {
+    const Matrix l_unit = lower_triangular(n, true, 1100 + n);
+    const Matrix l = lower_triangular(n, false, 1200 + n);
+    const Matrix u = upper_triangular(n, 1300 + n);
+    const std::size_t w = rhs_width(n);
+    Matrix b1 = random_rhs(n, w, 1400 + n);
+    Matrix b2 = random_rhs(n, w, 1500 + n);
+    Matrix b3 = random_rhs(w, n, 1600 + n);
+    Matrix b4 = random_rhs(w, n, 1700 + n);
+    Matrix s1 = b1, s2 = b2, s3 = b3, s4 = b4;
+    ASSERT_TRUE(gemm_force_kernel("avx2"));
+    trsm_left_lower_unit(l_unit.view(), b1.view());
+    trsm_left_upper(u.view(), b2.view());
+    trsm_right_upper(u.view(), b3.view());
+    trsm_right_lower_transposed(l.view(), b4.view());
+    ASSERT_TRUE(gemm_force_kernel("scalar"));
+    trsm_left_lower_unit(l_unit.view(), s1.view());
+    trsm_left_upper(u.view(), s2.view());
+    trsm_right_upper(u.view(), s3.view());
+    trsm_right_lower_transposed(l.view(), s4.view());
+    EXPECT_TRUE(same_bits(b1.view(), s1.view())) << "left_lower n=" << n;
+    EXPECT_TRUE(same_bits(b2.view(), s2.view())) << "left_upper n=" << n;
+    EXPECT_TRUE(same_bits(b3.view(), s3.view())) << "right_upper n=" << n;
+    EXPECT_TRUE(same_bits(b4.view(), s4.view())) << "right_lower_t n=" << n;
+  }
+}
+
+// ------------------------------------------------ preconditions
+
+TEST(Trsm, SingularDiagonalThrows) {
+  const std::size_t n = 70;  // > one block so the check covers later slices
+  Matrix u = upper_triangular(n, 1800);
+  u(67, 67) = 0.0;
+  Matrix b = random_rhs(n, 5, 1801);
+  EXPECT_THROW(trsm_left_upper(u.view(), b.view()), PreconditionError);
+  Matrix br = random_rhs(5, n, 1802);
+  EXPECT_THROW(trsm_right_upper(u.view(), br.view()), PreconditionError);
+  Matrix l = lower_triangular(n, false, 1803);
+  l(67, 67) = 0.0;
+  EXPECT_THROW(trsm_right_lower_transposed(l.view(), br.view()),
+               PreconditionError);
+}
+
+TEST(Trsm, ShapeMismatchThrows) {
+  const Matrix l = lower_triangular(8, true, 1900);
+  Matrix b = random_rhs(9, 4, 1901);  // 9 != 8 rows
+  EXPECT_THROW(trsm_left_lower_unit(l.view(), b.view()), PreconditionError);
+  Matrix br = random_rhs(4, 9, 1902);  // 9 != 8 cols
+  EXPECT_THROW(trsm_right_upper(upper_triangular(8, 1903).view(), br.view()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hetgrid

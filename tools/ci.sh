@@ -67,6 +67,33 @@ if build-ci/bench/bench_compare --base=bench/baselines/bench_gemm_baseline.json 
   exit 1
 fi
 
+# Blocked-trsm bench + gate: the LU panel solve timed as unblocked
+# reference vs blocked scalar vs blocked AVX2 (the harness asserts all
+# three agree bit for bit — this trsm variant preserves the reference's
+# floating-point sequence exactly). Same gate shape as the gemm one:
+# schema, generous wall-clock envelope, and a must-fire injection check.
+build-ci/bench/bench_trsm_kernel --smoke=1 --json=build-ci/BENCH_trsm_smoke.json
+build-ci/bench/bench_compare --check-schema=build-ci/BENCH_trsm_smoke.json \
+      --schema=bench/baselines/bench_trsm_schema.json
+build-ci/bench/bench_compare --base=bench/baselines/bench_trsm_baseline.json \
+      --new=build-ci/BENCH_trsm_smoke.json --key=ms --threshold=4.0
+if build-ci/bench/bench_compare --base=bench/baselines/bench_trsm_baseline.json \
+      --new=build-ci/BENCH_trsm_smoke.json --key=ms --inject=8.0 \
+      --threshold=4.0 2>/dev/null; then
+  echo "bench_compare failed to flag an injected trsm regression" >&2
+  exit 1
+fi
+
+# Degraded-configuration runs of the MP kernel tests: once with the gemm /
+# trsm dispatch pinned to the scalar kernels, once with the packed-panel
+# cache disabled. Bit-identity makes both pure performance toggles, so the
+# full test set must pass unchanged — proving the scalar fallback and the
+# cache-off path stay correct on every commit.
+HETGRID_GEMM_KERNEL=scalar ctest --test-dir build-ci --output-on-failure \
+      -j "$NPROC" -R '^(test_mp|test_runtime_parallel|test_task_graph)$'
+HETGRID_PACK_CACHE=0 ctest --test-dir build-ci --output-on-failure \
+      -j "$NPROC" -R '^(test_mp|test_runtime_parallel|test_task_graph)$'
+
 # Placement-server smoke: concurrent loopback clients hammer the server;
 # every response (miss or hit, any interleaving) must be bit-identical to a
 # direct solver call and the warm mix must hit the canonicalizing cache
