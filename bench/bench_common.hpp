@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/heuristic.hpp"
+#include "matrix/gemm.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -39,13 +40,41 @@ inline void emit(const Table& table, const Cli& cli) {
 }
 
 /// Machine-readable bench output: one JSON object carrying the bench name,
-/// the exact flag string it ran with, and a flat `results` array — enough
-/// for plotting scripts and CI trend tracking without a JSON dependency.
-/// Numbers are written with 17 significant digits so doubles round-trip.
+/// the exact flag string it ran with, an `env` block describing the
+/// machine/runtime configuration the numbers depend on, and a flat
+/// `results` array — enough for plotting scripts and CI trend tracking
+/// without a JSON dependency. Numbers are written with 17 significant
+/// digits so doubles round-trip.
+///
+/// The env block always carries the detected gemm kernel
+/// (gemm_kernel_name()), the thread configuration, and the scheduler, so
+/// two reports can be checked for comparability before their numbers are
+/// compared (bench_compare fails on an env mismatch — a scalar-kernel run
+/// is not a regression baseline for an avx2 one). `threads` defaults to
+/// the --threads flag when the bench declares one, `scheduler` to the
+/// --scheduler flag; benches whose configuration lives elsewhere override
+/// via env().
 class JsonReport {
  public:
   JsonReport(std::string bench, const Cli& cli)
-      : bench_(std::move(bench)), flags_(cli.describe()) {}
+      : bench_(std::move(bench)), flags_(cli.describe()) {
+    env_.emplace_back("gemm_kernel", gemm_kernel_name());
+    env_.emplace_back("threads",
+                      cli.has("threads") ? cli.get_string("threads") : "1");
+    env_.emplace_back(
+        "scheduler",
+        cli.has("scheduler") ? cli.get_string("scheduler") : "none");
+  }
+
+  /// Overrides (or adds) one env entry; keys keep first-seen order.
+  void env(const std::string& key, const std::string& value) {
+    for (auto& [k, v] : env_)
+      if (k == key) {
+        v = value;
+        return;
+      }
+    env_.emplace_back(key, value);
+  }
 
   class Record {
    public:
@@ -98,8 +127,13 @@ class JsonReport {
 
   void write(std::ostream& os) const {
     os << "{\n  \"bench\": " << Record::quote(bench_)
-       << ",\n  \"flags\": " << Record::quote(flags_)
-       << ",\n  \"results\": [";
+       << ",\n  \"flags\": " << Record::quote(flags_) << ",\n  \"env\": {";
+    for (std::size_t i = 0; i < env_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << Record::quote(env_[i].first) << ": "
+         << Record::quote(env_[i].second);
+    }
+    os << "},\n  \"results\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       os << (i == 0 ? "\n" : ",\n") << "    {";
       const auto& fields = records_[i].fields_;
@@ -128,6 +162,7 @@ class JsonReport {
  private:
   std::string bench_;
   std::string flags_;
+  std::vector<std::pair<std::string, std::string>> env_;
   std::vector<Record> records_;
 };
 

@@ -4,16 +4,20 @@
 // Modes:
 //   bench_compare --base=old.json --new=new.json [--key=ms]
 //                 [--threshold=0.2] [--inject=1.0]
-//     Match records pairwise (same order, same string-valued fields) and
-//     fail (exit 1) if any new `--key` value exceeds its base value by more
-//     than `--threshold` (relative). `--inject` multiplies the new values
-//     first — CI uses it to prove the gate actually fires.
+//     Match the reports' `env` blocks (gemm kernel, threads, scheduler —
+//     keys present in both must agree, so numbers from different machine
+//     configurations are never compared), then match records pairwise
+//     (same order, same string-valued fields) and fail (exit 1) if any new
+//     `--key` value exceeds its base value by more than `--threshold`
+//     (relative). `--inject` multiplies the new values first — CI uses it
+//     to prove the gate actually fires.
 //
 //   bench_compare --check-schema=run.json --schema=baseline.json
 //     Validate a bench output against a committed baseline schema
 //     ({"bench": "...", "required": ["field", ...]}): the bench name must
-//     match and every result record must carry every required field. This
-//     keeps the machine-readable format stable without pinning timings.
+//     match, the report must carry an `env` block with the standard keys,
+//     and every result record must carry every required field. This keeps
+//     the machine-readable format stable without pinning timings.
 //
 // The parser below reads exactly the restricted JSON that JsonReport
 // writes (objects, arrays, strings with the escapes quote() emits, and
@@ -194,6 +198,36 @@ const Value& results_of(const Value& report, const std::string& path) {
   return *results;
 }
 
+// The environment keys every JsonReport embeds (bench_common.hpp): the
+// run configuration numbers are meaningless without.
+const char* const kEnvKeys[] = {"gemm_kernel", "threads", "scheduler"};
+
+// Compares the `env` blocks of two reports: any key present in both must
+// match (a scalar-kernel run is not a baseline for an avx2 one). A report
+// with no env block at all (pre-env format) is noted and skipped.
+int check_env(const Value& base, const std::string& base_path,
+              const Value& fresh, const std::string& new_path) {
+  const Value* benv = base.find("env");
+  const Value* nenv = fresh.find("env");
+  if (benv == nullptr || nenv == nullptr) {
+    std::cout << "note: "
+              << (benv == nullptr ? base_path : new_path)
+              << " has no \"env\" block; skipping environment check\n";
+    return 0;
+  }
+  for (const auto& [k, v] : benv->object) {
+    if (v.kind != Value::Kind::kString) continue;
+    const Value* other = nenv->find(k);
+    if (other != nullptr && other->str != v.str) {
+      std::cerr << "environment mismatch on \"" << k << "\": " << v.str
+                << " vs " << other->str
+                << " — these runs are not comparable\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int check_schema(const std::string& run_path, const std::string& schema_path) {
   const Value schema = load(schema_path);
   const Value run = load(run_path);
@@ -209,6 +243,18 @@ int check_schema(const std::string& run_path, const std::string& schema_path) {
               << (got_bench ? got_bench->str : "<missing>") << ", expected "
               << want_bench->str << '\n';
     return 1;
+  }
+  const Value* env = run.find("env");
+  if (env == nullptr || env->kind != Value::Kind::kObject) {
+    std::cerr << "schema mismatch: " << run_path
+              << " lacks the \"env\" block\n";
+    return 1;
+  }
+  for (const char* key : kEnvKeys) {
+    if (env->find(key) == nullptr) {
+      std::cerr << "schema mismatch: env lacks \"" << key << "\"\n";
+      return 1;
+    }
   }
   const Value& results = results_of(run, run_path);
   if (results.array.empty()) {
@@ -243,6 +289,7 @@ int compare(const std::string& base_path, const std::string& new_path,
             const std::string& key, double threshold, double inject) {
   const Value base = load(base_path);
   const Value fresh = load(new_path);
+  if (check_env(base, base_path, fresh, new_path) != 0) return 1;
   const Value& base_res = results_of(base, base_path);
   const Value& new_res = results_of(fresh, new_path);
   if (base_res.array.size() != new_res.array.size()) {

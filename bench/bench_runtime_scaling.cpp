@@ -208,6 +208,7 @@ int main(int argc, char** argv) {
       {"kernel", "sched", "threads", "ms", "speedup", "barriers",
        "identical"});
   bench::JsonReport json("bench_runtime_scaling", cli);
+  json.env("scheduler", "barrier,dag");  // every run covers both
 
   for (const std::string& kernel : kernels) {
     // Reference: serial barrier run. Every other configuration must

@@ -40,6 +40,8 @@
 #include "matrix/trsm.hpp"            // IWYU pragma: export
 #include "mp/mp_runtime.hpp"          // IWYU pragma: export
 #include "obs/chrome_trace.hpp"       // IWYU pragma: export
+#include "obs/cycle_estimator.hpp"    // IWYU pragma: export
+#include "obs/imbalance.hpp"          // IWYU pragma: export
 #include "obs/metrics.hpp"            // IWYU pragma: export
 #include "obs/profiler.hpp"           // IWYU pragma: export
 #include "obs/trace.hpp"              // IWYU pragma: export

@@ -12,6 +12,8 @@
 #include "matrix/trsm.hpp"
 #include "mp/block_store.hpp"
 #include "mp/virtual_network.hpp"
+#include "obs/cycle_estimator.hpp"
+#include "obs/imbalance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -85,6 +87,11 @@ struct MpContext {
   std::vector<double> clock;      // per-processor compute clock
   std::vector<double> busy;
   TraceSink* sink;
+  // Installed observation, fetched once (the null-sink contract's single
+  // atomic load). When set, compute() feeds the cycle-time estimator and
+  // finish() deposits the dag scheduler's task records; nothing about the
+  // computed results changes either way.
+  RunObservation* obs;
   std::size_t step = 0;
   bool dag;
   ParallelEngine engine;
@@ -105,7 +112,7 @@ struct MpContext {
             TraceSink* s, const RuntimeOptions& opts)
       : machine(m), dist(d), block(blk), p(d.grid_rows()), q(d.grid_cols()),
         net(p * q, m.net, s), store(p * q), clock(p * q, 0.0),
-        busy(p * q, 0.0), sink(s),
+        busy(p * q, 0.0), sink(s), obs(installed_observation()),
         dag(opts.scheduler == RuntimeOptions::Scheduler::kDag),
         engine(dag ? 1 : opts.threads), batch(p * q),
         graph(dag ? std::make_unique<TaskGraph>(opts.threads) : nullptr) {
@@ -113,12 +120,14 @@ struct MpContext {
     HG_CHECK(m.grid.rows() == p && m.grid.cols() == q,
              "machine grid does not match distribution");
     HG_CHECK(blk > 0, "block size must be positive");
+    if (graph != nullptr && obs != nullptr) graph->set_observe(true);
   }
 
   void set_step(std::size_t k) {
     step = k;
     net.set_step(k);
     poll_erases();
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
   }
 
   /// Packs (processor, block) into a task-graph resource key.
@@ -151,6 +160,8 @@ struct MpContext {
     std::uint64_t group = 0;
     const char* name = "";
     int priority = 0;
+    double weight = 0.0;          // summed virtual cost of the fused ops
+    std::uint64_t tag = TaskGraph::kNoTag;  // executing processor
     std::vector<TaskGraph::Key> reads, writes;
     std::vector<std::function<void()>> ops;
   };
@@ -173,19 +184,23 @@ struct MpContext {
       };
     }
     graph->add(fused.name, std::move(fused.reads), std::move(fused.writes),
-               std::move(body), fused.priority);
+               std::move(body), fused.priority, {}, fused.weight, fused.tag);
     fused = FusedOps{};
   }
 
   void stage_op(std::uint64_t group, const char* name, int priority,
                 std::vector<TaskGraph::Key> reads,
-                std::vector<TaskGraph::Key> writes, std::function<void()> op) {
+                std::vector<TaskGraph::Key> writes, std::function<void()> op,
+                double weight = 0.0,
+                std::uint64_t tag = TaskGraph::kNoTag) {
     if (fused.active && (fused.group != group || fused.priority != priority))
       flush_fused();
     fused.active = true;
     fused.group = group;
     fused.name = name;
     fused.priority = priority;
+    fused.weight += weight;
+    fused.tag = tag;
     fused.reads.insert(fused.reads.end(), reads.begin(), reads.end());
     fused.writes.insert(fused.writes.end(), writes.begin(), writes.end());
     fused.ops.push_back(std::move(op));
@@ -202,7 +217,7 @@ struct MpContext {
   void add_op(std::size_t id, const char* name, int priority,
               std::initializer_list<BlockKey> reads,
               std::initializer_list<BlockKey> writes,
-              std::function<void()> op) {
+              std::function<void()> op, double weight = 0.0) {
     // Every write key gets a fresh version at emission time: any packed
     // panel of the block's previous bytes becomes unreachable in the pack
     // cache the moment its overwriter is queued (see tag()).
@@ -217,7 +232,7 @@ struct MpContext {
     for (const BlockKey& k : reads) r.push_back(key_of(id, k));
     for (const BlockKey& k : writes) w.push_back(key_of(id, k));
     stage_op(kGroupProc | id, name, priority, std::move(r), std::move(w),
-             std::move(op));
+             std::move(op), weight, id);
   }
 
   /// Barrier scheduler: runs all queued numerics and returns when they are
@@ -256,6 +271,7 @@ struct MpContext {
     flush_fused();
     metric_count("mp.barriers", 1);
     graph->wait_all();
+    if (obs != nullptr) obs->tasks = graph->records();
     for (const PendingErase& pe : pending_erases)
       store[pe.id].erase(pe.key);
     pending_erases.clear();
@@ -347,7 +363,7 @@ struct MpContext {
     store[to].bump_version(key);  // in-place write: put() did not bump
     stage_op(kGroupCopy | (static_cast<std::uint64_t>(from) << 24) | to,
              "mp.copy", kPrioComm, {key_of(from, key)}, {key_of(to, key)},
-             [src, dst] { dst.copy_from(src); });
+             [src, dst] { dst.copy_from(src); }, 0.0, to);
   }
 
   /// Ring-broadcasts the listed blocks (all already present at grid
@@ -404,13 +420,29 @@ struct MpContext {
   }
 
   /// Runs `seconds` of compute on `id` that may not start before `ready`.
+  /// `op` / `units` tag the charge for the cycle-time estimator: `units`
+  /// is the cycle-time-free flop measure (costs.X * vol_frac sums), so
+  /// seconds / units is exactly the effective t_ij this charge assumed.
   void compute(std::size_t id, double ready, double seconds,
-               const char* name) {
+               const char* name, ObsOp op, double units) {
     const double start = std::max(clock[id], ready);
     clock[id] = start + seconds;
     busy[id] += seconds;
     trace_span(sink, TraceEventKind::kComputeBlock, id, start, seconds, step,
                name);
+    if (obs != nullptr) obs->estimator.sample(id, op, units, seconds, step);
+  }
+
+  /// Observation record for inline host math (panel factorizations): keeps
+  /// the weighted critical path connected across the host_sync that cut
+  /// the key history. No-op unless observing under the dag scheduler.
+  void note_host_work(std::size_t id, const std::vector<BlockKey>& keys,
+                      double seconds, const char* name) {
+    if (graph == nullptr || obs == nullptr) return;
+    std::vector<TaskGraph::Key> w;
+    w.reserve(keys.size());
+    for (const BlockKey& k : keys) w.push_back(key_of(id, k));
+    graph->note_host_work(w, seconds, name, id);
   }
 
   MpReport report() const {
@@ -580,7 +612,7 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
     // lane per processor (each lane reads and writes only its own store).
     const std::size_t klen = block_len(k, block, n);
     for (std::size_t id = 0; id < procs; ++id) {
-      double work = 0.0;
+      double work = 0.0, units = 0.0;
       const double ready = std::max(a_ready[id], b_ready[id]);
       for (std::size_t bi = 0; bi < nb; ++bi) {
         for (std::size_t bj = 0; bj < nb; ++bj) {
@@ -598,16 +630,20 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
           PackedPanelCache* const cache = &ctx.store[id].pack_cache();
           const PackTag at = ctx.tag(id, a_key);
           const PackTag bt = ctx.tag(id, b_key);
+          const double op_units =
+              costs.update * vol_frac(ilen, jlen, klen, block);
           ctx.add_op(id, "mp.gemm", kPrioUpdate, {a_key, b_key}, {c_key},
                      [av, at, bv, bt, cv, cache] {
                        gemm_cached(Trans::No, Trans::No, 1.0, av, at, bv, bt,
                                    1.0, cv, cache);
-                     });
-          work += ctx.cycle_time(id) * costs.update *
-                  vol_frac(ilen, jlen, klen, block);
+                     },
+                     ctx.cycle_time(id) * op_units);
+          units += op_units;
+          work += ctx.cycle_time(id) * op_units;
         }
       }
-      if (work > 0.0) ctx.compute(id, ready, work, "update");
+      if (work > 0.0)
+        ctx.compute(id, ready, work, "update", ObsOp::kUpdate, units);
     }
     ctx.run_batch();
 
@@ -653,6 +689,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
   // trailing work (the arithmetic itself always runs in canonical order).
   std::vector<double> deferred(procs, 0.0);
   std::vector<double> deferred_ready(procs, 0.0);
+  std::vector<double> deferred_units(procs, 0.0);
 
   for (std::size_t k = 0; k < nb; ++k) {
     ctx.set_step(k);
@@ -675,10 +712,12 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
       gather(ctx, a, kTagA, nb, nb);
       return early;
     }
-    ctx.compute(diag_id, 0.0,
-                ctx.cycle_time(diag_id) * costs.panel_factor *
-                    vol_frac(klen, klen, klen, block),
-                "panel");
+    const double panel_units =
+        costs.panel_factor * vol_frac(klen, klen, klen, block);
+    ctx.compute(diag_id, 0.0, ctx.cycle_time(diag_id) * panel_units, "panel",
+                ObsOp::kPanel, panel_units);
+    ctx.note_host_work(diag_id, {diag_key},
+                       ctx.cycle_time(diag_id) * panel_units, "panel");
 
     // --- Broadcast the diagonal block down its grid column (for the L21
     // solves) and note its availability.
@@ -694,12 +733,13 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
       const BlockKey l_key{kTagA * nb + bi, k};
       const ConstMatrixView dv = ctx.store[id].at(diag_key);
       const MatrixView lv = ctx.store[id].at(l_key);
+      const double op_units =
+          costs.panel_factor * vol_frac(ilen, klen, klen, block);
       ctx.add_op(id, "mp.trsm", kPrioSolve, {diag_key}, {l_key},
-                 [dv, lv] { trsm_right_upper(dv, lv); });
-      ctx.compute(id, diag_ready[id],
-                  ctx.cycle_time(id) * costs.panel_factor *
-                      vol_frac(ilen, klen, klen, block),
-                  "l-solve");
+                 [dv, lv] { trsm_right_upper(dv, lv); },
+                 ctx.cycle_time(id) * op_units);
+      ctx.compute(id, diag_ready[id], ctx.cycle_time(id) * op_units,
+                  "l-solve", ObsOp::kSolve, op_units);
     }
     ctx.run_batch();
 
@@ -721,12 +761,12 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
       const BlockKey u_key{kTagA * nb + k, bj};
       const ConstMatrixView dv = ctx.store[id].at(diag_key);
       const MatrixView uv = ctx.store[id].at(u_key);
+      const double op_units = costs.trsm * vol_frac(klen, jlen, klen, block);
       ctx.add_op(id, "mp.trsm", kPrioSolve, {diag_key}, {u_key},
-                 [dv, uv] { trsm_left_lower_unit(dv, uv); });
-      ctx.compute(id, l_ready[id],
-                  ctx.cycle_time(id) * costs.trsm *
-                      vol_frac(klen, jlen, klen, block),
-                  "u-solve");
+                 [dv, uv] { trsm_left_lower_unit(dv, uv); },
+                 ctx.cycle_time(id) * op_units);
+      ctx.compute(id, l_ready[id], ctx.cycle_time(id) * op_units, "u-solve",
+                  ObsOp::kSolve, op_units);
     }
     ctx.run_batch();
 
@@ -745,10 +785,11 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     // out ahead of it — that is the lookahead.
     for (std::size_t id = 0; id < procs; ++id) {
       if (deferred[id] > 0.0) {
-        ctx.compute(id, deferred_ready[id], deferred[id],
-                    "update-deferred");
+        ctx.compute(id, deferred_ready[id], deferred[id], "update-deferred",
+                    ObsOp::kUpdate, deferred_units[id]);
         deferred[id] = 0.0;
         deferred_ready[id] = 0.0;
+        deferred_units[id] = 0.0;
       }
     }
 
@@ -760,6 +801,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     // canonical order per processor.
     for (std::size_t id = 0; id < procs; ++id) {
       double work_next = 0.0, work_rest = 0.0;
+      double units_next = 0.0, units_rest = 0.0;
       const double ready = std::max(l_ready[id], u_ready[id]);
       for (std::size_t bi = k + 1; bi < nb; ++bi) {
         for (std::size_t bj = k + 1; bj < nb; ++bj) {
@@ -782,22 +824,30 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
           // wall-clock counterpart of the virtual-time lookahead below.
           const int prio = (bi == k + 1 || bj == k + 1) ? kPrioPanel
                                                         : kPrioUpdate;
+          const double op_units =
+              costs.update * vol_frac(ilen, jlen, klen, block);
           ctx.add_op(id, "mp.gemm", prio, {l_key, u_key}, {t_key},
                      [lv, lt, uv, ut, tv, cache] {
                        gemm_cached(Trans::No, Trans::No, -1.0, lv, lt, uv,
                                    ut, 1.0, tv, cache);
-                     });
-          const double cost = ctx.cycle_time(id) * costs.update *
-                              vol_frac(ilen, jlen, klen, block);
-          if (lookahead && bi != k + 1 && bj != k + 1)
+                     },
+                     ctx.cycle_time(id) * op_units);
+          const double cost = ctx.cycle_time(id) * op_units;
+          if (lookahead && bi != k + 1 && bj != k + 1) {
             work_rest += cost;
-          else
+            units_rest += op_units;
+          } else {
             work_next += cost;
+            units_next += op_units;
+          }
         }
       }
-      if (work_next > 0.0) ctx.compute(id, ready, work_next, "update");
+      if (work_next > 0.0)
+        ctx.compute(id, ready, work_next, "update", ObsOp::kUpdate,
+                    units_next);
       if (work_rest > 0.0) {
         deferred[id] += work_rest;
+        deferred_units[id] += units_rest;
         deferred_ready[id] = std::max(deferred_ready[id], ready);
       }
     }
@@ -856,10 +906,12 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
       gather(ctx, a, kTagA, nb, nb);
       return rep;
     }
-    ctx.compute(diag_id, 0.0,
-                ctx.cycle_time(diag_id) * costs.chol_factor *
-                    vol_frac(klen, klen, klen, block),
-                "panel");
+    const double panel_units =
+        costs.chol_factor * vol_frac(klen, klen, klen, block);
+    ctx.compute(diag_id, 0.0, ctx.cycle_time(diag_id) * panel_units, "panel",
+                ObsOp::kPanel, panel_units);
+    ctx.note_host_work(diag_id, {diag_key},
+                       ctx.cycle_time(diag_id) * panel_units, "panel");
 
     // --- Diagonal block down its grid column for the L21 solves.
     std::fill(diag_ready.begin(), diag_ready.end(), 0.0);
@@ -873,12 +925,13 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
       const BlockKey l_key{kTagA * nb + bi, k};
       const ConstMatrixView dv = ctx.store[id].at(diag_key);
       const MatrixView lv = ctx.store[id].at(l_key);
+      const double op_units =
+          costs.chol_factor * vol_frac(ilen, klen, klen, block);
       ctx.add_op(id, "mp.trsm", kPrioSolve, {diag_key}, {l_key},
-                 [dv, lv] { trsm_right_lower_transposed(dv, lv); });
-      ctx.compute(id, diag_ready[id],
-                  ctx.cycle_time(id) * costs.chol_factor *
-                      vol_frac(ilen, klen, klen, block),
-                  "l-solve");
+                 [dv, lv] { trsm_right_lower_transposed(dv, lv); },
+                 ctx.cycle_time(id) * op_units);
+      ctx.compute(id, diag_ready[id], ctx.cycle_time(id) * op_units,
+                  "l-solve", ObsOp::kSolve, op_units);
     }
     ctx.run_batch();
 
@@ -912,7 +965,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
 
     // --- Symmetric trailing update A_IJ -= L_I * L_J^T, I >= J > k.
     for (std::size_t id = 0; id < procs; ++id) {
-      double work = 0.0;
+      double work = 0.0, units = 0.0;
       const double ready = std::max(l_ready[id], c_ready[id]);
       for (std::size_t bi = k + 1; bi < nb; ++bi) {
         for (std::size_t bj = k + 1; bj <= bi; ++bj) {
@@ -932,16 +985,20 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
           const PackTag li_t = ctx.tag(id, li_key);
           const PackTag lj_t = ctx.tag(id, lj_key);
           const int prio = bj == k + 1 ? kPrioPanel : kPrioUpdate;
+          const double op_units =
+              costs.update * vol_frac(ilen, jlen, klen, block);
           ctx.add_op(id, "mp.gemm", prio, {li_key, lj_key}, {t_key},
                      [li, li_t, lj, lj_t, tv, cache] {
                        gemm_cached(Trans::No, Trans::Yes, -1.0, li, li_t,
                                    lj, lj_t, 1.0, tv, cache);
-                     });
-          work += ctx.cycle_time(id) * costs.update *
-                  vol_frac(ilen, jlen, klen, block);
+                     },
+                     ctx.cycle_time(id) * op_units);
+          units += op_units;
+          work += ctx.cycle_time(id) * op_units;
         }
       }
-      if (work > 0.0) ctx.compute(id, ready, work, "update");
+      if (work > 0.0)
+        ctx.compute(id, ready, work, "update", ObsOp::kUpdate, units);
     }
     ctx.run_batch();
 
@@ -977,7 +1034,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
   rep.tau.reserve(cols);
 
   std::vector<double> col_ready(procs), v_ready(procs), y_ready(procs);
-  std::vector<double> work_acc(procs);
+  std::vector<double> work_acc(procs), units_acc(procs);
   std::vector<std::vector<BlockKey>> row_keys(ctx.p), col_keys(ctx.q);
   std::vector<char> contrib(ctx.p);
 
@@ -1026,7 +1083,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
     }
     const QrResult pres = qr_factor(panel.view());
     rep.tau.insert(rep.tau.end(), pres.tau.begin(), pres.tau.end());
-    double panel_work = 0.0;
+    double panel_work = 0.0, panel_units = 0.0;
     for (std::size_t bi = k; bi < nbr; ++bi) {
       const std::size_t ilen = block_len(bi, block, rows);
       ctx.store[diag_id].bump_version(BlockKey{kTagA * nbr + bi, k});
@@ -1034,10 +1091,13 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
           .at(BlockKey{kTagA * nbr + bi, k})
           .copy_from(
               panel.view().block(block_lo(bi, block) - klo, 0, ilen, klen));
+      panel_units += costs.qr_factor * vol_frac(ilen, klen, klen, block);
       panel_work += ctx.cycle_time(diag_id) * costs.qr_factor *
                     vol_frac(ilen, klen, klen, block);
     }
-    ctx.compute(diag_id, gather_ready, panel_work, "panel");
+    ctx.compute(diag_id, gather_ready, panel_work, "panel", ObsOp::kPanel,
+                panel_units);
+    ctx.note_host_work(diag_id, panel_keys, panel_work, "panel");
 
     const bool has_trailing = k + 1 < nbc;
     if (has_trailing) {
@@ -1045,10 +1105,12 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       // row diag.row with the V panel below.
       Matrix t = qr_form_t(panel.view(), pres.tau);
       ctx.store[diag_id].put(t_key, std::move(t));
-      ctx.compute(diag_id, 0.0,
-                  ctx.cycle_time(diag_id) * costs.qr_update *
-                      vol_frac(klen, klen, klen, block),
-                  "t-form");
+      const double t_units =
+          costs.qr_update * vol_frac(klen, klen, klen, block);
+      ctx.compute(diag_id, 0.0, ctx.cycle_time(diag_id) * t_units, "t-form",
+                  ObsOp::kAux, t_units);
+      ctx.note_host_work(diag_id, {t_key},
+                         ctx.cycle_time(diag_id) * t_units, "t-form");
     }
 
     // --- Send the factored panel back down the owner grid column (also
@@ -1099,6 +1161,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       // their column so a deferred erase of step k's partials can never
       // collide with step k + 1 re-creating them.
       std::fill(work_acc.begin(), work_acc.end(), 0.0);
+      std::fill(units_acc.begin(), units_acc.end(), 0.0);
       for (std::size_t bj = k + 1; bj < nbc; ++bj) {
         const std::size_t gj = ctx.dist.owner(k, bj).col;
         const std::size_t jlen = block_len(bj, block, cols);
@@ -1123,19 +1186,23 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
             // once per step — no tag.
             PackedPanelCache* const cache = &ctx.store[id].pack_cache();
             const PackTag vt = ctx.tag(id, v_key);
+            const double op_units = 0.5 * costs.qr_update *
+                                    vol_frac(ilen, jlen, klen, block);
             ctx.add_op(id, "mp.gemm", kPrioUpdate, {v_key, c_key}, {w_key},
                        [vv, vt, cv, wv, cache] {
                          gemm_cached(Trans::Yes, Trans::No, 1.0, vv, vt, cv,
                                      PackTag{}, 1.0, wv, cache);
-                       });
-            work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
-                            vol_frac(ilen, jlen, klen, block);
+                       },
+                       ctx.cycle_time(id) * op_units);
+            units_acc[id] += op_units;
+            work_acc[id] += ctx.cycle_time(id) * op_units;
           }
         }
       }
       for (std::size_t id = 0; id < procs; ++id)
         if (work_acc[id] > 0.0)
-          ctx.compute(id, v_ready[id], work_acc[id], "w-accumulate");
+          ctx.compute(id, v_ready[id], work_acc[id], "w-accumulate",
+                      ObsOp::kUpdate, units_acc[id]);
       ctx.run_batch();
 
       // --- Reduce the partials within each grid column to the diag.row
@@ -1173,15 +1240,17 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
         // buffer held.
         PackedPanelCache* const cache = &ctx.store[root].pack_cache();
         const PackTag tt = ctx.tag(root, t_key);
+        const double op_units =
+            costs.qr_update * vol_frac(klen, jlen, klen, block);
         ctx.add_op(root, "mp.gemm", kPrioSolve, {t_key, w_root_key},
-                   {y_key}, [tv, tt, wcv, yv, cache] {
+                   {y_key},
+                   [tv, tt, wcv, yv, cache] {
                      gemm_cached(Trans::Yes, Trans::No, 1.0, tv, tt, wcv,
                                  PackTag{}, 0.0, yv, cache);
-                   });
-        ctx.compute(root, reduce_ready,
-                    ctx.cycle_time(root) * costs.qr_update *
-                        vol_frac(klen, jlen, klen, block),
-                    "w-reduce");
+                   },
+                   ctx.cycle_time(root) * op_units);
+        ctx.compute(root, reduce_ready, ctx.cycle_time(root) * op_units,
+                    "w-reduce", ObsOp::kUpdate, op_units);
       }
       ctx.run_batch();
 
@@ -1199,6 +1268,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
 
       // --- Pass 2: C -= V * Y on every owned trailing block.
       std::fill(work_acc.begin(), work_acc.end(), 0.0);
+      std::fill(units_acc.begin(), units_acc.end(), 0.0);
       for (std::size_t id = 0; id < procs; ++id) {
         for (std::size_t bi = k; bi < nbr; ++bi) {
           for (std::size_t bj = k + 1; bj < nbc; ++bj) {
@@ -1217,18 +1287,21 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
             PackedPanelCache* const cache = &ctx.store[id].pack_cache();
             const PackTag vt = ctx.tag(id, v_key);
             const PackTag yt = ctx.tag(id, y_key);
+            const double op_units = 0.5 * costs.qr_update *
+                                    vol_frac(ilen, jlen, klen, block);
             ctx.add_op(id, "mp.gemm", kPrioUpdate, {v_key, y_key}, {c_key},
                        [vv, vt, yv, yt, cv, cache] {
                          gemm_cached(Trans::No, Trans::No, -1.0, vv, vt, yv,
                                      yt, 1.0, cv, cache);
-                       });
-            work_acc[id] += ctx.cycle_time(id) * 0.5 * costs.qr_update *
-                            vol_frac(ilen, jlen, klen, block);
+                       },
+                       ctx.cycle_time(id) * op_units);
+            units_acc[id] += op_units;
+            work_acc[id] += ctx.cycle_time(id) * op_units;
           }
         }
         if (work_acc[id] > 0.0)
           ctx.compute(id, std::max(v_ready[id], y_ready[id]), work_acc[id],
-                      "update");
+                      "update", ObsOp::kUpdate, units_acc[id]);
       }
       ctx.run_batch();
     }

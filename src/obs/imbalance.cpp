@@ -1,0 +1,226 @@
+#include "obs/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "obs/chrome_trace.hpp"
+
+namespace hetgrid {
+
+namespace detail {
+std::atomic<RunObservation*> g_observation{nullptr};
+}
+
+RunObservation* install_observation(RunObservation* obs) {
+  return detail::g_observation.exchange(obs, std::memory_order_relaxed);
+}
+
+ImbalanceReport build_imbalance_report(const RunObservation& obs,
+                                       const std::vector<double>& busy,
+                                       const std::vector<double>& finish,
+                                       const CycleTimeGrid* true_grid,
+                                       std::size_t grid_cols) {
+  ImbalanceReport rep;
+  const std::size_t procs = std::min(busy.size(), finish.size());
+  for (const double f : finish) rep.makespan = std::max(rep.makespan, f);
+
+  rep.lanes.reserve(procs);
+  for (std::size_t i = 0; i < procs; ++i) {
+    LaneStat lane;
+    lane.proc = i;
+    lane.busy = busy[i];
+    lane.finish = finish[i];
+    lane.idle = std::max(0.0, rep.makespan - busy[i]);
+    lane.slack = std::max(0.0, rep.makespan - finish[i]);
+    rep.lanes.push_back(lane);
+  }
+
+  // Estimate rows + the lower bound. Per processor, the units-weighted
+  // mean estimated rate stands in for t_i; the bound is the perfectly
+  // balanced makespan total_units / sum_i (1 / t_hat_i) — the paper's
+  // bound evaluated at the observed cycle-times.
+  const std::vector<CycleEstimate> est = obs.estimator.estimates();
+  std::map<std::size_t, std::pair<double, double>> per_proc;  // units, cost
+  double total_units = 0.0;
+  for (const CycleEstimate& e : est) {
+    EstimateRow row;
+    row.proc = e.proc;
+    row.op = e.op;
+    row.estimate = e.seconds_per_unit;
+    row.units = e.units;
+    row.samples = e.samples;
+    if (true_grid != nullptr && grid_cols > 0) {
+      row.has_true = true;
+      row.true_t = (*true_grid)(e.proc / grid_cols, e.proc % grid_cols);
+      if (row.true_t > 0.0)
+        row.rel_err = std::abs(row.estimate - row.true_t) / row.true_t;
+    }
+    rep.estimates.push_back(row);
+    per_proc[e.proc].first += e.units;
+    per_proc[e.proc].second += e.units * e.seconds_per_unit;
+    total_units += e.units;
+  }
+  double aggregate_speed = 0.0;
+  for (const auto& [proc, uw] : per_proc) {
+    (void)proc;
+    if (uw.first > 0.0 && uw.second > 0.0)
+      aggregate_speed += uw.first / uw.second;  // 1 / t_hat_i
+  }
+  if (aggregate_speed > 0.0) rep.lower_bound = total_units / aggregate_speed;
+
+  // Critical-path attribution: walk the heaviest chain through the task
+  // records (ties break to the lowest record index, matching the
+  // deterministic chain construction), then aggregate per (proc, op).
+  std::ptrdiff_t head = -1;
+  for (std::size_t r = 0; r < obs.tasks.size(); ++r)
+    if (head < 0 ||
+        obs.tasks[r].chain_cost >
+            obs.tasks[static_cast<std::size_t>(head)].chain_cost)
+      head = static_cast<std::ptrdiff_t>(r);
+  std::map<std::pair<std::size_t, std::string>, CriticalSegment> segs;
+  for (std::ptrdiff_t r = head; r >= 0;
+       r = obs.tasks[static_cast<std::size_t>(r)].chain_pred) {
+    const TaskRecord& t = obs.tasks[static_cast<std::size_t>(r)];
+    rep.critical_path_tasks += 1;
+    const std::size_t proc =
+        t.tag == TaskGraph::kNoTag ? SIZE_MAX : static_cast<std::size_t>(t.tag);
+    CriticalSegment& s = segs[{proc, t.name}];
+    s.proc = proc;
+    s.op = t.name;
+    s.weight += t.weight;
+    s.tasks += 1;
+  }
+  if (head >= 0)
+    rep.critical_path_cost =
+        obs.tasks[static_cast<std::size_t>(head)].chain_cost;
+  for (auto& [key, seg] : segs) {
+    (void)key;
+    rep.critical.push_back(std::move(seg));
+  }
+  std::sort(rep.critical.begin(), rep.critical.end(),
+            [](const CriticalSegment& a, const CriticalSegment& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.proc != b.proc) return a.proc < b.proc;
+              return a.op < b.op;
+            });
+
+  rep.drift = obs.estimator.drift_events();
+  return rep;
+}
+
+namespace {
+
+long long json_proc(std::size_t proc) {
+  return proc == SIZE_MAX ? -1 : static_cast<long long>(proc);
+}
+
+}  // namespace
+
+void write_imbalance_json(std::ostream& os, const ImbalanceReport& rep) {
+  os << "{\"imbalance\":{";
+  os << "\"makespan\":" << format_compact(rep.makespan);
+  os << ",\"lower_bound\":" << format_compact(rep.lower_bound);
+  os << ",\"critical_path\":{\"cost\":"
+     << format_compact(rep.critical_path_cost)
+     << ",\"tasks\":" << rep.critical_path_tasks << ",\"segments\":[";
+  for (std::size_t i = 0; i < rep.critical.size(); ++i) {
+    const CriticalSegment& s = rep.critical[i];
+    if (i != 0) os << ",";
+    os << "{\"proc\":" << json_proc(s.proc) << ",\"op\":\"" << s.op
+       << "\",\"weight\":" << format_compact(s.weight)
+       << ",\"tasks\":" << s.tasks << "}";
+  }
+  os << "]},\"lanes\":[";
+  for (std::size_t i = 0; i < rep.lanes.size(); ++i) {
+    const LaneStat& l = rep.lanes[i];
+    if (i != 0) os << ",";
+    os << "{\"proc\":" << l.proc << ",\"busy\":" << format_compact(l.busy)
+       << ",\"idle\":" << format_compact(l.idle)
+       << ",\"slack\":" << format_compact(l.slack)
+       << ",\"finish\":" << format_compact(l.finish) << "}";
+  }
+  os << "],\"estimates\":[";
+  for (std::size_t i = 0; i < rep.estimates.size(); ++i) {
+    const EstimateRow& e = rep.estimates[i];
+    if (i != 0) os << ",";
+    os << "{\"proc\":" << e.proc << ",\"op\":\"" << obs_op_name(e.op)
+       << "\",\"estimate\":" << format_compact(e.estimate)
+       << ",\"units\":" << format_compact(e.units)
+       << ",\"samples\":" << e.samples;
+    if (e.has_true)
+      os << ",\"true\":" << format_compact(e.true_t)
+         << ",\"rel_err\":" << format_compact(e.rel_err);
+    os << "}";
+  }
+  os << "],\"drift\":[";
+  for (std::size_t i = 0; i < rep.drift.size(); ++i) {
+    const DriftEvent& d = rep.drift[i];
+    if (i != 0) os << ",";
+    os << "{\"proc\":" << d.proc << ",\"op\":\"" << obs_op_name(d.op)
+       << "\",\"step\":" << d.step
+       << ",\"before\":" << format_compact(d.before)
+       << ",\"after\":" << format_compact(d.after) << "}";
+  }
+  os << "]}}\n";
+}
+
+void print_imbalance(std::ostream& os, const ImbalanceReport& rep) {
+  os << "makespan      " << format_compact(rep.makespan) << "\n";
+  os << "lower bound   " << format_compact(rep.lower_bound);
+  if (rep.lower_bound > 0.0 && rep.makespan > 0.0)
+    os << "  (achieved/bound = "
+       << format_compact(rep.makespan / rep.lower_bound) << ")";
+  os << "\n\n";
+
+  os << "proc       busy       idle      slack     finish\n";
+  for (const LaneStat& l : rep.lanes) {
+    os << std::setw(4) << l.proc << std::setw(11) << format_compact(l.busy)
+       << std::setw(11) << format_compact(l.idle) << std::setw(11)
+       << format_compact(l.slack) << std::setw(11)
+       << format_compact(l.finish) << "\n";
+  }
+
+  if (!rep.critical.empty()) {
+    os << "\ncritical path: cost " << format_compact(rep.critical_path_cost)
+       << " across " << rep.critical_path_tasks << " tasks\n";
+    os << "proc  op                weight  tasks\n";
+    for (const CriticalSegment& s : rep.critical) {
+      if (s.proc == SIZE_MAX)
+        os << "   -";
+      else
+        os << std::setw(4) << s.proc;
+      os << "  " << std::left << std::setw(14) << s.op << std::right
+         << std::setw(10) << format_compact(s.weight) << std::setw(7)
+         << s.tasks << "\n";
+    }
+  }
+
+  if (!rep.estimates.empty()) {
+    os << "\nproc  op       est t_ij     units  samples";
+    const bool truth =
+        std::any_of(rep.estimates.begin(), rep.estimates.end(),
+                    [](const EstimateRow& e) { return e.has_true; });
+    if (truth) os << "   true t_ij    rel err";
+    os << "\n";
+    for (const EstimateRow& e : rep.estimates) {
+      os << std::setw(4) << e.proc << "  " << std::left << std::setw(7)
+         << obs_op_name(e.op) << std::right << std::setw(11)
+         << format_compact(e.estimate) << std::setw(10)
+         << format_compact(e.units) << std::setw(9) << e.samples;
+      if (e.has_true)
+        os << std::setw(12) << format_compact(e.true_t) << std::setw(11)
+           << format_compact(e.rel_err);
+      os << "\n";
+    }
+  }
+
+  for (const DriftEvent& d : rep.drift)
+    os << "\ndrift: proc " << d.proc << " " << obs_op_name(d.op) << " at step "
+       << d.step << ": " << format_compact(d.before) << " -> "
+       << format_compact(d.after) << "\n";
+}
+
+}  // namespace hetgrid

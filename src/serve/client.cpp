@@ -67,4 +67,23 @@ Decoded query_server(const Endpoint& ep, const PlacementRequest& req) {
   }
 }
 
+Decoded query_stats_fd(int fd) {
+  write_frame(fd, encode_stats_request());
+  std::vector<std::uint8_t> payload;
+  HG_CHECK(read_frame(fd, payload), "server closed before replying");
+  return decode_payload(payload);
+}
+
+Decoded query_stats(const Endpoint& ep) {
+  const int fd = connect_endpoint(ep);
+  try {
+    Decoded out = query_stats_fd(fd);
+    ::close(fd);
+    return out;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
 }  // namespace hetgrid::serve

@@ -32,4 +32,10 @@ Decoded query_server(const Endpoint& ep, const PlacementRequest& req);
 /// connection across requests).
 Decoded query_fd(int fd, const PlacementRequest& req);
 
+/// Introspection round trip: sends a kStatsRequest, returns the decoded
+/// kStatsResponse (or kError from a server that predates kStats —
+/// WireError::kBadType means "no stats support", not a failure).
+Decoded query_stats(const Endpoint& ep);
+Decoded query_stats_fd(int fd);
+
 }  // namespace hetgrid::serve

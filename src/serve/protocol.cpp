@@ -166,6 +166,40 @@ std::vector<std::uint8_t> encode_error(WireError code,
   return out;
 }
 
+std::vector<std::uint8_t> encode_stats_request() {
+  std::vector<std::uint8_t> out;
+  out.reserve(8);
+  put_header(out, MsgType::kStatsRequest);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_stats(const StatsReply& stats) {
+  HG_CHECK(stats.metrics_json.size() <= kMaxStatsMetricsBytes,
+           "stats metrics JSON exceeds cap");
+  HG_CHECK(stats.estimates.size() <= kMaxStatsEstimates,
+           "stats estimate table exceeds cap");
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + stats.metrics_json.size() + 28 * stats.estimates.size());
+  put_header(out, MsgType::kStatsResponse);
+  put_u64(out, stats.cache_entries);
+  put_u32(out, stats.cache_shards);
+  put_u32(out, stats.drift_events);
+  put_u32(out, static_cast<std::uint32_t>(stats.metrics_json.size()));
+  out.insert(out.end(), stats.metrics_json.begin(), stats.metrics_json.end());
+  put_u32(out, static_cast<std::uint32_t>(stats.estimates.size()));
+  for (const StatsReply::Estimate& e : stats.estimates) {
+    put_u32(out, e.proc);
+    out.push_back(e.op);
+    out.push_back(0);  // reserved
+    out.push_back(0);
+    out.push_back(0);
+    put_u64(out, e.samples);
+    put_f64(out, e.estimate);
+    put_f64(out, e.units);
+  }
+  return out;
+}
+
 Decoded decode_payload(const std::uint8_t* data, std::size_t len) {
   Reader r{data, len};
   if (len < 8) return parse_failure(WireError::kBadFrame);
@@ -236,6 +270,37 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t len) {
       d.error.detail.assign(reinterpret_cast<const char*>(data + r.pos),
                             detail_len);
       r.pos += detail_len;
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kStatsRequest): {
+      d.type = MsgType::kStatsRequest;  // header-only body
+      break;
+    }
+    case static_cast<std::uint8_t>(MsgType::kStatsResponse): {
+      d.type = MsgType::kStatsResponse;
+      StatsReply& s = d.stats;
+      s.cache_entries = r.get_u64();
+      s.cache_shards = r.get_u32();
+      s.drift_events = r.get_u32();
+      const std::uint32_t metrics_len = r.get_u32();
+      if (metrics_len > kMaxStatsMetricsBytes || !r.need(metrics_len))
+        return parse_failure(WireError::kBadFrame);
+      s.metrics_json.assign(reinterpret_cast<const char*>(data + r.pos),
+                            metrics_len);
+      r.pos += metrics_len;
+      const std::uint32_t n_est = r.get_u32();
+      if (n_est > kMaxStatsEstimates || !r.need(28 * n_est))
+        return parse_failure(WireError::kBadFrame);
+      s.estimates.resize(n_est);
+      for (StatsReply::Estimate& e : s.estimates) {
+        e.proc = r.get_u32();
+        e.op = r.get_u8();
+        r.get_u8();  // reserved
+        r.get_u16();
+        e.samples = r.get_u64();
+        e.estimate = r.get_f64();
+        e.units = r.get_f64();
+      }
       break;
     }
     default:

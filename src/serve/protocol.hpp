@@ -39,7 +39,16 @@ enum class MsgType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
+  // Introspection (appended in-place within version 1: servers that
+  // predate it answer kBadType, which clients read as "no stats support").
+  kStatsRequest = 4,
+  kStatsResponse = 5,
 };
+
+/// Size caps keeping a kStatsResponse under kMaxPayload: the metrics JSON
+/// is truncated to 64 KiB, the estimate table to its first 2048 lanes.
+inline constexpr std::size_t kMaxStatsMetricsBytes = 64 * 1024;
+inline constexpr std::size_t kMaxStatsEstimates = 2048;
 
 /// Client-requested solver policy.
 enum class Mode : std::uint8_t {
@@ -112,6 +121,29 @@ struct ErrorMessage {
   std::string detail;  // short ASCII diagnostic, may be empty
 };
 
+/// Server introspection snapshot (kStatsResponse body, doc/server.md):
+/// solution-cache occupancy, the process metrics registry as JSON, and the
+/// installed cycle-time estimator's lane table + drift count. A server
+/// with no metrics registry or observation installed sends empty/zero
+/// fields — the message is always well-formed.
+struct StatsReply {
+  std::uint64_t cache_entries = 0;
+  std::uint32_t cache_shards = 0;
+  std::uint32_t drift_events = 0;
+  std::string metrics_json;  // "" when no registry; truncated to the cap
+
+  /// One estimator lane: proc id, ObsOp value, sample count, EWMA
+  /// seconds/unit, cumulative units.
+  struct Estimate {
+    std::uint32_t proc = 0;
+    std::uint8_t op = 0;
+    std::uint64_t samples = 0;
+    double estimate = 0.0;
+    double units = 0.0;
+  };
+  std::vector<Estimate> estimates;  // (proc, op)-ascending
+};
+
 /// One decoded payload. `parse_error != kOk` means the bytes were not a
 /// well-formed frame and nothing else is valid; otherwise exactly the
 /// member matching `type` is populated. A decoded kError frame is a
@@ -122,6 +154,7 @@ struct Decoded {
   PlacementRequest request;
   PlacementResponse response;
   ErrorMessage error;
+  StatsReply stats;
 
   bool ok() const { return parse_error == WireError::kOk; }
 };
@@ -131,6 +164,8 @@ std::vector<std::uint8_t> encode_request(const PlacementRequest& req);
 std::vector<std::uint8_t> encode_response(const PlacementResponse& rsp);
 std::vector<std::uint8_t> encode_error(WireError code,
                                        const std::string& detail);
+std::vector<std::uint8_t> encode_stats_request();
+std::vector<std::uint8_t> encode_stats(const StatsReply& stats);
 
 /// Decodes one payload (no length prefix). Never throws on bad bytes.
 Decoded decode_payload(const std::uint8_t* data, std::size_t len);

@@ -16,6 +16,7 @@
 
 #include "core/arrangement.hpp"
 #include "core/heuristic.hpp"
+#include "obs/imbalance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "util/check.hpp"
@@ -259,6 +260,10 @@ std::vector<std::uint8_t> PlacementServer::process_payload(
     return encode_error(decoded.parse_error,
                         wire_error_name(decoded.parse_error));
   }
+  if (decoded.type == MsgType::kStatsRequest) {
+    metric_count("serve.stats");
+    return encode_stats(stats());
+  }
   if (decoded.type != MsgType::kRequest) {
     metric_count("serve.errors");
     return encode_error(WireError::kBadType, "server accepts only requests");
@@ -266,6 +271,32 @@ std::vector<std::uint8_t> PlacementServer::process_payload(
   const PlaceOutcome outcome = place_admitted(decoded.request, admitted);
   return outcome.ok ? encode_response(outcome.response)
                     : encode_error(outcome.error.code, outcome.error.detail);
+}
+
+StatsReply PlacementServer::stats() const {
+  StatsReply out;
+  out.cache_entries = cache_.size();
+  out.cache_shards = static_cast<std::uint32_t>(cache_.shard_count());
+  if (const MetricsRegistry* m = installed_metrics()) {
+    out.metrics_json = m->snapshot_json();
+    if (out.metrics_json.size() > kMaxStatsMetricsBytes)
+      out.metrics_json.resize(kMaxStatsMetricsBytes);
+  }
+  if (const RunObservation* obs = installed_observation()) {
+    out.drift_events =
+        static_cast<std::uint32_t>(obs->estimator.drift_events().size());
+    for (const CycleEstimate& e : obs->estimator.estimates()) {
+      if (out.estimates.size() >= kMaxStatsEstimates) break;
+      StatsReply::Estimate wire;
+      wire.proc = static_cast<std::uint32_t>(e.proc);
+      wire.op = static_cast<std::uint8_t>(e.op);
+      wire.samples = e.samples;
+      wire.estimate = e.seconds_per_unit;
+      wire.units = e.units;
+      out.estimates.push_back(wire);
+    }
+  }
+  return out;
 }
 
 std::vector<std::uint8_t> PlacementServer::handle_payload(

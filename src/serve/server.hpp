@@ -124,6 +124,13 @@ class PlacementServer {
   /// async refinements) has finished — how tests await refinement.
   void drain();
 
+  /// Introspection snapshot served to kStatsRequest frames: cache
+  /// occupancy, the installed metrics registry's JSON snapshot (truncated
+  /// to kMaxStatsMetricsBytes), and the installed observation's estimator
+  /// lanes + drift count. Fields for absent registries/observations are
+  /// empty, never an error.
+  StatsReply stats() const;
+
   const SolutionCache& cache() const { return cache_; }
   const ServerOptions& options() const { return opts_; }
   bool stopping() const { return stop_.load(std::memory_order_acquire); }

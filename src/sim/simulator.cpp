@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/imbalance.hpp"
 #include "sim/trace_emit.hpp"
 
 namespace hetgrid {
@@ -38,6 +39,7 @@ SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
   HG_CHECK(nb > 0, "matrix must have at least one block");
   const CycleTimeGrid& grid = machine.grid;
   const std::size_t p = grid.rows(), q = grid.cols();
+  RunObservation* const obs = installed_observation();
 
   SimReport rep;
   rep.kernel = "mmm";
@@ -98,12 +100,18 @@ SimReport simulate_mmm(const Machine& machine, const Distribution2D& dist,
         const double work = static_cast<double>(owned[i * q + j]) *
                             grid(i, j) * costs.update;
         rep.busy[i * q + j] += work;
-        if (work > 0.0)
+        if (work > 0.0) {
           trace_span(sink, TraceEventKind::kComputeBlock, i * q + j,
                      now + comm_step, work, k, "update");
+          if (obs != nullptr)
+            obs->estimator.sample(
+                i * q + j, ObsOp::kUpdate,
+                static_cast<double>(owned[i * q + j]) * costs.update, work, k);
+        }
       }
     trace_span(sink, TraceEventKind::kPhase, kMachineLane, now,
                comm_step + compute_step, k, "step");
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
     now += comm_step + compute_step;
   }
   rep.total_time = rep.comm_time + rep.compute_time;
@@ -128,6 +136,7 @@ SimReport simulate_factorization(const Machine& machine,
   const CycleTimeGrid& grid = machine.grid;
   const std::size_t p = grid.rows(), q = grid.cols();
   const double capacity = grid.total_capacity();
+  RunObservation* const obs = installed_observation();
 
   SimReport rep;
   rep.kernel = w.kernel;
@@ -154,9 +163,14 @@ SimReport simulate_factorization(const Machine& machine,
                         grid(gi, diag.col) * w.panel;
       panel_time = std::max(panel_time, tt);
       rep.busy[gi * q + diag.col] += tt;
-      if (tt > 0.0)
+      if (tt > 0.0) {
         trace_span(sink, TraceEventKind::kComputeBlock, gi * q + diag.col,
                    now, tt, k, "panel");
+        if (obs != nullptr)
+          obs->estimator.sample(gi * q + diag.col, ObsOp::kPanel,
+                                static_cast<double>(panel_rows[gi]) * w.panel,
+                                tt, k);
+      }
     }
 
     // --- Horizontal broadcast of the L panel (one ring per grid row).
@@ -179,9 +193,14 @@ SimReport simulate_factorization(const Machine& machine,
           static_cast<double>(row_cols[gj]) * grid(diag.row, gj) * w.row;
       row_time = std::max(row_time, tt);
       rep.busy[diag.row * q + gj] += tt;
-      if (tt > 0.0)
+      if (tt > 0.0) {
         trace_span(sink, TraceEventKind::kComputeBlock, diag.row * q + gj,
                    now + panel_time + l_bcast, tt, k, "row");
+        if (obs != nullptr)
+          obs->estimator.sample(diag.row * q + gj, ObsOp::kSolve,
+                                static_cast<double>(row_cols[gj]) * w.row, tt,
+                                k);
+      }
     }
 
     // --- Vertical broadcast of the U row panel (one ring per grid column).
@@ -210,9 +229,14 @@ SimReport simulate_factorization(const Machine& machine,
                           grid(gi, gj) * w.update;
         update_time = std::max(update_time, tt);
         rep.busy[gi * q + gj] += tt;
-        if (tt > 0.0)
+        if (tt > 0.0) {
           trace_span(sink, TraceEventKind::kComputeBlock, gi * q + gj,
                      update_start, tt, k, "update");
+          if (obs != nullptr)
+            obs->estimator.sample(
+                gi * q + gj, ObsOp::kUpdate,
+                static_cast<double>(trailing[gi * q + gj]) * w.update, tt, k);
+        }
       }
 
     rep.compute_time += panel_time + row_time + update_time;
@@ -221,6 +245,7 @@ SimReport simulate_factorization(const Machine& machine,
         {k, panel_time, row_time, update_time, l_bcast + u_bcast});
     trace_span(sink, TraceEventKind::kPhase, kMachineLane, now,
                rep.steps.back().total(), k, "step");
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
     now += rep.steps.back().total();
 
     const double panel_vol =
@@ -244,6 +269,7 @@ SimReport simulate_cholesky(const Machine& machine,
   const CycleTimeGrid& grid = machine.grid;
   const std::size_t p = grid.rows(), q = grid.cols();
   const double capacity = grid.total_capacity();
+  RunObservation* const obs = installed_observation();
 
   SimReport rep;
   rep.kernel = "cholesky";
@@ -269,9 +295,14 @@ SimReport simulate_cholesky(const Machine& machine,
                         grid(gi, diag.col) * costs.chol_factor;
       panel_time = std::max(panel_time, tt);
       rep.busy[gi * q + diag.col] += tt;
-      if (tt > 0.0)
+      if (tt > 0.0) {
         trace_span(sink, TraceEventKind::kComputeBlock, gi * q + diag.col,
                    now, tt, k, "panel");
+        if (obs != nullptr)
+          obs->estimator.sample(
+              gi * q + diag.col, ObsOp::kPanel,
+              static_cast<double>(panel_rows[gi]) * costs.chol_factor, tt, k);
+      }
     }
 
     // The L21 panel travels along grid rows (as the left GEMM operand) and
@@ -312,9 +343,15 @@ SimReport simulate_cholesky(const Machine& machine,
                           grid(gi, gj) * costs.update;
         update_time = std::max(update_time, tt);
         rep.busy[gi * q + gj] += tt;
-        if (tt > 0.0)
+        if (tt > 0.0) {
           trace_span(sink, TraceEventKind::kComputeBlock, gi * q + gj,
                      now + panel_time + bcast, tt, k, "update");
+          if (obs != nullptr)
+            obs->estimator.sample(
+                gi * q + gj, ObsOp::kUpdate,
+                static_cast<double>(trailing[gi * q + gj]) * costs.update, tt,
+                k);
+        }
       }
 
     rep.compute_time += panel_time + update_time;
@@ -322,6 +359,7 @@ SimReport simulate_cholesky(const Machine& machine,
     rep.steps.push_back({k, panel_time, 0.0, update_time, bcast});
     trace_span(sink, TraceEventKind::kPhase, kMachineLane, now,
                rep.steps.back().total(), k, "step");
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
     now += rep.steps.back().total();
 
     const double m = static_cast<double>(nb - k - 1);

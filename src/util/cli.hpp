@@ -25,6 +25,11 @@ class Cli {
   bool get_bool(const std::string& name) const;
   const std::string& get_string(const std::string& name) const;
 
+  /// True when `name` was declared in the spec (present flags always are —
+  /// unknown argv flags throw in the constructor). Lets shared helpers ask
+  /// about flags only some binaries declare.
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
   /// Renders "name=value name=value ..." for experiment provenance lines.
   std::string describe() const;
 

@@ -44,10 +44,71 @@ void TaskGraph::collect_deps(const std::vector<Key>& reads,
   deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
 }
 
+std::size_t TaskGraph::append_record(const char* name, std::uint64_t tag,
+                                     double weight,
+                                     const std::vector<TaskId>& deps,
+                                     const std::vector<Key>& reads,
+                                     const std::vector<Key>& writes,
+                                     bool host) {
+  // Heaviest-chain base: task dependencies first (deps are sorted, so ties
+  // resolve to the lowest record deterministically), then any host-chain
+  // entry on a touched key — that is how a chain crosses a host_acquire,
+  // whose key-history erasure would otherwise sever it.
+  double base = 0.0;
+  std::ptrdiff_t pred = -1;
+  for (const TaskId d : deps) {
+    const std::size_t r = tasks_[d].rec;
+    if (r != SIZE_MAX && records_[r].chain_cost > base) {
+      base = records_[r].chain_cost;
+      pred = static_cast<std::ptrdiff_t>(r);
+    }
+  }
+  auto fold_key = [&](Key k) {
+    const auto it = host_chain_.find(k);
+    if (it != host_chain_.end() && records_[it->second].chain_cost > base) {
+      base = records_[it->second].chain_cost;
+      pred = static_cast<std::ptrdiff_t>(it->second);
+    }
+  };
+  for (const Key k : reads) fold_key(k);
+  for (const Key k : writes) fold_key(k);
+  TaskRecord rec;
+  rec.name = name;
+  rec.tag = tag;
+  rec.weight = weight;
+  rec.chain_cost = base + weight;
+  rec.chain_pred = pred;
+  rec.host = host;
+  records_.push_back(rec);
+  record_task_.push_back(SIZE_MAX);
+  return records_.size() - 1;
+}
+
+void TaskGraph::note_host_work(const std::vector<Key>& writes, double weight,
+                               const char* name, std::uint64_t tag) {
+  if (!observe_) return;
+  const std::size_t rec =
+      append_record(name, tag, weight, {}, {}, writes, /*host=*/true);
+  for (const Key k : writes) host_chain_[k] = rec;
+}
+
+std::vector<TaskRecord> TaskGraph::records() const {
+  std::vector<TaskRecord> out = records_;
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const std::size_t t = record_task_[r];
+    if (t != SIZE_MAX) {
+      out[r].wall_start = tasks_[t].wall_start;
+      out[r].wall_finish = tasks_[t].wall_finish;
+    }
+  }
+  return out;
+}
+
 TaskGraph::TaskId TaskGraph::add(const char* name, std::vector<Key> reads,
                                  std::vector<Key> writes,
                                  std::function<void()> fn, int priority,
-                                 const std::vector<TaskId>& after) {
+                                 const std::vector<TaskId>& after,
+                                 double weight, std::uint64_t tag) {
   const TaskId id = tasks_.size();
   // The only way to express a cycle is an `after` edge that does not point
   // strictly backwards; inferred dependencies always reference earlier
@@ -62,6 +123,12 @@ TaskGraph::TaskId TaskGraph::add(const char* name, std::vector<Key> reads,
   deps.insert(deps.end(), after.begin(), after.end());
   std::sort(deps.begin(), deps.end());
   deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  const std::size_t rec =
+      observe_ ? append_record(name, tag, weight, deps, reads, writes,
+                               /*host=*/false)
+               : SIZE_MAX;
+  if (rec != SIZE_MAX) record_task_[rec] = id;
 
   // Advance the key history: this task is now the reader-of-record for its
   // read keys and the writer-of-record for its write keys.
@@ -93,6 +160,7 @@ TaskGraph::TaskId TaskGraph::add(const char* name, std::vector<Key> reads,
     t.name = name;
     t.priority = priority;
     t.depth = depth;
+    t.rec = rec;
     stats_.critical_path = std::max(stats_.critical_path, depth);
     stats_.ready_at_submit += 1;
     if (metrics != nullptr) metrics->counter("dag.ready_at_submit").add(1);
@@ -112,6 +180,7 @@ TaskGraph::TaskId TaskGraph::add(const char* name, std::vector<Key> reads,
     t.fn = std::move(fn);
     t.name = name;
     t.priority = priority;
+    t.rec = rec;
     std::size_t depth = 1;
     for (const TaskId d : deps) {
       depth = std::max(depth, tasks_[d].depth + 1);
@@ -165,14 +234,22 @@ void TaskGraph::pump() {
           .set(static_cast<double>(ready_.size()));
   }
   while (t != nullptr) {
+    // observe_ is set once before the first add() and never flips during a
+    // run, so reading it off-lock here is race-free.
+    const double t0 = observe_ ? wall_now() : 0.0;
     {
       ProfScope span(t->name);
       t->fn();
     }
+    const double t1 = observe_ ? wall_now() : 0.0;
     std::size_t extra = 0;  // ready tasks beyond the one this worker keeps
     bool notify = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (observe_) {
+        t->wall_start = t0;
+        t->wall_finish = t1;
+      }
       t->done = true;
       t->fn = nullptr;  // release captured views/buffers promptly
       ++done_count_;
@@ -236,7 +313,24 @@ void TaskGraph::host_acquire(const std::vector<Key>& reads,
   }
   // The host now owns the write keys synchronously: whatever it writes is
   // complete before any later add(), so later readers need no dependency.
+  // Observation: the erased tasks' chains are stashed per key first, so a
+  // later note_host_work / add() on the key still extends them.
   for (const Key k : writes) {
+    if (observe_) {
+      auto stash = [&](TaskId t) {
+        const std::size_t r = tasks_[t].rec;
+        if (r == SIZE_MAX) return;
+        const auto it = host_chain_.find(k);
+        if (it == host_chain_.end() ||
+            records_[r].chain_cost > records_[it->second].chain_cost)
+          host_chain_[k] = r;
+      };
+      const auto w = last_writer_.find(k);
+      if (w != last_writer_.end()) stash(w->second);
+      const auto r = readers_.find(k);
+      if (r != readers_.end())
+        for (const TaskId t : r->second) stash(t);
+    }
     last_writer_.erase(k);
     readers_.erase(k);
   }

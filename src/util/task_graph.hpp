@@ -30,6 +30,7 @@
 // named after the task, so worker lanes show the real dataflow schedule.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -44,6 +45,26 @@
 #include "util/thread_pool.hpp"
 
 namespace hetgrid {
+
+/// Per-task observation record (set_observe). `chain_cost` is the weight of
+/// the heaviest dependency chain ending at this record (its own weight
+/// included), computed on the host at submission time from the declared
+/// weights — deterministic for any thread count, unlike the wall-clock
+/// fields, which are only filled by the threaded scheduler (seconds since
+/// the graph's construction; 0 in serial mode). `chain_pred` indexes the
+/// predecessor record on that chain (-1 for a chain head). Host-side work
+/// noted via note_host_work() appears as records too, so critical paths
+/// that pass through host panel factorizations stay connected.
+struct TaskRecord {
+  const char* name = "";
+  std::uint64_t tag = 0;  // caller-defined lane tag (the MP runtime: proc id)
+  double weight = 0.0;
+  double chain_cost = 0.0;
+  std::ptrdiff_t chain_pred = -1;
+  double wall_start = 0.0;
+  double wall_finish = 0.0;
+  bool host = false;  // true for note_host_work records
+};
 
 class TaskGraph {
  public:
@@ -73,15 +94,40 @@ class TaskGraph {
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
 
+  /// Tag value for tasks with no caller-defined lane.
+  static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
   /// Submits one task. `name` must have static storage duration (it labels
   /// profiler spans). Dependencies are inferred from `reads`/`writes` as
   /// described above; `after` adds explicit edges to earlier tasks and
   /// throws PreconditionError on a forward or self reference (the cycle
   /// check). Ties in the ready queue break on (priority desc, id asc).
   /// Tasks must not throw (ThreadPool's non-throwing contract).
+  /// `weight` and `tag` only feed the observation records (set_observe);
+  /// they never influence scheduling or results.
   TaskId add(const char* name, std::vector<Key> reads,
              std::vector<Key> writes, std::function<void()> fn,
-             int priority = 0, const std::vector<TaskId>& after = {});
+             int priority = 0, const std::vector<TaskId>& after = {},
+             double weight = 0.0, std::uint64_t tag = kNoTag);
+
+  /// Enables per-task observation records (weighted critical-path chains +
+  /// wall-clock spans). Must be called before the first add(); off by
+  /// default, in which case add() skips all record bookkeeping.
+  void set_observe(bool on) { observe_ = on; }
+  bool observing() const { return observe_; }
+
+  /// Records host-side inline work (a panel factorization the host ran
+  /// between host_acquire and the next add) as an observation record:
+  /// its chain extends the heaviest chain seen on `writes`, and later
+  /// tasks touching those keys chain through it. No task is created and
+  /// scheduling is unaffected. No-op unless observing.
+  void note_host_work(const std::vector<Key>& writes, double weight,
+                      const char* name, std::uint64_t tag = kNoTag);
+
+  /// Copies the observation records (task records get their wall-clock
+  /// spans merged in). Host-thread only, after wait_all(). Empty unless
+  /// observing.
+  std::vector<TaskRecord> records() const;
 
   /// Blocks the host thread until every task touching `reads` (last
   /// writer) or `writes` (last writer + readers since) has finished, then
@@ -115,6 +161,9 @@ class TaskGraph {
     std::size_t depth = 1;           // longest chain ending here
     bool done = false;
     bool host_waited = false;        // host_acquire is blocked on this task
+    std::size_t rec = SIZE_MAX;      // observation record index (observe_)
+    double wall_start = 0.0;         // threaded + observe_ only
+    double wall_finish = 0.0;
   };
 
   struct ReadyEntry {
@@ -132,6 +181,17 @@ class TaskGraph {
   void collect_deps(const std::vector<Key>& reads,
                     const std::vector<Key>& writes, TaskId self,
                     std::vector<TaskId>& deps) const;
+  // Appends an observation record chained through `deps` (task records)
+  // and the host-chain entries of the touched keys. Host-thread only.
+  std::size_t append_record(const char* name, std::uint64_t tag,
+                            double weight, const std::vector<TaskId>& deps,
+                            const std::vector<Key>& reads,
+                            const std::vector<Key>& writes, bool host);
+  double wall_now() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
 
   unsigned threads_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
@@ -141,6 +201,19 @@ class TaskGraph {
   std::unordered_map<Key, std::vector<TaskId>> readers_;  // since last write
 
   Stats stats_;
+
+  // Observation state (set_observe). records_ / host_chain_ are touched
+  // only by the host thread; workers write wall times into their Task
+  // under mu_ and records() merges them afterwards. host_chain_ maps a key
+  // to the record index of the heaviest chain the host absorbed for it
+  // (host_acquire stashes the erased writers' chains there, note_host_work
+  // extends them), so chains survive the key-history erasure at host syncs.
+  bool observe_ = false;
+  std::vector<TaskRecord> records_;
+  std::vector<std::size_t> record_task_;  // record -> task id (SIZE_MAX: host)
+  std::unordered_map<Key, std::size_t> host_chain_;  // key -> record index
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 
   // Task state shared with workers. cv_done_ is only signalled when the
   // single host thread is actually blocked on the completing task

@@ -249,6 +249,53 @@ TEST(ChromeTrace, EndToEndOutputIsStructurallySound) {
 
 // ----------------------------------------------------- utilization table
 
+TEST(Utilization, EmptyTraceYieldsZeroUtilizationNotNan) {
+  // A run that produced no events still summarizes: every lane is fully
+  // idle, the scalars are well-defined zeros (no 0/0 anywhere).
+  const TraceSummary sum = summarize_trace({}, 3, 0.0);
+  EXPECT_DOUBLE_EQ(sum.makespan, 0.0);
+  ASSERT_EQ(sum.procs.size(), 3u);
+  for (const ProcCounters& pc : sum.procs) {
+    EXPECT_DOUBLE_EQ(pc.busy_time, 0.0);
+    EXPECT_DOUBLE_EQ(pc.idle_time, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(min_utilization(sum), 0.0);
+  EXPECT_DOUBLE_EQ(mean_idle_fraction(sum), 0.0);
+  std::ostringstream os;
+  utilization_table(sum, {}).print(os);  // must not divide by zero
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Utilization, ZeroDurationSpansCountAsWorkButNotAsBusyTime) {
+  // Degenerate spans (e.g. a zero-cost phase on a free network) keep their
+  // category accounting but contribute nothing to the busy-time union.
+  MemoryTraceSink sink;
+  trace_span(&sink, TraceEventKind::kComputeBlock, 0, 1.0, 0.0, 0, "u");
+  trace_span(&sink, TraceEventKind::kSend, 0, 1.0, 0.0, 0, "send", 2.0, 1);
+  trace_span(&sink, TraceEventKind::kComputeBlock, 0, 2.0, 1.0, 0, "u");
+  const TraceSummary sum = summarize_trace(sink.events(), 2, 4.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].compute_time, 1.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].comm_time, 0.0);
+  EXPECT_DOUBLE_EQ(sum.procs[0].busy_time, 1.0);  // only the real span
+  EXPECT_DOUBLE_EQ(sum.procs[0].idle_time, 3.0);
+  EXPECT_EQ(sum.procs[0].messages_sent, 1u);
+  EXPECT_DOUBLE_EQ(sum.procs[0].blocks_sent, 2.0);
+}
+
+TEST(Utilization, SingleProcessorRunIsFullyUtilizedAndHasNoComm) {
+  // 1x1 grid: no broadcasts, one lane, utilization exactly busy/makespan.
+  const CycleTimeGrid g(1, 1, {2.0});
+  const PanelDistribution d = PanelDistribution::block_cyclic(1, 1);
+  MemoryTraceSink sink;
+  const SimReport rep = simulate_lu(machine_of(g, NetworkModel::free()), d, 6,
+                                    KernelCosts{}, &sink);
+  EXPECT_DOUBLE_EQ(rep.comm_time, 0.0);
+  const TraceSummary sum = summarize_trace(sink.events(), 1, rep.total_time);
+  EXPECT_NEAR(min_utilization(sum), 1.0, 1e-12);
+  EXPECT_NEAR(mean_idle_fraction(sum), 0.0, 1e-12);
+  EXPECT_NEAR(sum.procs[0].busy_time, rep.total_time, 1e-9);
+}
+
 TEST(Utilization, TableAndScalarsAgreeWithTheSummary) {
   MemoryTraceSink sink;
   trace_span(&sink, TraceEventKind::kComputeBlock, 0, 0.0, 4.0, 0, "u");

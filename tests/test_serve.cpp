@@ -13,6 +13,7 @@
 
 #include "core/arrangement.hpp"
 #include "core/heuristic.hpp"
+#include "obs/imbalance.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
@@ -510,6 +511,193 @@ TEST(Server, TcpRoundTripMatchesLoopback) {
 
   server.shutdown();
   acceptor.join();
+}
+
+// ---------------------------------------------------------------------------
+// kStats introspection (appended in-place within protocol version 1).
+
+TEST(Protocol, StatsRequestIsHeaderOnly) {
+  const std::vector<std::uint8_t> req = encode_stats_request();
+  EXPECT_EQ(req.size(), 8u);  // magic + version + type + reserved, no body
+  const Decoded d = decode_payload(req);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.type, MsgType::kStatsRequest);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  StatsReply stats;
+  stats.cache_entries = 1234567;
+  stats.cache_shards = 16;
+  stats.drift_events = 3;
+  stats.metrics_json = "{\"counters\":{\"serve.requests\":7}}";
+  StatsReply::Estimate e;
+  e.proc = 11;
+  e.op = 2;  // ObsOp::kUpdate
+  e.samples = 42;
+  e.estimate = 1.0 / 3.0;  // not exactly representable: bitwise transport
+  e.units = 96.5;
+  stats.estimates.push_back(e);
+  e.proc = 12;
+  e.op = 0;
+  e.samples = 1;
+  e.estimate = 2.5;
+  e.units = 0.125;
+  stats.estimates.push_back(e);
+
+  const Decoded d = decode_payload(encode_stats(stats));
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kStatsResponse);
+  EXPECT_EQ(d.stats.cache_entries, stats.cache_entries);
+  EXPECT_EQ(d.stats.cache_shards, stats.cache_shards);
+  EXPECT_EQ(d.stats.drift_events, stats.drift_events);
+  EXPECT_EQ(d.stats.metrics_json, stats.metrics_json);
+  ASSERT_EQ(d.stats.estimates.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(d.stats.estimates[i].proc, stats.estimates[i].proc);
+    EXPECT_EQ(d.stats.estimates[i].op, stats.estimates[i].op);
+    EXPECT_EQ(d.stats.estimates[i].samples, stats.estimates[i].samples);
+    EXPECT_EQ(d.stats.estimates[i].estimate, stats.estimates[i].estimate);
+    EXPECT_EQ(d.stats.estimates[i].units, stats.estimates[i].units);
+  }
+}
+
+TEST(Protocol, StatsTruncationAndCapViolationsAreFramingErrors) {
+  StatsReply stats;
+  stats.metrics_json = "{}";
+  stats.estimates.resize(2);
+  const std::vector<std::uint8_t> good = encode_stats(stats);
+  ASSERT_TRUE(decode_payload(good).ok());
+
+  // Any prefix that cuts the body is a framing error, never a crash.
+  for (std::size_t len = 8; len < good.size(); ++len)
+    EXPECT_EQ(decode_payload(good.data(), len).parse_error,
+              WireError::kBadFrame)
+        << "prefix " << len;
+
+  // Body layout: cache_entries[8..15] shards[16..19] drift[20..23]
+  // metrics_len[24..27]. A declared length over the cap is rejected even
+  // if the frame claimed to be long enough.
+  std::vector<std::uint8_t> big = good;
+  const std::uint32_t huge = kMaxStatsMetricsBytes + 1;
+  big[24] = static_cast<std::uint8_t>(huge);
+  big[25] = static_cast<std::uint8_t>(huge >> 8);
+  big[26] = static_cast<std::uint8_t>(huge >> 16);
+  big[27] = static_cast<std::uint8_t>(huge >> 24);
+  EXPECT_EQ(decode_payload(big).parse_error, WireError::kBadFrame);
+
+  // Estimate-count word right after the 2-byte metrics JSON.
+  std::vector<std::uint8_t> many = good;
+  const std::size_t count_at = 28 + stats.metrics_json.size();
+  const std::uint32_t over = kMaxStatsEstimates + 1;
+  many[count_at] = static_cast<std::uint8_t>(over);
+  many[count_at + 1] = static_cast<std::uint8_t>(over >> 8);
+  many[count_at + 2] = static_cast<std::uint8_t>(over >> 16);
+  many[count_at + 3] = static_cast<std::uint8_t>(over >> 24);
+  EXPECT_EQ(decode_payload(many).parse_error, WireError::kBadFrame);
+
+  // Oversized inputs are refused at encode time, before they hit the wire.
+  StatsReply too_big;
+  too_big.metrics_json.assign(kMaxStatsMetricsBytes + 1, 'x');
+  EXPECT_THROW(encode_stats(too_big), std::exception);
+}
+
+TEST(Server, StatsSnapshotReflectsCacheMetricsAndEstimator) {
+  PlacementServer server;
+
+  // No registries installed: the reply is well-formed with empty fields.
+  {
+    const Decoded d = decode_payload(
+        server.handle_payload(encode_stats_request()));
+    ASSERT_TRUE(d.ok());
+    ASSERT_EQ(d.type, MsgType::kStatsResponse);
+    EXPECT_EQ(d.stats.cache_entries, 0u);
+    EXPECT_EQ(d.stats.metrics_json, "");
+    EXPECT_TRUE(d.stats.estimates.empty());
+    EXPECT_EQ(d.stats.drift_events, 0u);
+  }
+
+  MetricsRegistry metrics;
+  MetricsRegistry* prev_metrics = install_metrics(&metrics);
+  RunObservation obs;
+  obs.estimator.sample(5, ObsOp::kPanel, 2.0, 3.0, 0);
+  obs.estimator.sample(5, ObsOp::kPanel, 2.0, 3.0, 1);
+  RunObservation* prev_obs = install_observation(&obs);
+
+  server.place(make_request(2, 2, {1, 2, 3, 6}));  // populate the cache
+  const Decoded d =
+      decode_payload(server.handle_payload(encode_stats_request()));
+
+  install_observation(prev_obs);
+  install_metrics(prev_metrics);
+
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.type, MsgType::kStatsResponse);
+  EXPECT_EQ(d.stats.cache_entries, server.cache().size());
+  EXPECT_EQ(d.stats.cache_shards, server.cache().shard_count());
+  EXPECT_NE(d.stats.metrics_json.find("serve."), std::string::npos);
+  ASSERT_EQ(d.stats.estimates.size(), 1u);
+  EXPECT_EQ(d.stats.estimates[0].proc, 5u);
+  EXPECT_EQ(d.stats.estimates[0].op,
+            static_cast<std::uint8_t>(ObsOp::kPanel));
+  EXPECT_EQ(d.stats.estimates[0].samples, 2u);
+  EXPECT_EQ(d.stats.estimates[0].estimate, 1.5);
+  EXPECT_EQ(d.stats.estimates[0].units, 4.0);
+  EXPECT_EQ(d.stats.drift_events, 0u);
+  EXPECT_EQ(metrics.counter("serve.stats").value(), 1u);
+}
+
+TEST(Server, StatsVersionNegotiationStaysTyped) {
+  PlacementServer server;
+  // A future-version stats request is rejected exactly like any other
+  // future-version frame (version word at bytes 4..5).
+  std::vector<std::uint8_t> future = encode_stats_request();
+  future[4] = 99;
+  const Decoded bad_version =
+      decode_payload(server.handle_payload(future));
+  ASSERT_TRUE(bad_version.ok());
+  ASSERT_EQ(bad_version.type, MsgType::kError);
+  EXPECT_EQ(bad_version.error.code, WireError::kBadVersion);
+
+  // What a pre-kStats server answers: its decoder never knew type 4, so
+  // the client reads kBadType as "no stats support", not a failure.
+  std::vector<std::uint8_t> unknown_type = encode_stats_request();
+  unknown_type[6] = 42;
+  const Decoded bad_type =
+      decode_payload(server.handle_payload(unknown_type));
+  ASSERT_TRUE(bad_type.ok());
+  ASSERT_EQ(bad_type.type, MsgType::kError);
+  EXPECT_EQ(bad_type.error.code, WireError::kBadType);
+}
+
+TEST(Server, StatsSocketRoundTrip) {
+  const std::string path = "test_serve_stats.sock";
+  PlacementServer server;
+  const int listen_fd = listen_unix(path);
+  std::thread acceptor([&] { server.serve_fd(listen_fd); });
+
+  Endpoint ep;
+  ep.unix_path = path;
+  // Mixed traffic on one connection: placement, then introspection.
+  const int fd = connect_endpoint(ep);
+  const Decoded placed = query_fd(fd, make_request(2, 2, {1, 2, 3, 6}));
+  ASSERT_TRUE(placed.ok());
+  ASSERT_EQ(placed.type, MsgType::kResponse);
+  const Decoded stats = query_stats_fd(fd);
+  ::close(fd);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.type, MsgType::kStatsResponse);
+  EXPECT_EQ(stats.stats.cache_entries, 1u);
+  EXPECT_EQ(stats.stats.cache_shards, server.cache().shard_count());
+
+  // The one-shot convenience wrapper sees the same snapshot.
+  const Decoded again = query_stats(ep);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.type, MsgType::kStatsResponse);
+  EXPECT_EQ(again.stats.cache_entries, 1u);
+
+  server.shutdown();
+  acceptor.join();
+  std::remove(path.c_str());
 }
 
 TEST(Server, UnixSocketRoundTrip) {

@@ -341,6 +341,95 @@ TEST(MpDag, QrBitIdenticalToBarrier) {
     expect_same_run(barrier, run_qr(machine, dist, Scheduler::kDag, t));
 }
 
+// ---------------------------------------------------------------------------
+// Observation records (set_observe): weighted critical-path chains.
+
+TEST(TaskGraphRecords, OffByDefaultAndFreeOfBookkeeping) {
+  TaskGraph g(1);
+  g.add("a", {}, {1}, [] {}, 0, {}, 2.0, 7);
+  g.add("b", {1}, {}, [] {}, 0, {}, 3.0, 8);
+  g.wait_all();
+  EXPECT_FALSE(g.observing());
+  EXPECT_TRUE(g.records().empty());
+}
+
+TEST(TaskGraphRecords, ChainCostTracksTheHeaviestDependencyChain) {
+  TaskGraph g(1);
+  g.set_observe(true);
+  // Diamond: c reads both a's and b's keys; its chain must extend b (the
+  // heavier branch), not a.
+  g.add("a", {}, {1}, [] {}, 0, {}, 2.0, 0);
+  g.add("b", {}, {2}, [] {}, 0, {}, 5.0, 1);
+  g.add("c", {1, 2}, {3}, [] {}, 0, {}, 1.0, 0);
+  g.wait_all();
+  const std::vector<TaskRecord> recs = g.records();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].chain_pred, -1);  // chain heads
+  EXPECT_EQ(recs[1].chain_pred, -1);
+  EXPECT_DOUBLE_EQ(recs[0].chain_cost, 2.0);
+  EXPECT_DOUBLE_EQ(recs[1].chain_cost, 5.0);
+  EXPECT_DOUBLE_EQ(recs[2].chain_cost, 6.0);  // through b
+  EXPECT_EQ(recs[2].chain_pred, 1);
+  EXPECT_STREQ(recs[2].name, "c");
+  EXPECT_EQ(recs[0].tag, 0u);
+  EXPECT_EQ(recs[1].tag, 1u);
+  EXPECT_FALSE(recs[2].host);
+}
+
+TEST(TaskGraphRecords, NoteHostWorkBridgesAHostAcquire) {
+  // The MP runtime's panel pattern: a task writes the diagonal block, the
+  // host acquires it (erasing the key history), factors the panel inline,
+  // notes that work, and later tasks that read the block must chain
+  // through the host record back to the original writer.
+  TaskGraph g(1);
+  g.set_observe(true);
+  g.add("update", {}, {42}, [] {}, 0, {}, 3.0, 0);
+  g.host_acquire({}, {42});
+  g.note_host_work({42}, 2.0, "panel", 9);
+  g.add("solve", {42}, {43}, [] {}, 0, {}, 4.0, 1);
+  g.wait_all();
+  const std::vector<TaskRecord> recs = g.records();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_TRUE(recs[1].host);
+  EXPECT_EQ(recs[1].tag, 9u);
+  EXPECT_DOUBLE_EQ(recs[1].chain_cost, 5.0);  // writer (3) + panel (2)
+  EXPECT_EQ(recs[1].chain_pred, 0);
+  EXPECT_DOUBLE_EQ(recs[2].chain_cost, 9.0);  // ... + solve (4)
+  EXPECT_EQ(recs[2].chain_pred, 1);
+}
+
+TEST(TaskGraphRecords, ChainsAndStatsAreThreadCountInvariant) {
+  // The deterministic fields (weights, chain costs, predecessors) must not
+  // depend on worker timing; only the wall-clock spans may differ, and
+  // they are only stamped by the threaded scheduler.
+  auto build = [](unsigned threads) {
+    TaskGraph g(threads);
+    g.set_observe(true);
+    for (int i = 0; i < 16; ++i)
+      g.add("w", {}, {static_cast<TaskGraph::Key>(i % 4)}, [] {}, 0, {},
+            1.0 + i, static_cast<std::uint64_t>(i % 3));
+    g.wait_all();
+    return g.records();
+  };
+  const std::vector<TaskRecord> serial = build(1);
+  ASSERT_EQ(serial.size(), 16u);
+  for (const TaskRecord& r : serial) {  // serial mode: no wall stamps
+    EXPECT_EQ(r.wall_start, 0.0);
+    EXPECT_EQ(r.wall_finish, 0.0);
+  }
+  for (unsigned threads : {2u, 5u}) {
+    const std::vector<TaskRecord> recs = build(threads);
+    ASSERT_EQ(recs.size(), serial.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_EQ(recs[i].weight, serial[i].weight);
+      EXPECT_EQ(recs[i].chain_cost, serial[i].chain_cost);
+      EXPECT_EQ(recs[i].chain_pred, serial[i].chain_pred);
+      EXPECT_EQ(recs[i].tag, serial[i].tag);
+      EXPECT_GE(recs[i].wall_finish, recs[i].wall_start);
+    }
+  }
+}
+
 TEST(MpDag, BarrierSchedulerUnaffectedByThreads) {
   // Sanity: the barrier reference itself stays bit-identical across thread
   // counts (the PR 3 contract still holds with the shared op-emission

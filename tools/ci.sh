@@ -151,6 +151,12 @@ done
 # byte-stable, and worker lanes must appear in the profile.
 build-ci/tools/hetgrid profile --smoke=1 --out=build-ci/profile_smoke.json
 
+# Imbalance-observatory smoke: a watched LU run must be bit-identical to a
+# plain one, the cycle-time estimator must recover a planted 2x-slow
+# processor, the drift detector must fire exactly once for it, and the
+# imbalance JSON must be byte-stable across thread counts (doc/observability.md).
+build-ci/tools/hetgrid observe --smoke=1
+
 # MP QR trace smoke: the distributed QR path produces a non-empty trace.
 build-ci/tools/hetgrid trace --times=1,2,3,6 --p=2 --q=2 --kernel=qr \
       --backend=mp --nb=4 --block=4 \
@@ -171,6 +177,6 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$NPROC" \
-      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph test_serve
+      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph test_serve test_imbalance
 ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
-      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph|test_serve)$'
+      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph|test_serve|test_imbalance)$'

@@ -28,6 +28,14 @@
 //             the wall-clock profiler and metrics registry; --smoke runs
 //             the determinism self-checks instead (bit-identical results
 //             with the profiler attached, byte-stable metrics snapshots).
+//   observe   --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol [--nb=8]
+//             [--backend=sim|mp] [--block=4] [--threads=1]
+//             [--scheduler=barrier|dag] [--json] [--out=imbalance.json]
+//             run one kernel under the cycle-time estimator and print the
+//             load-imbalance report: makespan vs the paper's lower bound,
+//             per-processor busy/idle/slack, critical-path attribution
+//             (dag scheduler), estimated vs true t_ij, and drift events.
+//             --smoke=1 runs the observatory self-check instead.
 //   serve     [--port=0 | --unix=path] [--threads=2] [--no-refine]
 //             run the placement server (doc/server.md): length-prefixed
 //             binary requests over TCP or a unix socket, answered through
@@ -37,9 +45,11 @@
 //             bit-identical to a direct solver call and the warm phase
 //             must hit the cache).
 //   query     --times=1,2,3,6 --p=2 --q=2 [--port=7070 | --unix=path]
-//             [--mode=auto|exact|heuristic] [--deadline-us=0]
+//             [--mode=auto|exact|heuristic] [--deadline-us=0] [--stats]
 //             send one placement request to a running server and print
 //             the arrangement, shares, and cache/solver provenance.
+//             --stats instead asks for the server's kStats introspection
+//             snapshot: cache occupancy, metrics JSON, estimator lanes.
 //
 // solve and trace also take [--profile=prof.json] [--metrics=metrics.json]
 // to attach the wall-clock profiler / metrics registry to that run.
@@ -49,6 +59,7 @@
 #include <chrono>
 #include <csignal>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -89,31 +100,50 @@ void print_allocation(const CycleTimeGrid& grid, const GridAllocation& alloc,
 // Attaches the wall-clock profiler and/or a metrics registry to the scope
 // between begin() and end(); either path may be empty (that side is then a
 // no-op and the run is indistinguishable from an uninstrumented one).
+// A profiled scope always collects metrics so the hotspot table can carry
+// the machinery counters in its footer; the snapshot is written to disk
+// only when a --metrics path was given.
 struct ProfileSession {
   std::string profile_path, metrics_path;
   Profiler profiler;
   MetricsRegistry metrics;
+  MetricsRegistry* prev_metrics = nullptr;
+  bool metrics_installed = false;
 
   ProfileSession(std::string profile, std::string metric_out)
       : profile_path(std::move(profile)), metrics_path(std::move(metric_out)) {}
 
   void begin() {
-    if (!metrics_path.empty()) install_metrics(&metrics);
+    if (!metrics_path.empty() || !profile_path.empty()) {
+      prev_metrics = install_metrics(&metrics);
+      metrics_installed = true;
+    }
     if (!profile_path.empty()) profiler.start();
   }
 
   void end(std::ostream& os) {
+    if (metrics_installed) install_metrics(prev_metrics);
     if (!profile_path.empty()) {
       profiler.stop();
       std::ofstream f(profile_path);
       HG_CHECK(f.good(), "cannot open --profile file: " << profile_path);
       profiler.write_chrome(f);
       profiler.hotspot_table().print(os);
+      // Footer: the run's machinery counters, so one glance links hotspot
+      // time to scheduler and cache behavior (doc/observability.md).
+      os << "run counters: pool.steals="
+         << metrics.counter("pool.steals").value()
+         << " gemm.pack_hits=" << metrics.counter("gemm.pack_hits").value()
+         << " gemm.pack_misses="
+         << metrics.counter("gemm.pack_misses").value()
+         << " gemm.pack_evictions="
+         << metrics.counter("gemm.pack_evictions").value()
+         << " block_store.pool_evictions="
+         << metrics.counter("block_store.pool_evictions").value() << '\n';
       os << "wrote " << profiler.lanes() << "-lane profile to "
          << profile_path << '\n';
     }
     if (!metrics_path.empty()) {
-      install_metrics(nullptr);
       std::ofstream f(metrics_path);
       HG_CHECK(f.good(), "cannot open --metrics file: " << metrics_path);
       metrics.write_json(f);
@@ -588,6 +618,212 @@ int cmd_profile(int argc, const char* const* argv) {
 }
 
 // ---------------------------------------------------------------------------
+// observe: the load-imbalance observatory (doc/observability.md).
+
+// One mp kernel run shaped like the trace path's: real block math on an
+// n = nb * block matrix with deterministic inputs from Rng(7). Returns the
+// report plus the output matrix so the smoke can compare runs bit for bit.
+struct ObserveMpRun {
+  MpReport rep;
+  Matrix out;
+};
+
+ObserveMpRun observe_mp_run(const std::string& kernel, const Machine& machine,
+                            const Distribution2D& dist, std::size_t nb,
+                            std::size_t block,
+                            const RuntimeOptions& run_opts) {
+  const std::size_t n = nb * block;
+  const KernelCosts costs;
+  Rng rng(7);
+  ObserveMpRun run;
+  if (kernel == "mmm") {
+    Matrix a(n, n), b(n, n);
+    fill_random(a.view(), rng);
+    fill_random(b.view(), rng);
+    run.out = Matrix(n, n);
+    run.rep = run_mp_mmm(machine, dist, a.view(), b.view(), run.out.view(),
+                         block, costs, nullptr, run_opts);
+  } else if (kernel == "lu") {
+    run.out = Matrix(n, n);
+    fill_diagonally_dominant(run.out.view(), rng);
+    run.rep = run_mp_lu(machine, dist, run.out.view(), block, costs, false,
+                        nullptr, run_opts);
+  } else if (kernel == "chol") {
+    run.out = Matrix(n, n);
+    fill_spd(run.out.view(), rng);
+    run.rep = run_mp_cholesky(machine, dist, run.out.view(), block, costs,
+                              nullptr, run_opts);
+  } else if (kernel == "qr") {
+    run.out = Matrix(n, n);
+    fill_random(run.out.view(), rng);
+    run.rep = run_mp_qr(machine, dist, run.out.view(), block, costs, nullptr,
+                        run_opts);
+  } else {
+    HG_CHECK(false,
+             "observe supports --kernel=mmm|lu|chol|qr, got " << kernel);
+  }
+  return run;
+}
+
+std::string imbalance_json(const ImbalanceReport& rep) {
+  std::ostringstream oss;
+  write_imbalance_json(oss, rep);
+  return oss.str();
+}
+
+// The observatory's self-check behind `hetgrid observe --smoke`
+// (tools/ci.sh): on a 2x2 grid with one planted 2x-slow processor, (1)
+// observing a run leaves every computed result bit-identical for all four
+// kernels under the dag scheduler, the estimator recovers the planted
+// t_ij within 5% (exactly, on virtual time), and the critical path is
+// attributed; (2) the JSON report is byte-for-byte stable across thread
+// counts.
+int observe_smoke() {
+  const std::vector<double> pool{1.0, 1.0, 1.0, 2.0};  // one 2x-slow lane
+  const std::size_t p = 2, q = 2, nb = 4, block = 4;
+  StrategyChoice choice = build_strategy("block-cyclic", p, q, pool, 8);
+  const Machine machine{choice.grid, parse_network_flag("switched")};
+  const Distribution2D& dist = *choice.dist;
+
+  for (const char* kernel : {"mmm", "lu", "chol", "qr"}) {
+    RuntimeOptions ro;
+    ro.threads = 2;
+    ro.scheduler = RuntimeOptions::Scheduler::kDag;
+    const ObserveMpRun plain =
+        observe_mp_run(kernel, machine, dist, nb, block, ro);
+    RunObservation obs;
+    RunObservation* prev = install_observation(&obs);
+    const ObserveMpRun watched =
+        observe_mp_run(kernel, machine, dist, nb, block, ro);
+    install_observation(prev);
+    HG_CHECK(same_bits(watched.out, plain.out) &&
+                 watched.rep.makespan == plain.rep.makespan,
+             "observed " << kernel << " run changed a computed result");
+    const ImbalanceReport report = build_imbalance_report(
+        obs, watched.rep.busy, watched.rep.clock, &machine.grid, q);
+    HG_CHECK(!report.estimates.empty() && report.critical_path_tasks > 0,
+             "observed " << kernel
+                         << " produced no estimates or no critical path");
+    for (const EstimateRow& e : report.estimates)
+      HG_CHECK(e.has_true && e.rel_err <= 0.05,
+               "estimated t_ij off by more than 5% on " << kernel);
+  }
+
+  std::string first;
+  for (unsigned threads : {1u, 2u, 7u}) {
+    RuntimeOptions ro;
+    ro.threads = threads;
+    ro.scheduler = RuntimeOptions::Scheduler::kDag;
+    RunObservation obs;
+    RunObservation* prev = install_observation(&obs);
+    const ObserveMpRun run =
+        observe_mp_run("lu", machine, dist, nb, block, ro);
+    install_observation(prev);
+    const std::string json = imbalance_json(build_imbalance_report(
+        obs, run.rep.busy, run.rep.clock, &machine.grid, q));
+    if (first.empty())
+      first = json;
+    else
+      HG_CHECK(json == first, "observe JSON differs between thread counts");
+  }
+
+  std::cout << "observe smoke: 4 kernels bit-identical under observation, "
+               "estimates within 5% of planted t_ij, JSON byte-stable "
+               "across threads {1,2,7}\n";
+  return 0;
+}
+
+int run_observe(const Cli& cli) {
+  const std::vector<double> pool = parse_times(cli.get_string("times"));
+  const auto p = static_cast<std::size_t>(cli.get_int("p"));
+  const auto q = static_cast<std::size_t>(cli.get_int("q"));
+  HG_CHECK(p * q == pool.size(),
+           "--p * --q must equal the number of cycle-times");
+  const auto nb = static_cast<std::size_t>(cli.get_int("nb"));
+  const auto scale = static_cast<std::size_t>(cli.get_int("scale"));
+  const auto block = static_cast<std::size_t>(cli.get_int("block"));
+  const std::string backend = cli.get_string("backend");
+  const std::string kernel = cli.get_string("kernel");
+  const long long threads = cli.get_int("threads");
+  HG_CHECK(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  RuntimeOptions run_opts;
+  run_opts.threads = static_cast<unsigned>(threads);
+  const std::string scheduler = cli.get_string("scheduler");
+  if (scheduler == "dag")
+    run_opts.scheduler = RuntimeOptions::Scheduler::kDag;
+  else
+    HG_CHECK(scheduler == "barrier",
+             "--scheduler must be barrier or dag, got " << scheduler);
+
+  StrategyChoice choice =
+      build_strategy(cli.get_string("strategy"), p, q, pool, scale);
+  const Machine machine{choice.grid, parse_network_flag(
+                                         cli.get_string("network"))};
+  const Distribution2D& dist = *choice.dist;
+
+  RunObservation obs;
+  RunObservation* prev = install_observation(&obs);
+  std::vector<double> busy, finish;
+  if (backend == "sim") {
+    const KernelCosts costs;
+    SimReport rep;
+    if (kernel == "mmm")
+      rep = simulate_mmm(machine, dist, nb, costs, nullptr);
+    else if (kernel == "lu")
+      rep = simulate_lu(machine, dist, nb, costs, nullptr);
+    else if (kernel == "qr")
+      rep = simulate_qr(machine, dist, nb, costs, nullptr);
+    else if (kernel == "chol")
+      rep = simulate_cholesky(machine, dist, nb, costs, nullptr);
+    else {
+      install_observation(prev);
+      HG_CHECK(false, "unknown --kernel: " << kernel);
+    }
+    busy = rep.busy;
+    // Bulk-synchronous simulation: every lane holds its data until the
+    // run's end, so the finish clock is the total time on each lane.
+    finish.assign(busy.size(), rep.total_time);
+  } else if (backend == "mp") {
+    const ObserveMpRun run =
+        observe_mp_run(kernel, machine, dist, nb, block, run_opts);
+    busy = run.rep.busy;
+    finish = run.rep.clock;
+  } else {
+    install_observation(prev);
+    HG_CHECK(false, "unknown --backend: " << backend << " (sim|mp)");
+  }
+  install_observation(prev);
+
+  const ImbalanceReport report =
+      build_imbalance_report(obs, busy, finish, &machine.grid, q);
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    HG_CHECK(os.good(), "cannot open --out file: " << out_path);
+    write_imbalance_json(os, report);
+  }
+  if (cli.get_bool("json"))
+    write_imbalance_json(std::cout, report);
+  else
+    print_imbalance(std::cout, report);
+  if (!out_path.empty())
+    std::cout << "wrote imbalance report to " << out_path << '\n';
+  return 0;
+}
+
+int cmd_observe(int argc, const char* const* argv) {
+  const Cli cli(argc, argv,
+                {{"times", ""}, {"p", "0"}, {"q", "0"},
+                 {"kernel", "lu"}, {"nb", "8"}, {"backend", "mp"},
+                 {"network", "switched"}, {"strategy", "heuristic"},
+                 {"scale", "8"}, {"block", "4"}, {"threads", "1"},
+                 {"scheduler", "dag"}, {"out", ""}, {"json", "0"},
+                 {"smoke", "0"}});
+  if (cli.get_bool("smoke")) return observe_smoke();
+  return run_observe(cli);
+}
+
+// ---------------------------------------------------------------------------
 // serve / query: the placement service (doc/server.md).
 
 // One distinct workload of the serve smoke: a grid shape, a pool of
@@ -743,6 +979,33 @@ int serve_smoke(unsigned clients, unsigned requests, std::uint64_t seed,
   const std::uint64_t cold_hits = metrics.counter("serve.cache.hits").value();
   run_phase(/*bit_identity=*/false);
   server.drain();
+
+  // kStats round trip over the same framed path the clients used: the
+  // introspection reply must decode, report the real cache occupancy, and
+  // carry the installed observation's estimator lanes bit for bit
+  // (doc/server.md "Introspection").
+  {
+    RunObservation obs;
+    obs.estimator.sample(3, ObsOp::kUpdate, 4.0, 2.0, 0);
+    obs.estimator.sample(3, ObsOp::kUpdate, 4.0, 2.0, 1);
+    RunObservation* prev_obs = install_observation(&obs);
+    const std::vector<std::uint8_t> reply =
+        server.handle_payload(serve::encode_stats_request());
+    install_observation(prev_obs);
+    const serve::Decoded d = serve::decode_payload(reply);
+    HG_CHECK(d.ok() && d.type == serve::MsgType::kStatsResponse,
+             "serve smoke: stats request did not round-trip");
+    HG_CHECK(d.stats.cache_entries == server.cache().size() &&
+                 d.stats.cache_shards == server.cache().shard_count(),
+             "serve smoke: stats cache occupancy mismatch");
+    HG_CHECK(!d.stats.metrics_json.empty(),
+             "serve smoke: stats carried no metrics snapshot");
+    HG_CHECK(d.stats.estimates.size() == 1 &&
+                 d.stats.estimates[0].proc == 3 &&
+                 d.stats.estimates[0].estimate == 0.5 &&
+                 d.stats.estimates[0].samples == 2,
+             "serve smoke: estimator lane did not survive the wire");
+  }
   install_metrics(prev);
 
   for (const std::string& err : errors)
@@ -760,7 +1023,8 @@ int serve_smoke(unsigned clients, unsigned requests, std::uint64_t seed,
             << " requests over " << cases.size()
             << " workloads: all responses bit-identical to direct solver "
                "calls; cache hits "
-            << hits << ", misses " << misses << '\n';
+            << hits << ", misses " << misses
+            << "; kStats round trip ok\n";
   return 0;
 }
 
@@ -804,6 +1068,11 @@ int cmd_serve(int argc, const char* const* argv) {
             std::to_string(threads)) << " worker thread(s)); Ctrl-C stops\n"
             << std::flush;
 
+  // A live server keeps a metrics registry installed so `hetgrid query
+  // --stats` sees the serve.* counters and latency histograms in its
+  // kStats snapshot.
+  MetricsRegistry metrics;
+  MetricsRegistry* prev = install_metrics(&metrics);
   serve::PlacementServer server(opts);
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -812,8 +1081,42 @@ int cmd_serve(int argc, const char* const* argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   server.shutdown();
   acceptor.join();
+  install_metrics(prev);
   std::cout << "drained; " << server.cache().size()
             << " cached solution(s)\n";
+  return 0;
+}
+
+// `hetgrid query --stats`: prints a live server's introspection snapshot —
+// cache occupancy, metrics registry JSON, and the estimator lane table.
+int query_stats_report(const serve::Endpoint& ep) {
+  const serve::Decoded d = serve::query_stats(ep);
+  HG_CHECK(d.ok(), "malformed reply: " << serve::wire_error_name(d.parse_error));
+  if (d.type == serve::MsgType::kError) {
+    std::cerr << "server error: " << serve::wire_error_name(d.error.code)
+              << (d.error.code == serve::WireError::kBadType
+                      ? " (server predates kStats)"
+                      : "")
+              << '\n';
+    return 1;
+  }
+  HG_CHECK(d.type == serve::MsgType::kStatsResponse,
+           "reply is not a stats response");
+  const serve::StatsReply& s = d.stats;
+  std::cout << "cache: " << s.cache_entries << " entr"
+            << (s.cache_entries == 1 ? "y" : "ies") << " across "
+            << s.cache_shards << " shard(s)\n";
+  std::cout << "drift events: " << s.drift_events << '\n';
+  if (!s.estimates.empty()) {
+    std::cout << "proc  op       est t_ij     units  samples\n";
+    for (const serve::StatsReply::Estimate& e : s.estimates)
+      std::cout << std::setw(4) << e.proc << "  " << std::left << std::setw(7)
+                << obs_op_name(static_cast<ObsOp>(e.op)) << std::right
+                << std::setw(11) << format_compact(e.estimate)
+                << std::setw(10) << format_compact(e.units) << std::setw(9)
+                << e.samples << '\n';
+  }
+  if (!s.metrics_json.empty()) std::cout << s.metrics_json << '\n';
   return 0;
 }
 
@@ -821,7 +1124,15 @@ int cmd_query(int argc, const char* const* argv) {
   const Cli cli(argc, argv,
                 {{"times", ""}, {"p", "0"}, {"q", "0"}, {"port", "0"},
                  {"unix", ""}, {"mode", "auto"}, {"deadline-us", "0"},
-                 {"csv", "0"}});
+                 {"stats", "0"}, {"csv", "0"}});
+  if (cli.get_bool("stats")) {
+    serve::Endpoint ep;
+    ep.unix_path = cli.get_string("unix");
+    ep.port = static_cast<std::uint16_t>(cli.get_int("port"));
+    HG_CHECK(!ep.unix_path.empty() || ep.port != 0,
+             "pass --port=N or --unix=path of a running `hetgrid serve`");
+    return query_stats_report(ep);
+  }
   const std::vector<double> pool = parse_times(cli.get_string("times"));
   const auto p = static_cast<std::size_t>(cli.get_int("p"));
   const auto q = static_cast<std::size_t>(cli.get_int("q"));
@@ -884,7 +1195,8 @@ int cmd_query(int argc, const char* const* argv) {
 
 int usage() {
   std::cerr <<
-      "usage: hetgrid <solve|design|panel|simulate|trace|profile|serve|query>"
+      "usage: hetgrid "
+      "<solve|design|panel|simulate|trace|profile|observe|serve|query>"
       " [--flags]\n"
       "  solve    --times=1,2,3,6 --p=2 --q=2 [--solver=heuristic|exact|auto]\n"
       "           [--threads=1] [--max-trees=50000000]\n"
@@ -906,6 +1218,15 @@ int usage() {
       "  profile  --times=1,2,3,4,5,6 --p=2 --q=3 [--out=profile.json]\n"
       "           [--metrics=metrics.json] [--threads=1] [--smoke=0]\n"
       "           (--smoke runs the determinism self-checks instead)\n"
+      "  observe  --times=1,2,3,6 --p=2 --q=2 --kernel=mmm|lu|qr|chol\n"
+      "           [--backend=sim|mp] [--nb=8] [--block=4] [--threads=1]\n"
+      "           [--scheduler=barrier|dag] [--network=...] [--strategy=...]\n"
+      "           [--json] [--out=imbalance.json] [--smoke=0]\n"
+      "           (runs one kernel under the cycle-time estimator and\n"
+      "            prints the imbalance report: makespan vs the paper's\n"
+      "            lower bound, per-processor busy/idle/slack, critical-path\n"
+      "            attribution, and estimated-vs-true t_ij; observation\n"
+      "            never changes computed results — --smoke proves it)\n"
       "  serve    [--port=0 | --unix=path] [--threads=2] [--shards=16]\n"
       "           [--no-refine] [--smoke=0 --clients=4 --requests=32\n"
       "           --seed=42]\n"
@@ -914,6 +1235,8 @@ int usage() {
       "            and the warm mix must hit the cache; see doc/server.md)\n"
       "  query    --times=1,2,3,6 --p=2 --q=2 (--port=N | --unix=path)\n"
       "           [--mode=auto|exact|heuristic] [--deadline-us=0]\n"
+      "           [--stats]  (--stats asks the server for its kStats\n"
+      "            introspection snapshot instead of a placement)\n"
       "  solve and trace also accept --profile=prof.json and\n"
       "  --metrics=metrics.json to instrument that run\n";
   return 2;
@@ -933,6 +1256,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cli::cmd_simulate(argc - 1, argv + 1);
     if (cmd == "trace") return cli::cmd_trace(argc - 1, argv + 1);
     if (cmd == "profile") return cli::cmd_profile(argc - 1, argv + 1);
+    if (cmd == "observe") return cli::cmd_observe(argc - 1, argv + 1);
     if (cmd == "serve") return cli::cmd_serve(argc - 1, argv + 1);
     if (cmd == "query") return cli::cmd_query(argc - 1, argv + 1);
   } catch (const std::exception& e) {
