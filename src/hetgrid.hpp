@@ -27,6 +27,7 @@
 #include "core/heuristic.hpp"         // IWYU pragma: export
 #include "core/local_search.hpp"      // IWYU pragma: export
 #include "core/rank1_solver.hpp"      // IWYU pragma: export
+#include "core/rebalance.hpp"         // IWYU pragma: export
 #include "core/rounding.hpp"          // IWYU pragma: export
 #include "dist/distribution.hpp"      // IWYU pragma: export
 #include "dist/kalinov_lastovetsky.hpp"  // IWYU pragma: export
@@ -51,6 +52,8 @@
 #include "serve/protocol.hpp"         // IWYU pragma: export
 #include "serve/server.hpp"           // IWYU pragma: export
 #include "serve/solution_cache.hpp"   // IWYU pragma: export
+#include "sim/drift.hpp"              // IWYU pragma: export
+#include "sim/dynamic.hpp"            // IWYU pragma: export
 #include "sim/network.hpp"            // IWYU pragma: export
 #include "sim/simulator.hpp"          // IWYU pragma: export
 #include "svd/svd.hpp"                // IWYU pragma: export

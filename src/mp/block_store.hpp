@@ -92,6 +92,16 @@ class BlockStore {
   std::uint64_t version(BlockKey key) const;
   std::uint64_t bump_version(BlockKey key) { return ++versions_[key]; }
 
+  /// Shape-checked block copy: the write half of a block transfer (panel
+  /// broadcast or migration) into an already-resident destination slot.
+  /// Throws PreconditionError on a shape mismatch instead of reading out of
+  /// bounds — a migration that lands on the wrong slot fails loudly.
+  static void copy_block_into(MatrixView dst, ConstMatrixView src) {
+    HG_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols(),
+             "copy_block into a block of different shape");
+    dst.copy_from(src);
+  }
+
   /// Dense 64-bit id for (key, tag-multiplexed) block coordinates — the
   /// PackedPanelCache id for this block slot.
   static std::uint64_t pack_id(BlockKey key) {

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "core/rebalance.hpp"
 #include "matrix/cholesky.hpp"
 #include "matrix/gemm.hpp"
 #include "matrix/lu.hpp"
@@ -94,6 +95,29 @@ struct MpContext {
   RunObservation* obs;
   std::size_t step = 0;
   bool dag;
+  // Online rebalancer state (doc/rebalance.md). When `rebalance` is false
+  // none of it is touched: owner() falls through to the distribution,
+  // cycle_time() skips the trace multiply, and compute() takes no extra
+  // sample — runs are bit-identical to pre-rebalance builds.
+  bool rebalance;
+  RebalanceOptions reb_opts;
+  CycleTimeTrace trace;
+  // The rebalancer's own estimator: always fed (when rebalancing) on the
+  // host thread, independent of any installed RunObservation, so migration
+  // decisions never depend on whether the run is being observed.
+  CycleTimeEstimator reb_est;
+  // Live owner lines: block row bi belongs to grid row row_of[bi], block
+  // column bj to grid column col_of[bj] (factored exactly like an aligned
+  // distribution, which ring sources and reduction roots rely on). A
+  // rebalance rewrites only the trailing entries, so finished panels keep
+  // their owners.
+  std::vector<std::size_t> row_of, col_of;
+  // Physical location of every persistent block, per matrix tag (A/B/C) —
+  // what gather() and the migration source lookup use. owner() covers only
+  // live trailing blocks; loc also remembers where finished blocks stayed.
+  std::vector<std::vector<std::size_t>> loc;
+  std::size_t loc_rows = 0, loc_cols = 0;
+  std::size_t reb_applied = 0, reb_blocks = 0;
   ParallelEngine engine;
   TaskBatch batch;
   // Erases whose block still has in-flight readers/writers; applied once
@@ -114,6 +138,9 @@ struct MpContext {
         net(p * q, m.net, s), store(p * q), clock(p * q, 0.0),
         busy(p * q, 0.0), sink(s), obs(installed_observation()),
         dag(opts.scheduler == RuntimeOptions::Scheduler::kDag),
+        rebalance(opts.rebalance == RuntimeOptions::Rebalance::kPanel),
+        reb_opts(opts.rebalance_opts), trace(opts.trace),
+        reb_est(opts.estimator),
         engine(dag ? 1 : opts.threads), batch(p * q),
         graph(dag ? std::make_unique<TaskGraph>(opts.threads) : nullptr) {
     m.net.validate();
@@ -279,8 +306,11 @@ struct MpContext {
 
   /// Drops a transient block copy. Dag mode defers the erase while any
   /// queued op still reads or writes the block, so its buffer cannot be
-  /// recycled under a running task; step keys are never reused (transient
-  /// keys are step-unique), so a deferred erase can never race a re-put.
+  /// recycled under a running task. Transient keys are step-unique, so a
+  /// deferred erase cannot race a re-put of the same key — except through
+  /// migration, where a persistent block can leave a processor and land
+  /// there again later; copy_block cancels the stale deferral for that
+  /// case.
   void erase_block(std::size_t id, BlockKey key) {
     if (dag) {
       flush_fused();  // pending_on must see every queued op
@@ -331,12 +361,139 @@ struct MpContext {
   std::size_t pid(std::size_t gi, std::size_t gj) const {
     return gi * q + gj;
   }
+  /// Live owner of block (bi, bj): the distribution's owner until a
+  /// rebalance rewrites the trailing lines. Kernels only consult this for
+  /// blocks at or beyond the current step, where the live lines are always
+  /// current (finished panels are reached through loc, not owner()).
+  ProcCoord owner(std::size_t bi, std::size_t bj) const {
+    if (!rebalance) return dist.owner(bi, bj);
+    return ProcCoord{row_of[bi], col_of[bj]};
+  }
   std::size_t owner_pid(std::size_t bi, std::size_t bj) const {
-    const ProcCoord o = dist.owner(bi, bj);
+    const ProcCoord o = owner(bi, bj);
     return pid(o.row, o.col);
   }
+  /// Physical location of a persistent block of matrix tag `which` — where
+  /// gather() reads it and migrations pick it up. Equals owner_pid until a
+  /// block's line migrates out from under a *finished* panel, which keeps
+  /// its blocks (and this entry) in place.
+  std::size_t location(std::size_t which, std::size_t bi,
+                       std::size_t bj) const {
+    if (!rebalance) return owner_pid(bi, bj);
+    return loc[which][bi * loc_cols + bj];
+  }
   double cycle_time(std::size_t id) const {
-    return machine.grid(id / q, id % q);
+    const double t = machine.grid(id / q, id % q);
+    // No multiply on the empty trace: drift-free runs stay bit-identical.
+    return trace.empty() ? t : t * trace.factor(id, step);
+  }
+
+  /// Arms the rebalancer for a kernel over an nbr x nbc block grid with
+  /// `tags` persistent matrices (A, or A/B/C for MMM). Must run before
+  /// scatter() so the location tables capture the initial placement.
+  void init_rebalance(std::size_t nbr, std::size_t nbc, std::size_t tags) {
+    if (!rebalance) return;
+    HG_CHECK(neighbor_census(dist).aligned,
+             "rebalance=panel requires an aligned (grid-pattern) "
+             "distribution");
+    loc_rows = nbr;
+    loc_cols = nbc;
+    row_of.resize(nbr);
+    col_of.resize(nbc);
+    for (std::size_t bi = 0; bi < nbr; ++bi)
+      row_of[bi] = dist.owner(bi, 0).row;
+    for (std::size_t bj = 0; bj < nbc; ++bj)
+      col_of[bj] = dist.owner(0, bj).col;
+    loc.assign(tags, std::vector<std::size_t>(nbr * nbc, SIZE_MAX));
+  }
+
+  /// One matrix's trailing sub-rectangle to migrate when a rebalance acts.
+  struct MigrateSet {
+    std::size_t which;
+    std::size_t row_lo, row_hi, col_lo, col_hi;
+    bool lower_only;
+  };
+
+  /// The panel-boundary rebalance hook: re-solves the allocation from the
+  /// internal estimator's rates, and when the plan_rebalance thresholds
+  /// clear, rewrites the trailing owner lines and migrates the affected
+  /// blocks. Migrations are ordinary block copies — under the dag
+  /// scheduler they become kPrioComm tasks that overlap the previous
+  /// step's trailing updates; in virtual time the destination clock waits
+  /// for the transfer. Everything here runs on the host thread as a pure
+  /// function of the boundary snapshot, so the migration schedule is
+  /// bit-identical across thread counts and schedulers.
+  void maybe_rebalance(std::size_t k, RebalanceRegion region,
+                       const std::vector<MigrateSet>& sets) {
+    if (!rebalance || k == 0) return;
+    // Trailing region smaller than the grid: nothing left to balance (and
+    // the per-line >= 1 slot rounding would be infeasible).
+    if (region.row_hi - region.row_lo < p ||
+        region.col_hi - region.col_lo < q)
+      return;
+    metric_count("rebalance.resolves", 1);
+    region.per_block_move_cost =
+        machine.net.latency + machine.net.block_transfer;
+    const CycleTimeGrid rates =
+        estimated_rate_grid(reb_est.estimates(), machine.grid,
+                            ObsOp::kUpdate, reb_est.options().min_samples);
+    // Plan over the trailing sub-maps only, so the slot rounding spends
+    // every slot on rows/columns that still have work (region indices
+    // shift to the sub-map origin; row_lo == col_lo keeps lower_only
+    // triangles aligned).
+    const std::vector<std::size_t> sub_r(row_of.begin() + region.row_lo,
+                                         row_of.begin() + region.row_hi);
+    const std::vector<std::size_t> sub_c(col_of.begin() + region.col_lo,
+                                         col_of.begin() + region.col_hi);
+    RebalanceRegion local = region;
+    local.row_hi -= local.row_lo;
+    local.col_hi -= local.col_lo;
+    local.row_lo = 0;
+    local.col_lo = 0;
+    const RebalanceDecision d =
+        plan_rebalance(rates, sub_r, sub_c, local, reb_opts);
+    if (!d.act) return;
+
+    for (std::size_t bi = region.row_lo; bi < region.row_hi; ++bi)
+      row_of[bi] = d.row_map[bi - region.row_lo];
+    for (std::size_t bj = region.col_lo; bj < region.col_hi; ++bj)
+      col_of[bj] = d.col_map[bj - region.col_lo];
+
+    // Migrate every set block whose owner changed: read at the old owner,
+    // write at the new one, erase the stale copy (bumping its write epoch,
+    // so the old owner's packed panels of it become unreachable).
+    std::vector<double> arrive(p * q, 0.0);
+    std::size_t moved = 0;
+    for (const MigrateSet& s : sets) {
+      for (std::size_t bi = s.row_lo; bi < s.row_hi; ++bi) {
+        for (std::size_t bj = s.col_lo; bj < s.col_hi; ++bj) {
+          if (s.lower_only && bj > bi) continue;
+          std::size_t& cur = loc[s.which][bi * loc_cols + bj];
+          const std::size_t dst = pid(row_of[bi], col_of[bj]);
+          if (cur == dst) continue;
+          const BlockKey key{s.which * loc_rows + bi, bj};
+          const double arrival = net.transfer(cur, dst, 1, clock[cur]);
+          copy_block(cur, dst, key);
+          erase_block(cur, key);
+          cur = dst;
+          arrive[dst] = std::max(arrive[dst], arrival);
+          ++moved;
+        }
+      }
+    }
+    // The destinations cannot compute on migrated blocks before they land.
+    for (std::size_t id = 0; id < p * q; ++id)
+      clock[id] = std::max(clock[id], arrive[id]);
+
+    reb_applied += 1;
+    reb_blocks += moved;
+    metric_count("rebalance.migrations", 1);
+    metric_count("rebalance.blocks_moved", moved);
+    metric_count("rebalance.bytes_moved", moved * block * block * 8);
+    if (obs != nullptr)
+      obs->rebalances.push_back(RebalanceEvent{k, d.current_sweep,
+                                               d.proposed_sweep,
+                                               d.migration_cost, moved});
   }
 
   /// Lands a copy of `key` (present at `from`) in `to`'s store, recycling
@@ -349,6 +506,18 @@ struct MpContext {
   /// the copy after them.
   void copy_block(std::size_t from, std::size_t to, BlockKey key) {
     const ConstMatrixView src = store[from].at(key);
+    // A landing copy re-establishes (to, key) as live: cancel any deferred
+    // erase left from an earlier migration away from `to`, or it would
+    // drain later (poll_erases is worker-timing dependent) and delete the
+    // re-landed block. The stale buffer's readers still order the in-place
+    // write below through the (to, key) write dependency.
+    if (dag && !pending_erases.empty())
+      pending_erases.erase(
+          std::remove_if(pending_erases.begin(), pending_erases.end(),
+                         [&](const PendingErase& pe) {
+                           return pe.id == to && pe.key == key;
+                         }),
+          pending_erases.end());
     if (!dag) {
       Matrix copy = store[to].acquire(src.rows(), src.cols());
       copy.view().copy_from(src);
@@ -430,6 +599,7 @@ struct MpContext {
     busy[id] += seconds;
     trace_span(sink, TraceEventKind::kComputeBlock, id, start, seconds, step,
                name);
+    if (rebalance) reb_est.sample(id, op, units, seconds, step);
     if (obs != nullptr) obs->estimator.sample(id, op, units, seconds, step);
   }
 
@@ -452,6 +622,8 @@ struct MpContext {
     rep.makespan = *std::max_element(clock.begin(), clock.end());
     rep.messages = net.messages_sent();
     rep.blocks_moved = net.bytes_blocks_sent();
+    rep.rebalances = reb_applied;
+    rep.rebalance_blocks = reb_blocks;
     return rep;
   }
 };
@@ -476,8 +648,10 @@ void scatter(MpContext& ctx, const ConstMatrixView& m, std::size_t which,
       const std::size_t jlen = block_len(bj, ctx.block, m.cols());
       Matrix blk(ilen, jlen);
       blk.view().copy_from(m.block(ilo, jlo, ilen, jlen));
-      ctx.store[ctx.owner_pid(bi, bj)].put(
-          BlockKey{which * nbr + bi, bj}, std::move(blk));
+      const std::size_t id = ctx.owner_pid(bi, bj);
+      if (ctx.rebalance && which < ctx.loc.size())
+        ctx.loc[which][bi * ctx.loc_cols + bj] = id;
+      ctx.store[id].put(BlockKey{which * nbr + bi, bj}, std::move(blk));
     }
   }
 }
@@ -491,7 +665,7 @@ void gather(MpContext& ctx, MatrixView m, std::size_t which,
       const std::size_t jlo = block_lo(bj, ctx.block);
       const std::size_t jlen = block_len(bj, ctx.block, m.cols());
       m.block(ilo, jlo, ilen, jlen)
-          .copy_from(ctx.store[ctx.owner_pid(bi, bj)].at(
+          .copy_from(ctx.store[ctx.location(which, bi, bj)].at(
               BlockKey{which * nbr + bi, bj}));
     }
   }
@@ -526,6 +700,7 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
+  ctx.init_rebalance(nb, nb, 3);
   scatter(ctx, a, kTagA, nb, nb);
   scatter(ctx, b, kTagB, nb, nb);
   c.fill(0.0);
@@ -539,6 +714,15 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
 
   for (std::size_t k = 0; k < nb; ++k) {
     ctx.set_step(k);
+    // Rebalance over the full C sweep (every step updates all of C); an
+    // owner change drags the C block plus the A/B panels still to come.
+    ctx.maybe_rebalance(
+        k,
+        RebalanceRegion{0, nb, 0, nb, false, static_cast<double>(nb - k),
+                        0.0, 3.0},
+        {{kTagA, 0, nb, k, nb, false},
+         {kTagB, k, nb, 0, nb, false},
+         {kTagC, 0, nb, 0, nb, false}});
     std::fill(a_ready.begin(), a_ready.end(), 0.0);
     std::fill(b_ready.begin(), b_ready.end(), 0.0);
     std::fill(row_start.begin(), row_start.end(), 0.0);
@@ -558,10 +742,10 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
     HG_CHECK(ctx.p <= 64 && ctx.q <= 64, "grid too large for mp runtime");
     for (std::size_t bi = 0; bi < nb; ++bi) {
       const BlockKey key{kTagA * nb + bi, k};
-      const ProcCoord home = ctx.dist.owner(bi, k);
+      const ProcCoord home = ctx.owner(bi, k);
       std::fill(need_rows.begin(), need_rows.end(), 0);
       for (std::size_t bj = 0; bj < nb; ++bj)
-        need_rows[ctx.dist.owner(bi, bj).row] = 1;
+        need_rows[ctx.owner(bi, bj).row] = 1;
       for (std::size_t gi = 0; gi < ctx.p; ++gi) {
         if (!need_rows[gi]) continue;
         if (!a_src_set_row[gi]) {
@@ -580,10 +764,10 @@ MpReport run_mp_mmm(const Machine& machine, const Distribution2D& dist,
     bool b_src_set_col[64] = {};
     for (std::size_t bj = 0; bj < nb; ++bj) {
       const BlockKey key{kTagB * nb + k, bj};
-      const ProcCoord home = ctx.dist.owner(k, bj);
+      const ProcCoord home = ctx.owner(k, bj);
       std::fill(need_cols.begin(), need_cols.end(), 0);
       for (std::size_t bi = 0; bi < nb; ++bi)
-        need_cols[ctx.dist.owner(bi, bj).col] = 1;
+        need_cols[ctx.owner(bi, bj).col] = 1;
       for (std::size_t gj = 0; gj < ctx.q; ++gj) {
         if (!need_cols[gj]) continue;
         if (!b_src_set_col[gj]) {
@@ -680,6 +864,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
+  ctx.init_rebalance(nb, nb, 1);
   scatter(ctx, a, kTagA, nb, nb);
   MpReport early;
 
@@ -693,8 +878,15 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
 
   for (std::size_t k = 0; k < nb; ++k) {
     ctx.set_step(k);
+    // Rebalance the trailing submatrix [k, nb)^2; the shrinking trailing
+    // sweep repays migration over roughly (nb - k) / 3 full sweeps.
+    ctx.maybe_rebalance(
+        k,
+        RebalanceRegion{k, nb, k, nb, false,
+                        static_cast<double>(nb - k) / 3.0, 0.0, 1.0},
+        {{kTagA, k, nb, k, nb, false}});
     const std::size_t klen = block_len(k, block, n);
-    const ProcCoord diag = ctx.dist.owner(k, k);
+    const ProcCoord diag = ctx.owner(k, k);
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
     const BlockKey diag_key{kTagA * nb + k, k};
 
@@ -747,7 +939,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     std::fill(l_ready.begin(), l_ready.end(), 0.0);
     for (auto& v : row_keys) v.clear();
     for (std::size_t bi = k; bi < nb; ++bi)
-      row_keys[ctx.dist.owner(bi, k).row].push_back(
+      row_keys[ctx.owner(bi, k).row].push_back(
           BlockKey{kTagA * nb + bi, k});
     for (std::size_t gi = 0; gi < ctx.p; ++gi)
       ctx.ring_broadcast_row(gi, diag.col, row_keys[gi],
@@ -774,7 +966,7 @@ MpReport run_mp_lu(const Machine& machine, const Distribution2D& dist,
     std::fill(u_ready.begin(), u_ready.end(), 0.0);
     for (auto& v : col_keys) v.clear();
     for (std::size_t bj = k + 1; bj < nb; ++bj)
-      col_keys[ctx.dist.owner(k, bj).col].push_back(
+      col_keys[ctx.owner(k, bj).col].push_back(
           BlockKey{kTagA * nb + k, bj});
     for (std::size_t gj = 0; gj < ctx.q; ++gj)
       ctx.ring_broadcast_col(gj, diag.row, col_keys[gj],
@@ -882,6 +1074,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
   const std::size_t nb = block_count(n, block);
   const std::size_t procs = ctx.p * ctx.q;
 
+  ctx.init_rebalance(nb, nb, 1);
   scatter(ctx, a, kTagA, nb, nb);
 
   std::vector<double> diag_ready(procs), l_ready(procs), c_ready(procs);
@@ -889,8 +1082,15 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
 
   for (std::size_t k = 0; k < nb; ++k) {
     ctx.set_step(k);
+    // Rebalance the lower trailing triangle (Cholesky touches only
+    // bj <= bi); row_lo == col_lo keeps the triangle test aligned.
+    ctx.maybe_rebalance(
+        k,
+        RebalanceRegion{k, nb, k, nb, true,
+                        static_cast<double>(nb - k) / 3.0, 0.0, 1.0},
+        {{kTagA, k, nb, k, nb, true}});
     const std::size_t klen = block_len(k, block, n);
-    const ProcCoord diag = ctx.dist.owner(k, k);
+    const ProcCoord diag = ctx.owner(k, k);
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
     const BlockKey diag_key{kTagA * nb + k, k};
 
@@ -939,7 +1139,7 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     std::fill(l_ready.begin(), l_ready.end(), 0.0);
     for (auto& v : row_keys) v.clear();
     for (std::size_t bi = k + 1; bi < nb; ++bi)
-      row_keys[ctx.dist.owner(bi, k).row].push_back(
+      row_keys[ctx.owner(bi, k).row].push_back(
           BlockKey{kTagA * nb + bi, k});
     for (std::size_t gi = 0; gi < ctx.p; ++gi)
       ctx.ring_broadcast_row(gi, diag.col, row_keys[gi],
@@ -953,8 +1153,8 @@ MpReport run_mp_cholesky(const Machine& machine, const Distribution2D& dist,
     std::map<std::pair<std::size_t, std::size_t>, std::vector<BlockKey>>
         col_rings;
     for (std::size_t bj = k + 1; bj < nb; ++bj) {
-      const std::size_t gj = ctx.dist.owner(0, bj).col;
-      const std::size_t src_gi = ctx.dist.owner(bj, k).row;
+      const std::size_t gj = ctx.owner(0, bj).col;
+      const std::size_t src_gi = ctx.owner(bj, k).row;
       col_rings[{gj, src_gi}].push_back(BlockKey{kTagA * nb + bj, k});
     }
     for (const auto& [line, keys] : col_rings) {
@@ -1029,6 +1229,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
   const std::size_t nbc = block_count(cols, block);
   const std::size_t procs = ctx.p * ctx.q;
 
+  ctx.init_rebalance(nbr, nbc, 1);
   scatter(ctx, a, kTagA, nbr, nbc);
   MpQrReport rep;
   rep.tau.reserve(cols);
@@ -1040,9 +1241,18 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
 
   for (std::size_t k = 0; k < nbc; ++k) {
     ctx.set_step(k);
+    // Rebalance the trailing panel + update region. Note: migrating under
+    // QR regroups the W-reduction by the *new* grid rows, so a rebalanced
+    // run's bits differ from the static plan's (still deterministic and
+    // residual-accurate; see doc/rebalance.md).
+    ctx.maybe_rebalance(
+        k,
+        RebalanceRegion{k, nbr, k, nbc, false,
+                        static_cast<double>(nbc - k) / 3.0, 0.0, 1.0},
+        {{kTagA, k, nbr, k, nbc, false}});
     const std::size_t klo = block_lo(k, block);
     const std::size_t klen = block_len(k, block, cols);
-    const ProcCoord diag = ctx.dist.owner(k, k);
+    const ProcCoord diag = ctx.owner(k, k);
     const std::size_t diag_id = ctx.pid(diag.row, diag.col);
     const BlockKey diag_key{kTagA * nbr + k, k};
     const BlockKey t_key{kTagT * nbr + k, k};
@@ -1052,7 +1262,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
     // aligned distribution owner(bi, .).row is bj-independent.
     std::fill(contrib.begin(), contrib.end(), 0);
     for (std::size_t bi = k; bi < nbr; ++bi)
-      contrib[ctx.dist.owner(bi, k).row] = 1;
+      contrib[ctx.owner(bi, k).row] = 1;
 
     // --- Gather the column panel to the diagonal owner (the panel lives in
     // grid column diag.col; off-owner blocks take one feeder hop each).
@@ -1125,7 +1335,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       std::fill(v_ready.begin(), v_ready.end(), 0.0);
       for (auto& v : row_keys) v.clear();
       for (std::size_t bi = k; bi < nbr; ++bi)
-        row_keys[ctx.dist.owner(bi, k).row].push_back(
+        row_keys[ctx.owner(bi, k).row].push_back(
             BlockKey{kTagA * nbr + bi, k});
       row_keys[diag.row].push_back(t_key);
       for (std::size_t gi = 0; gi < ctx.p; ++gi) {
@@ -1163,7 +1373,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       std::fill(work_acc.begin(), work_acc.end(), 0.0);
       std::fill(units_acc.begin(), units_acc.end(), 0.0);
       for (std::size_t bj = k + 1; bj < nbc; ++bj) {
-        const std::size_t gj = ctx.dist.owner(k, bj).col;
+        const std::size_t gj = ctx.owner(k, bj).col;
         const std::size_t jlen = block_len(bj, block, cols);
         for (std::size_t gi = 0; gi < ctx.p; ++gi) {
           if (!contrib[gi]) continue;
@@ -1174,7 +1384,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
           ctx.store[id].put(w_key, std::move(wbuf));
           const MatrixView wv = ctx.store[id].at(w_key);
           for (std::size_t bi = k; bi < nbr; ++bi) {
-            if (ctx.dist.owner(bi, k).row != gi) continue;
+            if (ctx.owner(bi, k).row != gi) continue;
             const std::size_t ilen = block_len(bi, block, rows);
             const BlockKey v_key =
                 bi == k ? v0_key : BlockKey{kTagA * nbr + bi, k};
@@ -1209,7 +1419,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       // processor and finish Y = T^T * W there. The adds run on the root's
       // lane in ascending contributor order (fixed summation order).
       for (std::size_t bj = k + 1; bj < nbc; ++bj) {
-        const std::size_t gj = ctx.dist.owner(k, bj).col;
+        const std::size_t gj = ctx.owner(k, bj).col;
         const std::size_t jlen = block_len(bj, block, cols);
         const std::size_t root = ctx.pid(diag.row, gj);
         const BlockKey w_root_key{kTagW * nbr + bj, k * ctx.p + diag.row};
@@ -1258,7 +1468,7 @@ MpQrReport run_mp_qr(const Machine& machine, const Distribution2D& dist,
       std::fill(y_ready.begin(), y_ready.end(), 0.0);
       for (auto& v : col_keys) v.clear();
       for (std::size_t bj = k + 1; bj < nbc; ++bj)
-        col_keys[ctx.dist.owner(k, bj).col].push_back(
+        col_keys[ctx.owner(k, bj).col].push_back(
             BlockKey{kTagY * nbr + bj, k});
       for (std::size_t gj = 0; gj < ctx.q; ++gj) {
         if (col_keys[gj].empty()) continue;

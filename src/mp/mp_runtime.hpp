@@ -33,6 +33,10 @@ struct MpReport {
   std::size_t messages = 0;     // point-to-point messages sent
   double blocks_moved = 0.0;    // total r x r blocks transferred
   bool factorized = true;       // LU: false if a zero pivot was hit
+  // Online rebalancer activity (doc/rebalance.md); both stay 0 with
+  // RuntimeOptions::Rebalance::kOff.
+  std::size_t rebalances = 0;        // panel boundaries that acted
+  std::size_t rebalance_blocks = 0;  // blocks migrated to new owners
 
   double average_utilization() const;
 };

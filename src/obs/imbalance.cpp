@@ -108,6 +108,7 @@ ImbalanceReport build_imbalance_report(const RunObservation& obs,
             });
 
   rep.drift = obs.estimator.drift_events();
+  rep.rebalances = obs.rebalances;
   return rep;
 }
 
@@ -163,6 +164,15 @@ void write_imbalance_json(std::ostream& os, const ImbalanceReport& rep) {
        << "\",\"step\":" << d.step
        << ",\"before\":" << format_compact(d.before)
        << ",\"after\":" << format_compact(d.after) << "}";
+  }
+  os << "],\"rebalances\":[";
+  for (std::size_t i = 0; i < rep.rebalances.size(); ++i) {
+    const RebalanceEvent& r = rep.rebalances[i];
+    if (i != 0) os << ",";
+    os << "{\"step\":" << r.step << ",\"blocks\":" << r.blocks_moved
+       << ",\"before\":" << format_compact(r.current_sweep)
+       << ",\"after\":" << format_compact(r.proposed_sweep)
+       << ",\"cost\":" << format_compact(r.migration_cost) << "}";
   }
   os << "]}}\n";
 }
@@ -221,6 +231,12 @@ void print_imbalance(std::ostream& os, const ImbalanceReport& rep) {
     os << "\ndrift: proc " << d.proc << " " << obs_op_name(d.op) << " at step "
        << d.step << ": " << format_compact(d.before) << " -> "
        << format_compact(d.after) << "\n";
+
+  for (const RebalanceEvent& r : rep.rebalances)
+    os << "\nrebalance: step " << r.step << " moved " << r.blocks_moved
+       << " blocks, sweep " << format_compact(r.current_sweep) << " -> "
+       << format_compact(r.proposed_sweep) << " (migration cost "
+       << format_compact(r.migration_cost) << ")\n";
 }
 
 }  // namespace hetgrid

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/cycle_time_grid.hpp"
+#include "core/rebalance.hpp"
 #include "obs/cycle_estimator.hpp"
 #include "util/task_graph.hpp"
 
@@ -43,10 +44,20 @@ namespace hetgrid {
 
 /// Everything one observed run collects. Install with install_observation()
 /// around the run; the estimator is thread-safe, `tasks` is written once by
-/// the host at finish.
+/// the host at finish. The estimator's EWMA alpha / drift band are
+/// configurable via the explicit constructor (`hetgrid observe
+/// --ewma-alpha`); the estimator itself is immovable (it owns a mutex), so
+/// options must be chosen at construction.
 struct RunObservation {
+  RunObservation() = default;
+  explicit RunObservation(const CycleTimeEstimator::Options& opt)
+      : estimator(opt) {}
+
   CycleTimeEstimator estimator;
   std::vector<TaskRecord> tasks;  // dag scheduler records (empty otherwise)
+  /// Applied rebalances in step order (written by the host at the panel
+  /// boundary that acted; empty when the rebalancer is off or never acted).
+  std::vector<RebalanceEvent> rebalances;
 };
 
 /// Installs `obs` as the process-wide observation sink and returns the
@@ -99,6 +110,7 @@ struct ImbalanceReport {
   std::vector<CriticalSegment> critical;  // weight-descending
   std::vector<EstimateRow> estimates;     // (proc, op)-ascending
   std::vector<DriftEvent> drift;
+  std::vector<RebalanceEvent> rebalances;  // applied rebalances, step order
 };
 
 /// Builds the report from a finished run: `busy` and `finish` are the

@@ -1,0 +1,427 @@
+#include "sim/dynamic.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/imbalance.hpp"
+#include "sim/trace_emit.hpp"
+
+namespace hetgrid {
+
+namespace {
+
+// Per-run state shared by the four dynamic kernels: the live slot maps,
+// the internal estimator the rebalancer plans from, and the traced-rate
+// accessors. With rebalancing off the owner/rate hooks reduce exactly to
+// the static simulators' arithmetic (no factor multiply, distribution
+// consulted directly), which is what keeps the off-reports bit-identical.
+struct DynState {
+  const Machine& machine;
+  const Distribution2D& dist;
+  const RuntimeOptions& opts;
+  bool on;  // opts.rebalance == kPanel
+  std::size_t p, q;
+  std::vector<std::size_t> row_of, col_of;  // live slot maps (on only)
+  CycleTimeEstimator est;
+
+  DynState(const Machine& m, const Distribution2D& d, std::size_t nbr,
+           std::size_t nbc, const RuntimeOptions& o)
+      : machine(m),
+        dist(d),
+        opts(o),
+        on(o.rebalance == RuntimeOptions::Rebalance::kPanel),
+        p(m.grid.rows()),
+        q(m.grid.cols()),
+        est(o.estimator) {
+    m.net.validate();
+    HG_CHECK(p == d.grid_rows() && q == d.grid_cols(),
+             "machine grid " << p << "x" << q
+                             << " does not match distribution grid "
+                             << d.grid_rows() << "x" << d.grid_cols());
+    if (!on) return;
+    HG_CHECK(
+        neighbor_census(d).aligned,
+        "rebalance=panel requires an aligned (grid-pattern) distribution");
+    row_of.resize(nbr);
+    col_of.resize(nbc);
+    for (std::size_t i = 0; i < nbr; ++i) row_of[i] = d.owner(i, 0).row;
+    for (std::size_t j = 0; j < nbc; ++j) col_of[j] = d.owner(0, j).col;
+  }
+
+  ProcCoord owner(std::size_t bi, std::size_t bj) const {
+    if (!on) return dist.owner(bi, bj);
+    return ProcCoord{row_of[bi], col_of[bj]};
+  }
+
+  /// Effective cycle-time of processor (gi, gj) at step `k` under the
+  /// drift trace. An empty trace performs no multiply at all.
+  double rate(std::size_t gi, std::size_t gj, std::size_t k) const {
+    const double t = machine.grid(gi, gj);
+    return opts.trace.empty() ? t : t * opts.trace.factor(gi * q + gj, k);
+  }
+
+  /// Aggregate speed sum_ij 1/rate at step `k` — the denominator of the
+  /// perfectly balanced bound under the traced rates.
+  double capacity(std::size_t k) const {
+    double cap = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi)
+      for (std::size_t gj = 0; gj < q; ++gj) cap += 1.0 / rate(gi, gj, k);
+    return cap;
+  }
+
+  void sample(std::size_t gi, std::size_t gj, ObsOp op, double units,
+              double seconds, std::size_t k, RunObservation* obs) {
+    if (on) est.sample(gi * q + gj, op, units, seconds, k);
+    if (obs != nullptr)
+      obs->estimator.sample(gi * q + gj, op, units, seconds, k);
+  }
+
+  /// Plans one boundary rebalance over `region` (absolute block
+  /// coordinates) and applies it to the live maps when it acts. Returns
+  /// the migration seconds charged to this step's communication time.
+  double boundary(std::size_t k, RebalanceRegion region,
+                  DynamicSimReport& rep, RunObservation* obs) {
+    if (!on || k == 0) return 0.0;
+    // plan_rebalance keeps every line at >= 1 slot; a trailing region
+    // smaller than the grid cannot satisfy that, so the last boundaries
+    // simply hold.
+    if (region.row_hi - region.row_lo < p ||
+        region.col_hi - region.col_lo < q)
+      return 0.0;
+    rep.resolves += 1;
+    region.per_block_move_cost =
+        machine.net.latency + machine.net.block_transfer;
+    const CycleTimeGrid rates = estimated_rate_grid(
+        est.estimates(), machine.grid, ObsOp::kUpdate,
+        est.options().min_samples);
+    // Plan over the trailing sub-maps only (region shifted to the origin),
+    // so every rounded slot lands on a row/column that still has work.
+    std::vector<std::size_t> sub_rows(row_of.begin() + region.row_lo,
+                                      row_of.begin() + region.row_hi);
+    std::vector<std::size_t> sub_cols(col_of.begin() + region.col_lo,
+                                      col_of.begin() + region.col_hi);
+    RebalanceRegion local = region;
+    local.row_hi -= local.row_lo;
+    local.col_hi -= local.col_lo;
+    local.row_lo = 0;
+    local.col_lo = 0;
+    const RebalanceDecision d = plan_rebalance(rates, sub_rows, sub_cols,
+                                               local, opts.rebalance_opts);
+    if (!d.act) return 0.0;
+    std::copy(d.row_map.begin(), d.row_map.end(),
+              row_of.begin() + static_cast<std::ptrdiff_t>(region.row_lo));
+    std::copy(d.col_map.begin(), d.col_map.end(),
+              col_of.begin() + static_cast<std::ptrdiff_t>(region.col_lo));
+    rep.migrations += 1;
+    rep.blocks_moved += d.blocks_to_move;
+    rep.events.push_back({k, d.current_sweep, d.proposed_sweep,
+                          d.migration_cost, d.blocks_to_move});
+    if (obs != nullptr) obs->rebalances.push_back(rep.events.back());
+    return d.migration_cost;
+  }
+};
+
+}  // namespace
+
+DynamicSimReport simulate_mmm_dynamic(const Machine& machine,
+                                      const Distribution2D& dist,
+                                      std::size_t nb,
+                                      const RuntimeOptions& opts,
+                                      const KernelCosts& costs) {
+  HG_CHECK(nb > 0, "matrix must have at least one block");
+  DynState st(machine, dist, nb, nb, opts);
+  const std::size_t p = st.p, q = st.q;
+  RunObservation* const obs = installed_observation();
+
+  DynamicSimReport rep;
+  rep.kernel = "mmm";
+  rep.distribution = dist.name();
+  rep.busy.assign(p * q, 0.0);
+
+  const double step_volume =
+      static_cast<double>(nb) * static_cast<double>(nb) * costs.update;
+
+  std::vector<std::size_t> owned(p * q), a_rows(p), b_cols(q);
+  std::vector<double> h_costs(p), v_costs(q);
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    // All of C updates at every step, so the priced region is the whole
+    // matrix and one owner change drags A, B and C blocks along.
+    const double migration = st.boundary(
+        k,
+        RebalanceRegion{0, nb, 0, nb, false, static_cast<double>(nb - k),
+                        0.0, 3.0},
+        rep, obs);
+
+    // Ownership may change across boundaries, so recount per step.
+    std::fill(owned.begin(), owned.end(), 0);
+    for (std::size_t i = 0; i < nb; ++i)
+      for (std::size_t j = 0; j < nb; ++j) {
+        const ProcCoord o = st.owner(i, j);
+        owned[o.row * q + o.col] += 1;
+      }
+
+    std::fill(a_rows.begin(), a_rows.end(), 0);
+    std::fill(b_cols.begin(), b_cols.end(), 0);
+    for (std::size_t i = 0; i < nb; ++i) a_rows[st.owner(i, k).row] += 1;
+    for (std::size_t j = 0; j < nb; ++j) b_cols[st.owner(k, j).col] += 1;
+    for (std::size_t i = 0; i < p; ++i)
+      h_costs[i] = machine.net.broadcast_cost(a_rows[i], q);
+    for (std::size_t j = 0; j < q; ++j)
+      v_costs[j] = machine.net.broadcast_cost(b_cols[j], p);
+    const double comm_step = combine_broadcasts(machine.net, h_costs) +
+                             combine_broadcasts(machine.net, v_costs) +
+                             migration;
+
+    double compute_step = 0.0;
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < q; ++j) {
+        const double work = static_cast<double>(owned[i * q + j]) *
+                            st.rate(i, j, k) * costs.update;
+        compute_step = std::max(compute_step, work);
+        rep.busy[i * q + j] += work;
+        if (work > 0.0)
+          st.sample(i, j, ObsOp::kUpdate,
+                    static_cast<double>(owned[i * q + j]) * costs.update,
+                    work, k, obs);
+      }
+
+    rep.comm_time += comm_step;
+    rep.compute_time += compute_step;
+    rep.steps.push_back({k, 0.0, 0.0, compute_step, comm_step});
+    rep.perfect_compute_bound += step_volume / st.capacity(k);
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
+  }
+  rep.total_time = rep.comm_time + rep.compute_time;
+  return rep;
+}
+
+namespace {
+
+struct DynFactorizationWeights {
+  double panel;
+  double row;
+  double update;
+  const char* kernel;
+};
+
+DynamicSimReport simulate_factorization_dynamic(
+    const Machine& machine, const Distribution2D& dist, std::size_t nb,
+    const RuntimeOptions& opts, const DynFactorizationWeights& w) {
+  HG_CHECK(nb > 0, "matrix must have at least one block");
+  DynState st(machine, dist, nb, nb, opts);
+  const std::size_t p = st.p, q = st.q;
+  RunObservation* const obs = installed_observation();
+
+  DynamicSimReport rep;
+  rep.kernel = w.kernel;
+  rep.distribution = dist.name();
+  rep.busy.assign(p * q, 0.0);
+
+  std::vector<std::size_t> trailing(p * q);
+  std::vector<std::size_t> panel_rows(p), row_cols(q);
+  std::vector<std::size_t> l_rows(p), u_cols(q);
+  std::vector<double> line_costs;
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const double migration = st.boundary(
+        k,
+        RebalanceRegion{k, nb, k, nb, false,
+                        static_cast<double>(nb - k) / 3.0, 0.0, 1.0},
+        rep, obs);
+    const ProcCoord diag = st.owner(k, k);
+
+    std::fill(panel_rows.begin(), panel_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i)
+      panel_rows[st.owner(i, k).row] += 1;
+    double panel_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi) {
+      const double tt = static_cast<double>(panel_rows[gi]) *
+                        st.rate(gi, diag.col, k) * w.panel;
+      panel_time = std::max(panel_time, tt);
+      rep.busy[gi * q + diag.col] += tt;
+      if (tt > 0.0)
+        st.sample(gi, diag.col, ObsOp::kPanel,
+                  static_cast<double>(panel_rows[gi]) * w.panel, tt, k, obs);
+    }
+
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i) l_rows[st.owner(i, k).row] += 1;
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    const double l_bcast = combine_broadcasts(machine.net, line_costs);
+
+    std::fill(row_cols.begin(), row_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nb; ++j)
+      row_cols[st.owner(k, j).col] += 1;
+    double row_time = 0.0;
+    for (std::size_t gj = 0; gj < q; ++gj) {
+      const double tt = static_cast<double>(row_cols[gj]) *
+                        st.rate(diag.row, gj, k) * w.row;
+      row_time = std::max(row_time, tt);
+      rep.busy[diag.row * q + gj] += tt;
+      if (tt > 0.0)
+        st.sample(diag.row, gj, ObsOp::kSolve,
+                  static_cast<double>(row_cols[gj]) * w.row, tt, k, obs);
+    }
+
+    std::fill(u_cols.begin(), u_cols.end(), 0);
+    for (std::size_t j = k + 1; j < nb; ++j)
+      u_cols[st.owner(k, j).col] += 1;
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(u_cols[gj], p));
+    const double u_bcast = combine_broadcasts(machine.net, line_costs);
+
+    std::fill(trailing.begin(), trailing.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i)
+      for (std::size_t j = k + 1; j < nb; ++j) {
+        const ProcCoord o = st.owner(i, j);
+        trailing[o.row * q + o.col] += 1;
+      }
+    double update_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi)
+      for (std::size_t gj = 0; gj < q; ++gj) {
+        const double tt = static_cast<double>(trailing[gi * q + gj]) *
+                          st.rate(gi, gj, k) * w.update;
+        update_time = std::max(update_time, tt);
+        rep.busy[gi * q + gj] += tt;
+        if (tt > 0.0)
+          st.sample(gi, gj, ObsOp::kUpdate,
+                    static_cast<double>(trailing[gi * q + gj]) * w.update,
+                    tt, k, obs);
+      }
+
+    rep.compute_time += panel_time + row_time + update_time;
+    rep.comm_time += l_bcast + u_bcast + migration;
+    rep.steps.push_back(
+        {k, panel_time, row_time, update_time, l_bcast + u_bcast + migration});
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
+
+    const double panel_vol = static_cast<double>(nb - k) * w.panel;
+    const double row_vol = static_cast<double>(nb - k - 1) * w.row;
+    const double upd_vol = static_cast<double>(nb - k - 1) *
+                           static_cast<double>(nb - k - 1) * w.update;
+    rep.perfect_compute_bound +=
+        (panel_vol + row_vol + upd_vol) / st.capacity(k);
+  }
+  rep.total_time = rep.compute_time + rep.comm_time;
+  return rep;
+}
+
+}  // namespace
+
+DynamicSimReport simulate_lu_dynamic(const Machine& machine,
+                                     const Distribution2D& dist,
+                                     std::size_t nb,
+                                     const RuntimeOptions& opts,
+                                     const KernelCosts& costs) {
+  return simulate_factorization_dynamic(
+      machine, dist, nb, opts,
+      {costs.panel_factor, costs.trsm, costs.update, "lu"});
+}
+
+DynamicSimReport simulate_qr_dynamic(const Machine& machine,
+                                     const Distribution2D& dist,
+                                     std::size_t nb,
+                                     const RuntimeOptions& opts,
+                                     const KernelCosts& costs) {
+  return simulate_factorization_dynamic(
+      machine, dist, nb, opts,
+      {costs.qr_factor, costs.qr_update, costs.qr_update, "qr"});
+}
+
+DynamicSimReport simulate_cholesky_dynamic(const Machine& machine,
+                                           const Distribution2D& dist,
+                                           std::size_t nb,
+                                           const RuntimeOptions& opts,
+                                           const KernelCosts& costs) {
+  HG_CHECK(nb > 0, "matrix must have at least one block");
+  DynState st(machine, dist, nb, nb, opts);
+  const std::size_t p = st.p, q = st.q;
+  RunObservation* const obs = installed_observation();
+
+  DynamicSimReport rep;
+  rep.kernel = "cholesky";
+  rep.distribution = dist.name();
+  rep.busy.assign(p * q, 0.0);
+
+  std::vector<std::size_t> panel_rows(p), trailing(p * q), l_rows(p),
+      l_cols(q);
+  std::vector<double> line_costs;
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const double migration = st.boundary(
+        k,
+        RebalanceRegion{k, nb, k, nb, true,
+                        static_cast<double>(nb - k) / 3.0, 0.0, 1.0},
+        rep, obs);
+    const ProcCoord diag = st.owner(k, k);
+
+    std::fill(panel_rows.begin(), panel_rows.end(), 0);
+    for (std::size_t i = k; i < nb; ++i)
+      panel_rows[st.owner(i, k).row] += 1;
+    double panel_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi) {
+      const double tt = static_cast<double>(panel_rows[gi]) *
+                        st.rate(gi, diag.col, k) * costs.chol_factor;
+      panel_time = std::max(panel_time, tt);
+      rep.busy[gi * q + diag.col] += tt;
+      if (tt > 0.0)
+        st.sample(gi, diag.col, ObsOp::kPanel,
+                  static_cast<double>(panel_rows[gi]) * costs.chol_factor,
+                  tt, k, obs);
+    }
+
+    std::fill(l_rows.begin(), l_rows.end(), 0);
+    std::fill(l_cols.begin(), l_cols.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      l_rows[st.owner(i, k).row] += 1;
+      l_cols[st.owner(k, i).col] += 1;
+    }
+    line_costs.clear();
+    for (std::size_t gi = 0; gi < p; ++gi)
+      line_costs.push_back(machine.net.broadcast_cost(l_rows[gi], q));
+    const double row_bcast = combine_broadcasts(machine.net, line_costs);
+    line_costs.clear();
+    for (std::size_t gj = 0; gj < q; ++gj)
+      line_costs.push_back(machine.net.broadcast_cost(l_cols[gj], p));
+    const double col_bcast = combine_broadcasts(machine.net, line_costs);
+    const double bcast = row_bcast + col_bcast;
+
+    std::fill(trailing.begin(), trailing.end(), 0);
+    for (std::size_t i = k + 1; i < nb; ++i)
+      for (std::size_t j = k + 1; j <= i; ++j) {
+        const ProcCoord o = st.owner(i, j);
+        trailing[o.row * q + o.col] += 1;
+      }
+    double update_time = 0.0;
+    for (std::size_t gi = 0; gi < p; ++gi)
+      for (std::size_t gj = 0; gj < q; ++gj) {
+        const double tt = static_cast<double>(trailing[gi * q + gj]) *
+                          st.rate(gi, gj, k) * costs.update;
+        update_time = std::max(update_time, tt);
+        rep.busy[gi * q + gj] += tt;
+        if (tt > 0.0)
+          st.sample(gi, gj, ObsOp::kUpdate,
+                    static_cast<double>(trailing[gi * q + gj]) * costs.update,
+                    tt, k, obs);
+      }
+
+    rep.compute_time += panel_time + update_time;
+    rep.comm_time += bcast + migration;
+    rep.steps.push_back({k, panel_time, 0.0, update_time, bcast + migration});
+    if (obs != nullptr) obs->estimator.panel_boundary(k);
+
+    const double m = static_cast<double>(nb - k - 1);
+    rep.perfect_compute_bound +=
+        (static_cast<double>(nb - k) * costs.chol_factor +
+         m * (m + 1.0) / 2.0 * costs.update) /
+        st.capacity(k);
+  }
+  rep.total_time = rep.compute_time + rep.comm_time;
+  return rep;
+}
+
+}  // namespace hetgrid

@@ -1,0 +1,64 @@
+// Dynamic (rebalancing) variants of the bulk-synchronous simulators.
+//
+// The static simulators in sim/simulator.hpp price the paper's kernels
+// under fixed cycle-times and a fixed distribution. These variants add the
+// two ingredients of the online-rebalancing study (doc/rebalance.md):
+//
+//   * time-varying effective rates — every per-step charge is scaled by
+//     `opts.trace` (sim/drift.hpp), so a straggler that slows down
+//     mid-run is priced step by step;
+//   * the panel-boundary rebalancer — with `opts.rebalance = kPanel` an
+//     internal CycleTimeEstimator (configured by `opts.estimator`) watches
+//     the traced charges, and at every boundary plan_rebalance() re-solves
+//     the trailing allocation from the estimated rates. When it acts, the
+//     live row/column slot maps are rewritten and the migration bill is
+//     charged to that step's communication time.
+//
+// With `opts.rebalance = kOff` and an empty trace the reports are
+// bit-identical to the static simulators — the dynamic path multiplies by
+// no factor and consults the original distribution directly. Rebalancing
+// requires an aligned (grid-pattern) distribution, exactly like the
+// message-passing runtime.
+#pragma once
+
+#include "core/rebalance.hpp"
+#include "sim/simulator.hpp"
+
+namespace hetgrid {
+
+/// A SimReport plus the rebalancer's activity. `resolves` counts the
+/// boundaries where a re-solve actually ran (guards passed), `migrations`
+/// the boundaries that acted, `blocks_moved` the total owner changes
+/// (already including the per-kernel block multiplier — 3 for MMM).
+struct DynamicSimReport : SimReport {
+  std::size_t resolves = 0;
+  std::size_t migrations = 0;
+  std::size_t blocks_moved = 0;
+  std::vector<RebalanceEvent> events;  // applied rebalances, step order
+};
+
+DynamicSimReport simulate_mmm_dynamic(const Machine& machine,
+                                      const Distribution2D& dist,
+                                      std::size_t nb,
+                                      const RuntimeOptions& opts = {},
+                                      const KernelCosts& costs = {});
+
+DynamicSimReport simulate_lu_dynamic(const Machine& machine,
+                                     const Distribution2D& dist,
+                                     std::size_t nb,
+                                     const RuntimeOptions& opts = {},
+                                     const KernelCosts& costs = {});
+
+DynamicSimReport simulate_qr_dynamic(const Machine& machine,
+                                     const Distribution2D& dist,
+                                     std::size_t nb,
+                                     const RuntimeOptions& opts = {},
+                                     const KernelCosts& costs = {});
+
+DynamicSimReport simulate_cholesky_dynamic(const Machine& machine,
+                                           const Distribution2D& dist,
+                                           std::size_t nb,
+                                           const RuntimeOptions& opts = {},
+                                           const KernelCosts& costs = {});
+
+}  // namespace hetgrid

@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "core/cycle_time_grid.hpp"
+#include "core/rebalance.hpp"
 #include "dist/distribution.hpp"
+#include "obs/cycle_estimator.hpp"
 #include "obs/trace.hpp"
+#include "sim/drift.hpp"
 #include "sim/network.hpp"
 
 namespace hetgrid {
@@ -86,11 +89,23 @@ struct KernelCosts {
 /// read/write dependencies alone order the work, so step k+1's panel chain
 /// overlaps step k's trailing updates. Both schedulers produce bit-identical
 /// reports, traces, and matrices at every thread count.
+/// `rebalance` arms the online rebalancer (doc/rebalance.md): at every
+/// panel boundary the backend re-solves the allocation from its internal
+/// cycle-time estimator (configured by `estimator`) and, when the
+/// `rebalance_opts` thresholds clear, migrates trailing blocks to the new
+/// owners. Off by default and bit-identical to pre-rebalance builds when
+/// off. `trace` plants time-varying cycle-times (drift scenarios); an empty
+/// trace is the static paper model.
 struct RuntimeOptions {
   enum class Scheduler { kBarrier, kDag };
+  enum class Rebalance { kOff, kPanel };
 
   unsigned threads = 1;
   Scheduler scheduler = Scheduler::kBarrier;
+  Rebalance rebalance = Rebalance::kOff;
+  RebalanceOptions rebalance_opts;
+  CycleTimeEstimator::Options estimator;
+  CycleTimeTrace trace;
 };
 
 /// Simulates C = A * B on nb x nb blocks (outer-product algorithm,

@@ -227,7 +227,7 @@ TEST(ProfilerTest, SerialMetricsSnapshotIsByteStableAcrossRuns) {
     ScopedMetrics scoped;
     const MpReport rep = run_mp_lu(Machine{g, net}, d, a.view(), block,
                                    KernelCosts{}, false, nullptr,
-                                   RuntimeOptions{1});
+                                   RuntimeOptions{});
     HG_CHECK(rep.factorized, "LU failed in metrics stability test");
     return scoped.registry.snapshot_json();
   };

@@ -1,0 +1,583 @@
+// Tests for the online panel-boundary rebalancer (doc/rebalance.md):
+// plan_rebalance()'s act/hold thresholds and minimal-churn slot remapping,
+// the estimated-rate-grid overlay, the drift traces the rebalancer is
+// evaluated against, the EWMA-alpha contract (alpha = 1 reproduces
+// instantaneous rates), the dynamic bulk-synchronous simulators (off ==
+// static bit for bit; a planted 4x straggler rebalanced to within 15% of
+// the imbalance report's balanced lower bound), the message-passing
+// runtime's migration path (same acceptance scenario with real numerics),
+// and migration x packed-panel-cache coherence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/rebalance.hpp"
+#include "dist/panel_distribution.hpp"
+#include "matrix/gemm.hpp"
+#include "matrix/matrix.hpp"
+#include "matrix/norms.hpp"
+#include "mp/block_store.hpp"
+#include "mp/mp_runtime.hpp"
+#include "obs/cycle_estimator.hpp"
+#include "obs/imbalance.hpp"
+#include "obs/metrics.hpp"
+#include "sim/drift.hpp"
+#include "sim/dynamic.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hetgrid {
+namespace {
+
+using Rebalance = RuntimeOptions::Rebalance;
+using Scheduler = RuntimeOptions::Scheduler;
+
+bool same_bits(const ConstMatrixView& a, const ConstMatrixView& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double x = a(i, j), y = b(i, j);
+      if (std::memcmp(&x, &y, sizeof(double)) != 0) return false;
+    }
+  }
+  return true;
+}
+
+Machine uniform_machine(std::size_t p, std::size_t q) {
+  return Machine{CycleTimeGrid(p, q, std::vector<double>(p * q, 1.0)),
+                 NetworkModel{Topology::kSwitched, 1.0e-4, 2.0e-4, true}};
+}
+
+// The planted-straggler acceptance scenario (EXPERIMENTS section 16): a
+// uniform 2x2 grid whose first grid row (processors 0 and 1) runs 4x
+// slower from step 0 on.
+RuntimeOptions straggler_options(Rebalance rebalance) {
+  RuntimeOptions opts;
+  opts.rebalance = rebalance;
+  opts.trace = CycleTimeTrace::straggler({0, 1}, 4.0, 0);
+  opts.estimator.alpha = 1.0;  // instantaneous rates: no EWMA warm-up lag
+  opts.estimator.min_samples = 1;
+  return opts;
+}
+
+// ----------------------------------------------------- plan_rebalance
+
+TEST(PlanRebalance, HoldsWhenAllocationAlreadyBalanced) {
+  // Uniform rates, balanced maps: the re-solve reproduces the current
+  // multiplicities, so nothing moves and the planner holds.
+  const CycleTimeGrid rates(2, 2, {1.0, 1.0, 1.0, 1.0});
+  const std::vector<std::size_t> rows{0, 0, 1, 1}, cols{0, 1, 0, 1};
+  const RebalanceDecision d = plan_rebalance(
+      rates, rows, cols, RebalanceRegion{0, 4, 0, 4, false, 10.0, 0.01, 1.0});
+  EXPECT_FALSE(d.act);
+  EXPECT_EQ(d.row_map, rows);
+  EXPECT_EQ(d.col_map, cols);
+  EXPECT_EQ(d.blocks_to_move, 0u);
+  EXPECT_EQ(d.row_slots_changed + d.col_slots_changed, 0u);
+  EXPECT_DOUBLE_EQ(d.current_sweep, d.proposed_sweep);
+}
+
+TEST(PlanRebalance, ShiftsSlotsTowardFastRowsWithMinimalChurn) {
+  // Grid row 0 runs 4x slower: shares (0.2, 0.8) round to row slots
+  // (1, 3). Minimal churn means row 0 gives up exactly its highest-index
+  // slot (position 1) and nothing else changes: 1 row line x 4 region
+  // columns = 4 migrated blocks.
+  const CycleTimeGrid rates(2, 2, {4.0, 4.0, 1.0, 1.0});
+  const std::vector<std::size_t> rows{0, 0, 1, 1}, cols{0, 0, 1, 1};
+  const RebalanceDecision d = plan_rebalance(
+      rates, rows, cols, RebalanceRegion{0, 4, 0, 4, false, 10.0, 0.01, 1.0});
+  EXPECT_TRUE(d.act);
+  EXPECT_EQ(d.row_map, (std::vector<std::size_t>{0, 1, 1, 1}));
+  EXPECT_EQ(d.col_map, cols);
+  EXPECT_EQ(d.row_slots_changed, 1u);
+  EXPECT_EQ(d.col_slots_changed, 0u);
+  EXPECT_EQ(d.blocks_to_move, 4u);
+  // Current: the slow (0,0) owns 2x2 blocks at rate 4 -> sweep 16.
+  // Proposed: row 0 keeps 1 line (2 blocks x 4 = 8), row 1's processors
+  // sweep 3x2 blocks at rate 1 = 6 -> sweep 8.
+  EXPECT_DOUBLE_EQ(d.current_sweep, 16.0);
+  EXPECT_DOUBLE_EQ(d.proposed_sweep, 8.0);
+  EXPECT_DOUBLE_EQ(d.predicted_gain, 80.0);
+  EXPECT_DOUBLE_EQ(d.migration_cost, 0.04);
+}
+
+TEST(PlanRebalance, BlockMultiplierScalesTheMigrationBill) {
+  // MMM drags A, B, and C along with every owner change: same proposal,
+  // three times the bill.
+  const CycleTimeGrid rates(2, 2, {4.0, 4.0, 1.0, 1.0});
+  const std::vector<std::size_t> rows{0, 0, 1, 1}, cols{0, 0, 1, 1};
+  const RebalanceDecision d = plan_rebalance(
+      rates, rows, cols, RebalanceRegion{0, 4, 0, 4, false, 10.0, 0.01, 3.0});
+  EXPECT_EQ(d.blocks_to_move, 12u);
+  EXPECT_DOUBLE_EQ(d.migration_cost, 0.12);
+}
+
+TEST(PlanRebalance, MigrationCostThresholdHolds) {
+  // The same profitable proposal, but with a prohibitive per-block transfer
+  // cost and almost no remaining sweeps to amortize it: the planner still
+  // reports the proposal (maps, blocks, cost) but refuses to act.
+  const CycleTimeGrid rates(2, 2, {4.0, 4.0, 1.0, 1.0});
+  const std::vector<std::size_t> rows{0, 0, 1, 1}, cols{0, 0, 1, 1};
+  const RebalanceDecision d = plan_rebalance(
+      rates, rows, cols,
+      RebalanceRegion{0, 4, 0, 4, false, 0.01, 1000.0, 1.0});
+  EXPECT_FALSE(d.act);
+  EXPECT_EQ(d.row_map, (std::vector<std::size_t>{0, 1, 1, 1}));
+  EXPECT_EQ(d.blocks_to_move, 4u);
+  EXPECT_DOUBLE_EQ(d.migration_cost, 4000.0);
+  EXPECT_LT(d.predicted_gain, d.migration_cost);
+}
+
+TEST(PlanRebalance, MinGainBandAbsorbsSmallDrift) {
+  // A 2% slowdown re-solves to the same slot counts (shares 0.495/0.505
+  // round back to 2/2), so the proposal is a no-op and act stays false —
+  // the band keeps the rebalancer from thrashing on noise.
+  const CycleTimeGrid rates(2, 2, {1.02, 1.02, 1.0, 1.0});
+  const std::vector<std::size_t> rows{0, 0, 1, 1}, cols{0, 1, 0, 1};
+  const RebalanceDecision d = plan_rebalance(
+      rates, rows, cols, RebalanceRegion{0, 4, 0, 4, false, 10.0, 0.01, 1.0});
+  EXPECT_FALSE(d.act);
+  EXPECT_EQ(d.blocks_to_move, 0u);
+  EXPECT_EQ(d.row_map, rows);
+  EXPECT_EQ(d.col_map, cols);
+}
+
+TEST(PlanRebalance, LowerOnlyRegionPricesOnlyLowerBlocks) {
+  // Processor (0, 1) is 10x slower but owns only the strictly-upper block
+  // (0, 1) of a 2x2 region: with lower_only the region sweep ignores it.
+  const CycleTimeGrid rates(2, 2, {1.0, 10.0, 1.0, 1.0});
+  const std::vector<std::size_t> rows{0, 1}, cols{0, 1};
+  RebalanceRegion reg{0, 2, 0, 2, true, 1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(plan_rebalance(rates, rows, cols, reg).current_sweep, 1.0);
+  reg.lower_only = false;
+  EXPECT_DOUBLE_EQ(plan_rebalance(rates, rows, cols, reg).current_sweep, 10.0);
+}
+
+TEST(EstimatedRateGrid, OverlaysArmedLanesOnStaticFallback) {
+  const CycleTimeGrid fallback(2, 2, {1.0, 1.0, 1.0, 1.0});
+  std::vector<CycleEstimate> est;
+  est.push_back({1, ObsOp::kUpdate, 0.5, 10.0, 3});   // overlays (0, 1)
+  est.push_back({0, ObsOp::kPanel, 9.0, 10.0, 5});    // wrong op: ignored
+  est.push_back({2, ObsOp::kUpdate, 7.0, 1.0, 1});    // under-sampled
+  est.push_back({17, ObsOp::kUpdate, 7.0, 10.0, 9});  // out of range
+  const CycleTimeGrid g =
+      estimated_rate_grid(est, fallback, ObsOp::kUpdate, 2);
+  EXPECT_DOUBLE_EQ(g(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 1.0);
+}
+
+// ----------------------------------------------------- drift traces
+
+TEST(CycleTimeTrace, StepRampAndRecoveryShapes) {
+  CycleTimeTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.factor(0, 0), 1.0);
+
+  t.add_step(2, 3.0, 5);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.factor(2, 4), 1.0);
+  EXPECT_DOUBLE_EQ(t.factor(2, 5), 3.0);
+  EXPECT_DOUBLE_EQ(t.factor(2, 99), 3.0);
+  EXPECT_DOUBLE_EQ(t.factor(1, 5), 1.0);  // other processors untouched
+
+  CycleTimeTrace ramp;
+  ramp.add_ramp(0, 5.0, 2, 4);  // 1 -> 5 over steps [2, 6)
+  EXPECT_DOUBLE_EQ(ramp.factor(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ramp.factor(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(ramp.factor(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(ramp.factor(0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(ramp.factor(0, 6), 5.0);  // holds after the ramp
+
+  CycleTimeTrace rec;
+  rec.add_recovery(1, 4.0, 3, 6);
+  EXPECT_DOUBLE_EQ(rec.factor(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(rec.factor(1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(rec.factor(1, 5), 4.0);
+  EXPECT_DOUBLE_EQ(rec.factor(1, 6), 1.0);  // healed
+}
+
+TEST(CycleTimeTrace, FactorsOnTheSameProcessorCompose) {
+  CycleTimeTrace t;
+  t.add_step(0, 2.0, 0).add_step(0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(t.factor(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.factor(0, 4), 6.0);
+}
+
+TEST(CycleTimeTrace, StragglerPresetCoversProcsAndRecovery) {
+  const CycleTimeTrace t = CycleTimeTrace::straggler({0, 2}, 4.0, 1, 5);
+  EXPECT_DOUBLE_EQ(t.factor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.factor(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t.factor(2, 4), 4.0);
+  EXPECT_DOUBLE_EQ(t.factor(0, 5), 1.0);  // recovered
+  EXPECT_DOUBLE_EQ(t.factor(1, 3), 1.0);  // not a straggler
+
+  const CycleTimeTrace forever = CycleTimeTrace::straggler({1}, 2.0, 3);
+  EXPECT_DOUBLE_EQ(forever.factor(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(forever.factor(1, 1000), 2.0);  // never recovers
+}
+
+// ----------------------------------------------------- estimator alpha
+
+TEST(EstimatorAlpha, AlphaOneReproducesInstantaneousRates) {
+  // With alpha = 1 the EWMA is the newest sample: after a rate change the
+  // estimate is exactly the post-change seconds-per-unit, no warm-up lag.
+  // This is what makes the acceptance scenarios converge in one step.
+  CycleTimeEstimator::Options opt;
+  opt.alpha = 1.0;
+  opt.min_samples = 1;
+  CycleTimeEstimator est(opt);
+  est.sample(0, ObsOp::kUpdate, 2.0, 8.0, 0);  // 4 s/unit
+  est.sample(0, ObsOp::kUpdate, 2.0, 3.0, 1);  // 1.5 s/unit
+  const std::vector<CycleEstimate> e = est.estimates();
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_DOUBLE_EQ(e[0].seconds_per_unit, 1.5);
+
+  // Contrast: the default-style alpha blends history.
+  CycleTimeEstimator::Options half;
+  half.alpha = 0.5;
+  CycleTimeEstimator blended(half);
+  blended.sample(0, ObsOp::kUpdate, 2.0, 8.0, 0);
+  blended.sample(0, ObsOp::kUpdate, 2.0, 3.0, 1);
+  EXPECT_DOUBLE_EQ(blended.estimates()[0].seconds_per_unit, 2.75);
+}
+
+// ----------------------------------------------------- dynamic simulators
+
+TEST(DynamicSim, OffWithEmptyTraceMatchesStaticSimulators) {
+  // Gated off, the dynamic entry points must reproduce the static
+  // simulators' reports exactly — same totals, same per-processor busy
+  // times, no rebalancer activity.
+  const Machine machine{
+      CycleTimeGrid(2, 2, {1.0, 2.0, 3.0, 6.0}),
+      NetworkModel{Topology::kSwitched, 1.0e-4, 2.0e-4, true}};
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t nb = 8;
+
+  struct Pair {
+    SimReport stat;
+    DynamicSimReport dyn;
+  };
+  const Pair pairs[] = {
+      {simulate_mmm(machine, dist, nb), simulate_mmm_dynamic(machine, dist, nb)},
+      {simulate_lu(machine, dist, nb), simulate_lu_dynamic(machine, dist, nb)},
+      {simulate_qr(machine, dist, nb), simulate_qr_dynamic(machine, dist, nb)},
+      {simulate_cholesky(machine, dist, nb),
+       simulate_cholesky_dynamic(machine, dist, nb)}};
+  for (const Pair& p : pairs) {
+    SCOPED_TRACE(p.stat.kernel);
+    EXPECT_EQ(p.stat.total_time, p.dyn.total_time);
+    EXPECT_EQ(p.stat.compute_time, p.dyn.compute_time);
+    EXPECT_EQ(p.stat.comm_time, p.dyn.comm_time);
+    EXPECT_EQ(p.stat.perfect_compute_bound, p.dyn.perfect_compute_bound);
+    EXPECT_EQ(p.stat.busy, p.dyn.busy);
+    EXPECT_EQ(p.stat.steps.size(), p.dyn.steps.size());
+    EXPECT_EQ(p.dyn.resolves, 0u);
+    EXPECT_EQ(p.dyn.migrations, 0u);
+    EXPECT_TRUE(p.dyn.events.empty());
+  }
+}
+
+TEST(DynamicSim, StragglerRebalanceBeatsStaticAndApproachesBound) {
+  // The acceptance scenario: MMM on a uniform 2x2 grid, block-cyclic
+  // distribution, nb = 20, grid row 0 slowed 4x from step 0. Static plan:
+  // every step sweeps at the stragglers' pace. Rebalanced: one migration
+  // at the first boundary hands row 0 its fair 4-of-20 row slots. Required:
+  // >= 25% makespan reduction AND within 15% of the imbalance report's
+  // balanced lower bound under the post-drift rates.
+  const Machine machine = uniform_machine(2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t nb = 20;
+
+  const DynamicSimReport stat =
+      simulate_mmm_dynamic(machine, dist, nb, straggler_options(Rebalance::kOff));
+  EXPECT_EQ(stat.migrations, 0u);
+
+  const RuntimeOptions opts = straggler_options(Rebalance::kPanel);
+  RunObservation obs(opts.estimator);
+  RunObservation* prev = install_observation(&obs);
+  const DynamicSimReport reb = simulate_mmm_dynamic(machine, dist, nb, opts);
+  install_observation(prev);
+
+  // One decisive migration at the first boundary, moving 120 owner changes
+  // x 3 matrices (A, B, C).
+  EXPECT_EQ(reb.resolves, nb - 1);
+  EXPECT_EQ(reb.migrations, 1u);
+  ASSERT_EQ(reb.events.size(), 1u);
+  EXPECT_EQ(reb.events[0].step, 1u);
+  EXPECT_EQ(reb.blocks_moved, 360u);
+  EXPECT_EQ(obs.rebalances.size(), 1u);
+
+  // >= 25% faster than the static plan (actual: ~57%).
+  EXPECT_LT(reb.total_time, 0.75 * stat.total_time);
+
+  // Within 15% of the balanced lower bound under post-drift rates.
+  const std::vector<double> finish(reb.busy.size(), reb.total_time);
+  const ImbalanceReport rep =
+      build_imbalance_report(obs, reb.busy, finish);
+  ASSERT_GT(rep.lower_bound, 0.0);
+  EXPECT_LE(reb.total_time, 1.15 * rep.lower_bound);
+  ASSERT_EQ(rep.rebalances.size(), 1u);
+  EXPECT_EQ(rep.rebalances[0].blocks_moved, 360u);
+}
+
+TEST(DynamicSim, FactorizationsRebalanceUnderStraggler) {
+  // The shrinking-region variants: LU, QR, and Cholesky under the same 4x
+  // grid-row-0 straggler. Each must migrate at least once and finish no
+  // later than the static plan.
+  const Machine machine = uniform_machine(2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t nb = 24;
+
+  using Fn = DynamicSimReport (*)(const Machine&, const Distribution2D&,
+                                  std::size_t, const RuntimeOptions&,
+                                  const KernelCosts&);
+  const Fn kernels[] = {&simulate_lu_dynamic, &simulate_qr_dynamic,
+                        &simulate_cholesky_dynamic};
+  for (Fn fn : kernels) {
+    const DynamicSimReport stat =
+        fn(machine, dist, nb, straggler_options(Rebalance::kOff), {});
+    const DynamicSimReport reb =
+        fn(machine, dist, nb, straggler_options(Rebalance::kPanel), {});
+    SCOPED_TRACE(stat.kernel);
+    EXPECT_GE(reb.migrations, 1u);
+    EXPECT_LT(reb.total_time, stat.total_time);
+  }
+}
+
+// ----------------------------------------------------- MP runtime
+
+TEST(MpRebalance, OffIsBitIdenticalAcrossThreadsAndSchedulers) {
+  // With the rebalancer off, a drift trace only reshapes virtual time:
+  // the gathered product must stay bit-identical to the trace-free run,
+  // and makespan/bits must agree across thread counts and schedulers.
+  const Machine machine = uniform_machine(2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t n = 24, block = 4;
+  Rng rng(211);
+  Matrix a(n, n), b(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+
+  Matrix plain(n, n);
+  run_mp_mmm(machine, dist, a.view(), b.view(), plain.view(), block);
+
+  double makespan = -1.0;
+  for (unsigned threads : {1u, 2u, 7u}) {
+    for (Scheduler sched : {Scheduler::kBarrier, Scheduler::kDag}) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads << " dag="
+                                      << (sched == Scheduler::kDag));
+      RuntimeOptions opts = straggler_options(Rebalance::kOff);
+      opts.threads = threads;
+      opts.scheduler = sched;
+      Matrix c(n, n);
+      const MpReport rep = run_mp_mmm(machine, dist, a.view(), b.view(),
+                                      c.view(), block, {}, nullptr, opts);
+      EXPECT_TRUE(same_bits(plain.view(), c.view()));
+      EXPECT_EQ(rep.rebalances, 0u);
+      EXPECT_EQ(rep.rebalance_blocks, 0u);
+      if (makespan < 0.0) makespan = rep.makespan;
+      EXPECT_EQ(rep.makespan, makespan);
+    }
+  }
+}
+
+TEST(MpRebalance, StragglerMakespanDropsAndResultIsUnchanged) {
+  // The MP half of the acceptance scenario: real numerics, virtual time.
+  // nb = 20 block steps of 2x2 blocks; grid row 0 slows 4x at step 0.
+  // Rebalancing must cut the makespan >= 25%, land within 15% of the
+  // imbalance report's balanced lower bound, and not move a single bit of
+  // the gathered product (MMM migration is pure data movement).
+  const Machine machine = uniform_machine(2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t n = 40, block = 2;
+  Rng rng(223);
+  Matrix a(n, n), b(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+
+  Matrix c_static(n, n);
+  const MpReport stat =
+      run_mp_mmm(machine, dist, a.view(), b.view(), c_static.view(), block,
+                 {}, nullptr, straggler_options(Rebalance::kOff));
+
+  const RuntimeOptions opts = straggler_options(Rebalance::kPanel);
+  RunObservation obs(opts.estimator);
+  RunObservation* prev = install_observation(&obs);
+  Matrix c_reb(n, n);
+  const MpReport reb = run_mp_mmm(machine, dist, a.view(), b.view(),
+                                  c_reb.view(), block, {}, nullptr, opts);
+  install_observation(prev);
+
+  EXPECT_TRUE(same_bits(c_static.view(), c_reb.view()));
+  EXPECT_GE(reb.rebalances, 1u);
+  EXPECT_GE(reb.rebalance_blocks, 1u);
+  EXPECT_LT(reb.makespan, 0.75 * stat.makespan);
+
+  const ImbalanceReport rep = build_imbalance_report(obs, reb.busy, reb.clock);
+  ASSERT_GT(rep.lower_bound, 0.0);
+  EXPECT_LE(reb.makespan, 1.15 * rep.lower_bound);
+  EXPECT_EQ(rep.rebalances.size(), reb.rebalances);
+
+  // Sanity on the numerics: the product matches the sequential gemm.
+  Matrix ref(n, n, 0.0);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, ref.view());
+  EXPECT_LE(max_abs_diff(ref.view(), c_reb.view()), 1e-10);
+}
+
+TEST(MpRebalance, MigrationScheduleIsThreadAndSchedulerInvariant) {
+  // Migration decisions are pure functions of the boundary snapshot, so
+  // the applied schedule — and every downstream bit — must be identical
+  // across thread counts and schedulers.
+  const Machine machine = uniform_machine(2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t n = 40, block = 2;
+  Rng rng(227);
+  Matrix a(n, n);
+  fill_diagonally_dominant(a.view(), rng);
+
+  Matrix first;
+  MpReport first_rep;
+  bool have_first = false;
+  for (unsigned threads : {1u, 2u, 7u}) {
+    for (Scheduler sched : {Scheduler::kBarrier, Scheduler::kDag}) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads << " dag="
+                                      << (sched == Scheduler::kDag));
+      RuntimeOptions opts = straggler_options(Rebalance::kPanel);
+      opts.threads = threads;
+      opts.scheduler = sched;
+      Matrix lu = a;
+      const MpReport rep =
+          run_mp_lu(machine, dist, lu.view(), block, {}, false, nullptr, opts);
+      if (!have_first) {
+        first = lu;
+        first_rep = rep;
+        have_first = true;
+        EXPECT_GE(rep.rebalances, 1u);
+        continue;
+      }
+      EXPECT_TRUE(same_bits(first.view(), lu.view()));
+      EXPECT_EQ(rep.rebalances, first_rep.rebalances);
+      EXPECT_EQ(rep.rebalance_blocks, first_rep.rebalance_blocks);
+      EXPECT_EQ(rep.makespan, first_rep.makespan);
+    }
+  }
+}
+
+// ------------------------------------------- migration x pack cache
+
+// Restores the pack-cache consumption toggle no matter how a test exits.
+struct PackCacheGuard {
+  explicit PackCacheGuard(bool on) : prev_(gemm_set_pack_cache(on)) {}
+  ~PackCacheGuard() { gemm_set_pack_cache(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(MigrationPackCache, EraseAndReputMakeOldPacksUnreachable) {
+  // The migration protocol at the block-store level: the old owner erases
+  // the migrated block, the new owner puts it. Both bump the write
+  // version, so a pack tagged with the pre-migration version is never
+  // asked for again — even when the re-put bytes are identical, the fresh
+  // version forces a fresh pack instead of replaying the stale one.
+  PackCacheGuard cache_guard(true);
+  MetricsRegistry reg;
+  install_metrics(&reg);
+  {
+    BlockStore store;
+    const BlockKey key{3, 5};
+    PackedPanelCache* cache = &store.pack_cache();
+    Rng rng(229);
+    Matrix a1(80, 80), b(80, 80);
+    fill_random(a1.view(), rng);
+    fill_random(b.view(), rng);
+    EXPECT_EQ(store.version(key), 0u);
+    store.put(key, a1);
+    EXPECT_EQ(store.version(key), 1u);
+    const BlockStore& cstore = store;
+    const auto tag = [&] {
+      return PackTag{BlockStore::pack_id(key), store.version(key), true};
+    };
+    Matrix c1(80, 80, 0.0), c2(80, 80, 0.0), c3(80, 80, 0.0);
+    gemm_cached(Trans::No, Trans::No, 1.0, cstore.at(key), tag(), b.view(),
+                PackTag{}, 0.0, c1.view(), cache);  // miss: packs a1
+    gemm_cached(Trans::No, Trans::No, 1.0, cstore.at(key), tag(), b.view(),
+                PackTag{}, 0.0, c2.view(), cache);  // hit
+    EXPECT_TRUE(same_bits(c1.view(), c2.view()));
+    store.erase(key);  // old owner's half of a migration
+    EXPECT_EQ(store.version(key), 2u);
+    store.put(key, a1);  // new owner's half (same bytes here)
+    EXPECT_EQ(store.version(key), 3u);
+    gemm_cached(Trans::No, Trans::No, 1.0, cstore.at(key), tag(), b.view(),
+                PackTag{}, 0.0, c3.view(), cache);  // miss: fresh version
+    EXPECT_TRUE(same_bits(c1.view(), c3.view()));
+  }
+  install_metrics(nullptr);
+  EXPECT_EQ(reg.counter("gemm.pack_misses").value(), 2u);
+  EXPECT_EQ(reg.counter("gemm.pack_hits").value(), 1u);
+}
+
+TEST(MigrationPackCache, RebalancedLuStaysCoherentCacheOnAndOff) {
+  // End to end: an LU run that actually migrates mid-factorization, with
+  // blocks big enough for the packed-microkernel path. The pack cache may
+  // only skip redundant packing, so the factors must be bit-identical to
+  // the static run with the cache on or off, and the hit/miss counts of
+  // the rebalanced run must be pinned (identical across repeats).
+  const Machine machine = uniform_machine(2, 2);
+  const PanelDistribution dist = PanelDistribution::block_cyclic(2, 2);
+  const std::size_t n = 560, block = 80;  // nb = 7
+  Rng rng(233);
+  Matrix a(n, n);
+  fill_diagonally_dominant(a.view(), rng);
+
+  Matrix stat = a;
+  {
+    PackCacheGuard cache_guard(true);
+    run_mp_lu(machine, dist, stat.view(), block);
+  }
+
+  const RuntimeOptions opts = straggler_options(Rebalance::kPanel);
+  std::vector<std::uint64_t> misses, hits;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    PackCacheGuard cache_guard(true);
+    MetricsRegistry reg;
+    install_metrics(&reg);
+    Matrix lu = a;
+    const MpReport rep =
+        run_mp_lu(machine, dist, lu.view(), block, {}, false, nullptr, opts);
+    install_metrics(nullptr);
+    EXPECT_GE(rep.rebalances, 1u);
+    EXPECT_TRUE(same_bits(stat.view(), lu.view()));
+    misses.push_back(reg.counter("gemm.pack_misses").value());
+    hits.push_back(reg.counter("gemm.pack_hits").value());
+  }
+  EXPECT_EQ(misses[0], misses[1]);
+  EXPECT_EQ(hits[0], hits[1]);
+  EXPECT_GT(misses[0], 0u);
+
+  {
+    PackCacheGuard cache_guard(false);
+    Matrix lu = a;
+    const MpReport rep =
+        run_mp_lu(machine, dist, lu.view(), block, {}, false, nullptr, opts);
+    EXPECT_GE(rep.rebalances, 1u);
+    EXPECT_TRUE(same_bits(stat.view(), lu.view()));
+  }
+}
+
+TEST(BlockStoreMigration, CopyBlockIntoMismatchedShapeThrows) {
+  // A migration that lands on a wrong-shaped slot must fail loudly, not
+  // read out of bounds.
+  Matrix src(2, 3, 1.0), dst(2, 2, 0.0), ok(2, 3, 0.0);
+  EXPECT_THROW(BlockStore::copy_block_into(dst.view(), src.view()),
+               PreconditionError);
+  BlockStore::copy_block_into(ok.view(), src.view());
+  EXPECT_TRUE(same_bits(ok.view(), src.view()));
+}
+
+}  // namespace
+}  // namespace hetgrid

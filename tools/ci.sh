@@ -84,6 +84,30 @@ if build-ci/bench/bench_compare --base=bench/baselines/bench_trsm_baseline.json 
   exit 1
 fi
 
+# Online-rebalancing bench + gate: the planted-straggler scenario
+# (doc/rebalance.md). The harness enforces the acceptance bar itself
+# (>= 25% makespan reduction, within 15% of the balanced lower bound on
+# the MMM rows); every virtual-time column is deterministic, so the gate
+# compares makespans and migration counts at threshold 0, with the usual
+# generous wall-clock envelope and a must-fire injection check.
+build-ci/bench/bench_rebalance --smoke=1 --json=build-ci/BENCH_rebalance_smoke.json
+build-ci/bench/bench_compare --check-schema=build-ci/BENCH_rebalance_smoke.json \
+      --schema=bench/baselines/bench_rebalance_schema.json
+build-ci/bench/bench_compare --base=bench/baselines/bench_rebalance_baseline.json \
+      --new=build-ci/BENCH_rebalance_smoke.json --key=rebalanced_makespan --threshold=0
+build-ci/bench/bench_compare --base=bench/baselines/bench_rebalance_baseline.json \
+      --new=build-ci/BENCH_rebalance_smoke.json --key=rebalances --threshold=0
+build-ci/bench/bench_compare --base=bench/baselines/bench_rebalance_baseline.json \
+      --new=build-ci/BENCH_rebalance_smoke.json --key=blocks --threshold=0
+build-ci/bench/bench_compare --base=bench/baselines/bench_rebalance_baseline.json \
+      --new=build-ci/BENCH_rebalance_smoke.json --key=ms --threshold=4.0
+if build-ci/bench/bench_compare --base=build-ci/BENCH_rebalance_smoke.json \
+      --new=build-ci/BENCH_rebalance_smoke.json --key=ms --inject=8.0 \
+      --threshold=4.0 2>/dev/null; then
+  echo "bench_compare failed to flag an injected rebalance regression" >&2
+  exit 1
+fi
+
 # Degraded-configuration runs of the MP kernel tests: once with the gemm /
 # trsm dispatch pinned to the scalar kernels, once with the packed-panel
 # cache disabled. Bit-identity makes both pure performance toggles, so the
@@ -157,6 +181,12 @@ build-ci/tools/hetgrid profile --smoke=1 --out=build-ci/profile_smoke.json
 # imbalance JSON must be byte-stable across thread counts (doc/observability.md).
 build-ci/tools/hetgrid observe --smoke=1
 
+# Rebalance smoke: the off-path of all four MP kernels must be
+# bit-identical to current behavior under a planted 4x straggler across
+# threads {1, 2, 7} x {barrier, dag}, and the rebalanced migration
+# schedule must be identical in every combination (doc/rebalance.md).
+build-ci/tools/hetgrid trace --rebalance=panel --smoke=1
+
 # MP QR trace smoke: the distributed QR path produces a non-empty trace.
 build-ci/tools/hetgrid trace --times=1,2,3,6 --p=2 --q=2 --kernel=qr \
       --backend=mp --nb=4 --block=4 \
@@ -177,6 +207,6 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
       -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "$NPROC" \
-      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph test_serve test_imbalance
+      --target test_thread_pool test_exact_parallel test_mp test_runtime_parallel test_profiler test_task_graph test_serve test_imbalance test_rebalance
 ctest --test-dir build-tsan --output-on-failure -j "$NPROC" \
-      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph|test_serve|test_imbalance)$'
+      -R '^(test_thread_pool|test_exact_parallel|test_mp|test_runtime_parallel|test_profiler|test_task_graph|test_serve|test_imbalance|test_rebalance)$'

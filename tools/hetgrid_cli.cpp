@@ -55,8 +55,10 @@
 // to attach the wall-clock profiler / metrics registry to that run.
 //
 // Everything prints aligned tables; add --csv for machine-readable copies.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <fstream>
 #include <iomanip>
@@ -288,6 +290,72 @@ NetworkModel parse_network_flag(const std::string& network) {
   HG_CHECK(false, "unknown --network: " << network);
 }
 
+// Parses a comma-separated processor index list ("0,1,3") — unlike
+// parse_positive_list, index 0 is valid.
+std::vector<std::size_t> parse_proc_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string tok = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    HG_CHECK(!tok.empty() &&
+                 tok.find_first_not_of("0123456789") == std::string::npos,
+             "bad processor index in --straggler: '" << tok << "'");
+    out.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  HG_CHECK(!out.empty(), "empty --straggler processor list");
+  return out;
+}
+
+// Folds the shared dynamic-run flags into `opts` (doc/rebalance.md):
+// --rebalance=off|panel turns the panel-boundary rebalancer on, the
+// --straggler preset slows the listed processors by --straggler-factor
+// from step --straggler-onset (--straggler-recover > 0 heals them there),
+// and --ewma-alpha / --drift-band configure the estimator when the caller
+// declares them. Returns true when the run needs the dynamic path.
+bool apply_dynamic_flags(const Cli& cli, RuntimeOptions& opts) {
+  bool dynamic = false;
+  const std::string reb = cli.get_string("rebalance");
+  if (reb == "panel") {
+    opts.rebalance = RuntimeOptions::Rebalance::kPanel;
+    dynamic = true;
+  } else {
+    HG_CHECK(reb == "off", "--rebalance must be off or panel, got " << reb);
+  }
+  const std::string straggler = cli.get_string("straggler");
+  if (!straggler.empty()) {
+    const double factor = cli.get_double("straggler-factor");
+    HG_CHECK(factor > 0.0, "--straggler-factor must be positive");
+    const long long onset = cli.get_int("straggler-onset");
+    const long long recover = cli.get_int("straggler-recover");
+    HG_CHECK(onset >= 0 && recover >= 0,
+             "--straggler-onset/--straggler-recover must be >= 0");
+    opts.trace = CycleTimeTrace::straggler(
+        parse_proc_list(straggler), factor, static_cast<std::size_t>(onset),
+        static_cast<std::size_t>(recover));
+    dynamic = true;
+  }
+  if (cli.has("ewma-alpha")) {
+    const double alpha = cli.get_double("ewma-alpha");
+    HG_CHECK(alpha > 0.0 && alpha <= 1.0, "--ewma-alpha must be in (0, 1]");
+    opts.estimator.alpha = alpha;
+  }
+  if (cli.has("drift-band")) {
+    const double band = cli.get_double("drift-band");
+    HG_CHECK(band > 0.0, "--drift-band must be positive");
+    opts.estimator.drift_band = band;
+  }
+  if (cli.has("min-samples")) {
+    const long long ms = cli.get_int("min-samples");
+    HG_CHECK(ms >= 1, "--min-samples must be >= 1");
+    opts.estimator.min_samples = static_cast<std::uint64_t>(ms);
+  }
+  return dynamic;
+}
+
 struct StrategyChoice {
   CycleTimeGrid grid;
   std::unique_ptr<Distribution2D> dist;
@@ -322,7 +390,10 @@ int cmd_simulate(int argc, const char* const* argv) {
                 {{"times", ""}, {"p", "0"}, {"q", "0"},
                  {"kernel", "mmm"}, {"nb", "64"}, {"network", "switched"},
                  {"strategy", "heuristic"}, {"scale", "8"}, {"csv", "0"},
-                 {"trace", "0"}});
+                 {"trace", "0"}, {"rebalance", "off"}, {"straggler", ""},
+                 {"straggler-factor", "4"}, {"straggler-onset", "0"},
+                 {"straggler-recover", "0"}, {"ewma-alpha", "0.25"},
+                 {"drift-band", "0.5"}, {"min-samples", "2"}});
   const std::vector<double> pool = parse_times(cli.get_string("times"));
   const auto p = static_cast<std::size_t>(cli.get_int("p"));
   const auto q = static_cast<std::size_t>(cli.get_int("q"));
@@ -340,8 +411,23 @@ int cmd_simulate(int argc, const char* const* argv) {
 
   const Machine machine{grid, net};
   const std::string kernel = cli.get_string("kernel");
+  RuntimeOptions dyn_opts;
+  const bool dynamic = apply_dynamic_flags(cli, dyn_opts);
+  DynamicSimReport dyn_rep;
   SimReport rep;
-  if (kernel == "mmm")
+  if (dynamic) {
+    if (kernel == "mmm")
+      dyn_rep = simulate_mmm_dynamic(machine, *dist, nb, dyn_opts);
+    else if (kernel == "lu")
+      dyn_rep = simulate_lu_dynamic(machine, *dist, nb, dyn_opts);
+    else if (kernel == "qr")
+      dyn_rep = simulate_qr_dynamic(machine, *dist, nb, dyn_opts);
+    else if (kernel == "chol")
+      dyn_rep = simulate_cholesky_dynamic(machine, *dist, nb, dyn_opts);
+    else
+      HG_CHECK(false, "unknown --kernel: " << kernel);
+    rep = dyn_rep;
+  } else if (kernel == "mmm")
     rep = simulate_mmm(machine, *dist, nb);
   else if (kernel == "lu")
     rep = simulate_lu(machine, *dist, nb);
@@ -362,8 +448,21 @@ int cmd_simulate(int argc, const char* const* argv) {
   table.row({"perfect bound (s)", Table::num(rep.perfect_compute_bound, 2)});
   table.row({"slowdown vs perfect", Table::num(rep.slowdown_vs_perfect(), 3)});
   table.row({"avg utilization", Table::num(rep.average_utilization(), 3)});
+  if (dynamic) {
+    table.row({"rebalance re-solves",
+               Table::num(static_cast<std::int64_t>(dyn_rep.resolves))});
+    table.row({"rebalances applied",
+               Table::num(static_cast<std::int64_t>(dyn_rep.migrations))});
+    table.row({"blocks migrated",
+               Table::num(static_cast<std::int64_t>(dyn_rep.blocks_moved))});
+  }
   table.print(std::cout);
   if (cli.get_bool("csv")) table.print_csv(std::cout);
+  for (const RebalanceEvent& e : dyn_rep.events)
+    std::cout << "rebalance: step " << e.step << " moved " << e.blocks_moved
+              << " blocks, sweep " << Table::num(e.current_sweep, 3) << " -> "
+              << Table::num(e.proposed_sweep, 3) << " (cost "
+              << Table::num(e.migration_cost, 4) << ")\n";
 
   if (cli.get_bool("trace")) {
     Table trace("per-step timeline (first and last 5 steps)");
@@ -410,6 +509,10 @@ int run_trace(const Cli& cli) {
              "--scheduler must be barrier or dag, got " << scheduler);
   HG_CHECK(backend == "mp" || scheduler == "barrier",
            "--scheduler only applies to --backend=mp");
+  const bool dynamic = apply_dynamic_flags(cli, run_opts);
+  HG_CHECK(backend == "mp" || !dynamic,
+           "--rebalance/--straggler apply to --backend=mp (use `hetgrid "
+           "simulate` for the bulk-synchronous dynamic model)");
 
   const NetworkModel net = parse_network_flag(cli.get_string("network"));
   StrategyChoice choice =
@@ -465,6 +568,9 @@ int run_trace(const Cli& cli) {
                           << kernel);
     }
     makespan = rep.makespan;
+    if (run_opts.rebalance == RuntimeOptions::Rebalance::kPanel)
+      std::cout << "rebalance: " << rep.rebalances << " applied, "
+                << rep.rebalance_blocks << " blocks migrated\n";
   } else {
     HG_CHECK(false, "unknown --backend: " << backend << " (sim|mp)");
   }
@@ -497,6 +603,8 @@ int run_trace(const Cli& cli) {
   return 0;
 }
 
+int trace_rebalance_smoke();
+
 int cmd_trace(int argc, const char* const* argv) {
   const Cli cli(argc, argv,
                 {{"times", ""}, {"p", "0"}, {"q", "0"},
@@ -504,7 +612,11 @@ int cmd_trace(int argc, const char* const* argv) {
                  {"network", "switched"}, {"strategy", "heuristic"},
                  {"scale", "8"}, {"block", "4"}, {"out", "trace.json"},
                  {"csv", "0"}, {"threads", "1"}, {"scheduler", "barrier"},
-                 {"profile", ""}, {"metrics", ""}});
+                 {"profile", ""}, {"metrics", ""}, {"rebalance", "off"},
+                 {"straggler", ""}, {"straggler-factor", "4"},
+                 {"straggler-onset", "0"}, {"straggler-recover", "0"},
+                 {"smoke", "0"}});
+  if (cli.get_bool("smoke")) return trace_rebalance_smoke();
   ProfileSession session(cli.get_string("profile"), cli.get_string("metrics"));
   session.begin();
   const int rc = run_trace(cli);
@@ -671,6 +783,110 @@ std::string imbalance_json(const ImbalanceReport& rep) {
   return oss.str();
 }
 
+// The rebalance smoke behind `hetgrid trace --smoke` (tools/ci.sh): a 2x2
+// grid whose whole first row slows 4x from step 0. For each kernel,
+//   (1) with --rebalance=off the gathered matrix stays bit-identical to
+//       the drift-free run (the trace only reweights virtual time) and
+//       the virtual makespan is the same for all thread counts and
+//       schedulers;
+//   (2) with --rebalance=panel the migration schedule is deterministic —
+//       same rebalance count, migrated-block count, makespan, and gathered
+//       bits across threads {1,2,7} x {barrier,dag}. MMM/LU/Cholesky also
+//       stay bit-identical to the static result (migration only relocates
+//       blocks); QR regroups its W reduction by the new grid rows, so it
+//       is held to a small elementwise tolerance instead.
+// MMM (whose whole matrix rebalances) must additionally act at least once
+// and beat the static straggler makespan.
+int trace_rebalance_smoke() {
+  const std::vector<double> pool{1.0, 1.0, 1.0, 1.0};
+  const std::size_t p = 2, q = 2, nb = 8, block = 4;
+  StrategyChoice choice = build_strategy("block-cyclic", p, q, pool, 8);
+  const Machine machine{choice.grid, parse_network_flag("switched")};
+  const Distribution2D& dist = *choice.dist;
+  const CycleTimeTrace trace = CycleTimeTrace::straggler({0, 1}, 4.0, 0);
+  const RuntimeOptions::Scheduler scheds[] = {
+      RuntimeOptions::Scheduler::kBarrier, RuntimeOptions::Scheduler::kDag};
+
+  for (const char* kernel : {"mmm", "lu", "chol", "qr"}) {
+    const ObserveMpRun plain =
+        observe_mp_run(kernel, machine, dist, nb, block, RuntimeOptions{});
+
+    double off_makespan = -1.0;
+    for (unsigned threads : {1u, 2u, 7u})
+      for (const RuntimeOptions::Scheduler sched : scheds) {
+        RuntimeOptions ro;
+        ro.threads = threads;
+        ro.scheduler = sched;
+        ro.trace = trace;
+        const ObserveMpRun run =
+            observe_mp_run(kernel, machine, dist, nb, block, ro);
+        HG_CHECK(same_bits(run.out, plain.out),
+                 "straggler trace with rebalance off changed " << kernel
+                                                               << " bits");
+        HG_CHECK(run.rep.rebalances == 0 && run.rep.rebalance_blocks == 0,
+                 "rebalance off still migrated on " << kernel);
+        if (off_makespan < 0.0) off_makespan = run.rep.makespan;
+        HG_CHECK(run.rep.makespan == off_makespan,
+                 "static straggler makespan differs across threads/"
+                 "schedulers on "
+                     << kernel);
+      }
+
+    Matrix first_out;
+    MpReport first_rep;
+    bool have_first = false;
+    for (unsigned threads : {1u, 2u, 7u})
+      for (const RuntimeOptions::Scheduler sched : scheds) {
+        RuntimeOptions ro;
+        ro.threads = threads;
+        ro.scheduler = sched;
+        ro.trace = trace;
+        ro.rebalance = RuntimeOptions::Rebalance::kPanel;
+        ro.estimator.alpha = 1.0;
+        ro.estimator.min_samples = 1;
+        const ObserveMpRun run =
+            observe_mp_run(kernel, machine, dist, nb, block, ro);
+        if (!have_first) {
+          first_out = run.out;
+          first_rep = run.rep;
+          have_first = true;
+          continue;
+        }
+        HG_CHECK(run.rep.rebalances == first_rep.rebalances &&
+                     run.rep.rebalance_blocks == first_rep.rebalance_blocks &&
+                     run.rep.makespan == first_rep.makespan,
+                 "migration schedule differs across threads/schedulers on "
+                     << kernel);
+        HG_CHECK(same_bits(run.out, first_out),
+                 "rebalanced " << kernel
+                               << " bits differ across threads/schedulers");
+      }
+    if (std::string(kernel) == "qr") {
+      double max_diff = 0.0;
+      for (std::size_t j = 0; j < first_out.cols(); ++j)
+        for (std::size_t i = 0; i < first_out.rows(); ++i)
+          max_diff = std::max(
+              max_diff, std::abs(first_out.view()(i, j) - plain.out.view()(i, j)));
+      HG_CHECK(max_diff <= 1e-8,
+               "rebalanced qr drifted from the static factorization by "
+                   << max_diff);
+    } else {
+      HG_CHECK(same_bits(first_out, plain.out),
+               "rebalanced " << kernel << " changed the computed bits");
+    }
+    if (std::string(kernel) == "mmm")
+      HG_CHECK(first_rep.rebalances >= 1 &&
+                   first_rep.makespan < off_makespan,
+               "mmm rebalance never acted or did not improve the straggler "
+               "makespan");
+  }
+  std::cout << "trace smoke: rebalance off bit-identical under a 4x "
+               "straggler; migration schedule deterministic across threads "
+               "{1,2,7} x {barrier,dag}; mmm/lu/chol bits unchanged, qr "
+               "within 1e-8; mmm rebalance beat the static makespan\n";
+  return 0;
+}
+
 // The observatory's self-check behind `hetgrid observe --smoke`
 // (tools/ci.sh): on a 2x2 grid with one planted 2x-slow processor, (1)
 // observing a run leaves every computed result bit-identical for all four
@@ -754,6 +970,7 @@ int run_observe(const Cli& cli) {
   else
     HG_CHECK(scheduler == "barrier",
              "--scheduler must be barrier or dag, got " << scheduler);
+  const bool dynamic = apply_dynamic_flags(cli, run_opts);
 
   StrategyChoice choice =
       build_strategy(cli.get_string("strategy"), p, q, pool, scale);
@@ -761,13 +978,26 @@ int run_observe(const Cli& cli) {
                                          cli.get_string("network"))};
   const Distribution2D& dist = *choice.dist;
 
-  RunObservation obs;
+  RunObservation obs(run_opts.estimator);
   RunObservation* prev = install_observation(&obs);
   std::vector<double> busy, finish;
   if (backend == "sim") {
     const KernelCosts costs;
     SimReport rep;
-    if (kernel == "mmm")
+    if (dynamic) {
+      if (kernel == "mmm")
+        rep = simulate_mmm_dynamic(machine, dist, nb, run_opts, costs);
+      else if (kernel == "lu")
+        rep = simulate_lu_dynamic(machine, dist, nb, run_opts, costs);
+      else if (kernel == "qr")
+        rep = simulate_qr_dynamic(machine, dist, nb, run_opts, costs);
+      else if (kernel == "chol")
+        rep = simulate_cholesky_dynamic(machine, dist, nb, run_opts, costs);
+      else {
+        install_observation(prev);
+        HG_CHECK(false, "unknown --kernel: " << kernel);
+      }
+    } else if (kernel == "mmm")
       rep = simulate_mmm(machine, dist, nb, costs, nullptr);
     else if (kernel == "lu")
       rep = simulate_lu(machine, dist, nb, costs, nullptr);
@@ -818,7 +1048,10 @@ int cmd_observe(int argc, const char* const* argv) {
                  {"network", "switched"}, {"strategy", "heuristic"},
                  {"scale", "8"}, {"block", "4"}, {"threads", "1"},
                  {"scheduler", "dag"}, {"out", ""}, {"json", "0"},
-                 {"smoke", "0"}});
+                 {"smoke", "0"}, {"rebalance", "off"}, {"straggler", ""},
+                 {"straggler-factor", "4"}, {"straggler-onset", "0"},
+                 {"straggler-recover", "0"}, {"ewma-alpha", "0.25"},
+                 {"drift-band", "0.5"}, {"min-samples", "2"}});
   if (cli.get_bool("smoke")) return observe_smoke();
   return run_observe(cli);
 }
@@ -1207,14 +1440,22 @@ int usage() {
       "  simulate --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=64\n"
       "           [--network=free|switched|ethernet]\n"
       "           [--strategy=block-cyclic|kl|heuristic]\n"
+      "           [--rebalance=off|panel] [--straggler=0,1\n"
+      "           --straggler-factor=4 --straggler-onset=0\n"
+      "           --straggler-recover=0] [--ewma-alpha=0.25]\n"
+      "           (the straggler preset slows the listed processors\n"
+      "            mid-run; --rebalance=panel re-solves the allocation at\n"
+      "            panel boundaries and migrates blocks — doc/rebalance.md)\n"
       "  trace    --times=... --p=2 --q=2 --kernel=mmm|lu|qr|chol --nb=16\n"
       "           [--backend=sim|mp] [--out=trace.json] [--block=4]\n"
       "           [--network=...] [--strategy=...] [--threads=1]\n"
-      "           [--scheduler=barrier|dag]\n"
+      "           [--scheduler=barrier|dag] [--rebalance=off|panel]\n"
+      "           [--straggler=... flags as in simulate] [--smoke=0]\n"
       "           (--threads parallelizes the mp backend's block math;\n"
       "            0 = all hardware threads, output is bit-identical;\n"
       "            --scheduler=dag replaces the mp backend's per-phase\n"
-      "            barriers with dataflow dependencies — same output)\n"
+      "            barriers with dataflow dependencies — same output;\n"
+      "            --smoke runs the rebalance determinism self-check)\n"
       "  profile  --times=1,2,3,4,5,6 --p=2 --q=3 [--out=profile.json]\n"
       "           [--metrics=metrics.json] [--threads=1] [--smoke=0]\n"
       "           (--smoke runs the determinism self-checks instead)\n"
@@ -1222,7 +1463,8 @@ int usage() {
       "           [--backend=sim|mp] [--nb=8] [--block=4] [--threads=1]\n"
       "           [--scheduler=barrier|dag] [--network=...] [--strategy=...]\n"
       "           [--json] [--out=imbalance.json] [--smoke=0]\n"
-      "           (runs one kernel under the cycle-time estimator and\n"
+      "           [--ewma-alpha=0.25] [--drift-band=0.5] [--min-samples=2]\n"
+      "           [--rebalance=off|panel] [--straggler=... as in simulate]\n"
       "            prints the imbalance report: makespan vs the paper's\n"
       "            lower bound, per-processor busy/idle/slack, critical-path\n"
       "            attribution, and estimated-vs-true t_ij; observation\n"
